@@ -1,0 +1,266 @@
+//! Kernel-body array-access analysis.
+//!
+//! For every buffer parameter of a kernel the translator records how it is
+//! accessed: read/write mode, the affine structure of store indices (for
+//! the §IV-D2 miss-check elision) and the coalescing class of every access
+//! site weighted by loop depth (for the timing model and the §IV-B4
+//! layout-transform decision).
+
+use acc_kernel_ir::{Expr, Stmt};
+
+use crate::affine::{classify, linear_in_tid, AccessPattern, Linear};
+
+/// Read/write mode of one array in one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    Read,
+    Write,
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// Whether the kernel may read the array.
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::ReadWrite)
+    }
+
+    /// Whether the kernel may write the array.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
+    }
+}
+
+/// Per-buffer usage facts collected from a kernel body.
+#[derive(Debug, Clone, Default)]
+pub struct BufUsage {
+    pub reads: bool,
+    pub writes: bool,
+    /// The buffer is the target of atomic RMW (reductiontoarray lowering).
+    pub atomics: bool,
+    /// One entry per textual store site: affine form (if any) and the
+    /// loop depth the site sits at.
+    pub store_sites: Vec<(Option<Linear>, u32)>,
+    /// One entry per textual load site: coalescing class and loop depth.
+    pub load_sites: Vec<(AccessPattern, u32)>,
+    /// One entry per atomic site.
+    pub atomic_sites: Vec<(AccessPattern, u32)>,
+}
+
+impl BufUsage {
+    /// The combined access mode, or `None` if the array is unused.
+    pub fn mode(&self) -> Option<AccessMode> {
+        match (self.reads, self.writes || self.atomics) {
+            (false, false) => None,
+            (true, false) => Some(AccessMode::Read),
+            (false, true) => Some(AccessMode::Write),
+            (true, true) => Some(AccessMode::ReadWrite),
+        }
+    }
+
+    /// All load sites are affine in the thread index (the precondition for
+    /// the layout transform).
+    pub fn all_loads_affine(&self) -> bool {
+        self.load_sites.iter().all(|(p, _)| p.is_affine())
+    }
+
+    /// Every store is `stride*tid + c` with `0 <= c < stride` — i.e.
+    /// provably inside the iteration's own partition for a distribution
+    /// with that (constant) stride.
+    pub fn stores_within_own_stride(&self, stride: i64) -> bool {
+        !self.store_sites.is_empty()
+            && self.store_sites.iter().all(|(l, _)| match l {
+                Some(l) => l.coeff == stride && l.offset >= 0 && l.offset < stride,
+                None => false,
+            })
+    }
+}
+
+/// Analyze a kernel body over `n_bufs` buffer parameters.
+pub fn analyze_body(body: &[Stmt], n_bufs: usize) -> Vec<BufUsage> {
+    let mut usage = vec![BufUsage::default(); n_bufs];
+    walk_block(body, 0, &mut usage);
+    usage
+}
+
+fn walk_block(stmts: &[Stmt], depth: u32, usage: &mut [BufUsage]) {
+    for s in stmts {
+        walk_stmt(s, depth, usage);
+    }
+}
+
+fn walk_stmt(s: &Stmt, depth: u32, usage: &mut [BufUsage]) {
+    match s {
+        Stmt::Assign { value, .. } => walk_expr(value, depth, usage),
+        Stmt::Store { buf, idx, value, .. } => {
+            walk_expr(idx, depth, usage);
+            walk_expr(value, depth, usage);
+            let u = &mut usage[buf.0 as usize];
+            u.writes = true;
+            u.store_sites.push((linear_in_tid(idx), depth));
+        }
+        Stmt::AtomicRmw {
+            buf, idx, value, ..
+        } => {
+            walk_expr(idx, depth, usage);
+            walk_expr(value, depth, usage);
+            let u = &mut usage[buf.0 as usize];
+            u.atomics = true;
+            u.atomic_sites.push((classify(idx), depth));
+        }
+        Stmt::ReduceScalar { value, .. } => walk_expr(value, depth, usage),
+        Stmt::If { cond, then_, else_ } => {
+            walk_expr(cond, depth, usage);
+            walk_block(then_, depth, usage);
+            walk_block(else_, depth, usage);
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, depth + 1, usage);
+            walk_block(body, depth + 1, usage);
+        }
+        Stmt::Break | Stmt::Continue => {}
+    }
+}
+
+fn walk_expr(e: &Expr, depth: u32, usage: &mut [BufUsage]) {
+    e.visit(&mut |e| {
+        if let Expr::Load { buf, idx } = e {
+            let u = &mut usage[buf.0 as usize];
+            u.reads = true;
+            u.load_sites.push((classify(idx), depth));
+        }
+    });
+}
+
+/// Per-site effective-bandwidth fraction for the roofline model. These are
+/// calibration constants for Fermi-class GPUs: coalesced/broadcast
+/// accesses reach full effective bandwidth; a stride-`s` access wastes all
+/// but one of the `s` words a transaction fetches; irregular gathers reach
+/// roughly 1/8 of peak.
+pub fn pattern_efficiency(p: AccessPattern) -> f64 {
+    match p {
+        AccessPattern::Broadcast | AccessPattern::Coalesced => 1.0,
+        AccessPattern::Strided(s) => 1.0 / (s.min(32) as f64),
+        // Runtime stride: assume a moderate stride (the KMEANS feature
+        // matrix has nfeatures ≈ 34, i.e. far from coalesced).
+        AccessPattern::StridedDyn => 1.0 / 8.0,
+        AccessPattern::Irregular => 0.125,
+    }
+}
+
+/// Loop-depth weight: sites inside loops execute more often; without
+/// dynamic counts we weight a site 8× per nesting level (capped).
+pub fn depth_weight(depth: u32) -> f64 {
+    8f64.powi(depth.min(3) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_kernel_ir::{BufId, Expr, LocalId, RmwOp, Stmt};
+
+    #[test]
+    fn classifies_read_write_modes() {
+        // buf0: read; buf1: written; buf2: read+write; buf3: atomic
+        let body = vec![
+            Stmt::Assign {
+                local: LocalId(0),
+                value: Expr::load(BufId(0), Expr::ThreadIdx),
+            },
+            Stmt::Store {
+                buf: BufId(1),
+                idx: Expr::ThreadIdx,
+                value: Expr::load(BufId(2), Expr::ThreadIdx),
+                dirty: false,
+                checked: false,
+            },
+            Stmt::Store {
+                buf: BufId(2),
+                idx: Expr::ThreadIdx,
+                value: Expr::imm_i32(0),
+                dirty: false,
+                checked: false,
+            },
+            Stmt::AtomicRmw {
+                buf: BufId(3),
+                idx: Expr::imm_i32(0),
+                op: RmwOp::Add,
+                value: Expr::imm_i32(1),
+            },
+        ];
+        let u = analyze_body(&body, 4);
+        assert_eq!(u[0].mode(), Some(AccessMode::Read));
+        assert_eq!(u[1].mode(), Some(AccessMode::Write));
+        assert_eq!(u[2].mode(), Some(AccessMode::ReadWrite));
+        assert_eq!(u[3].mode(), Some(AccessMode::Write));
+        assert!(u[3].atomics);
+    }
+
+    #[test]
+    fn unused_buffer_has_no_mode() {
+        let u = analyze_body(&[], 1);
+        assert_eq!(u[0].mode(), None);
+    }
+
+    #[test]
+    fn store_affinity_detected() {
+        // out[3*tid + 1] = 0  → within stride 3
+        let body = vec![Stmt::Store {
+            buf: BufId(0),
+            idx: Expr::add(
+                Expr::mul(Expr::imm_i32(3), Expr::ThreadIdx),
+                Expr::imm_i32(1),
+            ),
+            value: Expr::imm_i32(0),
+            dirty: false,
+            checked: false,
+        }];
+        let u = analyze_body(&body, 1);
+        assert!(u[0].stores_within_own_stride(3));
+        assert!(!u[0].stores_within_own_stride(2));
+    }
+
+    #[test]
+    fn irregular_store_not_provable() {
+        let body = vec![Stmt::Store {
+            buf: BufId(0),
+            idx: Expr::load(BufId(1), Expr::ThreadIdx),
+            value: Expr::imm_i32(0),
+            dirty: false,
+            checked: false,
+        }];
+        let u = analyze_body(&body, 2);
+        assert!(!u[0].stores_within_own_stride(1));
+    }
+
+    #[test]
+    fn depth_weights_inner_loops() {
+        // while (...) { t = x[tid*8]; }
+        let body = vec![Stmt::While {
+            cond: Expr::Imm(acc_kernel_ir::Value::Bool(false)),
+            body: vec![Stmt::Assign {
+                local: LocalId(0),
+                value: Expr::load(BufId(0), Expr::mul(Expr::ThreadIdx, Expr::imm_i32(8))),
+            }],
+        }];
+        let u = analyze_body(&body, 1);
+        assert_eq!(u[0].load_sites.len(), 1);
+        assert_eq!(u[0].load_sites[0], (AccessPattern::Strided(8), 1));
+        assert!(u[0].all_loads_affine());
+    }
+
+    #[test]
+    fn efficiency_constants_ordered() {
+        assert!(pattern_efficiency(AccessPattern::Coalesced) > pattern_efficiency(AccessPattern::Strided(4)));
+        assert!(
+            pattern_efficiency(AccessPattern::Strided(4))
+                > pattern_efficiency(AccessPattern::Strided(32))
+        );
+        assert_eq!(
+            pattern_efficiency(AccessPattern::Strided(64)),
+            pattern_efficiency(AccessPattern::Strided(32))
+        );
+        assert!(pattern_efficiency(AccessPattern::Irregular) <= 0.25);
+        assert!(depth_weight(2) > depth_weight(1));
+        assert_eq!(depth_weight(3), depth_weight(9)); // capped
+    }
+}

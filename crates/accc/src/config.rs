@@ -1,0 +1,74 @@
+//! Array configuration information (paper §IV-B5).
+//!
+//! "The translator generates the array configuration information, which is
+//! used by the data loader and the inter-GPU communication manager. [...]
+//! It is generated for every parallel loops and for every device arrays
+//! used in the loop."
+
+use acc_kernel_ir as ir;
+
+use crate::affine::AccessPattern;
+use crate::analysis::AccessMode;
+
+/// Placement policy the data loader will use for one array in one kernel
+/// (paper §IV-C).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// Replica-based policy: every GPU holds the whole array. Default for
+    /// arrays without `localaccess`. Writes are tracked with two-level
+    /// dirty bits and reconciled by the communication manager.
+    Replicated,
+    /// Distribution-based policy: each GPU holds only the sub-array its
+    /// assigned iterations access, per the `localaccess` parameters.
+    /// Writes outside the owned partition go through the write-miss path.
+    Distributed,
+    /// Destination of a `reductiontoarray`: each GPU accumulates into a
+    /// private full copy; the communication manager merges the copies
+    /// with the operator after the kernel wave (paper §IV-B4 hierarchical
+    /// reduction, final inter-GPU level).
+    ReductionPrivate(ir::RmwOp),
+}
+
+/// Host-evaluated `localaccess` parameters: iteration `i` reads
+/// `[stride*i - left, stride*(i+1) - 1 + right]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalAccessParams {
+    pub stride: ir::Expr,
+    pub left: ir::Expr,
+    pub right: ir::Expr,
+}
+
+/// Per-kernel, per-array configuration record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayConfig {
+    /// Program array index.
+    pub array: usize,
+    /// Source-level array name (diagnostics / reports).
+    pub name: String,
+    /// Whether the kernel reads and/or writes the array.
+    pub mode: AccessMode,
+    /// Placement policy chosen by the translator.
+    pub placement: Placement,
+    /// The `localaccess` annotation, when present and honored.
+    pub localaccess: Option<LocalAccessParams>,
+    /// True when every store to this (distributed) array was statically
+    /// proven to land in the local partition, so the generated code
+    /// carries no miss checks (paper §IV-D2).
+    pub miss_check_elided: bool,
+    /// True when the 2-D layout transform was applied to this array's
+    /// accesses in this kernel (paper §IV-B4).
+    pub layout_transformed: bool,
+    /// Worst (least-coalesced) read-site pattern, for the runtime's
+    /// per-array memory pricing. `Coalesced` when the array is not read.
+    pub read_pattern: AccessPattern,
+    /// Worst write-site pattern. `Coalesced` when not written.
+    pub write_pattern: AccessPattern,
+}
+
+impl ArrayConfig {
+    /// True when the communication manager must reconcile replicas of
+    /// this array after the kernel (replicated and written).
+    pub fn needs_replica_sync(&self) -> bool {
+        self.placement == Placement::Replicated && self.mode.writes()
+    }
+}

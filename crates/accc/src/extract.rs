@@ -1,0 +1,699 @@
+//! Kernel extraction: turn one [`ParallelLoopNode`] into a
+//! [`CompiledKernel`].
+//!
+//! This is §IV-B2/B3/B4 of the paper in one pass:
+//!
+//! * the loop body becomes the kernel body, with the induction variable
+//!   replaced by the thread index;
+//! * host scalars the body reads are captured as launch parameters
+//!   (OpenACC firstprivate semantics) and copied into kernel locals in a
+//!   generated prologue;
+//! * per-array placement is decided (replica / distribution /
+//!   reduction-private) and the matching instrumentation is applied to
+//!   stores: dirty-bit marks on replicated arrays, miss checks on
+//!   distributed arrays unless statically elided;
+//! * a coalescing estimate is computed, with the 2-D layout transform
+//!   applied where legal (read-only, all-affine, `localaccess` arrays).
+
+use std::collections::BTreeMap;
+
+use acc_kernel_ir as ir;
+use acc_minic::hir::{ParallelLoopNode, TypedFunction};
+
+use crate::analysis::{self, depth_weight, pattern_efficiency, AccessMode};
+use crate::config::{ArrayConfig, LocalAccessParams, Placement};
+use crate::{CompileOptions, CompiledKernel, ParamSrc};
+
+/// Extract and instrument the kernel for one parallel loop.
+pub fn extract_kernel(
+    node: &ParallelLoopNode,
+    f: &TypedFunction,
+    options: &CompileOptions,
+) -> CompiledKernel {
+    // ---- discover used locals and buffers ----
+    let mut used_locals: BTreeMap<u32, bool> = BTreeMap::new(); // id -> is_read
+    let mut used_bufs: BTreeMap<u32, ()> = BTreeMap::new();
+    scan_block(&node.body, node.var, &mut used_locals, &mut used_bufs);
+
+    // ---- dense remaps ----
+    let local_map: BTreeMap<u32, u32> = used_locals
+        .keys()
+        .enumerate()
+        .map(|(i, id)| (*id, i as u32))
+        .collect();
+    let buf_map_fwd: BTreeMap<u32, u32> = used_bufs
+        .keys()
+        .enumerate()
+        .map(|(i, id)| (*id, i as u32))
+        .collect();
+    let buf_map: Vec<usize> = used_bufs.keys().map(|id| *id as usize).collect();
+
+    // ---- captured scalar params (locals read anywhere in the body) ----
+    let mut params = Vec::new();
+    let mut param_src = Vec::new();
+    let mut prologue = Vec::new();
+    for (&fid, &is_read) in &used_locals {
+        if !is_read {
+            continue;
+        }
+        let (name, ty) = f.locals[fid as usize].clone();
+        let pid = ir::ParamId(params.len() as u32);
+        params.push(ir::ScalarParam {
+            name: format!("{name}$cap"),
+            ty,
+        });
+        param_src.push(ParamSrc::HostLocal(ir::LocalId(fid)));
+        prologue.push(ir::Stmt::Assign {
+            local: ir::LocalId(local_map[&fid]),
+            value: ir::Expr::Param(pid),
+        });
+    }
+
+    // ---- remap body ----
+    let mut body: Vec<ir::Stmt> = node
+        .body
+        .iter()
+        .map(|s| remap_stmt(s, node.var, &local_map, &buf_map_fwd))
+        .collect();
+
+    // ---- access analysis (on the remapped body) ----
+    let usage = analysis::analyze_body(&body, buf_map.len());
+
+    // ---- placement decisions & array configs ----
+    let honor = options.honor_extensions;
+    let mut configs = Vec::new();
+    for (kbuf, &arr) in buf_map.iter().enumerate() {
+        let u = &usage[kbuf];
+        let mode = u.mode().unwrap_or(AccessMode::Read);
+        let la = if honor {
+            node.localaccess
+                .iter()
+                .find(|l| l.buf.0 as usize == arr)
+                .map(|l| LocalAccessParams {
+                    stride: l.stride.clone(),
+                    left: l.left.clone(),
+                    right: l.right.clone(),
+                })
+        } else {
+            None
+        };
+        let is_reduction = honor
+            && node
+                .array_reductions
+                .iter()
+                .any(|r| r.buf.0 as usize == arr);
+        let placement = if is_reduction {
+            let op = node
+                .array_reductions
+                .iter()
+                .find(|r| r.buf.0 as usize == arr)
+                .unwrap()
+                .op;
+            Placement::ReductionPrivate(op)
+        } else if la.is_some() {
+            Placement::Distributed
+        } else {
+            Placement::Replicated
+        };
+
+        // Miss-check elision: only when the localaccess stride is a
+        // compile-time constant and every store is provably within the
+        // iteration's own stride window.
+        let miss_check_elided = match (&placement, &la) {
+            (Placement::Distributed, Some(p)) => match const_i32(&p.stride) {
+                Some(s) if s > 0 => u.stores_within_own_stride(s as i64),
+                _ => false,
+            },
+            _ => !u.writes, // nothing to check
+        };
+
+        // Layout transform: read-only + localaccess + all loads affine.
+        let layout_transformed = options.layout_transform
+            && la.is_some()
+            && mode == AccessMode::Read
+            && u.all_loads_affine()
+            && u.load_sites.iter().any(|(p, _)| {
+                matches!(
+                    p,
+                    crate::affine::AccessPattern::Strided(_)
+                        | crate::affine::AccessPattern::StridedDyn
+                )
+            });
+
+        // Worst-case (least efficient) patterns for the runtime's
+        // per-array memory pricing.
+        let worst = |pats: Vec<crate::affine::AccessPattern>| {
+            pats.into_iter().min_by(|a, b| {
+                pattern_efficiency(*a)
+                    .partial_cmp(&pattern_efficiency(*b))
+                    .unwrap()
+            })
+        };
+        let read_pattern = worst(u.load_sites.iter().map(|(p, _)| *p).collect())
+            .unwrap_or(crate::affine::AccessPattern::Coalesced);
+        let write_pattern = worst(
+            u.store_sites
+                .iter()
+                .map(|(l, _)| match l {
+                    Some(l) if l.coeff == 0 || l.coeff.unsigned_abs() == 1 => {
+                        crate::affine::AccessPattern::Coalesced
+                    }
+                    Some(l) => crate::affine::AccessPattern::Strided(l.coeff.unsigned_abs()),
+                    None => crate::affine::AccessPattern::Irregular,
+                })
+                .chain(u.atomic_sites.iter().map(|(p, _)| *p))
+                .collect(),
+        )
+        .unwrap_or(crate::affine::AccessPattern::Coalesced);
+
+        configs.push(ArrayConfig {
+            array: arr,
+            name: f.array_params[arr].0.clone(),
+            mode,
+            placement,
+            localaccess: la,
+            miss_check_elided,
+            layout_transformed,
+            read_pattern,
+            write_pattern,
+        });
+    }
+
+    // ---- instrumentation ----
+    if options.instrument {
+        for (kbuf, cfg) in configs.iter().enumerate() {
+            let kbuf = kbuf as u32;
+            match cfg.placement {
+                Placement::Replicated if cfg.mode.writes() => {
+                    set_store_flags(&mut body, kbuf, true, false);
+                }
+                Placement::Distributed if cfg.mode.writes() && !cfg.miss_check_elided => {
+                    set_store_flags(&mut body, kbuf, false, true);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- coalescing estimate ----
+    let mem_efficiency = estimate_mem_efficiency(&usage, &configs);
+
+    // ---- assemble ----
+    let kernel_locals: Vec<ir::Ty> = used_locals
+        .keys()
+        .map(|id| f.locals[*id as usize].1)
+        .collect();
+    let bufs: Vec<ir::BufParam> = buf_map
+        .iter()
+        .enumerate()
+        .map(|(kbuf, &arr)| {
+            let u = &usage[kbuf];
+            let access = if u.atomics {
+                ir::BufAccess::Reduction(
+                    node.array_reductions
+                        .iter()
+                        .find(|r| r.buf.0 as usize == arr)
+                        .map(|r| r.op)
+                        .unwrap_or(ir::RmwOp::Add),
+                )
+            } else {
+                match u.mode().unwrap_or(AccessMode::Read) {
+                    AccessMode::Read => ir::BufAccess::Read,
+                    AccessMode::Write => ir::BufAccess::Write,
+                    AccessMode::ReadWrite => ir::BufAccess::ReadWrite,
+                }
+            };
+            ir::BufParam {
+                name: f.array_params[arr].0.clone(),
+                ty: f.array_params[arr].1,
+                access,
+            }
+        })
+        .collect();
+
+    let reductions: Vec<ir::ScalarReduction> = node
+        .reductions
+        .iter()
+        .map(|r| ir::ScalarReduction {
+            var: r.name.clone(),
+            ty: r.ty,
+            op: r.op,
+        })
+        .collect();
+    let red_targets: Vec<ir::LocalId> = node.reductions.iter().map(|r| r.local).collect();
+
+    let mut full_body = prologue;
+    full_body.extend(body);
+
+    let kernel = ir::Kernel {
+        name: node.name.clone(),
+        params,
+        bufs,
+        locals: kernel_locals,
+        reductions,
+        body: full_body,
+    };
+    kernel
+        .validate()
+        .unwrap_or_else(|e| panic!("translator produced invalid kernel {}: {e}", node.name));
+
+    CompiledKernel {
+        kernel,
+        mem_efficiency,
+        configs,
+        buf_map,
+        param_src,
+        lo: node.lo.clone(),
+        hi: node.hi.clone(),
+        red_targets,
+    }
+}
+
+fn const_i32(e: &ir::Expr) -> Option<i32> {
+    match ir::fold::fold_expr(e.clone()) {
+        ir::Expr::Imm(ir::Value::I32(v)) => Some(v),
+        _ => None,
+    }
+}
+
+fn estimate_mem_efficiency(
+    usage: &[analysis::BufUsage],
+    configs: &[ArrayConfig],
+) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (u, cfg) in usage.iter().zip(configs) {
+        for (p, d) in &u.load_sites {
+            let w = depth_weight(*d);
+            let eff = if cfg.layout_transformed {
+                // Transformed arrays are accessed coalesced.
+                1.0
+            } else {
+                pattern_efficiency(*p)
+            };
+            num += eff * w;
+            den += w;
+        }
+        for (lin, d) in &u.store_sites {
+            let w = depth_weight(*d);
+            let p = match lin {
+                Some(l) if l.coeff == 0 || l.coeff.unsigned_abs() == 1 => {
+                    crate::affine::AccessPattern::Coalesced
+                }
+                Some(l) => crate::affine::AccessPattern::Strided(l.coeff.unsigned_abs()),
+                None => crate::affine::AccessPattern::Irregular,
+            };
+            num += pattern_efficiency(p) * w;
+            den += w;
+        }
+        for (p, d) in &u.atomic_sites {
+            let w = depth_weight(*d);
+            num += pattern_efficiency(*p) * w;
+            den += w;
+        }
+    }
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+// ---------- body scanning and remapping ----------
+
+fn scan_block(
+    stmts: &[ir::Stmt],
+    loop_var: ir::LocalId,
+    locals: &mut BTreeMap<u32, bool>,
+    bufs: &mut BTreeMap<u32, ()>,
+) {
+    for s in stmts {
+        // Reads (all expressions).
+        s.visit_exprs(&mut |e| {
+            e.visit(&mut |e| match e {
+                ir::Expr::Local(l) if *l != loop_var => {
+                    locals.insert(l.0, true);
+                }
+                ir::Expr::Load { buf, .. } => {
+                    bufs.insert(buf.0, ());
+                }
+                _ => {}
+            });
+        });
+        // Writes.
+        s.visit(&mut |s| match s {
+            ir::Stmt::Assign { local, .. } if *local != loop_var => {
+                locals.entry(local.0).or_insert(false);
+            }
+            ir::Stmt::Store { buf, .. } | ir::Stmt::AtomicRmw { buf, .. } => {
+                bufs.insert(buf.0, ());
+            }
+            _ => {}
+        });
+    }
+}
+
+fn remap_expr(
+    e: &ir::Expr,
+    loop_var: ir::LocalId,
+    locals: &BTreeMap<u32, u32>,
+    bufs: &BTreeMap<u32, u32>,
+) -> ir::Expr {
+    e.clone().map(&mut |e| match e {
+        ir::Expr::Local(l) if l == loop_var => ir::Expr::ThreadIdx,
+        ir::Expr::Local(l) => ir::Expr::Local(ir::LocalId(locals[&l.0])),
+        ir::Expr::Load { buf, idx } => ir::Expr::Load {
+            buf: ir::BufId(bufs[&buf.0]),
+            idx,
+        },
+        other => other,
+    })
+}
+
+fn remap_stmt(
+    s: &ir::Stmt,
+    loop_var: ir::LocalId,
+    locals: &BTreeMap<u32, u32>,
+    bufs: &BTreeMap<u32, u32>,
+) -> ir::Stmt {
+    let re = |e: &ir::Expr| remap_expr(e, loop_var, locals, bufs);
+    match s {
+        ir::Stmt::Assign { local, value } => ir::Stmt::Assign {
+            local: ir::LocalId(locals[&local.0]),
+            value: re(value),
+        },
+        ir::Stmt::Store {
+            buf,
+            idx,
+            value,
+            dirty,
+            checked,
+        } => ir::Stmt::Store {
+            buf: ir::BufId(bufs[&buf.0]),
+            idx: re(idx),
+            value: re(value),
+            dirty: *dirty,
+            checked: *checked,
+        },
+        ir::Stmt::AtomicRmw {
+            buf,
+            idx,
+            op,
+            value,
+        } => ir::Stmt::AtomicRmw {
+            buf: ir::BufId(bufs[&buf.0]),
+            idx: re(idx),
+            op: *op,
+            value: re(value),
+        },
+        ir::Stmt::ReduceScalar { slot, op, value } => ir::Stmt::ReduceScalar {
+            slot: *slot,
+            op: *op,
+            value: re(value),
+        },
+        ir::Stmt::If { cond, then_, else_ } => ir::Stmt::If {
+            cond: re(cond),
+            then_: then_
+                .iter()
+                .map(|s| remap_stmt(s, loop_var, locals, bufs))
+                .collect(),
+            else_: else_
+                .iter()
+                .map(|s| remap_stmt(s, loop_var, locals, bufs))
+                .collect(),
+        },
+        ir::Stmt::While { cond, body } => ir::Stmt::While {
+            cond: re(cond),
+            body: body
+                .iter()
+                .map(|s| remap_stmt(s, loop_var, locals, bufs))
+                .collect(),
+        },
+        ir::Stmt::Break => ir::Stmt::Break,
+        ir::Stmt::Continue => ir::Stmt::Continue,
+    }
+}
+
+/// Set the instrumentation flags on every store to kernel buffer `kbuf`.
+fn set_store_flags(stmts: &mut [ir::Stmt], kbuf: u32, dirty: bool, checked: bool) {
+    for s in stmts {
+        match s {
+            ir::Stmt::Store {
+                buf,
+                dirty: d,
+                checked: c,
+                ..
+            } if buf.0 == kbuf => {
+                *d = dirty;
+                *c = checked;
+            }
+            ir::Stmt::If { then_, else_, .. } => {
+                set_store_flags(then_, kbuf, dirty, checked);
+                set_store_flags(else_, kbuf, dirty, checked);
+            }
+            ir::Stmt::While { body, .. } => set_store_flags(body, kbuf, dirty, checked),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+
+    #[test]
+    fn extracts_saxpy_kernel() {
+        let p = compile_source(
+            "void saxpy(int n, float a, float *x, float *y) {\n\
+             #pragma acc parallel loop copyin(x[0:n]) copy(y[0:n])\n\
+             for (int i = 0; i < n; i++) y[i] = a * x[i] + y[i];\n\
+             }",
+            "saxpy",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        assert_eq!(p.kernels.len(), 1);
+        let k = &p.kernels[0];
+        // `a` is captured (`n` only appears in the bound, not the body).
+        assert_eq!(k.kernel.params.len(), 1);
+        assert_eq!(k.kernel.params[0].name, "a$cap");
+        assert_eq!(k.kernel.bufs.len(), 2);
+        assert_eq!(k.buf_map, vec![0, 1]);
+        // No localaccess → both replicated; y written → dirty-marked.
+        assert!(matches!(k.configs[1].placement, Placement::Replicated));
+        let mut saw_dirty = false;
+        for s in &k.kernel.body {
+            s.visit(&mut |s| {
+                if let ir::Stmt::Store { dirty, .. } = s {
+                    saw_dirty |= dirty;
+                }
+            });
+        }
+        assert!(saw_dirty);
+    }
+
+    #[test]
+    fn localaccess_makes_distribution_and_elides_checks() {
+        let p = compile_source(
+            "void f(int n, double *x, double *y) {\n\
+             #pragma acc localaccess(x) stride(1)\n\
+             #pragma acc localaccess(y) stride(1)\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = x[i] * 2.0;\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        let k = &p.kernels[0];
+        let cy = k.configs.iter().find(|c| c.name == "y").unwrap();
+        assert!(matches!(cy.placement, Placement::Distributed));
+        assert!(cy.miss_check_elided);
+        // No checked stores in the body.
+        let mut saw_checked = false;
+        for s in &k.kernel.body {
+            s.visit(&mut |s| {
+                if let ir::Stmt::Store { checked, .. } = s {
+                    saw_checked |= checked;
+                }
+            });
+        }
+        assert!(!saw_checked);
+    }
+
+    #[test]
+    fn irregular_write_to_distributed_gets_checked() {
+        let p = compile_source(
+            "void f(int n, int *m, double *y) {\n\
+             #pragma acc localaccess(y) stride(1)\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[m[i]] = 1.0;\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        let k = &p.kernels[0];
+        let cy = k.configs.iter().find(|c| c.name == "y").unwrap();
+        assert!(!cy.miss_check_elided);
+        let mut saw_checked = false;
+        for s in &k.kernel.body {
+            s.visit(&mut |s| {
+                if let ir::Stmt::Store { checked, .. } = s {
+                    saw_checked |= checked;
+                }
+            });
+        }
+        assert!(saw_checked);
+    }
+
+    #[test]
+    fn pgi_mode_ignores_extensions() {
+        let p = compile_source(
+            "void f(int n, double *x, double *y) {\n\
+             #pragma acc localaccess(x) stride(1)\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = x[i];\n\
+             }",
+            "f",
+            &CompileOptions::pgi_like(),
+        )
+        .unwrap();
+        for c in &p.kernels[0].configs {
+            assert!(matches!(c.placement, Placement::Replicated));
+            assert!(c.localaccess.is_none());
+        }
+        assert_eq!(p.localaccess_ratio(), (0, 2));
+    }
+
+    #[test]
+    fn cuda_expert_mode_has_no_instrumentation() {
+        let p = compile_source(
+            "void f(int n, int *m, double *y) {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[m[i]] = 1.0;\n\
+             }",
+            "f",
+            &CompileOptions::cuda_expert(),
+        )
+        .unwrap();
+        for s in &p.kernels[0].kernel.body {
+            s.visit(&mut |s| {
+                if let ir::Stmt::Store { dirty, checked, .. } = s {
+                    assert!(!dirty && !checked);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn layout_transform_applies_to_strided_readonly() {
+        let src = "void f(int n, double *x, double *y) {\n\
+             #pragma acc localaccess(x) stride(8)\n\
+             #pragma acc localaccess(y) stride(1)\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) {\n\
+             double s = 0.0;\n\
+             for (int j = 0; j < 8; j++) s += x[i*8+j];\n\
+             y[i] = s;\n\
+             }\n\
+             }";
+        let with = compile_source(src, "f", &CompileOptions::proposal()).unwrap();
+        let without = compile_source(
+            src,
+            "f",
+            &CompileOptions {
+                layout_transform: false,
+                ..CompileOptions::proposal()
+            },
+        )
+        .unwrap();
+        let cx = with.kernels[0].configs.iter().find(|c| c.name == "x").unwrap();
+        assert!(cx.layout_transformed);
+        assert!(with.kernels[0].mem_efficiency > without.kernels[0].mem_efficiency);
+    }
+
+    #[test]
+    fn reduction_kernel_carries_slots_and_targets() {
+        let p = compile_source(
+            "void f(int n, double *x, double s) {\n\
+             #pragma acc parallel loop reduction(+:s)\n\
+             for (int i = 0; i < n; i++) s += x[i];\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        let k = &p.kernels[0];
+        assert_eq!(k.kernel.reductions.len(), 1);
+        assert_eq!(k.red_targets.len(), 1);
+        // `s` is the reduction accumulator, not a captured parameter.
+        assert!(k.kernel.params.iter().all(|p| p.name != "s$cap"));
+    }
+
+    #[test]
+    fn reductiontoarray_buffer_is_reduction_private() {
+        let p = compile_source(
+            "void f(int n, int *m, double *e, double *v) {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) {\n\
+             #pragma acc reductiontoarray(+: e[8])\n\
+             e[m[i]] += v[i];\n\
+             }\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        let ce = p.kernels[0].configs.iter().find(|c| c.name == "e").unwrap();
+        assert!(matches!(
+            ce.placement,
+            Placement::ReductionPrivate(ir::RmwOp::Add)
+        ));
+        assert_eq!(
+            p.kernels[0]
+                .kernel
+                .bufs
+                .iter()
+                .find(|b| b.name == "e")
+                .unwrap()
+                .access,
+            ir::BufAccess::Reduction(ir::RmwOp::Add)
+        );
+    }
+
+    #[test]
+    fn captured_params_map_to_host_locals() {
+        let p = compile_source(
+            "void f(int n, int k, double *x) {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) x[i] = (double)(i + k);\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        let k = &p.kernels[0];
+        assert_eq!(k.param_src.len(), 1);
+        // `k` is host local slot 1 (after `n`).
+        assert_eq!(k.param_src[0], ParamSrc::HostLocal(ir::LocalId(1)));
+    }
+
+    #[test]
+    fn mem_efficiency_between_zero_and_one() {
+        let p = compile_source(
+            "void f(int n, int *m, double *y) {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = (double)m[m[i]];\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        let e = p.kernels[0].mem_efficiency;
+        assert!(e > 0.0 && e <= 1.0);
+        // Irregular read drags it below full.
+        assert!(e < 0.9);
+    }
+}

@@ -1,0 +1,305 @@
+//! The inter-GPU communication manager (paper §IV-D).
+//!
+//! Called "just after the kernel functions executed on the GPUs", it
+//! performs three reconciliations:
+//!
+//! 1. **replicated arrays** — using the two-level dirty bits, every GPU
+//!    ships only the chunks whose second-level bit is set to every other
+//!    GPU; receivers apply the dirty element runs. Clean chunks move no
+//!    bytes — the point of the two-level scheme (§IV-D1);
+//! 2. **distributed arrays** — buffered write-miss records are routed to
+//!    the GPU owning the destination element and replayed there
+//!    (§IV-D2); halo copies are invalidated so the loader refreshes them;
+//! 3. **reduction-private arrays** — the per-GPU private copies are
+//!    combined pairwise in a binary tree (the inter-GPU level of the
+//!    §IV-B4 hierarchical reduction); GPU 0 ends up with the result.
+
+use acc_compiler::{CompiledKernel, Placement};
+use acc_gpusim::Endpoint;
+use acc_kernel_ir::interp::rmw_apply;
+use acc_kernel_ir::{MissRecord, RmwOp, Value};
+
+use crate::exec::{ArrLaunch, Engine};
+use crate::RunError;
+
+impl<'a> Engine<'a> {
+    /// Run the communication phase; transfers are scheduled from `t2`.
+    /// Returns the phase end time.
+    pub(crate) fn comm_phase(
+        &mut self,
+        ck: &CompiledKernel,
+        binfo: &[ArrLaunch],
+        misses: Vec<Vec<MissRecord>>,
+        t2: f64,
+    ) -> Result<f64, RunError> {
+        let ngpus = self.cfg.ngpus;
+        let mut end = t2;
+
+        for (kbuf, bi) in binfo.iter().enumerate() {
+            match &bi.placement {
+                Placement::Replicated if bi.writes && ngpus > 1 => {
+                    let e = self.sync_replicas(bi, t2)?;
+                    end = end.max(e);
+                }
+                Placement::Replicated | Placement::Distributed
+                    if bi.writes && ngpus == 1 =>
+                {
+                    // Single GPU: nothing to reconcile; host copy is
+                    // refreshed on demand by update/copy-out.
+                }
+                Placement::Distributed if bi.writes => {
+                    let e = self.replay_misses(ck, kbuf, bi, &misses, t2)?;
+                    end = end.max(e);
+                    // Halos are stale now; keep only owned ranges valid.
+                    for g in 0..ngpus {
+                        let own = crate::ranges::RangeSet::of(bi.own[g].0, bi.own[g].1);
+                        self.arrays[bi.arr].gpu[g].valid.intersect(&own);
+                    }
+                }
+                Placement::ReductionPrivate(op) if ngpus > 1 => {
+                    let e = self.merge_reduction_copies(bi, *op, t2)?;
+                    end = end.max(e);
+                }
+                Placement::ReductionPrivate(_) => {
+                    // Single GPU: atomics already accumulated in place.
+                    self.arrays[bi.arr].gpu[0].red_private = false;
+                }
+                _ => {}
+            }
+        }
+        Ok(end)
+    }
+
+    /// §IV-D1: replica reconciliation via two-level dirty bits.
+    fn sync_replicas(&mut self, bi: &ArrLaunch, t2: f64) -> Result<f64, RunError> {
+        let ngpus = self.cfg.ngpus;
+        let elem = self.arrays[bi.arr].elem();
+        let mut end = t2;
+
+        // Collect each GPU's dirty runs and per-chunk payloads first
+        // (immutable pass).
+        let mut per_gpu_runs: Vec<Vec<(usize, usize)>> = Vec::with_capacity(ngpus);
+        let mut per_gpu_chunk_sizes: Vec<Vec<u64>> = Vec::with_capacity(ngpus);
+        for g in 0..ngpus {
+            let ga = &self.arrays[bi.arr].gpu[g];
+            match ga.dirty.as_ref() {
+                Some(dm) if !dm.is_clean() => {
+                    let mut runs = Vec::new();
+                    let mut sizes = Vec::new();
+                    for c in dm.dirty_chunks() {
+                        let (clo, chi) = dm.chunk_range(c);
+                        // The mechanism ships whole chunks plus their
+                        // first-level bits; receivers apply per-element.
+                        sizes.push(
+                            ((chi - clo) * elem) as u64 + ((chi - clo) as u64).div_ceil(8),
+                        );
+                        runs.extend(dm.dirty_runs_in_chunk(c));
+                    }
+                    per_gpu_runs.push(runs);
+                    per_gpu_chunk_sizes.push(sizes);
+                }
+                _ => {
+                    per_gpu_runs.push(Vec::new());
+                    per_gpu_chunk_sizes.push(Vec::new());
+                }
+            }
+        }
+
+        // Ship and apply. Each dirty chunk is its own asynchronous
+        // transfer (per-chunk latency is the cost of choosing small
+        // chunks — the other side of the §IV-D1 trade-off). Applying in
+        // GPU order makes conflicting writes (a program-level race under
+        // BSP) deterministic.
+        for g in 0..ngpus {
+            if per_gpu_runs[g].is_empty() {
+                continue;
+            }
+            for h in 0..ngpus {
+                if h == g {
+                    continue;
+                }
+                // Functional application of the dirty runs; the priced
+                // bytes are the whole dirty chunks (the mechanism cannot
+                // know the exact runs without reading the bits remotely).
+                for &(lo, hi) in &per_gpu_runs[g] {
+                    self.copy_elements_between_gpus(bi.arr, g, h, lo as i64, hi as i64)?;
+                }
+                for &bytes in &per_gpu_chunk_sizes[g] {
+                    let (_, e) =
+                        self.machine
+                            .bus
+                            .transfer(Endpoint::Gpu(g), Endpoint::Gpu(h), bytes, t2);
+                    end = end.max(e);
+                }
+                self.prof.dirty_chunks_sent += per_gpu_chunk_sizes[g].len() as u64;
+            }
+        }
+
+        // All replicas are consistent again; clear the bits.
+        for g in 0..ngpus {
+            if let Some(dm) = self.arrays[bi.arr].gpu[g].dirty.as_mut() {
+                dm.clear();
+            }
+        }
+        Ok(end)
+    }
+
+    /// §IV-D2: route buffered write-miss records to their owners and
+    /// replay them there.
+    fn replay_misses(
+        &mut self,
+        ck: &CompiledKernel,
+        kbuf: usize,
+        bi: &ArrLaunch,
+        misses: &[Vec<MissRecord>],
+        t2: f64,
+    ) -> Result<f64, RunError> {
+        let ngpus = self.cfg.ngpus;
+        let elem = self.arrays[bi.arr].elem();
+        let mut end = t2;
+        for g in 0..ngpus {
+            // Records for this buffer from GPU g, grouped by owner.
+            let mut by_owner: Vec<Vec<&MissRecord>> = vec![Vec::new(); ngpus];
+            for r in misses.get(g).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if r.buf as usize != kbuf {
+                    continue;
+                }
+                let owner = (0..ngpus)
+                    .find(|&h| bi.own[h].0 <= r.idx && r.idx < bi.own[h].1)
+                    .ok_or_else(|| RunError::MissOutsideCoverage {
+                        array: ck.configs[kbuf].name.clone(),
+                        idx: r.idx,
+                    })?;
+                by_owner[owner].push(r);
+            }
+            for (owner, recs) in by_owner.iter().enumerate() {
+                if recs.is_empty() {
+                    continue;
+                }
+                // Apply on the owner.
+                let (wlo, handle) = {
+                    let ga = &self.arrays[bi.arr].gpu[owner];
+                    (ga.window.0, ga.handle.expect("owner window"))
+                };
+                {
+                    let buf = self.machine.gpus[owner].memory.get_mut(handle)?;
+                    for r in recs {
+                        let local = r.idx - wlo;
+                        if local < 0 || local as usize >= buf.len() {
+                            return Err(RunError::MissOutsideCoverage {
+                                array: ck.configs[kbuf].name.clone(),
+                                idx: r.idx,
+                            });
+                        }
+                        let v: Value = r.value.cast(buf.ty());
+                        buf.set(local as usize, v);
+                    }
+                }
+                self.prof.miss_records += recs.len() as u64;
+                if owner == g {
+                    // Shouldn't happen (local writes don't miss), but be
+                    // robust: applied with no transfer.
+                    continue;
+                }
+                let bytes = (recs.len() * (8 + elem)) as u64;
+                let (_, e) =
+                    self.machine
+                        .bus
+                        .transfer(Endpoint::Gpu(g), Endpoint::Gpu(owner), bytes, t2);
+                // Completing the writes is a small kernel on the owner.
+                let apply = self.machine.gpus[owner]
+                    .spec
+                    .local_copy_time((recs.len() * elem) as u64);
+                end = end.max(e + apply);
+            }
+        }
+        Ok(end)
+    }
+
+    /// Inter-GPU level of the hierarchical reduction: binary-tree merge of
+    /// the private copies into GPU 0.
+    fn merge_reduction_copies(
+        &mut self,
+        bi: &ArrLaunch,
+        op: RmwOp,
+        t2: f64,
+    ) -> Result<f64, RunError> {
+        let ngpus = self.cfg.ngpus;
+        let n = self.arrays[bi.arr].len;
+        let elem = self.arrays[bi.arr].elem();
+        let mut round_start = t2;
+        let mut stride = 1usize;
+        while stride < ngpus {
+            let mut round_end = round_start;
+            let mut g = 0;
+            while g + stride < ngpus {
+                let src = g + stride;
+                // Pull src's private copy into g and combine.
+                let staged: Vec<Value> = {
+                    let ga = &self.arrays[bi.arr].gpu[src];
+                    let sb = self.machine.gpus[src].memory.get(ga.handle.expect("src"))?;
+                    sb.iter().collect()
+                };
+                {
+                    let ga = &self.arrays[bi.arr].gpu[g];
+                    let db = self.machine.gpus[g]
+                        .memory
+                        .get_mut(ga.handle.expect("dst"))?;
+                    for (i, v) in staged.iter().enumerate() {
+                        let merged = rmw_apply(op, db.get(i), *v)?;
+                        db.set(i, merged);
+                    }
+                }
+                let bytes = (n * elem) as u64;
+                let (_, e) =
+                    self.machine
+                        .bus
+                        .transfer(Endpoint::Gpu(src), Endpoint::Gpu(g), bytes, round_start);
+                let combine = self.machine.gpus[g].spec.local_copy_time(bytes);
+                round_end = round_end.max(e + combine);
+                g += stride * 2;
+            }
+            round_start = round_end;
+            stride *= 2;
+        }
+        // GPU 0 now holds the merged result; other copies are garbage.
+        let whole = crate::ranges::RangeSet::of(0, n as i64);
+        for g in 0..ngpus {
+            let ga = &mut self.arrays[bi.arr].gpu[g];
+            ga.red_private = false;
+            if g == 0 {
+                ga.valid = whole.clone();
+            } else {
+                ga.valid.clear();
+            }
+        }
+        Ok(round_start)
+    }
+
+    /// Copy elements `[lo, hi)` (global) of an array from GPU `src`'s
+    /// buffer into GPU `dst`'s buffer — the functional half of a replica
+    /// update (bytes are priced separately at chunk granularity).
+    fn copy_elements_between_gpus(
+        &mut self,
+        arr: usize,
+        src: usize,
+        dst: usize,
+        lo: i64,
+        hi: i64,
+    ) -> Result<(), RunError> {
+        let elem = self.arrays[arr].elem();
+        let staged: Vec<u8> = {
+            let ga = &self.arrays[arr].gpu[src];
+            let sb = self.machine.gpus[src].memory.get(ga.handle.expect("src"))?;
+            let off = (lo - ga.window.0) as usize * elem;
+            sb.bytes()[off..off + (hi - lo) as usize * elem].to_vec()
+        };
+        let ga = &self.arrays[arr].gpu[dst];
+        let db = self.machine.gpus[dst]
+            .memory
+            .get_mut(ga.handle.expect("dst"))?;
+        let off = (lo - ga.window.0) as usize * elem;
+        db.bytes_mut()[off..off + staged.len()].copy_from_slice(&staged);
+        Ok(())
+    }
+}

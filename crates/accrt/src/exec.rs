@@ -1,0 +1,810 @@
+//! The host-program executor: walks the translated [`HostOp`] tree,
+//! interprets sequential host code, and orchestrates BSP kernel launches
+//! (loader phase → parallel kernel phase → communication phase → barrier,
+//! paper §III-A Fig. 3).
+
+use acc_compiler::{ArrayConfig, CompiledKernel, CompiledProgram, HostOp, ParamSrc, Placement};
+use acc_compiler::affine::AccessPattern;
+use acc_compiler::hostgen::CompiledClause;
+use acc_gpusim::{Gpu, Machine};
+use acc_kernel_ir as ir;
+use ir::interp::{eval_host_expr, rmw_apply, run_host_block, run_kernel_range};
+use ir::{Buffer, BufSlot, DirtyMap, ExecCtx, Kernel, MissRecord, OpCounters, Value};
+
+use crate::profiler::Profiler;
+use crate::state::{split_tasks, ArrayState};
+use crate::{ExecConfig, ExecMode, GpuMemReport, RunError, RunReport};
+
+/// Host-level control flow signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return,
+}
+
+/// Per-launch, per-array resolved placement information.
+pub(crate) struct ArrLaunch {
+    /// Program array index.
+    pub arr: usize,
+    /// Resolved placement for this launch.
+    pub placement: Placement,
+    /// Per-GPU required (to-load) global ranges.
+    pub required: Vec<(i64, i64)>,
+    /// Per-GPU owned global ranges (covering partition; used for checked
+    /// stores and write-miss routing).
+    pub own: Vec<(i64, i64)>,
+    /// Per-GPU window to materialise.
+    pub window: Vec<(i64, i64)>,
+    /// Whether this kernel writes the array.
+    pub writes: bool,
+    /// Whether replica-sync dirty maps are needed.
+    pub needs_dirty: bool,
+}
+
+/// What one GPU returns from its kernel job.
+#[derive(Default)]
+struct JobOut {
+    counters: OpCounters,
+    per_buf_bytes: Vec<(u64, u64)>,
+    partials: Vec<Value>,
+    misses: Vec<MissRecord>,
+    dirty_back: Vec<Option<DirtyMap>>,
+    ran: bool,
+}
+
+
+/// One GPU's kernel job: everything the worker thread needs, with the
+/// dirty maps temporarily moved out of the engine state.
+struct Job {
+    tasks: (i64, i64),
+    params: Vec<Value>,
+    binds: Vec<JobBind>,
+    miss_capacity: usize,
+}
+
+struct JobBind {
+    handle: acc_gpusim::BufferHandle,
+    window_lo: i64,
+    own: (i64, i64),
+    dirty: Option<DirtyMap>,
+}
+
+pub(crate) struct Engine<'a> {
+    pub machine: &'a mut Machine,
+    pub cfg: &'a ExecConfig,
+    pub prog: &'a CompiledProgram,
+    pub locals: Vec<Value>,
+    pub host_arrays: Vec<Buffer>,
+    pub arrays: Vec<ArrayState>,
+    pub prof: Profiler,
+    pub now: f64,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(
+        machine: &'a mut Machine,
+        cfg: &'a ExecConfig,
+        prog: &'a CompiledProgram,
+        scalars: Vec<Value>,
+        host_arrays: Vec<Buffer>,
+    ) -> Engine<'a> {
+        let ngpus = if cfg.mode == ExecMode::Gpu {
+            cfg.ngpus
+        } else {
+            0
+        };
+        let arrays = host_arrays
+            .iter()
+            .map(|b| ArrayState::new(b.ty(), b.len(), ngpus))
+            .collect();
+        let mut locals: Vec<Value> = prog.locals.iter().map(|(_, t)| t.zero()).collect();
+        for (i, v) in scalars.into_iter().enumerate() {
+            locals[i] = v;
+        }
+        Engine {
+            machine,
+            cfg,
+            prog,
+            locals,
+            host_arrays,
+            arrays,
+            prof: Profiler::default(),
+            now: 0.0,
+        }
+    }
+
+    pub fn run(mut self) -> Result<RunReport, RunError> {
+        let prog = self.prog;
+        self.exec_ops(&prog.host)?;
+        // Sequential host time from the aggregate host counters.
+        self.prof.time.host = self.machine.cpu.serial_time(&self.prof.host_counters);
+        self.prof.h2d_bytes = self.machine.bus.h2d_bytes;
+        self.prof.d2h_bytes = self.machine.bus.d2h_bytes;
+        self.prof.p2p_bytes = self.machine.bus.p2p_bytes;
+        let mem = self
+            .machine
+            .gpus
+            .iter()
+            .map(|g| {
+                let (user_peak, system_peak) = g.memory.peak_by_class();
+                GpuMemReport {
+                    user_peak,
+                    system_peak,
+                }
+            })
+            .collect();
+        Ok(RunReport {
+            arrays: self.host_arrays,
+            locals: self.locals,
+            profile: self.prof,
+            mem,
+        })
+    }
+
+    // ---------------- host interpretation ----------------
+
+    fn host_ctx<'b>(host_arrays: &'b mut [Buffer]) -> ExecCtx<'b> {
+        let bufs: Vec<BufSlot<'b>> = host_arrays.iter_mut().map(BufSlot::whole).collect();
+        let n = bufs.len();
+        ExecCtx {
+            params: Vec::new(),
+            bufs,
+            reduction_partials: Vec::new(),
+            miss_buf: Vec::new(),
+            miss_capacity: usize::MAX,
+            counters: OpCounters::default(),
+            per_buf_bytes: vec![(0, 0); n],
+        }
+    }
+
+    pub(crate) fn eval_host(&mut self, e: &ir::Expr) -> Result<Value, RunError> {
+        let mut ctx = Self::host_ctx(&mut self.host_arrays);
+        let v = eval_host_expr(e, &mut self.locals, &mut ctx)?;
+        self.prof.host_counters.merge(&ctx.counters);
+        Ok(v)
+    }
+
+    pub(crate) fn eval_host_i64(&mut self, e: &ir::Expr) -> Result<i64, RunError> {
+        self.eval_host(e)?
+            .as_index()
+            .ok_or_else(|| RunError::BadInputs("non-integer bound expression".into()))
+    }
+
+    fn eval_host_bool(&mut self, e: &ir::Expr) -> Result<bool, RunError> {
+        self.eval_host(e)?
+            .as_bool()
+            .ok_or_else(|| RunError::BadInputs("non-boolean condition".into()))
+    }
+
+    fn exec_plain(&mut self, s: &ir::Stmt) -> Result<(), RunError> {
+        let mut ctx = Self::host_ctx(&mut self.host_arrays);
+        run_host_block(std::slice::from_ref(s), &mut self.locals, &mut ctx)?;
+        self.prof.host_counters.merge(&ctx.counters);
+        Ok(())
+    }
+
+    fn exec_ops(&mut self, ops: &[HostOp]) -> Result<Flow, RunError> {
+        for op in ops {
+            match op {
+                HostOp::Plain(ir::Stmt::Break) => return Ok(Flow::Break),
+                HostOp::Plain(ir::Stmt::Continue) => return Ok(Flow::Continue),
+                HostOp::Plain(s) => self.exec_plain(s)?,
+                HostOp::If { cond, then_, else_ } => {
+                    let c = self.eval_host_bool(cond)?;
+                    let f = self.exec_ops(if c { then_ } else { else_ })?;
+                    if f != Flow::Normal {
+                        return Ok(f);
+                    }
+                }
+                HostOp::While { cond, body } => loop {
+                    if !self.eval_host_bool(cond)? {
+                        break;
+                    }
+                    match self.exec_ops(body)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        Flow::Return => return Ok(Flow::Return),
+                    }
+                },
+                HostOp::DataEnter { region, clauses } => self.data_enter(*region, clauses)?,
+                HostOp::DataExit { region } => self.data_exit(*region)?,
+                HostOp::Launch { kernel } => self.launch(*kernel)?,
+                HostOp::Update {
+                    to_host,
+                    to_device,
+                } => self.update(to_host, to_device)?,
+                HostOp::Return => return Ok(Flow::Return),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    // ---------------- data regions / update ----------------
+
+    fn data_enter(&mut self, region: usize, clauses: &[CompiledClause]) -> Result<(), RunError> {
+        if self.cfg.mode == ExecMode::CpuParallel {
+            return Ok(());
+        }
+        if self.cfg.trace {
+            self.prof
+                .trace
+                .push(format!("data region #{region} enter ({} clauses)", clauses.len()));
+        }
+        use acc_minic::directive::DataClauseKind as K;
+        for c in clauses {
+            for s in &c.sections {
+                let range = match &s.range {
+                    None => None,
+                    Some((a, b)) => {
+                        let lo = self.eval_host_i64(a)?;
+                        let len = self.eval_host_i64(b)?;
+                        Some((lo, lo + len))
+                    }
+                };
+                let st = &mut self.arrays[s.array];
+                if c.kind == K::Present && st.region_depth == 0 {
+                    return Err(RunError::NotPresent(
+                        self.prog.array_params[s.array].0.clone(),
+                    ));
+                }
+                if st.region_depth == 0 {
+                    st.init_from_host = matches!(c.kind, K::Copy | K::CopyIn | K::Present);
+                }
+                st.region_depth += 1;
+                // Entries without a section only balance the depth at
+                // exit; `copy`/`copyout` entries also flush the section
+                // back to the host.
+                let copyout_range = if matches!(c.kind, K::Copy | K::CopyOut) {
+                    Some(range.unwrap_or((0, st.len as i64)))
+                } else {
+                    None
+                };
+                st.exit_stack.push((region, copyout_range));
+            }
+        }
+        Ok(())
+    }
+
+    fn data_exit(&mut self, region: usize) -> Result<(), RunError> {
+        if self.cfg.mode == ExecMode::CpuParallel {
+            return Ok(());
+        }
+        let t0 = self.now;
+        let mut end = t0;
+        for arr in 0..self.arrays.len() {
+            // Pop every obligation this region registered for the array.
+            loop {
+                let st = &mut self.arrays[arr];
+                let Some(pos) = st.exit_stack.iter().rposition(|(r, _)| *r == region) else {
+                    break;
+                };
+                let (_, copyout) = st.exit_stack.remove(pos);
+                if let Some((lo, hi)) = copyout {
+                    let e = self.flush_to_host(arr, lo, hi, t0)?;
+                    end = end.max(e);
+                }
+                let st = &mut self.arrays[arr];
+                st.region_depth -= 1;
+                if st.region_depth == 0 {
+                    self.free_array_devices(arr)?;
+                }
+            }
+        }
+        self.prof.time.cpu_gpu += end - t0;
+        self.now = end;
+        if self.cfg.trace {
+            self.prof.trace.push(format!(
+                "data region #{region} exit (copy-out {:.3} ms)",
+                (end - t0) * 1e3
+            ));
+        }
+        Ok(())
+    }
+
+    fn update(
+        &mut self,
+        to_host: &[acc_compiler::hostgen::Section],
+        to_device: &[acc_compiler::hostgen::Section],
+    ) -> Result<(), RunError> {
+        if self.cfg.mode == ExecMode::CpuParallel {
+            return Ok(());
+        }
+        let t0 = self.now;
+        let mut end = t0;
+        for s in to_host {
+            let (lo, hi) = self.resolve_section(s)?;
+            let e = self.flush_to_host(s.array, lo, hi, t0)?;
+            end = end.max(e);
+        }
+        for s in to_device {
+            let (lo, hi) = self.resolve_section(s)?;
+            let e = self.push_to_device(s.array, lo, hi, t0)?;
+            end = end.max(e);
+        }
+        self.prof.time.cpu_gpu += end - t0;
+        self.now = end;
+        Ok(())
+    }
+
+    fn resolve_section(
+        &mut self,
+        s: &acc_compiler::hostgen::Section,
+    ) -> Result<(i64, i64), RunError> {
+        match &s.range {
+            None => Ok((0, self.arrays[s.array].len as i64)),
+            Some((a, b)) => {
+                let lo = self.eval_host_i64(a)?;
+                let len = self.eval_host_i64(b)?;
+                Ok((lo, lo + len))
+            }
+        }
+    }
+
+    // ---------------- kernel launch ----------------
+
+    fn launch(&mut self, kidx: usize) -> Result<(), RunError> {
+        let prog = self.prog;
+        let ck = &prog.kernels[kidx];
+        self.prof.kernel_launches += 1;
+        match self.cfg.mode {
+            ExecMode::CpuParallel => self.launch_cpu(ck),
+            ExecMode::Gpu => self.launch_gpu(ck),
+        }
+    }
+
+    /// OpenMP-baseline execution: the whole iteration space runs as one
+    /// CPU parallel region over the host arrays.
+    fn launch_cpu(&mut self, ck: &CompiledKernel) -> Result<(), RunError> {
+        let lo = self.eval_host_i64(&ck.lo)?;
+        let hi = self.eval_host_i64(&ck.hi)?;
+        let params = self.gather_params(ck)?;
+
+        let mut bufs: Vec<&mut Buffer> = Vec::with_capacity(ck.buf_map.len());
+        {
+            // Disjoint &mut borrows of the selected host arrays.
+            let mut rest: &mut [Buffer] = &mut self.host_arrays;
+            let mut base = 0usize;
+            let mut picks: Vec<(usize, &mut Buffer)> = Vec::new();
+            let mut order: Vec<usize> = ck.buf_map.clone();
+            order.sort_unstable();
+            for arr in order {
+                let rel = arr - base;
+                let (left, right) = rest.split_at_mut(rel + 1);
+                picks.push((arr, &mut left[rel]));
+                rest = right;
+                base = arr + 1;
+            }
+            for &arr in &ck.buf_map {
+                let pos = picks.iter().position(|(a, _)| *a == arr).unwrap();
+                let (_, b) = picks.remove(pos);
+                bufs.push(b);
+            }
+        }
+        let slots: Vec<BufSlot> = bufs.into_iter().map(BufSlot::whole).collect();
+        let n = slots.len();
+        let mut ctx = ExecCtx {
+            params,
+            bufs: slots,
+            reduction_partials: ck
+                .kernel
+                .reductions
+                .iter()
+                .map(|r| ir::interp::rmw_identity(r.op, r.ty))
+                .collect(),
+            miss_buf: Vec::new(),
+            miss_capacity: self.cfg.miss_capacity,
+            counters: OpCounters::default(),
+            per_buf_bytes: vec![(0, 0); n],
+        };
+        run_kernel_range(&ck.kernel, &mut ctx, lo, hi)?;
+        let counters = ctx.counters;
+        let per_buf_bytes = std::mem::take(&mut ctx.per_buf_bytes);
+        let partials = std::mem::take(&mut ctx.reduction_partials);
+        drop(ctx);
+
+        // Memory pricing: per-buffer efficiency from the translator's
+        // classification against the CPU cache.
+        let cpu = &self.machine.cpu;
+        let mut terms = Vec::new();
+        for (kbuf, cfg) in ck.configs.iter().enumerate() {
+            let resident = self.host_arrays[cfg.array].size_bytes() as u64;
+            let (lb, sb) = per_buf_bytes[kbuf];
+            terms.push((lb, cpu_read_eff(cpu, cfg, resident)));
+            terms.push((sb, cpu_write_eff(cpu, cfg, resident)));
+        }
+        let t = cpu.parallel_region_time_split(&counters, &terms);
+        self.prof.time.kernels += t;
+        self.now += t;
+        self.prof.kernel_counters.merge(&counters);
+        self.apply_scalar_reductions(ck, &[partials])?;
+        Ok(())
+    }
+
+    /// Multi-GPU BSP launch: loader phase, parallel kernel phase,
+    /// communication phase, barrier.
+    fn launch_gpu(&mut self, ck: &CompiledKernel) -> Result<(), RunError> {
+        let ngpus = self.cfg.ngpus;
+        let lo = self.eval_host_i64(&ck.lo)?;
+        let hi = self.eval_host_i64(&ck.hi)?;
+        let tasks = split_tasks(lo, hi, ngpus);
+        let params = self.gather_params(ck)?;
+
+        // Arrays used by this kernel but not inside any data region get an
+        // implicit per-launch `copy` region (OpenACC default behaviour —
+        // and the performance trap data regions exist to avoid).
+        let mut implicit: Vec<usize> = Vec::new();
+        for cfg in &ck.configs {
+            if self.arrays[cfg.array].region_depth == 0 {
+                implicit.push(cfg.array);
+                let st = &mut self.arrays[cfg.array];
+                st.init_from_host = true;
+                st.region_depth = 1;
+            }
+        }
+
+        // Resolve per-array launch placement.
+        let binfo = self.resolve_bindings(ck, &tasks)?;
+
+        if self.cfg.trace {
+            let placements: Vec<String> = binfo
+                .iter()
+                .map(|bi| {
+                    format!(
+                        "{}:{:?}",
+                        self.prog.array_params[bi.arr].0,
+                        bi.placement
+                    )
+                })
+                .collect();
+            self.prof.trace.push(format!(
+                "launch `{}` [{lo}, {hi}) over {ngpus} GPU(s); placements: {}",
+                ck.kernel.name,
+                placements.join(", ")
+            ));
+        }
+
+        // ---- loader phase ----
+        let t0 = self.now;
+        let h2d_before = self.machine.bus.h2d_bytes;
+        let t1 = self.loader_phase(ck, &binfo, t0)?;
+        self.prof.time.cpu_gpu += t1 - t0;
+        if self.cfg.trace {
+            self.prof.trace.push(format!(
+                "  loader: {:.3} ms, {:.2} MB host->device",
+                (t1 - t0) * 1e3,
+                (self.machine.bus.h2d_bytes - h2d_before) as f64 / 1e6
+            ));
+        }
+
+        // ---- kernel phase ----
+        let mut jobs: Vec<Option<Job>> = Vec::with_capacity(ngpus);
+        #[allow(clippy::needless_range_loop)] // g indexes several parallel tables
+        for g in 0..ngpus {
+            if tasks[g].0 >= tasks[g].1 {
+                jobs.push(None);
+                continue;
+            }
+            let mut binds = Vec::with_capacity(binfo.len());
+            for bi in &binfo {
+                let ga = &mut self.arrays[bi.arr].gpu[g];
+                binds.push(JobBind {
+                    handle: ga.handle.expect("loader materialised the window"),
+                    window_lo: ga.window.0,
+                    own: bi.own[g],
+                    dirty: ga.dirty.take(),
+                });
+            }
+            jobs.push(Some(Job {
+                tasks: tasks[g],
+                params: params.clone(),
+                binds,
+                miss_capacity: self.cfg.miss_capacity,
+            }));
+        }
+
+        let kernel = &ck.kernel;
+        let mut outs: Vec<Result<JobOut, ir::ExecError>> = Vec::with_capacity(ngpus);
+        {
+            let gpus = &mut self.machine.gpus[..ngpus];
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(ngpus);
+                for (gpu, job) in gpus.iter_mut().zip(jobs) {
+                    handles.push(s.spawn(move || match job {
+                        None => Ok(JobOut::default()),
+                        Some(job) => run_gpu_job(gpu, kernel, job),
+                    }));
+                }
+                for h in handles {
+                    outs.push(h.join().expect("gpu worker panicked"));
+                }
+            });
+        }
+
+        // Return dirty maps to the state, collect results.
+        let mut job_outs = Vec::with_capacity(ngpus);
+        for (g, out) in outs.into_iter().enumerate() {
+            let mut out = match out {
+                Ok(o) => o,
+                Err(e) => return Err(RunError::Exec(e)),
+            };
+            for (bi, dm) in binfo.iter().zip(out.dirty_back.drain(..)) {
+                self.arrays[bi.arr].gpu[g].dirty = dm;
+            }
+            job_outs.push(out);
+        }
+
+        // Kernel-phase duration = slowest GPU.
+        let mut tk = 0.0f64;
+        for (g, out) in job_outs.iter().enumerate() {
+            if !out.ran {
+                continue;
+            }
+            let spec = &self.machine.gpus[g].spec;
+            let mut terms = Vec::new();
+            for (kbuf, cfg) in ck.configs.iter().enumerate() {
+                let w = binfo[kbuf].window[g];
+                let resident = ((w.1 - w.0).max(0) as u64) * self.arrays[cfg.array].elem() as u64;
+                let (lb, sb) = out.per_buf_bytes[kbuf];
+                terms.push((lb, gpu_read_eff(spec, cfg, resident)));
+                terms.push((sb, gpu_write_eff(spec, cfg, resident)));
+            }
+            tk = tk.max(spec.kernel_time_split(&out.counters, &terms));
+            self.prof.kernel_counters.merge(&out.counters);
+        }
+        if job_outs.iter().all(|o| !o.ran) {
+            // Degenerate empty launch still pays one launch overhead.
+            tk = self.machine.gpus[0].spec.launch_overhead_s;
+        }
+        self.prof.time.kernels += tk;
+        let t2 = t1 + tk;
+
+        // Scalar reductions merge back into host locals.
+        let partials: Vec<Vec<Value>> = job_outs
+            .iter()
+            .filter(|o| o.ran)
+            .map(|o| o.partials.clone())
+            .collect();
+        self.apply_scalar_reductions(ck, &partials)?;
+
+        // Device writes make the host copy stale until flushed.
+        for bi in &binfo {
+            if bi.writes {
+                self.arrays[bi.arr].host_stale = true;
+            }
+        }
+
+        // ---- communication phase ----
+        let misses: Vec<Vec<MissRecord>> = job_outs.into_iter().map(|o| o.misses).collect();
+        let n_misses: usize = misses.iter().map(|m| m.len()).sum();
+        let p2p_before = self.machine.bus.p2p_bytes;
+        let t3 = self.comm_phase(ck, &binfo, misses, t2)?;
+        self.prof.time.gpu_gpu += t3 - t2;
+        self.now = t3;
+        if self.cfg.trace {
+            self.prof.trace.push(format!(
+                "  kernels: {:.3} ms (slowest GPU); comm: {:.3} ms, {:.2} MB GPU<->GPU, {} miss records",
+                tk * 1e3,
+                (t3 - t2) * 1e3,
+                (self.machine.bus.p2p_bytes - p2p_before) as f64 / 1e6,
+                n_misses
+            ));
+        }
+
+        // Close implicit regions (copy-out + free).
+        for arr in implicit {
+            let t0 = self.now;
+            let st = &self.arrays[arr];
+            let writes = ck
+                .configs
+                .iter()
+                .any(|c| c.array == arr && c.mode.writes());
+            let end = if writes {
+                self.flush_to_host(arr, 0, st.len as i64, t0)?
+            } else {
+                t0
+            };
+            self.prof.time.cpu_gpu += end - t0;
+            self.now = end;
+            self.arrays[arr].region_depth = 0;
+            self.free_array_devices(arr)?;
+        }
+        Ok(())
+    }
+
+    fn gather_params(&mut self, ck: &CompiledKernel) -> Result<Vec<Value>, RunError> {
+        let mut out = Vec::with_capacity(ck.param_src.len());
+        for src in &ck.param_src {
+            match src {
+                ParamSrc::HostLocal(l) => out.push(self.locals[l.0 as usize]),
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_scalar_reductions(
+        &mut self,
+        ck: &CompiledKernel,
+        partials_per_gpu: &[Vec<Value>],
+    ) -> Result<(), RunError> {
+        for (slot, target) in ck.red_targets.iter().enumerate() {
+            let op = ck.kernel.reductions[slot].op;
+            let mut acc = self.locals[target.0 as usize];
+            for partials in partials_per_gpu {
+                acc = rmw_apply(op, acc, partials[slot])?;
+            }
+            self.locals[target.0 as usize] = acc;
+        }
+        Ok(())
+    }
+
+    /// Resolve per-array placement, windows and ownership for a launch.
+    fn resolve_bindings(
+        &mut self,
+        ck: &CompiledKernel,
+        tasks: &[(i64, i64)],
+    ) -> Result<Vec<ArrLaunch>, RunError> {
+        let ngpus = tasks.len();
+        let instrument = self.prog.options.instrument;
+        let mut out = Vec::with_capacity(ck.configs.len());
+        for cfg in &ck.configs {
+            let n = self.arrays[cfg.array].len as i64;
+            let clamp = |x: i64| x.clamp(0, n);
+            let (required, own, window) = match (&cfg.placement, &cfg.localaccess) {
+                (Placement::Distributed, Some(la)) => {
+                    let stride = self.eval_host_i64(&la.stride)?;
+                    let left = self.eval_host_i64(&la.left)?;
+                    let right = self.eval_host_i64(&la.right)?;
+                    if stride < 1 || left < 0 || right < 0 {
+                        return Err(RunError::BadLocalAccess(format!(
+                            "`{}`: stride({stride}) left({left}) right({right})",
+                            cfg.name
+                        )));
+                    }
+                    let mut required = Vec::with_capacity(ngpus);
+                    let mut own = Vec::with_capacity(ngpus);
+                    let mut window = Vec::with_capacity(ngpus);
+                    // Covering partition boundaries: the first owner
+                    // reaches down to 0, the last up to n.
+                    for (g, &(tlo, thi)) in tasks.iter().enumerate() {
+                        if tlo >= thi {
+                            required.push((0, 0));
+                            own.push((0, 0));
+                            window.push((0, 0));
+                            continue;
+                        }
+                        let req = (clamp(stride * tlo - left), clamp(stride * thi + right));
+                        let own_lo = if g == 0 { 0 } else { clamp(stride * tlo) };
+                        // Find the next non-empty task to bound ownership.
+                        let own_hi = match tasks[g + 1..].iter().find(|(a, b)| a < b) {
+                            Some(&(nlo, _)) => clamp(stride * nlo),
+                            None => n,
+                        };
+                        let o = (own_lo, own_hi.max(own_lo));
+                        required.push(req);
+                        own.push(o);
+                        window.push((req.0.min(o.0), req.1.max(o.1)));
+                    }
+                    (required, own, window)
+                }
+                (Placement::Distributed, None) => unreachable!("distribution requires localaccess"),
+                _ => {
+                    let whole = (0i64, n);
+                    (
+                        tasks
+                            .iter()
+                            .map(|&(a, b)| if a < b { whole } else { (0, 0) })
+                            .collect::<Vec<_>>(),
+                        vec![whole; ngpus],
+                        vec![whole; ngpus],
+                    )
+                }
+            };
+            let writes = cfg.mode.writes();
+            let needs_dirty = instrument
+                && ngpus > 1
+                && writes
+                && matches!(cfg.placement, Placement::Replicated);
+            out.push(ArrLaunch {
+                arr: cfg.array,
+                placement: cfg.placement.clone(),
+                required,
+                own,
+                window,
+                writes,
+                needs_dirty,
+            });
+        }
+        Ok(out)
+    }
+
+}
+
+/// Execute one GPU's portion of a kernel. Runs on a worker thread with
+/// exclusive access to that GPU.
+fn run_gpu_job(gpu: &mut Gpu, kernel: &Kernel, mut job: Job) -> Result<JobOut, ir::ExecError> {
+    let handles: Vec<_> = job.binds.iter().map(|b| b.handle).collect();
+    let bufs = gpu
+        .memory
+        .get_many_mut(&handles)
+        .expect("loader materialised all windows");
+    let mut slots = Vec::with_capacity(bufs.len());
+    for (buf, bind) in bufs.into_iter().zip(job.binds.iter_mut()) {
+        slots.push(BufSlot {
+            data: buf,
+            window_lo: bind.window_lo,
+            own: bind.own,
+            dirty: bind.dirty.as_mut(),
+        });
+    }
+    let n = slots.len();
+    let mut ctx = ExecCtx {
+        params: std::mem::take(&mut job.params),
+        bufs: slots,
+        reduction_partials: kernel
+            .reductions
+            .iter()
+            .map(|r| ir::interp::rmw_identity(r.op, r.ty))
+            .collect(),
+        miss_buf: Vec::new(),
+        miss_capacity: job.miss_capacity,
+        counters: OpCounters::default(),
+        per_buf_bytes: vec![(0, 0); n],
+    };
+    run_kernel_range(kernel, &mut ctx, job.tasks.0, job.tasks.1)?;
+    let out = JobOut {
+        counters: ctx.counters,
+        per_buf_bytes: std::mem::take(&mut ctx.per_buf_bytes),
+        partials: std::mem::take(&mut ctx.reduction_partials),
+        misses: std::mem::take(&mut ctx.miss_buf),
+        dirty_back: Vec::new(),
+        ran: true,
+    };
+    drop(ctx);
+    let mut out = out;
+    out.dirty_back = job.binds.into_iter().map(|b| b.dirty).collect();
+    Ok(out)
+}
+
+/// Effective-bandwidth fraction for a GPU read of one array.
+fn gpu_read_eff(spec: &acc_gpusim::GpuSpec, cfg: &ArrayConfig, resident: u64) -> f64 {
+    if cfg.layout_transformed {
+        return 1.0;
+    }
+    match cfg.read_pattern {
+        AccessPattern::Broadcast | AccessPattern::Coalesced => 1.0,
+        AccessPattern::Strided(s) => 1.0 / (s.min(32) as f64),
+        AccessPattern::StridedDyn => 1.0 / 8.0,
+        AccessPattern::Irregular => spec.gather_efficiency(resident),
+    }
+}
+
+/// Effective-bandwidth fraction for a GPU write of one array.
+fn gpu_write_eff(spec: &acc_gpusim::GpuSpec, cfg: &ArrayConfig, resident: u64) -> f64 {
+    match cfg.write_pattern {
+        AccessPattern::Broadcast | AccessPattern::Coalesced => 1.0,
+        AccessPattern::Strided(s) => 1.0 / (s.min(32) as f64),
+        AccessPattern::StridedDyn => 1.0 / 8.0,
+        AccessPattern::Irregular => spec.gather_efficiency(resident),
+    }
+}
+
+/// CPU-side read efficiency (strides matter less; gathers priced against
+/// the LLC).
+fn cpu_read_eff(cpu: &acc_gpusim::CpuSpec, cfg: &ArrayConfig, resident: u64) -> f64 {
+    match cfg.read_pattern {
+        AccessPattern::Broadcast | AccessPattern::Coalesced => 1.0,
+        AccessPattern::Strided(_) | AccessPattern::StridedDyn => 0.8,
+        AccessPattern::Irregular => cpu.gather_efficiency(resident),
+    }
+}
+
+/// CPU-side write efficiency.
+fn cpu_write_eff(cpu: &acc_gpusim::CpuSpec, cfg: &ArrayConfig, resident: u64) -> f64 {
+    match cfg.write_pattern {
+        AccessPattern::Broadcast | AccessPattern::Coalesced => 1.0,
+        AccessPattern::Strided(_) | AccessPattern::StridedDyn => 0.8,
+        AccessPattern::Irregular => cpu.gather_efficiency(resident),
+    }
+}

@@ -1,0 +1,236 @@
+//! # acc-runtime — the multi-GPU OpenACC runtime system
+//!
+//! The paper's runtime (§IV-A, Fig. 5) has two components that this crate
+//! implements against the simulated machine of `acc-gpusim`:
+//!
+//! * the **data loader** (§IV-C, [`loader`]) — called at data-region
+//!   entry/exit, on `update` directives, and before every kernel launch;
+//!   it materialises each array on each GPU under the placement policy
+//!   the translator chose (replica-based by default, distribution-based
+//!   for `localaccess` arrays) and skips reloads when the access pattern
+//!   is unchanged between kernel calls;
+//! * the **inter-GPU communication manager** (§IV-D, [`comm`]) — called
+//!   just after every kernel wave; it reconciles replicated arrays using
+//!   the two-level dirty-bit maps, replays buffered write-miss records on
+//!   the owning GPUs, and performs the final inter-GPU level of the
+//!   hierarchical reduction for `reductiontoarray` destinations.
+//!
+//! Execution follows the BSP model of §III-A: the iteration space is
+//! equally divided, every GPU runs its sub-range concurrently (one OS
+//! thread per simulated GPU), then communication and a global barrier.
+//!
+//! Time is simulated: kernel durations come from the interpreter's work
+//! counters through the device models, transfer durations from the PCIe
+//! bus model; the [`Profiler`] splits the total into the KERNELS /
+//! CPU-GPU / GPU-GPU categories of the paper's Fig. 8.
+
+pub mod comm;
+pub mod exec;
+pub mod loader;
+pub mod profiler;
+pub mod ranges;
+pub mod state;
+
+use acc_compiler::CompiledProgram;
+use acc_gpusim::{Machine, MemError};
+use acc_kernel_ir::{Buffer, ExecError, Value};
+
+pub use profiler::{Profiler, TimeBreakdown};
+pub use ranges::RangeSet;
+
+/// How to execute the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Offload parallel loops to `ngpus` simulated GPUs (the proposal and
+    /// the single-GPU OpenACC/CUDA baselines).
+    Gpu,
+    /// Run parallel loops as OpenMP-style CPU parallel regions (the
+    /// paper's baseline). Data directives become no-ops.
+    CpuParallel,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Number of GPUs to use (must not exceed the machine's).
+    pub ngpus: usize,
+    pub mode: ExecMode,
+    /// Second-level dirty-bit chunk size in bytes (paper default: 1 MB).
+    pub chunk_bytes: usize,
+    /// Write-miss buffer capacity, in records, per GPU per launch.
+    pub miss_capacity: usize,
+    /// Ablation switch: when false, the data loader reloads every
+    /// required range before every launch instead of skipping ranges that
+    /// are already resident (paper §IV-C: "the data loader can avoid
+    /// additional data movement ... when the read memory access pattern
+    /// in the next kernel call is the same").
+    pub loader_reuse: bool,
+    /// Record a human-readable event trace into
+    /// [`Profiler::trace`](profiler::Profiler) (launches, loader
+    /// decisions, communication rounds).
+    pub trace: bool,
+}
+
+impl ExecConfig {
+    /// GPU execution on `n` GPUs with paper defaults.
+    pub fn gpus(n: usize) -> ExecConfig {
+        ExecConfig {
+            ngpus: n,
+            mode: ExecMode::Gpu,
+            chunk_bytes: acc_kernel_ir::dirty::DEFAULT_CHUNK_BYTES,
+            miss_capacity: 1 << 22,
+            loader_reuse: true,
+            trace: false,
+        }
+    }
+
+    /// The OpenMP baseline.
+    pub fn openmp() -> ExecConfig {
+        ExecConfig {
+            ngpus: 0,
+            mode: ExecMode::CpuParallel,
+            chunk_bytes: acc_kernel_ir::dirty::DEFAULT_CHUNK_BYTES,
+            miss_capacity: 1 << 22,
+            loader_reuse: true,
+            trace: false,
+        }
+    }
+}
+
+/// Runtime errors.
+#[derive(Debug)]
+pub enum RunError {
+    /// Kernel or host interpretation failed.
+    Exec(ExecError),
+    /// Device memory error (including out-of-memory).
+    Mem(MemError),
+    /// Wrong number or type of inputs.
+    BadInputs(String),
+    /// A `localaccess` parameter evaluated to an invalid value.
+    BadLocalAccess(String),
+    /// A buffered write-miss record targets an element no GPU's window
+    /// covers.
+    MissOutsideCoverage { array: String, idx: i64 },
+    /// `present` clause for an array that is not device-resident.
+    NotPresent(String),
+    /// More GPUs requested than the machine has.
+    TooManyGpus { requested: usize, available: usize },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Exec(e) => write!(f, "execution error: {e}"),
+            RunError::Mem(e) => write!(f, "device memory error: {e}"),
+            RunError::BadInputs(m) => write!(f, "bad inputs: {m}"),
+            RunError::BadLocalAccess(m) => write!(f, "invalid localaccess: {m}"),
+            RunError::MissOutsideCoverage { array, idx } => write!(
+                f,
+                "write-miss to `{array}`[{idx}] is outside every GPU's resident window"
+            ),
+            RunError::NotPresent(a) => write!(f, "present({a}) but `{a}` is not on the device"),
+            RunError::TooManyGpus {
+                requested,
+                available,
+            } => write!(f, "requested {requested} GPUs, machine has {available}"),
+        }
+    }
+}
+impl std::error::Error for RunError {}
+
+impl From<ExecError> for RunError {
+    fn from(e: ExecError) -> RunError {
+        RunError::Exec(e)
+    }
+}
+impl From<MemError> for RunError {
+    fn from(e: MemError) -> RunError {
+        RunError::Mem(e)
+    }
+}
+
+/// Per-GPU peak memory report (Fig. 9): user arrays vs runtime metadata.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuMemReport {
+    pub user_peak: u64,
+    pub system_peak: u64,
+}
+
+/// The outcome of one program run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Final host arrays (same order as the program's array parameters).
+    pub arrays: Vec<Buffer>,
+    /// Final host scalar frame (useful for scalar outputs/diagnostics).
+    pub locals: Vec<Value>,
+    /// Simulated-time breakdown and transfer/work statistics.
+    pub profile: Profiler,
+    /// Per-GPU peak device-memory usage.
+    pub mem: Vec<GpuMemReport>,
+}
+
+impl RunReport {
+    /// Fetch a final array by program index.
+    pub fn array(&self, idx: usize) -> &Buffer {
+        &self.arrays[idx]
+    }
+
+    /// Total simulated time (Fig. 7 measures the parallel-region part).
+    pub fn total_time(&self) -> f64 {
+        self.profile.time.total()
+    }
+}
+
+/// Run a compiled program on a machine.
+///
+/// `scalars` are the by-value inputs (program scalar-parameter order),
+/// `arrays` the host arrays (program array-parameter order; returned,
+/// possibly modified, in the report). The machine is reset first.
+pub fn run_program(
+    machine: &mut Machine,
+    cfg: &ExecConfig,
+    prog: &CompiledProgram,
+    scalars: Vec<Value>,
+    arrays: Vec<Buffer>,
+) -> Result<RunReport, RunError> {
+    if cfg.mode == ExecMode::Gpu && (cfg.ngpus == 0 || cfg.ngpus > machine.n_gpus()) {
+        return Err(RunError::TooManyGpus {
+            requested: cfg.ngpus,
+            available: machine.n_gpus(),
+        });
+    }
+    if scalars.len() != prog.scalar_params.len() {
+        return Err(RunError::BadInputs(format!(
+            "expected {} scalar inputs, got {}",
+            prog.scalar_params.len(),
+            scalars.len()
+        )));
+    }
+    if arrays.len() != prog.array_params.len() {
+        return Err(RunError::BadInputs(format!(
+            "expected {} array inputs, got {}",
+            prog.array_params.len(),
+            arrays.len()
+        )));
+    }
+    for (v, (name, ty)) in scalars.iter().zip(&prog.scalar_params) {
+        if v.ty() != *ty {
+            return Err(RunError::BadInputs(format!(
+                "scalar `{name}` expects {ty}, got {}",
+                v.ty()
+            )));
+        }
+    }
+    for (b, (name, ty)) in arrays.iter().zip(&prog.array_params) {
+        if b.ty() != *ty {
+            return Err(RunError::BadInputs(format!(
+                "array `{name}` expects {ty} elements, got {}",
+                b.ty()
+            )));
+        }
+    }
+
+    machine.reset();
+    let engine = exec::Engine::new(machine, cfg, prog, scalars, arrays);
+    engine.run()
+}

@@ -1,0 +1,466 @@
+//! The data loader (paper §IV-C).
+//!
+//! Before every kernel launch the loader guarantees that "all the data
+//! which are potentially read by the kernel running on each GPU \[are\]
+//! loaded into the corresponding GPU memory". Placement follows the
+//! translator's array configuration information:
+//!
+//! * **replica-based** — the whole array is materialised on every GPU
+//!   (the default policy);
+//! * **distribution-based** — only the `localaccess`-derived sub-array of
+//!   the GPU's assigned iterations is materialised;
+//! * **reduction-private** — GPU 0 holds the live content, every other
+//!   GPU an identity-filled private copy to accumulate into.
+//!
+//! Reloads are skipped when the resident ranges already cover the
+//! requirement — "this is common in iterative algorithms" and is the
+//! reason iterative kernels only pay the CPU→GPU transfer once.
+
+use acc_compiler::{CompiledKernel, Placement};
+use acc_gpusim::memory::AllocClass;
+use acc_gpusim::Endpoint;
+use acc_kernel_ir::interp::rmw_identity;
+use acc_kernel_ir::{DirtyMap, Ty};
+
+use crate::exec::{ArrLaunch, Engine};
+use crate::ranges::RangeSet;
+use crate::RunError;
+
+impl<'a> Engine<'a> {
+    /// Run the loader for one launch. Returns the simulated end time of
+    /// the phase (transfers scheduled from `t0`).
+    pub(crate) fn loader_phase(
+        &mut self,
+        ck: &CompiledKernel,
+        binfo: &[ArrLaunch],
+        t0: f64,
+    ) -> Result<f64, RunError> {
+        let ngpus = self.cfg.ngpus;
+        let mut end = t0;
+
+        // Pass 1: windows (and metadata allocations).
+        for (kbuf, bi) in binfo.iter().enumerate() {
+            for g in 0..ngpus {
+                // Reduction-private scratch copies (every GPU but the
+                // first) are runtime-created, so they count as System
+                // memory in the Fig. 9 split.
+                let class = if g > 0
+                    && matches!(bi.placement, Placement::ReductionPrivate(_))
+                {
+                    AllocClass::System
+                } else {
+                    AllocClass::User
+                };
+                let e = self.ensure_window(bi.arr, g, bi.window[g], class, t0)?;
+                end = end.max(e);
+            }
+            // Replica-sync dirty maps (System memory, Fig. 9).
+            if bi.needs_dirty {
+                for g in 0..ngpus {
+                    self.ensure_dirty_map(bi.arr, g)?;
+                }
+            }
+            // Write-miss system buffers.
+            let cfg = &ck.configs[kbuf];
+            let needs_miss_buf = self.prog.options.instrument
+                && ngpus > 1
+                && bi.writes
+                && matches!(bi.placement, Placement::Distributed)
+                && !cfg.miss_check_elided;
+            if needs_miss_buf {
+                for g in 0..ngpus {
+                    self.ensure_miss_acct(bi.arr, g)?;
+                }
+            }
+        }
+
+        // Pass 2: contents.
+        for bi in binfo {
+            match bi.placement {
+                Placement::ReductionPrivate(op) => {
+                    // GPU 0 carries the live value; the rest are identity.
+                    let e = self.fill_required(bi.arr, 0, bi.required[0], t0)?;
+                    end = end.max(e);
+                    let ty = self.arrays[bi.arr].ty;
+                    for g in 1..ngpus {
+                        if bi.required[g].0 >= bi.required[g].1 {
+                            continue;
+                        }
+                        let e = self.fill_identity(bi.arr, g, rmw_identity(op, ty), t0)?;
+                        end = end.max(e);
+                    }
+                }
+                _ => {
+                    for g in 0..ngpus {
+                        let e = self.fill_required(bi.arr, g, bi.required[g], t0)?;
+                        end = end.max(e);
+                    }
+                }
+            }
+        }
+        Ok(end)
+    }
+
+    /// Make sure GPU `g` holds array `arr` over at least `want`.
+    /// Exclusive device data that would be dropped is flushed to the host
+    /// first.
+    fn ensure_window(
+        &mut self,
+        arr: usize,
+        g: usize,
+        want: (i64, i64),
+        class: AllocClass,
+        t0: f64,
+    ) -> Result<f64, RunError> {
+        let mut end = t0;
+        if want.0 >= want.1 {
+            return Ok(end);
+        }
+        {
+            let ga = &self.arrays[arr].gpu[g];
+            if ga.handle.is_some() && ga.window.0 <= want.0 && ga.window.1 >= want.1 {
+                return Ok(end);
+            }
+        }
+        // Flush data that exists only on this GPU.
+        let exclusive = {
+            let st = &self.arrays[arr];
+            let mut ex = st.gpu[g].valid.clone();
+            for (h, other) in st.gpu.iter().enumerate() {
+                if h != g && !other.red_private {
+                    ex.subtract(&other.valid);
+                }
+            }
+            ex
+        };
+        for (lo, hi) in exclusive.iter().collect::<Vec<_>>() {
+            let e = self.xfer_d2h(arr, g, lo, hi, t0)?;
+            end = end.max(e);
+        }
+        // Re-allocate the window.
+        let ty = self.arrays[arr].ty;
+        let old = self.arrays[arr].gpu[g].handle.take();
+        if let Some(h) = old {
+            self.machine.gpus[g].memory.free(h)?;
+        }
+        let len = (want.1 - want.0) as usize;
+        let handle = self.machine.gpus[g].memory.alloc(ty, len, class)?;
+        let ga = &mut self.arrays[arr].gpu[g];
+        ga.handle = Some(handle);
+        ga.window = want;
+        ga.valid.clear();
+        ga.red_private = false;
+        Ok(end)
+    }
+
+    fn ensure_dirty_map(&mut self, arr: usize, g: usize) -> Result<(), RunError> {
+        let (len, elem) = {
+            let st = &self.arrays[arr];
+            (st.len, st.elem())
+        };
+        if self.arrays[arr].gpu[g].dirty.is_none() {
+            let dm = DirtyMap::new(len, elem, self.cfg.chunk_bytes);
+            let meta = dm.metadata_bytes();
+            let acct = self.machine.gpus[g].memory.alloc(
+                Ty::I32,
+                meta.div_ceil(4),
+                AllocClass::System,
+            )?;
+            let ga = &mut self.arrays[arr].gpu[g];
+            ga.dirty = Some(dm);
+            ga.dirty_acct = Some(acct);
+        }
+        Ok(())
+    }
+
+    fn ensure_miss_acct(&mut self, arr: usize, g: usize) -> Result<(), RunError> {
+        if self.arrays[arr].gpu[g].miss_acct.is_none() {
+            let rec = 8 + self.arrays[arr].elem();
+            let bytes = self.cfg.miss_capacity * rec;
+            let acct =
+                self.machine.gpus[g]
+                    .memory
+                    .alloc(Ty::I32, bytes.div_ceil(4), AllocClass::System)?;
+            self.arrays[arr].gpu[g].miss_acct = Some(acct);
+        }
+        Ok(())
+    }
+
+    /// Load the missing parts of `req` onto GPU `g`: peer GPUs that hold
+    /// current device data are preferred; otherwise the host copy is the
+    /// source (`copyin` semantics); `create`-style arrays materialise as
+    /// zeros without traffic.
+    fn fill_required(
+        &mut self,
+        arr: usize,
+        g: usize,
+        req: (i64, i64),
+        t0: f64,
+    ) -> Result<f64, RunError> {
+        let mut end = t0;
+        if req.0 >= req.1 {
+            return Ok(end);
+        }
+        let mut missing = if self.cfg.loader_reuse {
+            let ga = &self.arrays[arr].gpu[g];
+            ga.valid.missing_in(req.0, req.1)
+        } else {
+            // Ablation: no reuse — treat everything as missing, except
+            // data that exists nowhere else (dropping the reuse of
+            // device-written data would change semantics, not just
+            // performance).
+            let ga = &self.arrays[arr].gpu[g];
+            if self.arrays[arr].host_stale {
+                ga.valid.missing_in(req.0, req.1)
+            } else {
+                crate::ranges::RangeSet::of(req.0, req.1)
+            }
+        };
+        if missing.is_empty() {
+            return Ok(end);
+        }
+        // While the host copy is current, the loader always loads from CPU
+        // memory (paper §IV-C). Once device writes have made it stale,
+        // peer GPUs holding current device data become the sources.
+        if self.arrays[arr].host_stale {
+            let ngpus = self.cfg.ngpus;
+            for h in 0..ngpus {
+                if h == g || missing.is_empty() {
+                    continue;
+                }
+                let avail = {
+                    let other = &self.arrays[arr].gpu[h];
+                    if other.red_private {
+                        RangeSet::new()
+                    } else {
+                        let mut a = other.valid.clone();
+                        a.intersect(&missing);
+                        a
+                    }
+                };
+                for (lo, hi) in avail.iter().collect::<Vec<_>>() {
+                    let e = self.xfer_p2p(arr, h, g, lo, hi, t0)?;
+                    end = end.max(e);
+                    missing.remove(lo, hi);
+                }
+            }
+        }
+        // Host source.
+        if self.arrays[arr].init_from_host {
+            for (lo, hi) in missing.iter().collect::<Vec<_>>() {
+                let e = self.xfer_h2d(arr, g, lo, hi, t0)?;
+                end = end.max(e);
+            }
+        } else {
+            // `create`: fresh zeroed allocation already matches.
+            let ga = &mut self.arrays[arr].gpu[g];
+            for (lo, hi) in missing.iter().collect::<Vec<_>>() {
+                ga.valid.insert(lo, hi);
+            }
+        }
+        Ok(end)
+    }
+
+    /// Fill a reduction-private copy with the operator identity.
+    fn fill_identity(
+        &mut self,
+        arr: usize,
+        g: usize,
+        identity: acc_kernel_ir::Value,
+        t0: f64,
+    ) -> Result<f64, RunError> {
+        let handle = self.arrays[arr].gpu[g].handle.expect("window ensured");
+        let bytes = {
+            let buf = self.machine.gpus[g].memory.get_mut(handle)?;
+            buf.fill(identity);
+            buf.size_bytes() as u64
+        };
+        let cost = self.machine.gpus[g].spec.local_copy_time(bytes / 2);
+        let ga = &mut self.arrays[arr].gpu[g];
+        ga.valid.clear();
+        ga.red_private = true;
+        Ok(t0 + cost)
+    }
+
+    // ---------------- transfers ----------------
+
+    /// Host → device `[lo, hi)` (global elements). Functional copy plus
+    /// bus-scheduled timing.
+    pub(crate) fn xfer_h2d(
+        &mut self,
+        arr: usize,
+        g: usize,
+        lo: i64,
+        hi: i64,
+        ready: f64,
+    ) -> Result<f64, RunError> {
+        if lo >= hi {
+            return Ok(ready);
+        }
+        let st = &self.arrays[arr];
+        let elem = st.elem();
+        let wlo = st.gpu[g].window.0;
+        let handle = st.gpu[g].handle.expect("window ensured");
+        let host = &self.host_arrays[arr];
+        let dev = self.machine.gpus[g].memory.get_mut(handle)?;
+        dev.copy_range_from((lo - wlo) as usize, host, lo as usize, (hi - lo) as usize);
+        let bytes = ((hi - lo) as usize * elem) as u64;
+        let (_, end) = self
+            .machine
+            .bus
+            .transfer(Endpoint::Host, Endpoint::Gpu(g), bytes, ready);
+        self.arrays[arr].gpu[g].valid.insert(lo, hi);
+        Ok(end)
+    }
+
+    /// Device → host `[lo, hi)`.
+    pub(crate) fn xfer_d2h(
+        &mut self,
+        arr: usize,
+        g: usize,
+        lo: i64,
+        hi: i64,
+        ready: f64,
+    ) -> Result<f64, RunError> {
+        if lo >= hi {
+            return Ok(ready);
+        }
+        let st = &self.arrays[arr];
+        let elem = st.elem();
+        let wlo = st.gpu[g].window.0;
+        let handle = st.gpu[g].handle.expect("window materialised");
+        let dev = self.machine.gpus[g].memory.get(handle)?;
+        let host = &mut self.host_arrays[arr];
+        host.copy_range_from(lo as usize, dev, (lo - wlo) as usize, (hi - lo) as usize);
+        let bytes = ((hi - lo) as usize * elem) as u64;
+        let (_, end) = self
+            .machine
+            .bus
+            .transfer(Endpoint::Gpu(g), Endpoint::Host, bytes, ready);
+        Ok(end)
+    }
+
+    /// Device → device `[lo, hi)` (through a staging copy; the simulated
+    /// bus still prices it as one peer transfer).
+    pub(crate) fn xfer_p2p(
+        &mut self,
+        arr: usize,
+        src: usize,
+        dst: usize,
+        lo: i64,
+        hi: i64,
+        ready: f64,
+    ) -> Result<f64, RunError> {
+        if lo >= hi {
+            return Ok(ready);
+        }
+        let elem = self.arrays[arr].elem();
+        let staged: Vec<u8> = {
+            let ga = &self.arrays[arr].gpu[src];
+            let sb = self.machine.gpus[src].memory.get(ga.handle.expect("src window"))?;
+            let off = (lo - ga.window.0) as usize * elem;
+            sb.bytes()[off..off + (hi - lo) as usize * elem].to_vec()
+        };
+        {
+            let ga = &self.arrays[arr].gpu[dst];
+            let db = self.machine.gpus[dst]
+                .memory
+                .get_mut(ga.handle.expect("dst window"))?;
+            let off = (lo - ga.window.0) as usize * elem;
+            db.bytes_mut()[off..off + staged.len()].copy_from_slice(&staged);
+        }
+        let (_, end) = self.machine.bus.transfer(
+            Endpoint::Gpu(src),
+            Endpoint::Gpu(dst),
+            staged.len() as u64,
+            ready,
+        );
+        self.arrays[arr].gpu[dst].valid.insert(lo, hi);
+        Ok(end)
+    }
+
+    /// Copy device-authoritative data for `[lo, hi)` back into the host
+    /// copy (`update host` / region-exit copy-out).
+    pub(crate) fn flush_to_host(
+        &mut self,
+        arr: usize,
+        lo: i64,
+        hi: i64,
+        t0: f64,
+    ) -> Result<f64, RunError> {
+        let mut end = t0;
+        let mut remaining = RangeSet::of(lo.max(0), hi.min(self.arrays[arr].len as i64));
+        let ngpus = self.arrays[arr].gpu.len();
+        for g in 0..ngpus {
+            if remaining.is_empty() {
+                break;
+            }
+            let take = {
+                let ga = &self.arrays[arr].gpu[g];
+                if ga.red_private {
+                    RangeSet::new()
+                } else {
+                    let mut t = ga.valid.clone();
+                    t.intersect(&remaining);
+                    t
+                }
+            };
+            for (a, b) in take.iter().collect::<Vec<_>>() {
+                let e = self.xfer_d2h(arr, g, a, b, t0)?;
+                end = end.max(e);
+                remaining.remove(a, b);
+            }
+        }
+        // Ranges valid nowhere were never materialised on the device; the
+        // host copy is already the logical content.
+        Ok(end)
+    }
+
+    /// Push host data for `[lo, hi)` into every materialised device window
+    /// (`update device`).
+    pub(crate) fn push_to_device(
+        &mut self,
+        arr: usize,
+        lo: i64,
+        hi: i64,
+        t0: f64,
+    ) -> Result<f64, RunError> {
+        let mut end = t0;
+        let ngpus = self.arrays[arr].gpu.len();
+        for g in 0..ngpus {
+            let (wlo, whi, have) = {
+                let ga = &self.arrays[arr].gpu[g];
+                (ga.window.0, ga.window.1, ga.handle.is_some())
+            };
+            if !have {
+                continue;
+            }
+            let a = lo.max(wlo);
+            let b = hi.min(whi);
+            if a < b {
+                let e = self.xfer_h2d(arr, g, a, b, t0)?;
+                end = end.max(e);
+            }
+        }
+        Ok(end)
+    }
+
+    /// Free all device allocations for an array (region fully exited).
+    pub(crate) fn free_array_devices(&mut self, arr: usize) -> Result<(), RunError> {
+        // With no device copies left, the host copy is authoritative again.
+        self.arrays[arr].host_stale = false;
+        let ngpus = self.arrays[arr].gpu.len();
+        for g in 0..ngpus {
+            let ga = &mut self.arrays[arr].gpu[g];
+            let handles = [ga.handle.take(), ga.dirty_acct.take(), ga.miss_acct.take()];
+            ga.valid.clear();
+            ga.dirty = None;
+            ga.red_private = false;
+            ga.window = (0, 0);
+            for h in handles.into_iter().flatten() {
+                self.machine.gpus[g].memory.free(h)?;
+            }
+        }
+        Ok(())
+    }
+}

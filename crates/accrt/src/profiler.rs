@@ -1,0 +1,85 @@
+//! Execution-time breakdown, mirroring Fig. 8's categories.
+//!
+//! "Each execution time is divided into the time spent on the data
+//! transfer between GPUs and GPUs (GPU-GPU), the time spent on the data
+//! transfer between CPU and GPUs (CPU-GPU), and the actual execution time
+//! of the GPU kernels (KERNELS)."
+
+use acc_kernel_ir::OpCounters;
+
+/// Accumulated simulated time per phase, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Kernel execution on the GPUs (or the CPU parallel regions for the
+    /// OpenMP baseline).
+    pub kernels: f64,
+    /// Data-loader transfers between the CPU memory and GPU memories.
+    pub cpu_gpu: f64,
+    /// Communication-manager transfers between GPU memories.
+    pub gpu_gpu: f64,
+    /// Sequential host code between parallel regions.
+    pub host: f64,
+}
+
+impl TimeBreakdown {
+    /// Total simulated wall-clock.
+    pub fn total(&self) -> f64 {
+        self.kernels + self.cpu_gpu + self.gpu_gpu + self.host
+    }
+
+    /// Time inside parallel regions (what the paper's Fig. 7/8 measure):
+    /// everything except sequential host code.
+    pub fn parallel_region(&self) -> f64 {
+        self.kernels + self.cpu_gpu + self.gpu_gpu
+    }
+}
+
+/// Run-wide profiler: phase times, work counters, transfer volumes.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    pub time: TimeBreakdown,
+    /// Aggregated kernel work counters over all launches and GPUs.
+    pub kernel_counters: OpCounters,
+    /// Aggregated host work counters.
+    pub host_counters: OpCounters,
+    /// Number of kernel launches (one per GPU per superstep counts once —
+    /// this is the paper's Table II column C, "# of kernel executions").
+    pub kernel_launches: usize,
+    /// Bytes moved host→device and device→host by the data loader.
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+    /// Bytes moved GPU→GPU by the communication manager.
+    pub p2p_bytes: u64,
+    /// Total write-miss records routed between GPUs.
+    pub miss_records: u64,
+    /// Dirty chunks shipped by the replica-sync path.
+    pub dirty_chunks_sent: u64,
+    /// Human-readable execution trace (only populated when
+    /// `ExecConfig::trace` is set): one line per runtime event — region
+    /// enter/exit, loader decisions, launches, communication rounds.
+    pub trace: Vec<String>,
+}
+
+impl Profiler {
+    /// Reset everything.
+    pub fn reset(&mut self) {
+        *self = Profiler::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let t = TimeBreakdown {
+            kernels: 1.0,
+            cpu_gpu: 2.0,
+            gpu_gpu: 3.0,
+            host: 0.5,
+        };
+        assert_eq!(t.total(), 6.5);
+        assert_eq!(t.parallel_region(), 6.0);
+    }
+}

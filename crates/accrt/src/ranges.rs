@@ -1,0 +1,253 @@
+//! Sorted disjoint integer range sets.
+//!
+//! The data loader's coherence bookkeeping (which global element ranges of
+//! an array are valid on the host / on each GPU) is tracked with these
+//! sets. Ranges are half-open `[lo, hi)` in global element coordinates.
+
+/// A set of disjoint, sorted, coalesced half-open ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RangeSet {
+    runs: Vec<(i64, i64)>,
+}
+
+impl RangeSet {
+    /// The empty set.
+    pub fn new() -> RangeSet {
+        RangeSet::default()
+    }
+
+    /// A set holding one range (empty if `lo >= hi`).
+    pub fn of(lo: i64, hi: i64) -> RangeSet {
+        let mut s = RangeSet::new();
+        s.insert(lo, hi);
+        s
+    }
+
+    /// True when no element is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total number of elements covered.
+    pub fn len(&self) -> i64 {
+        self.runs.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// Insert `[lo, hi)`.
+    pub fn insert(&mut self, lo: i64, hi: i64) {
+        if lo >= hi {
+            return;
+        }
+        let mut out: Vec<(i64, i64)> = Vec::with_capacity(self.runs.len() + 1);
+        let mut nlo = lo;
+        let mut nhi = hi;
+        let mut placed = false;
+        for &(a, b) in &self.runs {
+            if b < nlo {
+                out.push((a, b));
+            } else if a > nhi {
+                if !placed {
+                    out.push((nlo, nhi));
+                    placed = true;
+                }
+                out.push((a, b));
+            } else {
+                // Overlapping or adjacent: merge.
+                nlo = nlo.min(a);
+                nhi = nhi.max(b);
+            }
+        }
+        if !placed {
+            out.push((nlo, nhi));
+        }
+        self.runs = out;
+    }
+
+    /// Remove `[lo, hi)`.
+    pub fn remove(&mut self, lo: i64, hi: i64) {
+        if lo >= hi {
+            return;
+        }
+        let mut out: Vec<(i64, i64)> = Vec::with_capacity(self.runs.len() + 1);
+        for &(a, b) in &self.runs {
+            if b <= lo || a >= hi {
+                out.push((a, b));
+            } else {
+                if a < lo {
+                    out.push((a, lo));
+                }
+                if b > hi {
+                    out.push((hi, b));
+                }
+            }
+        }
+        self.runs = out;
+    }
+
+    /// Whether `[lo, hi)` is entirely contained.
+    pub fn contains_range(&self, lo: i64, hi: i64) -> bool {
+        if lo >= hi {
+            return true;
+        }
+        self.runs.iter().any(|&(a, b)| a <= lo && hi <= b)
+    }
+
+    /// Whether element `x` is contained.
+    pub fn contains(&self, x: i64) -> bool {
+        self.contains_range(x, x + 1)
+    }
+
+    /// `self ∩ [lo, hi)` as a new set.
+    pub fn intersect_range(&self, lo: i64, hi: i64) -> RangeSet {
+        let mut out = RangeSet::new();
+        for &(a, b) in &self.runs {
+            let l = a.max(lo);
+            let h = b.min(hi);
+            if l < h {
+                out.runs.push((l, h));
+            }
+        }
+        out
+    }
+
+    /// `[lo, hi) ∖ self` as a new set: the pieces of the query range that
+    /// are missing.
+    pub fn missing_in(&self, lo: i64, hi: i64) -> RangeSet {
+        let mut out = RangeSet::of(lo, hi);
+        for &(a, b) in &self.runs {
+            out.remove(a, b);
+        }
+        out
+    }
+
+    /// Union with another set.
+    pub fn union(&mut self, other: &RangeSet) {
+        for &(a, b) in &other.runs {
+            self.insert(a, b);
+        }
+    }
+
+    /// Subtract another set.
+    pub fn subtract(&mut self, other: &RangeSet) {
+        for &(a, b) in &other.runs {
+            self.remove(a, b);
+        }
+    }
+
+    /// Intersect with another set in place.
+    pub fn intersect(&mut self, other: &RangeSet) {
+        let mut out = RangeSet::new();
+        for &(a, b) in &other.runs {
+            let piece = self.intersect_range(a, b);
+            for &(l, h) in &piece.runs {
+                out.runs.push((l, h));
+            }
+        }
+        out.runs.sort_unstable();
+        self.runs = out.runs;
+    }
+
+    /// Iterate the runs.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        self.runs.iter().copied()
+    }
+
+    /// Clear the set.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+    }
+}
+
+impl FromIterator<(i64, i64)> for RangeSet {
+    fn from_iter<T: IntoIterator<Item = (i64, i64)>>(iter: T) -> RangeSet {
+        let mut s = RangeSet::new();
+        for (a, b) in iter {
+            s.insert(a, b);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_merges_overlaps_and_adjacency() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        s.insert(10, 20); // bridges
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 30)]);
+    }
+
+    #[test]
+    fn insert_keeps_disjoint_sorted() {
+        let mut s = RangeSet::new();
+        s.insert(50, 60);
+        s.insert(0, 10);
+        s.insert(30, 40);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![(0, 10), (30, 40), (50, 60)]
+        );
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut s = RangeSet::of(0, 100);
+        s.remove(40, 60);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 40), (60, 100)]);
+        assert!(!s.contains(50));
+        assert!(s.contains(39));
+    }
+
+    #[test]
+    fn contains_range_needs_single_run() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(10, 20); // merges into one run
+        assert!(s.contains_range(5, 15));
+        s.remove(9, 10);
+        assert!(!s.contains_range(5, 15));
+    }
+
+    #[test]
+    fn missing_in_computes_complement() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        let m = s.missing_in(0, 50);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![(0, 10), (20, 30), (40, 50)]);
+        assert!(s.missing_in(12, 18).is_empty());
+    }
+
+    #[test]
+    fn union_subtract_intersect() {
+        let mut a = RangeSet::of(0, 10);
+        let b = RangeSet::of(5, 15);
+        a.union(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(0, 15)]);
+        a.subtract(&RangeSet::of(3, 5));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(0, 3), (5, 15)]);
+        let mut c = a.clone();
+        c.intersect(&RangeSet::of(2, 6));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![(2, 3), (5, 6)]);
+    }
+
+    #[test]
+    fn empty_ranges_ignored() {
+        let mut s = RangeSet::new();
+        s.insert(5, 5);
+        s.insert(7, 3);
+        assert!(s.is_empty());
+        assert!(s.contains_range(9, 9));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: RangeSet = vec![(0, 5), (5, 10), (20, 25)].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 10), (20, 25)]);
+    }
+}

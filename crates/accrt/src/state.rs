@@ -1,0 +1,124 @@
+//! Device-residency state the data loader maintains per array.
+//!
+//! OpenACC keeps two logical copies of every array inside a data region:
+//! the host copy (always directly accessible to host code) and the device
+//! copy (here: spread or replicated over the simulated GPUs). The loader
+//! tracks, per GPU, which global element ranges of the device copy are
+//! materialised and current (`valid`); the communication manager updates
+//! these sets after every kernel wave. `update` directives and region-exit
+//! copy-outs move data between the two logical copies explicitly.
+
+use acc_gpusim::BufferHandle;
+use acc_kernel_ir::{DirtyMap, Ty};
+
+use crate::ranges::RangeSet;
+
+/// Per-GPU residency state of one array.
+#[derive(Debug, Default)]
+pub(crate) struct GpuArr {
+    /// Device allocation holding `window`, if materialised.
+    pub handle: Option<BufferHandle>,
+    /// Global element range the allocation covers `[lo, hi)`.
+    pub window: (i64, i64),
+    /// Ranges whose device-copy content this GPU holds (coherence
+    /// metadata: a valid range can serve as a transfer source).
+    pub valid: RangeSet,
+    /// Two-level dirty bits for replicated arrays the current kernel
+    /// writes (lives host-side; its footprint is charged to the GPU via
+    /// `dirty_acct`).
+    pub dirty: Option<DirtyMap>,
+    /// Device "System" allocation accounting for the dirty-bit arrays.
+    pub dirty_acct: Option<BufferHandle>,
+    /// Device "System" allocation accounting for the write-miss buffer.
+    pub miss_acct: Option<BufferHandle>,
+    /// This GPU holds an identity-initialised reduction-private copy (not
+    /// a coherence source).
+    pub red_private: bool,
+}
+
+/// Residency state of one program array.
+#[derive(Debug)]
+pub(crate) struct ArrayState {
+    pub ty: Ty,
+    pub len: usize,
+    /// Data-region nesting depth; 0 = not device-resident.
+    pub region_depth: u32,
+    /// Whether missing device ranges may be faulted in from the host copy
+    /// (`copy`/`copyin`) or must materialise as zeros (`create`/`copyout`).
+    pub init_from_host: bool,
+    /// Set once a kernel has written the array on the device: the host
+    /// copy no longer reflects the device copy, so the loader must source
+    /// missing ranges from peer GPUs (the paper's loader otherwise always
+    /// loads from CPU memory, §IV-C).
+    pub host_stale: bool,
+    /// Copy-out obligations: `(region id, section)` — at the matching
+    /// `DataExit`, the section (or the whole array for `None`) is flushed
+    /// to the host copy.
+    pub exit_stack: Vec<(usize, Option<(i64, i64)>)>,
+    pub gpu: Vec<GpuArr>,
+}
+
+impl ArrayState {
+    pub fn new(ty: Ty, len: usize, ngpus: usize) -> ArrayState {
+        ArrayState {
+            ty,
+            len,
+            region_depth: 0,
+            init_from_host: true,
+            host_stale: false,
+            exit_stack: Vec::new(),
+            gpu: (0..ngpus).map(|_| GpuArr::default()).collect(),
+        }
+    }
+
+    /// Element size in bytes.
+    pub fn elem(&self) -> usize {
+        self.ty.size_bytes()
+    }
+
+}
+
+/// Equal static division of the iteration space `[lo, hi)` over `n` GPUs
+/// (paper §IV-B2: "the tasks in the parallel loop are equally divided
+/// among the GPUs"). Returns per-GPU `[lo_g, hi_g)`.
+pub(crate) fn split_tasks(lo: i64, hi: i64, n: usize) -> Vec<(i64, i64)> {
+    let total = (hi - lo).max(0);
+    let n_i = n as i64;
+    let chunk = total / n_i;
+    let rem = total % n_i;
+    let mut out = Vec::with_capacity(n);
+    let mut cur = lo;
+    for g in 0..n_i {
+        let sz = chunk + if g < rem { 1 } else { 0 };
+        out.push((cur, cur + sz));
+        cur += sz;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even() {
+        assert_eq!(split_tasks(0, 12, 3), vec![(0, 4), (4, 8), (8, 12)]);
+    }
+
+    #[test]
+    fn split_with_remainder() {
+        assert_eq!(split_tasks(0, 10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        let s = split_tasks(5, 12, 2);
+        assert_eq!(s, vec![(5, 9), (9, 12)]);
+    }
+
+    #[test]
+    fn split_fewer_tasks_than_gpus() {
+        assert_eq!(split_tasks(0, 2, 4), vec![(0, 1), (1, 2), (2, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn split_empty() {
+        assert_eq!(split_tasks(3, 3, 2), vec![(3, 3), (3, 3)]);
+    }
+}

@@ -1,0 +1,296 @@
+//! BFS — the SHOC breadth-first-search benchmark (Table II row 3).
+//!
+//! Level-synchronous BFS formulated edge-centrically so the 1-D
+//! `localaccess` extension applies (the paper's prototype only supports
+//! 1-D distributions, §VI): one parallel loop over *edges*, relaunched
+//! once per level until no vertex changes.
+//!
+//! * `src`/`dst` (the edge endpoints, ~99% of the footprint) are read at
+//!   stride 1 → `localaccess` → distribution placement: this is what lets
+//!   multi-GPU runs hold graphs one GPU's memory cannot;
+//! * `levels` is read *and written* through vertex indices — fully
+//!   irregular on both sides → replica placement with two-level dirty-bit
+//!   reconciliation after every level. This all-to-all exchange is the
+//!   GPU-GPU traffic that, per the paper, prevents BFS from speeding up
+//!   on the supercomputer node (§V-B2: "the time for inter-GPU
+//!   communication become\[s\] the performance bottleneck").
+//!
+//! Hence Table II column D: 2 of 3 arrays carry `localaccess`; C = 10
+//! kernel executions (9 productive levels + 1 fixpoint check).
+//!
+//! The paper's input is a ~444.9 MB SHOC graph (≈1M vertices). We
+//! generate a layered random digraph with controllable depth so the
+//! kernel-execution count matches, shuffling the edge order so writes
+//! scatter across GPU partitions like a real edge list.
+
+use acc_kernel_ir::{Buffer, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The OpenACC source of the BFS benchmark.
+pub const SOURCE: &str = r#"
+void bfs(int nedges, int nnodes, int maxlevel, int changed,
+         int *src, int *dst, int *levels) {
+#pragma acc data copyin(src[0:nedges], dst[0:nedges]) copy(levels[0:nnodes])
+{
+  int level = 0;
+  changed = 1;
+  while (changed > 0 && level < maxlevel) {
+    changed = 0;
+#pragma acc localaccess(src) stride(1)
+#pragma acc localaccess(dst) stride(1)
+#pragma acc parallel loop reduction(+:changed)
+    for (int e = 0; e < nedges; e++) {
+      int u = src[e];
+      if (levels[u] == level) {
+        int v = dst[e];
+        if (levels[v] < 0) {
+          levels[v] = level + 1;
+          changed += 1;
+        }
+      }
+    }
+    level = level + 1;
+  }
+}
+}
+"#;
+
+/// Entry function name.
+pub const FUNCTION: &str = "bfs";
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct BfsConfig {
+    /// Vertices per layer (layer 0 is the single root).
+    pub layer_width: usize,
+    /// Number of layers below the root; BFS depth = `depth`, so the host
+    /// loop launches `depth + 1` kernels (last one finds no change).
+    pub depth: usize,
+    /// Outgoing edges per vertex (to random vertices of the next layer).
+    pub out_degree: usize,
+    /// Kernel-launch cap (paper C = 10).
+    pub maxlevel: usize,
+}
+
+impl BfsConfig {
+    /// The paper's shape scaled to the full ~55M-edge footprint
+    /// (~444.9 MB of device data), 10 kernel executions.
+    pub fn paper() -> BfsConfig {
+        BfsConfig {
+            layer_width: 122_000,
+            depth: 9,
+            out_degree: 50,
+            maxlevel: 20,
+        }
+    }
+
+    /// A 1/16-scale input with identical structure, for the default
+    /// benchmark harness runs.
+    pub fn scaled() -> BfsConfig {
+        BfsConfig {
+            layer_width: 7_625,
+            depth: 9,
+            out_degree: 50,
+            maxlevel: 20,
+        }
+    }
+
+    /// A reduced size for unit tests.
+    pub fn small() -> BfsConfig {
+        BfsConfig {
+            layer_width: 120,
+            depth: 6,
+            out_degree: 6,
+            maxlevel: 20,
+        }
+    }
+
+    /// Total vertex count.
+    pub fn nnodes(&self) -> usize {
+        1 + self.layer_width * self.depth
+    }
+
+    /// Total edge count.
+    pub fn nedges(&self) -> usize {
+        // Root fans out to the whole first layer; every other vertex has
+        // `out_degree` edges (the last layer's point back upward, keeping
+        // per-edge work uniform without extending the depth).
+        self.layer_width + self.layer_width * self.depth * self.out_degree
+    }
+}
+
+/// Generated graph.
+#[derive(Debug, Clone)]
+pub struct BfsInput {
+    pub cfg: BfsConfig,
+    pub src: Vec<i32>,
+    pub dst: Vec<i32>,
+    /// Initial levels: root 0, everything else -1.
+    pub levels: Vec<i32>,
+}
+
+/// Generate the layered digraph. Vertex ids are shuffled and the edge
+/// list is shuffled, so partition-crossing writes are the common case.
+pub fn generate(cfg: &BfsConfig, seed: u64) -> BfsInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.nnodes();
+    // Random permutation of vertex ids (vertex 0 stays the root so the
+    // host initialisation is trivial).
+    let mut perm: Vec<i32> = (1..n as i32).collect();
+    perm.shuffle(&mut rng);
+    perm.insert(0, 0);
+    let vid = |layer: usize, i: usize| -> i32 {
+        if layer == 0 {
+            0
+        } else {
+            perm[1 + (layer - 1) * cfg.layer_width + i]
+        }
+    };
+
+    let mut src = Vec::with_capacity(cfg.nedges());
+    let mut dst = Vec::with_capacity(cfg.nedges());
+    // Root → every vertex of layer 1.
+    for i in 0..cfg.layer_width {
+        src.push(0);
+        dst.push(vid(1, i));
+    }
+    // Layer l → layer l+1. One "coverage" edge per target vertex (so every
+    // vertex is discovered exactly at its layer's level — the paper's C
+    // column depends on the BFS depth being exact), plus random edges up
+    // to the configured degree. The last layer's edges point back to
+    // random earlier vertices: they are scanned every level but never
+    // discover anything, like the cross/back edges of a real graph.
+    for l in 1..=cfg.depth {
+        if l < cfg.depth {
+            for i in 0..cfg.layer_width {
+                src.push(vid(l, rng.gen_range(0..cfg.layer_width)));
+                dst.push(vid(l + 1, i));
+            }
+        }
+        let extra = if l < cfg.depth {
+            cfg.out_degree - 1
+        } else {
+            cfg.out_degree
+        };
+        for i in 0..cfg.layer_width {
+            for _ in 0..extra {
+                let tl = if l < cfg.depth {
+                    l + 1
+                } else {
+                    rng.gen_range(1..=cfg.depth)
+                };
+                src.push(vid(l, i));
+                dst.push(vid(tl, rng.gen_range(0..cfg.layer_width)));
+            }
+        }
+    }
+    // Shuffle edges together.
+    let mut order: Vec<usize> = (0..src.len()).collect();
+    order.shuffle(&mut rng);
+    let src = order.iter().map(|&i| src[i]).collect();
+    let dst = order.iter().map(|&i| dst[i]).collect();
+
+    let mut levels = vec![-1i32; n];
+    levels[0] = 0;
+    BfsInput {
+        cfg: cfg.clone(),
+        src,
+        dst,
+        levels,
+    }
+}
+
+/// Program inputs `(scalars, arrays)` in parameter order.
+pub fn inputs(input: &BfsInput) -> (Vec<Value>, Vec<Buffer>) {
+    let cfg = &input.cfg;
+    (
+        vec![
+            Value::I32(input.src.len() as i32),
+            Value::I32(cfg.nnodes() as i32),
+            Value::I32(cfg.maxlevel as i32),
+            Value::I32(0),
+        ],
+        vec![
+            Buffer::from_i32(&input.src),
+            Buffer::from_i32(&input.dst),
+            Buffer::from_i32(&input.levels),
+        ],
+    )
+}
+
+/// Index of the `levels` output array.
+pub const LEVELS_ARRAY: usize = 2;
+
+/// Pure-Rust oracle: sequential level-synchronous BFS over the edge list.
+pub fn reference(input: &BfsInput) -> Vec<i32> {
+    let mut levels = input.levels.clone();
+    let mut level = 0i32;
+    loop {
+        let mut changed = false;
+        for e in 0..input.src.len() {
+            let u = input.src[e] as usize;
+            if levels[u] == level {
+                let v = input.dst[e] as usize;
+                if levels[v] < 0 {
+                    levels[v] = level + 1;
+                    changed = true;
+                }
+            }
+        }
+        level += 1;
+        if !changed || level >= input.cfg.maxlevel as i32 {
+            break;
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let cfg = BfsConfig::paper();
+        // ~444.9 MB: src + dst + levels.
+        let bytes = cfg.nedges() * 8 + cfg.nnodes() * 4;
+        let mb = bytes as f64 / 1e6;
+        assert!((400.0..480.0).contains(&mb), "footprint {mb} MB");
+        // 10 kernel executions: depth 9 → launches 1..=10.
+        assert_eq!(cfg.depth + 1, 10);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = BfsConfig::small();
+        let a = generate(&cfg, 5);
+        let b = generate(&cfg, 5);
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dst, b.dst);
+    }
+
+    #[test]
+    fn graph_is_well_formed() {
+        let cfg = BfsConfig::small();
+        let g = generate(&cfg, 1);
+        let n = cfg.nnodes() as i32;
+        assert_eq!(g.src.len(), cfg.nedges());
+        assert_eq!(g.dst.len(), g.src.len());
+        assert!(g.src.iter().all(|&v| v >= 0 && v < n));
+        assert!(g.dst.iter().all(|&v| v >= 0 && v < n));
+        assert_eq!(g.levels[0], 0);
+        assert!(g.levels[1..].iter().all(|&l| l == -1));
+    }
+
+    #[test]
+    fn reference_reaches_every_layer_at_its_depth() {
+        let cfg = BfsConfig::small();
+        let g = generate(&cfg, 2);
+        let levels = reference(&g);
+        // Every vertex reached, with the maximum level equal to depth.
+        assert!(levels.iter().all(|&l| l >= 0));
+        assert_eq!(*levels.iter().max().unwrap() as usize, cfg.depth);
+    }
+}

@@ -1,0 +1,289 @@
+//! KMEANS — the Rodinia clustering benchmark (Table II row 2).
+//!
+//! Two parallel loops per iteration, run for a fixed number of iterations
+//! (the paper's 74 kernel executions = 37 iterations × 2 loops):
+//!
+//! 1. **assignment** — each point finds its nearest centroid. `features`
+//!    is read row-wise → `localaccess(features) stride(nfeatures)` (a
+//!    *runtime* stride — exactly the case the extension's expression
+//!    arguments exist for) and distribution placement; the row reads are
+//!    strided, which the 2-D layout transform turns into coalesced
+//!    accesses (§IV-B4 — KMEANS is the transform's motivating case);
+//!    `clusters` is read by every iteration → replica placement;
+//!    `membership` is written affinely → distribution, miss checks
+//!    elided.
+//! 2. **accumulation** — per-point contributions are reduced into
+//!    `new_centers`/`new_counts`, whose indices depend on the freshly
+//!    computed membership: the paper's `reductiontoarray` extension.
+//!    Each GPU accumulates into a private copy; the communication manager
+//!    merges them (small inter-GPU traffic — the "middle" communication
+//!    profile of §V-A).
+//!
+//! The centroid recomputation runs on the host between iterations via
+//! `update host` / `update device`, as Rodinia does.
+//!
+//! Input shape follows the paper's kddcup dataset: 494019 points × 34
+//! features in `float` (69.2 MB with membership, Table II), 5 clusters.
+//! We synthesise Gaussian blobs with that shape.
+
+use acc_kernel_ir::{Buffer, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The OpenACC source of the KMEANS benchmark.
+pub const SOURCE: &str = r#"
+void kmeans(int npoints, int nfeatures, int nclusters, int iters,
+            float *features, float *clusters, int *membership,
+            float *new_centers, int *new_counts) {
+#pragma acc data copyin(features[0:npoints*nfeatures]) copy(membership[0:npoints]) copy(clusters[0:nclusters*nfeatures]) copyin(new_centers[0:nclusters*nfeatures], new_counts[0:nclusters])
+{
+  int t = 0;
+  while (t < iters) {
+    /* ---- assignment step ---- */
+#pragma acc localaccess(features) stride(nfeatures)
+#pragma acc localaccess(membership) stride(1)
+#pragma acc parallel loop
+    for (int i = 0; i < npoints; i++) {
+      int best = 0;
+      float bestd = 3.0e38f;
+      for (int c = 0; c < nclusters; c++) {
+        float d = 0.0f;
+        for (int f = 0; f < nfeatures; f++) {
+          float diff = features[i*nfeatures + f] - clusters[c*nfeatures + f];
+          d += diff * diff;
+        }
+        if (d < bestd) {
+          bestd = d;
+          best = c;
+        }
+      }
+      membership[i] = best;
+    }
+    /* ---- accumulation step (reductiontoarray) ---- */
+#pragma acc localaccess(features) stride(nfeatures)
+#pragma acc localaccess(membership) stride(1)
+#pragma acc parallel loop
+    for (int i = 0; i < npoints; i++) {
+      int c = membership[i];
+      for (int f = 0; f < nfeatures; f++) {
+#pragma acc reductiontoarray(+: new_centers[nclusters*nfeatures])
+        new_centers[c*nfeatures + f] += features[i*nfeatures + f];
+      }
+#pragma acc reductiontoarray(+: new_counts[nclusters])
+      new_counts[c] += 1;
+    }
+    /* ---- host recomputes the centroids ---- */
+#pragma acc update host(new_centers[0:nclusters*nfeatures], new_counts[0:nclusters])
+    for (int c = 0; c < nclusters; c++) {
+      if (new_counts[c] > 0) {
+        for (int f = 0; f < nfeatures; f++) {
+          clusters[c*nfeatures + f] = new_centers[c*nfeatures + f] / (float)new_counts[c];
+        }
+      }
+    }
+    for (int c = 0; c < nclusters; c++) {
+      new_counts[c] = 0;
+      for (int f = 0; f < nfeatures; f++) {
+        new_centers[c*nfeatures + f] = 0.0f;
+      }
+    }
+#pragma acc update device(clusters[0:nclusters*nfeatures], new_centers[0:nclusters*nfeatures], new_counts[0:nclusters])
+    t = t + 1;
+  }
+}
+}
+"#;
+
+/// Entry function name.
+pub const FUNCTION: &str = "kmeans";
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct KmeansConfig {
+    pub npoints: usize,
+    pub nfeatures: usize,
+    pub nclusters: usize,
+    /// Fixed iteration count; the paper's 74 kernel executions = 37.
+    pub iters: usize,
+}
+
+impl KmeansConfig {
+    /// The paper's kddcup shape: 494019 × 34 floats, k=5, 37 iterations.
+    pub fn paper() -> KmeansConfig {
+        KmeansConfig {
+            npoints: 494019,
+            nfeatures: 34,
+            nclusters: 5,
+            iters: 37,
+        }
+    }
+
+    /// A reduced size for unit tests.
+    pub fn small() -> KmeansConfig {
+        KmeansConfig {
+            npoints: 600,
+            nfeatures: 8,
+            nclusters: 4,
+            iters: 5,
+        }
+    }
+}
+
+/// Generated inputs for one run.
+#[derive(Debug, Clone)]
+pub struct KmeansInput {
+    pub cfg: KmeansConfig,
+    pub features: Vec<f32>,
+    /// Initial centroids (the first k points, as Rodinia does).
+    pub clusters: Vec<f32>,
+}
+
+/// Gaussian blobs with the kddcup shape.
+#[allow(clippy::needless_range_loop)]
+pub fn generate(cfg: &KmeansConfig, seed: u64) -> KmeansInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = cfg.nclusters;
+    let centers: Vec<Vec<f32>> = (0..k)
+        .map(|_| {
+            (0..cfg.nfeatures)
+                .map(|_| rng.gen_range(-10.0..10.0))
+                .collect()
+        })
+        .collect();
+    let mut features = Vec::with_capacity(cfg.npoints * cfg.nfeatures);
+    for i in 0..cfg.npoints {
+        let c = i % k;
+        for f in 0..cfg.nfeatures {
+            features.push(centers[c][f] + rng.gen_range(-1.0..1.0f32));
+        }
+    }
+    let clusters = features[..k * cfg.nfeatures].to_vec();
+    KmeansInput {
+        cfg: cfg.clone(),
+        features,
+        clusters,
+    }
+}
+
+/// Program inputs `(scalars, arrays)` in parameter order.
+pub fn inputs(input: &KmeansInput) -> (Vec<Value>, Vec<Buffer>) {
+    let cfg = &input.cfg;
+    (
+        vec![
+            Value::I32(cfg.npoints as i32),
+            Value::I32(cfg.nfeatures as i32),
+            Value::I32(cfg.nclusters as i32),
+            Value::I32(cfg.iters as i32),
+        ],
+        vec![
+            Buffer::from_f32(&input.features),
+            Buffer::from_f32(&input.clusters),
+            Buffer::zeroed(acc_kernel_ir::Ty::I32, cfg.npoints),
+            Buffer::zeroed(acc_kernel_ir::Ty::F32, cfg.nclusters * cfg.nfeatures),
+            Buffer::zeroed(acc_kernel_ir::Ty::I32, cfg.nclusters),
+        ],
+    )
+}
+
+/// Output array indices.
+pub const CLUSTERS_ARRAY: usize = 1;
+pub const MEMBERSHIP_ARRAY: usize = 2;
+
+/// Reference result: final membership and centroids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    pub membership: Vec<i32>,
+    pub clusters: Vec<f32>,
+}
+
+/// Pure-Rust oracle mirroring the OpenACC program statement-for-statement
+/// (including `f32` accumulation order, so results compare exactly on a
+/// single device; multi-GPU runs may differ in the last ULP of the
+/// centroid sums and are compared with a tolerance).
+#[allow(clippy::needless_range_loop)] // mirrors the OpenACC source
+pub fn reference(input: &KmeansInput) -> KmeansResult {
+    let cfg = &input.cfg;
+    let (n, nf, k) = (cfg.npoints, cfg.nfeatures, cfg.nclusters);
+    let mut clusters = input.clusters.clone();
+    let mut membership = vec![0i32; n];
+    let mut new_centers = vec![0.0f32; k * nf];
+    let mut new_counts = vec![0i32; k];
+    for _ in 0..cfg.iters {
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut bestd = 3.0e38f32;
+            for c in 0..k {
+                let mut d = 0.0f32;
+                for f in 0..nf {
+                    let diff = input.features[i * nf + f] - clusters[c * nf + f];
+                    d += diff * diff;
+                }
+                if d < bestd {
+                    bestd = d;
+                    best = c;
+                }
+            }
+            membership[i] = best as i32;
+        }
+        for i in 0..n {
+            let c = membership[i] as usize;
+            for f in 0..nf {
+                new_centers[c * nf + f] += input.features[i * nf + f];
+            }
+            new_counts[c] += 1;
+        }
+        for c in 0..k {
+            if new_counts[c] > 0 {
+                for f in 0..nf {
+                    clusters[c * nf + f] = new_centers[c * nf + f] / new_counts[c] as f32;
+                }
+            }
+        }
+        new_counts.fill(0);
+        new_centers.fill(0.0);
+    }
+    KmeansResult {
+        membership,
+        clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let cfg = KmeansConfig::paper();
+        // 2 parallel loops × 37 iterations = 74 kernel executions.
+        assert_eq!(2 * cfg.iters, 74);
+        // ~69.2 MB: features + membership.
+        let bytes = cfg.npoints * cfg.nfeatures * 4 + cfg.npoints * 4;
+        let mb = bytes as f64 / 1e6;
+        assert!((66.0..72.0).contains(&mb), "footprint {mb} MB");
+    }
+
+    #[test]
+    fn generator_deterministic_and_shaped() {
+        let cfg = KmeansConfig::small();
+        let a = generate(&cfg, 3);
+        let b = generate(&cfg, 3);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.features.len(), cfg.npoints * cfg.nfeatures);
+        assert_eq!(a.clusters.len(), cfg.nclusters * cfg.nfeatures);
+    }
+
+    #[test]
+    fn reference_converges_on_blobs() {
+        let cfg = KmeansConfig::small();
+        let input = generate(&cfg, 11);
+        let r = reference(&input);
+        assert!(r
+            .membership
+            .iter()
+            .all(|&m| m >= 0 && (m as usize) < cfg.nclusters));
+        for c in 0..cfg.nclusters as i32 {
+            assert!(r.membership.contains(&c), "cluster {c} empty");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Run one benchmark application in one of the paper's program versions
+//! and verify the result against the pure-Rust oracle.
+//!
+//! §V-A defines four versions:
+//!
+//! * **OpenMP** — the baseline all Fig. 7 numbers are normalised to;
+//! * **PGI OpenACC** — a commercial single-GPU OpenACC compiler: the
+//!   extension directives are parsed but ignored;
+//! * **CUDA** — hand-written single-GPU code: no translator-added
+//!   instrumentation at all;
+//! * **Proposal** — the paper's system on 1, 2 or 3 GPUs.
+
+use acc_compiler::{compile_source, CompileOptions, CompiledProgram};
+use acc_gpusim::Machine;
+use acc_runtime::{run_program, ExecConfig, GpuMemReport, RunReport, TimeBreakdown};
+
+use crate::{bfs, kmeans, md};
+
+/// Which benchmark application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    Md,
+    Kmeans,
+    Bfs,
+}
+
+impl App {
+    /// All three, in the paper's order.
+    pub const ALL: [App; 3] = [App::Md, App::Kmeans, App::Bfs];
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Md => "md",
+            App::Kmeans => "kmeans",
+            App::Bfs => "bfs",
+        }
+    }
+
+    /// The OpenACC source.
+    pub fn source(self) -> &'static str {
+        match self {
+            App::Md => md::SOURCE,
+            App::Kmeans => kmeans::SOURCE,
+            App::Bfs => bfs::SOURCE,
+        }
+    }
+
+    /// The entry function.
+    pub fn function(self) -> &'static str {
+        match self {
+            App::Md => md::FUNCTION,
+            App::Kmeans => kmeans::FUNCTION,
+            App::Bfs => bfs::FUNCTION,
+        }
+    }
+}
+
+/// Which program version (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// gcc-compiled OpenMP on all hardware threads.
+    OpenMP,
+    /// Commercial OpenACC compiler, single GPU, extensions ignored.
+    PgiAcc,
+    /// Hand-written CUDA, single GPU.
+    Cuda,
+    /// The proposed system on `n` GPUs.
+    Proposal(usize),
+}
+
+impl Version {
+    /// Label used in the figures, e.g. `Proposal(2GPU)`.
+    pub fn label(self) -> String {
+        match self {
+            Version::OpenMP => "OpenMP".into(),
+            Version::PgiAcc => "PGI-ACC(1GPU)".into(),
+            Version::Cuda => "CUDA(1GPU)".into(),
+            Version::Proposal(n) => format!("Proposal({n}GPU)"),
+        }
+    }
+
+    /// Compiler options for this version.
+    pub fn compile_options(self) -> CompileOptions {
+        match self {
+            Version::OpenMP | Version::PgiAcc => CompileOptions::pgi_like(),
+            Version::Cuda => CompileOptions::cuda_expert(),
+            Version::Proposal(_) => CompileOptions::proposal(),
+        }
+    }
+
+    /// Runtime configuration for this version.
+    pub fn exec_config(self) -> ExecConfig {
+        match self {
+            Version::OpenMP => ExecConfig::openmp(),
+            Version::PgiAcc | Version::Cuda => ExecConfig::gpus(1),
+            Version::Proposal(n) => ExecConfig::gpus(n),
+        }
+    }
+
+    /// Number of GPUs this version uses.
+    pub fn ngpus(self) -> usize {
+        match self {
+            Version::OpenMP => 0,
+            Version::PgiAcc | Version::Cuda => 1,
+            Version::Proposal(n) => n,
+        }
+    }
+}
+
+/// Workload scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale inputs for tests.
+    Small,
+    /// Structure-preserving reduction of the paper inputs (default for
+    /// the figure harness).
+    Scaled,
+    /// The paper's published input sizes.
+    Paper,
+}
+
+/// Outcome of one application run.
+#[derive(Debug)]
+pub struct AppResult {
+    pub app: App,
+    pub version: Version,
+    /// Simulated time breakdown (Fig. 7 normalises on
+    /// `time.parallel_region()`, Fig. 8 splits it).
+    pub time: TimeBreakdown,
+    /// Per-GPU peak memory (Fig. 9).
+    pub mem: Vec<GpuMemReport>,
+    /// Kernel executions (Table II column C).
+    pub kernel_launches: usize,
+    /// `(localaccess arrays, arrays in parallel loops)` (Table II col. D).
+    pub localaccess_ratio: (usize, usize),
+    /// Transfer volumes.
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+    pub p2p_bytes: u64,
+    /// Oracle check.
+    pub correct: bool,
+    /// Maximum absolute error vs the oracle (0 for exact matches).
+    pub max_err: f64,
+}
+
+/// Compile an application for a version.
+pub fn compile_app(app: App, version: Version) -> Result<CompiledProgram, String> {
+    compile_source(app.source(), app.function(), &version.compile_options())
+}
+
+/// Run one application/version on a machine at a workload scale.
+pub fn run_app(
+    app: App,
+    version: Version,
+    machine: &mut Machine,
+    scale: Scale,
+    seed: u64,
+) -> Result<AppResult, String> {
+    let prog = compile_app(app, version)?;
+    let cfg = version.exec_config();
+    let (report, correct, max_err) = match app {
+        App::Md => {
+            let wcfg = match scale {
+                Scale::Small => md::MdConfig::small(),
+                Scale::Scaled => md::MdConfig {
+                    nx: 24,
+                    ny: 24,
+                    nz: 16,
+                    ..md::MdConfig::paper()
+                },
+                Scale::Paper => md::MdConfig::paper(),
+            };
+            let input = md::generate(&wcfg, seed);
+            let (scalars, arrays) = md::inputs(&input);
+            let report =
+                run_program(machine, &cfg, &prog, scalars, arrays).map_err(|e| e.to_string())?;
+            let expect = md::reference(&input);
+            let got = report.arrays[md::FORCE_ARRAY].to_f64_vec();
+            let err = md::max_error(&got, &expect);
+            let ok = err < 1e-9;
+            (report, ok, err)
+        }
+        App::Kmeans => {
+            let wcfg = match scale {
+                Scale::Small => kmeans::KmeansConfig::small(),
+                Scale::Scaled => kmeans::KmeansConfig {
+                    npoints: 24_700,
+                    ..kmeans::KmeansConfig::paper()
+                },
+                Scale::Paper => kmeans::KmeansConfig::paper(),
+            };
+            let input = kmeans::generate(&wcfg, seed);
+            let (scalars, arrays) = kmeans::inputs(&input);
+            let report =
+                run_program(machine, &cfg, &prog, scalars, arrays).map_err(|e| e.to_string())?;
+            let expect = kmeans::reference(&input);
+            let got_mem = report.arrays[kmeans::MEMBERSHIP_ARRAY].to_i32_vec();
+            let got_clu = report.arrays[kmeans::CLUSTERS_ARRAY].to_f32_vec();
+            // Multi-GPU float accumulation reorders sums: allow a small
+            // relative tolerance on centroids and a tiny fraction of
+            // boundary points flipping cluster.
+            let clu_err = got_clu
+                .iter()
+                .zip(&expect.clusters)
+                .map(|(a, b)| (a - b).abs() as f64)
+                .fold(0.0, f64::max);
+            let mismatches = got_mem
+                .iter()
+                .zip(&expect.membership)
+                .filter(|(a, b)| a != b)
+                .count();
+            let ok = clu_err < 1e-2 && (mismatches as f64) < 0.001 * got_mem.len() as f64;
+            (report, ok, clu_err)
+        }
+        App::Bfs => {
+            let wcfg = match scale {
+                Scale::Small => bfs::BfsConfig::small(),
+                Scale::Scaled => bfs::BfsConfig::scaled(),
+                Scale::Paper => bfs::BfsConfig::paper(),
+            };
+            let input = bfs::generate(&wcfg, seed);
+            let (scalars, arrays) = bfs::inputs(&input);
+            let report =
+                run_program(machine, &cfg, &prog, scalars, arrays).map_err(|e| e.to_string())?;
+            let expect = bfs::reference(&input);
+            let got = report.arrays[bfs::LEVELS_ARRAY].to_i32_vec();
+            let ok = got == expect;
+            (report, ok, if ok { 0.0 } else { 1.0 })
+        }
+    };
+    Ok(result_from(app, version, &prog, report, correct, max_err))
+}
+
+fn result_from(
+    app: App,
+    version: Version,
+    prog: &CompiledProgram,
+    report: RunReport,
+    correct: bool,
+    max_err: f64,
+) -> AppResult {
+    AppResult {
+        app,
+        version,
+        time: report.profile.time,
+        mem: report.mem.clone(),
+        kernel_launches: report.profile.kernel_launches,
+        localaccess_ratio: prog.localaccess_ratio(),
+        h2d_bytes: report.profile.h2d_bytes,
+        d2h_bytes: report.profile.d2h_bytes,
+        p2p_bytes: report.profile.p2p_bytes,
+        correct,
+        max_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desktop() -> Machine {
+        Machine::desktop()
+    }
+    fn node() -> Machine {
+        Machine::supercomputer_node()
+    }
+
+    #[test]
+    fn md_all_versions_correct_small() {
+        for v in [
+            Version::OpenMP,
+            Version::PgiAcc,
+            Version::Cuda,
+            Version::Proposal(1),
+            Version::Proposal(2),
+        ] {
+            let r = run_app(App::Md, v, &mut desktop(), Scale::Small, 42).unwrap();
+            assert!(r.correct, "{} wrong (err {})", v.label(), r.max_err);
+            assert_eq!(r.kernel_launches, 1, "Table II C=1");
+        }
+    }
+
+    #[test]
+    fn md_three_gpus_on_node() {
+        let r = run_app(App::Md, Version::Proposal(3), &mut node(), Scale::Small, 42).unwrap();
+        assert!(r.correct);
+        // MD needs no inter-GPU communication (§V-A).
+        assert_eq!(r.p2p_bytes, 0, "MD must not use the GPU-GPU path");
+    }
+
+    #[test]
+    fn md_localaccess_ratio_matches_table2() {
+        let r = run_app(App::Md, Version::Proposal(2), &mut desktop(), Scale::Small, 1).unwrap();
+        assert_eq!(r.localaccess_ratio, (2, 3));
+    }
+
+    #[test]
+    fn kmeans_all_versions_correct_small() {
+        for v in [
+            Version::OpenMP,
+            Version::Cuda,
+            Version::Proposal(1),
+            Version::Proposal(2),
+            Version::Proposal(3),
+        ] {
+            let mut m = node();
+            let r = run_app(App::Kmeans, v, &mut m, Scale::Small, 7).unwrap();
+            assert!(r.correct, "{} wrong (err {})", v.label(), r.max_err);
+        }
+    }
+
+    #[test]
+    fn kmeans_table2_characteristics() {
+        let r = run_app(
+            App::Kmeans,
+            Version::Proposal(2),
+            &mut desktop(),
+            Scale::Small,
+            7,
+        )
+        .unwrap();
+        // 2 loops × 5 iterations at Small scale.
+        assert_eq!(r.kernel_launches, 10);
+        assert_eq!(r.localaccess_ratio, (2, 5));
+    }
+
+    #[test]
+    fn bfs_all_versions_correct_small() {
+        for v in [
+            Version::OpenMP,
+            Version::PgiAcc,
+            Version::Cuda,
+            Version::Proposal(1),
+            Version::Proposal(2),
+            Version::Proposal(3),
+        ] {
+            let mut m = node();
+            let r = run_app(App::Bfs, v, &mut m, Scale::Small, 3).unwrap();
+            assert!(r.correct, "{} wrong", v.label());
+        }
+    }
+
+    #[test]
+    fn bfs_kernel_count_matches_depth() {
+        let r = run_app(App::Bfs, Version::Proposal(2), &mut node(), Scale::Small, 3).unwrap();
+        // depth 6 → 7 launches at Small scale (Paper scale gives 10).
+        assert_eq!(r.kernel_launches, 7);
+        assert_eq!(r.localaccess_ratio, (2, 3));
+        // BFS is the communication-heavy app: dirty-bit sync used.
+        assert!(r.p2p_bytes > 0);
+    }
+
+    // Performance-shape assertions need realistic input sizes (tiny
+    // inputs are latency-dominated and the GPU rightly loses, on real
+    // hardware too). They run at Scaled size, which wants a release
+    // build: `cargo test --release -p acc-apps -- --ignored`.
+
+    #[test]
+    #[ignore = "Scaled workload; run with --release -- --ignored"]
+    fn proposal_multi_gpu_is_faster_than_single_on_md() {
+        let r1 = run_app(App::Md, Version::Proposal(1), &mut desktop(), Scale::Scaled, 9).unwrap();
+        let r2 = run_app(App::Md, Version::Proposal(2), &mut desktop(), Scale::Scaled, 9).unwrap();
+        assert!(r1.correct && r2.correct);
+        assert!(
+            r2.time.parallel_region() < r1.time.parallel_region(),
+            "2 GPUs {} vs 1 GPU {}",
+            r2.time.parallel_region(),
+            r1.time.parallel_region()
+        );
+    }
+
+    #[test]
+    #[ignore = "Scaled workload; run with --release -- --ignored"]
+    fn gpu_versions_beat_openmp_on_md() {
+        let omp = run_app(App::Md, Version::OpenMP, &mut desktop(), Scale::Scaled, 9).unwrap();
+        let gpu = run_app(App::Md, Version::Proposal(2), &mut desktop(), Scale::Scaled, 9).unwrap();
+        assert!(gpu.time.parallel_region() < omp.time.parallel_region());
+    }
+}

@@ -1,0 +1,238 @@
+//! SPMV — CSR sparse matrix × vector, a fourth data-parallel workload
+//! from the MapReduce dwarf the paper's §III-B motivates ("linear
+//! algebra, data mining, ...").
+//!
+//! SPMV is the counter-example to BFS's edge-centric reformulation: in
+//! CSR form, each row's element range `[row_ptr[i], row_ptr[i+1])` is
+//! data-dependent, which the paper's constant-stride 1-D `localaccess`
+//! cannot describe. Consequently:
+//!
+//! * `row_ptr` gets `localaccess stride(1) right(1)` → distributed;
+//! * `y` gets `localaccess stride(1)` → distributed, writes elided;
+//! * `col_idx`, `vals` and `x` — the bulk of the footprint — stay
+//!   **replicated**, so multi-GPU runs do *not* reduce the per-GPU
+//!   memory for CSR's payload the way the edge list does for BFS.
+//!
+//! The tests quantify exactly that: per-GPU user memory stays ~flat for
+//! SPMV where BFS's shrinks. This is the measurable face of the paper's
+//! §VI applicability limitation.
+//!
+//! Not part of the paper's Table II; kept out of `App::ALL`.
+
+use acc_kernel_ir::{Buffer, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The OpenACC source of the SPMV benchmark.
+pub const SOURCE: &str = r#"
+void spmv(int nrows, int ncols, int nnz,
+          int *row_ptr, int *col_idx, double *vals, double *x, double *y) {
+#pragma acc data copyin(row_ptr[0:nrows+1], col_idx[0:nnz], vals[0:nnz], x[0:ncols]) copyout(y[0:nrows])
+{
+#pragma acc localaccess(row_ptr) stride(1) right(1)
+#pragma acc localaccess(y) stride(1)
+#pragma acc parallel loop
+  for (int i = 0; i < nrows; i++) {
+    double s = 0.0;
+    for (int k = row_ptr[i]; k < row_ptr[i+1]; k++) {
+      s += vals[k] * x[col_idx[k]];
+    }
+    y[i] = s;
+  }
+}
+}
+"#;
+
+/// Entry function name.
+pub const FUNCTION: &str = "spmv";
+
+/// Workload configuration: a banded-plus-random sparse matrix.
+#[derive(Debug, Clone)]
+pub struct SpmvConfig {
+    pub nrows: usize,
+    pub ncols: usize,
+    /// Nonzeros per row (band neighbors + random fill).
+    pub nnz_per_row: usize,
+}
+
+impl SpmvConfig {
+    /// A plate large enough that replication costs are visible.
+    pub fn scaled() -> SpmvConfig {
+        SpmvConfig {
+            nrows: 100_000,
+            ncols: 100_000,
+            nnz_per_row: 24,
+        }
+    }
+
+    /// A reduced size for unit tests.
+    pub fn small() -> SpmvConfig {
+        SpmvConfig {
+            nrows: 500,
+            ncols: 500,
+            nnz_per_row: 8,
+        }
+    }
+}
+
+/// Generated CSR matrix and input vector.
+#[derive(Debug, Clone)]
+pub struct SpmvInput {
+    pub cfg: SpmvConfig,
+    pub row_ptr: Vec<i32>,
+    pub col_idx: Vec<i32>,
+    pub vals: Vec<f64>,
+    pub x: Vec<f64>,
+}
+
+/// Generate: half the nonzeros sit in a diagonal band (cache-friendly),
+/// half scatter randomly (the gather workload SpMV is known for).
+pub fn generate(cfg: &SpmvConfig, seed: u64) -> SpmvInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(cfg.nrows + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0i32);
+    for i in 0..cfg.nrows {
+        let band = cfg.nnz_per_row / 2;
+        let mut cols: Vec<usize> = (0..band)
+            .map(|b| (i + b).min(cfg.ncols - 1))
+            .collect();
+        for _ in band..cfg.nnz_per_row {
+            cols.push(rng.gen_range(0..cfg.ncols));
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        for c in cols {
+            col_idx.push(c as i32);
+            vals.push(rng.gen_range(-1.0..1.0));
+        }
+        row_ptr.push(col_idx.len() as i32);
+    }
+    let x: Vec<f64> = (0..cfg.ncols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    SpmvInput {
+        cfg: cfg.clone(),
+        row_ptr,
+        col_idx,
+        vals,
+        x,
+    }
+}
+
+/// Program inputs `(scalars, arrays)` in parameter order.
+pub fn inputs(input: &SpmvInput) -> (Vec<Value>, Vec<Buffer>) {
+    (
+        vec![
+            Value::I32(input.cfg.nrows as i32),
+            Value::I32(input.cfg.ncols as i32),
+            Value::I32(input.col_idx.len() as i32),
+        ],
+        vec![
+            Buffer::from_i32(&input.row_ptr),
+            Buffer::from_i32(&input.col_idx),
+            Buffer::from_f64(&input.vals),
+            Buffer::from_f64(&input.x),
+            Buffer::zeroed(acc_kernel_ir::Ty::F64, input.cfg.nrows),
+        ],
+    )
+}
+
+/// Index of the result vector `y`.
+pub const Y_ARRAY: usize = 4;
+
+/// Pure-Rust oracle.
+pub fn reference(input: &SpmvInput) -> Vec<f64> {
+    let mut y = vec![0.0f64; input.cfg.nrows];
+    for i in 0..input.cfg.nrows {
+        let mut s = 0.0;
+        for k in input.row_ptr[i] as usize..input.row_ptr[i + 1] as usize {
+            s += input.vals[k] * input.x[input.col_idx[k] as usize];
+        }
+        y[i] = s;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_compiler::{compile_source, CompileOptions, Placement};
+    use acc_gpusim::Machine;
+    use acc_runtime::{run_program, ExecConfig};
+
+    #[test]
+    fn csr_placements_show_the_limitation() {
+        let prog = compile_source(SOURCE, FUNCTION, &CompileOptions::proposal()).unwrap();
+        let k = &prog.kernels[0];
+        let placement = |n: &str| {
+            k.configs
+                .iter()
+                .find(|c| c.name == n)
+                .unwrap()
+                .placement
+                .clone()
+        };
+        // The small index/result arrays distribute...
+        assert_eq!(placement("row_ptr"), Placement::Distributed);
+        assert_eq!(placement("y"), Placement::Distributed);
+        // ...but CSR's payload cannot be described by 1-D localaccess.
+        assert_eq!(placement("col_idx"), Placement::Replicated);
+        assert_eq!(placement("vals"), Placement::Replicated);
+        assert_eq!(placement("x"), Placement::Replicated);
+        // y writes are provably local.
+        assert!(k.configs.iter().find(|c| c.name == "y").unwrap().miss_check_elided);
+    }
+
+    #[test]
+    fn matches_oracle_on_1_2_3_gpus() {
+        let input = generate(&SpmvConfig::small(), 5);
+        let expect = reference(&input);
+        let prog = compile_source(SOURCE, FUNCTION, &CompileOptions::proposal()).unwrap();
+        for ngpus in 1..=3 {
+            let mut m = Machine::supercomputer_node();
+            let (scalars, arrays) = inputs(&input);
+            let r = run_program(&mut m, &ExecConfig::gpus(ngpus), &prog, scalars, arrays)
+                .unwrap();
+            let got = r.arrays[Y_ARRAY].to_f64_vec();
+            let err = got
+                .iter()
+                .zip(&expect)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-12, "ngpus={ngpus} err={err}");
+        }
+    }
+
+    #[test]
+    fn replication_keeps_per_gpu_memory_flat() {
+        // The quantified §VI limitation: CSR's payload replicates, so the
+        // summed footprint nearly doubles on 2 GPUs (unlike BFS's edge
+        // list, which splits).
+        let input = generate(&SpmvConfig::small(), 5);
+        let prog = compile_source(SOURCE, FUNCTION, &CompileOptions::proposal()).unwrap();
+        let user_total = |ngpus: usize| {
+            let mut m = Machine::supercomputer_node();
+            let (scalars, arrays) = inputs(&input);
+            let r = run_program(&mut m, &ExecConfig::gpus(ngpus), &prog, scalars, arrays)
+                .unwrap();
+            r.mem.iter().map(|g| g.user_peak).sum::<u64>()
+        };
+        let one = user_total(1);
+        let two = user_total(2);
+        assert!(
+            two as f64 > 1.7 * one as f64,
+            "CSR payload should replicate: {one} -> {two}"
+        );
+    }
+
+    #[test]
+    fn generator_row_ptr_well_formed() {
+        let input = generate(&SpmvConfig::small(), 1);
+        assert_eq!(input.row_ptr.len(), input.cfg.nrows + 1);
+        assert!(input.row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*input.row_ptr.last().unwrap() as usize, input.col_idx.len());
+        assert_eq!(input.col_idx.len(), input.vals.len());
+        let nc = input.cfg.ncols as i32;
+        assert!(input.col_idx.iter().all(|&c| c >= 0 && c < nc));
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benches for the frontend and translator: lexing, parsing,
+//! semantic analysis, and full compilation of the three benchmark apps.
+
+use acc_compiler::{compile_source, CompileOptions};
+use acc_minic::{lexer, parser, sema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sources() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("md", acc_apps::md::SOURCE, acc_apps::md::FUNCTION),
+        ("kmeans", acc_apps::kmeans::SOURCE, acc_apps::kmeans::FUNCTION),
+        ("bfs", acc_apps::bfs::SOURCE, acc_apps::bfs::FUNCTION),
+    ]
+}
+
+fn bench_lexer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend/lex");
+    for (name, src, _) in sources() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), src, |b, src| {
+            b.iter(|| lexer::lex(black_box(src)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend/parse");
+    for (name, src, _) in sources() {
+        let toks = lexer::lex(src).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &toks, |b, toks| {
+            b.iter(|| parser::parse(black_box(toks)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_sema(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend/sema");
+    for (name, src, _) in sources() {
+        let ast = parser::parse(&lexer::lex(src).unwrap()).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &ast, |b, ast| {
+            b.iter(|| sema::check(black_box(ast)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translator/compile");
+    for (name, src, func) in sources() {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                compile_source(black_box(src), func, &CompileOptions::proposal()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lexer, bench_parser, bench_sema, bench_full_compile);
+criterion_main!(benches);

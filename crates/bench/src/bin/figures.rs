@@ -1,0 +1,319 @@
+//! `figures` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p acc-bench --bin figures -- all
+//! cargo run --release -p acc-bench --bin figures -- fig7 --scale scaled
+//! cargo run --release -p acc-bench --bin figures -- table2 --scale paper --json out.json
+//! ```
+//!
+//! Targets: `table1`, `table2`, `fig7`, `fig8`, `fig9`, `ablation-chunk`,
+//! `ablation-layout`, `ablation-placement`, `all`.
+//! Scales: `small` (seconds), `scaled` (default; structure-preserving
+//! reductions of the paper inputs), `paper` (full published sizes).
+
+use acc_apps::Scale;
+use acc_bench::*;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+struct Args {
+    target: String,
+    scale: Scale,
+    json: Option<String>,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        target: "all".to_string(),
+        scale: Scale::Scaled,
+        json: None,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = match it.next().as_deref() {
+                    Some("small") => Scale::Small,
+                    Some("scaled") => Scale::Scaled,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => args.json = it.next(),
+            "--seed" => args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [table1|table2|fig7|fig8|fig9|ablation-chunk|\
+                     ablation-layout|ablation-placement|all] [--scale small|scaled|paper] \
+                     [--json FILE] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            t => args.target = t.to_string(),
+        }
+    }
+    args
+}
+
+#[derive(Serialize, Default)]
+struct AllOutputs {
+    #[serde(skip_serializing_if = "Option::is_none")]
+    table1: Option<Vec<MachineRow>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    table2: Option<Vec<AppRow>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    fig7: Option<Vec<Fig7Bar>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    fig8: Option<Vec<Fig8Bar>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    fig9: Option<Vec<Fig9Bar>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    ablation_chunk: Option<Vec<ChunkPoint>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    ablation_layout: Option<Vec<LayoutPoint>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    ablation_placement: Option<Vec<PlacementPoint>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    ablation_loader_reuse: Option<Vec<ReusePoint>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    extension_stencil: Option<Vec<StencilPoint>>,
+}
+
+fn main() {
+    let args = parse_args();
+    let mut out = AllOutputs::default();
+    let all = args.target == "all";
+    let mut text = String::new();
+
+    if all || args.target == "table1" {
+        let t = table1();
+        let _ = writeln!(text, "== Table I: machine settings ==");
+        for r in &t {
+            let _ = writeln!(
+                text,
+                "  {:<20} CPU: {:<28} OMP threads: {:<3} GPUs: {:<18} {:>4.1} GB each  \
+                 PCIe {:.1}/{:.1} GB/s (h2d/p2p)",
+                r.machine, r.cpu, r.omp_threads, r.gpus, r.gpu_mem_gb, r.h2d_gbs, r.p2p_gbs
+            );
+        }
+        out.table1 = Some(t);
+    }
+
+    if all || args.target == "table2" {
+        let t = table2(args.scale);
+        let _ = writeln!(text, "\n== Table II: application characteristics ==");
+        let _ = writeln!(
+            text,
+            "  {:<8} {:<16} {:<28} {:>10} {:>3} {:>4} {:>6} {:>8}",
+            "App", "Description", "Input", "A(MB)", "B", "C", "D", "correct"
+        );
+        for r in &t {
+            let _ = writeln!(
+                text,
+                "  {:<8} {:<16} {:<28} {:>10.1} {:>3} {:>4} {:>6} {:>8}",
+                r.app,
+                r.description,
+                r.input,
+                r.device_mb,
+                r.parallel_loops,
+                r.kernel_execs,
+                r.localaccess,
+                r.correct
+            );
+        }
+        out.table2 = Some(t);
+    }
+
+    // Figs. 7–9 share one evaluation matrix (every machine × app ×
+    // version run exactly once).
+    let matrix = if all || ["fig7", "fig8", "fig9"].contains(&args.target.as_str()) {
+        Some(run_matrix(args.scale, args.seed, true))
+    } else {
+        None
+    };
+
+    if all || args.target == "fig7" {
+        let t = fig7_from(matrix.as_deref().unwrap());
+        let _ = writeln!(
+            text,
+            "\n== Fig. 7: relative performance (normalised to OpenMP) =="
+        );
+        let mut cur = String::new();
+        for b in &t {
+            let hdr = format!("{} / {}", b.machine, b.app);
+            if hdr != cur {
+                let _ = writeln!(text, "  -- {hdr} --");
+                cur = hdr;
+            }
+            let _ = writeln!(
+                text,
+                "    {:<18} {:>6.2}x {}",
+                b.version,
+                b.relative_perf,
+                if b.correct { "" } else { "  !! WRONG RESULT" }
+            );
+        }
+        out.fig7 = Some(t);
+    }
+
+    if all || args.target == "fig8" {
+        let t = fig8_from(matrix.as_deref().unwrap());
+        let _ = writeln!(
+            text,
+            "\n== Fig. 8: execution-time breakdown (normalised to 1-GPU total) =="
+        );
+        let mut cur = String::new();
+        for b in &t {
+            let hdr = format!("{} / {}", b.machine, b.app);
+            if hdr != cur {
+                let _ = writeln!(text, "  -- {hdr} --");
+                cur = hdr;
+            }
+            let _ = writeln!(
+                text,
+                "    {} GPU: KERNELS {:>5.2}  CPU-GPU {:>5.2}  GPU-GPU {:>5.2}  | total {:>5.2}",
+                b.ngpus,
+                b.kernels,
+                b.cpu_gpu,
+                b.gpu_gpu,
+                b.kernels + b.cpu_gpu + b.gpu_gpu
+            );
+        }
+        out.fig8 = Some(t);
+    }
+
+    if all || args.target == "fig9" {
+        let t = fig9_from(matrix.as_deref().unwrap());
+        let _ = writeln!(
+            text,
+            "\n== Fig. 9: device memory usage (normalised to 1-GPU user data) =="
+        );
+        let mut cur = String::new();
+        for b in &t {
+            let hdr = format!("{} / {}", b.machine, b.app);
+            if hdr != cur {
+                let _ = writeln!(text, "  -- {hdr} --");
+                cur = hdr;
+            }
+            let _ = writeln!(
+                text,
+                "    {} GPU: User {:>6.3}  System {:>7.4} ({:.2}% of 1-GPU user data)",
+                b.ngpus,
+                b.user,
+                b.system,
+                b.system * 100.0
+            );
+        }
+        out.fig9 = Some(t);
+    }
+
+    if all || args.target == "ablation-chunk" {
+        let t = ablation_chunk(args.scale, args.seed);
+        let _ = writeln!(
+            text,
+            "\n== Ablation §IV-D1: dirty-bit chunk size (BFS, node, 3 GPUs) =="
+        );
+        let mut cur = String::new();
+        for p in &t {
+            if p.workload != cur {
+                let _ = writeln!(text, "  -- {} --", p.workload);
+                cur = p.workload.clone();
+            }
+            let _ = writeln!(
+                text,
+                "    chunk {:>6} KB: GPU-GPU {:>9.5}s  total {:>9.4}s  chunks sent {:>8}  p2p {:>8.2} MB",
+                p.chunk_kb, p.gpu_gpu_time, p.total_time, p.dirty_chunks_sent, p.p2p_mb
+            );
+        }
+        out.ablation_chunk = Some(t);
+    }
+
+    if all || args.target == "ablation-layout" {
+        let t = ablation_layout(args.scale, args.seed);
+        let _ = writeln!(
+            text,
+            "\n== Ablation §IV-B4: 2-D layout transform (desktop, 2 GPUs) =="
+        );
+        for p in &t {
+            let _ = writeln!(
+                text,
+                "  {:<8} transform={:<5}  kernels {:>9.4}s  total {:>9.4}s",
+                p.app, p.transform, p.kernels_time, p.total_time
+            );
+        }
+        out.ablation_layout = Some(t);
+    }
+
+    if all || args.target == "ablation-placement" {
+        let t = ablation_placement(args.scale, args.seed);
+        let _ = writeln!(
+            text,
+            "\n== Ablation §IV-C: distribution vs replica placement (desktop, 2 GPUs) =="
+        );
+        for p in &t {
+            let _ = writeln!(
+                text,
+                "  {:<8} distribution={:<5}  h2d {:>8.1} MB  user mem {:>8.1} MB  total {:>9.4}s",
+                p.app, p.distribution, p.h2d_mb, p.user_mem_mb, p.total_time
+            );
+        }
+        out.ablation_placement = Some(t);
+    }
+
+    if all || args.target == "ablation-loader-reuse" {
+        let t = ablation_loader_reuse(args.scale, args.seed);
+        let _ = writeln!(
+            text,
+            "\n== Ablation §IV-C: loader reload-skipping (desktop, 2 GPUs) =="
+        );
+        for p in &t {
+            let _ = writeln!(
+                text,
+                "  {:<8} reuse={:<5}  h2d {:>8.1} MB  cpu-gpu {:>9.4}s  total {:>9.4}s",
+                p.app, p.reuse, p.h2d_mb, p.cpu_gpu_time, p.total_time
+            );
+        }
+        out.ablation_loader_reuse = Some(t);
+    }
+
+    if all || args.target == "extension-stencil" {
+        let t = extension_stencil(args.scale, args.seed);
+        let _ = writeln!(
+            text,
+            "\n== Extension §VI: 2-D heat stencil via 1-D row distribution =="
+        );
+        let mut cur = String::new();
+        for p in &t {
+            if p.machine != cur {
+                let _ = writeln!(text, "  -- {} --", p.machine);
+                cur = p.machine.clone();
+            }
+            let _ = writeln!(
+                text,
+                "    {} GPU: {:>5.2}x vs 1 GPU | kernels {:>8.4}s cpu-gpu {:>8.4}s \
+                 gpu-gpu {:>8.4}s | halo p2p {:>7.1} MB | miss checks {:>9}{}",
+                p.ngpus,
+                p.relative_perf_vs_1gpu,
+                p.kernels_time,
+                p.cpu_gpu_time,
+                p.gpu_gpu_time,
+                p.p2p_mb,
+                p.miss_checks,
+                if p.correct { "" } else { "  !! WRONG" }
+            );
+        }
+        out.extension_stencil = Some(t);
+    }
+
+    print!("{text}");
+    if let Some(path) = args.json {
+        let json = serde_json::to_string_pretty(&out).expect("serialise");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,686 @@
+//! # acc-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§V) from
+//! the simulated system, plus the ablations DESIGN.md calls out:
+//!
+//! * [`table1`] — the machine settings (Table I);
+//! * [`table2`] — application characteristics (Table II): device-memory
+//!   footprint, parallel loops, kernel executions, `localaccess` ratio;
+//! * [`fig7`] — relative performance normalised to OpenMP, all program
+//!   versions on both machines;
+//! * [`fig8`] — execution-time breakdown (KERNELS / CPU-GPU / GPU-GPU)
+//!   normalised to the single-GPU total;
+//! * [`fig9`] — per-GPU device-memory usage (User / System) normalised to
+//!   the single-GPU usage;
+//! * [`ablation_chunk`] — second-level dirty-bit chunk-size sweep
+//!   (§IV-D1 fixes 1 MB experimentally);
+//! * [`ablation_layout`] — the 2-D layout transform on/off (§IV-B4);
+//! * [`ablation_placement`] — distribution-based placement vs
+//!   replica-everything (§IV-C).
+//!
+//! All entry points return serde-serialisable data; the `figures` binary
+//! renders them as text tables and optionally JSON.
+
+use acc_apps::{run_app, App, Scale, Version};
+use acc_compiler::CompileOptions;
+use acc_gpusim::{Machine, MachineKind};
+use acc_runtime::{run_program, ExecConfig};
+use serde::Serialize;
+
+/// Compile-checks (and runs) the code examples embedded in the README.
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
+/// Versions evaluated on a machine (paper Fig. 7 legend).
+pub fn versions_for(kind: MachineKind) -> Vec<Version> {
+    let mut v = vec![
+        Version::OpenMP,
+        Version::PgiAcc,
+        Version::Cuda,
+        Version::Proposal(1),
+        Version::Proposal(2),
+    ];
+    if kind.max_gpus() >= 3 {
+        v.push(Version::Proposal(3));
+    }
+    v
+}
+
+/// One Table I column.
+#[derive(Debug, Serialize)]
+pub struct MachineRow {
+    pub machine: String,
+    pub cpu: String,
+    pub omp_threads: u32,
+    pub gpus: String,
+    pub gpu_mem_gb: f64,
+    pub h2d_gbs: f64,
+    pub p2p_gbs: f64,
+}
+
+/// Table I: the machine settings.
+pub fn table1() -> Vec<MachineRow> {
+    [MachineKind::Desktop, MachineKind::SupercomputerNode]
+        .into_iter()
+        .map(|k| {
+            let m = Machine::with_kind(k);
+            MachineRow {
+                machine: k.label().to_string(),
+                cpu: m.cpu.name.clone(),
+                omp_threads: m.cpu.omp_threads,
+                gpus: format!("{} x{}", m.gpus[0].spec.name, m.n_gpus()),
+                gpu_mem_gb: m.gpus[0].spec.mem_bytes as f64 / (1u64 << 30) as f64,
+                h2d_gbs: m.bus.h2d_bw / 1e9,
+                p2p_gbs: m.bus.p2p_bw / 1e9,
+            }
+        })
+        .collect()
+}
+
+/// One Table II row.
+#[derive(Debug, Serialize)]
+pub struct AppRow {
+    pub app: String,
+    pub description: String,
+    pub input: String,
+    /// A: total device memory in single-GPU execution, MB.
+    pub device_mb: f64,
+    /// B: number of parallel loops.
+    pub parallel_loops: usize,
+    /// C: number of kernel executions.
+    pub kernel_execs: usize,
+    /// D: arrays with localaccess / arrays used in parallel loops.
+    pub localaccess: String,
+    pub correct: bool,
+}
+
+/// Table II: application characteristics, measured on single-GPU runs.
+pub fn table2(scale: Scale) -> Vec<AppRow> {
+    App::ALL
+        .iter()
+        .map(|&app| {
+            let mut m = Machine::desktop();
+            let r = run_app(app, Version::Proposal(1), &mut m, scale, 42).expect("run");
+            let prog = acc_apps::runner::compile_app(app, Version::Proposal(1)).unwrap();
+            let desc = match app {
+                App::Md => "Simulation",
+                App::Kmeans => "Clustering",
+                App::Bfs => "Graph Traversal",
+            };
+            AppRow {
+                app: app.name().to_uppercase(),
+                description: desc.to_string(),
+                input: input_label(app, scale),
+                device_mb: r.mem[0].user_peak as f64 / 1e6,
+                parallel_loops: prog.n_parallel_loops(),
+                kernel_execs: r.kernel_launches,
+                localaccess: format!("{}/{}", r.localaccess_ratio.0, r.localaccess_ratio.1),
+                correct: r.correct,
+            }
+        })
+        .collect()
+}
+
+fn input_label(app: App, scale: Scale) -> String {
+    match app {
+        App::Md => {
+            let c = md_config(scale);
+            format!("{} Atom", c.natoms())
+        }
+        App::Kmeans => match scale {
+            Scale::Paper => "kddcup".into(),
+            _ => "kddcup-shaped (scaled)".into(),
+        },
+        App::Bfs => {
+            let c = bfs_config(scale);
+            format!("{} node / {} edge", c.nnodes(), c.nedges())
+        }
+    }
+}
+
+/// MD workload config for a scale (the Scaled point keeps the neighbor
+/// structure and shrinks the lattice).
+pub fn md_config(scale: Scale) -> acc_apps::md::MdConfig {
+    match scale {
+        Scale::Small => acc_apps::md::MdConfig::small(),
+        Scale::Scaled => acc_apps::md::MdConfig {
+            nx: 24,
+            ny: 24,
+            nz: 16,
+            ..acc_apps::md::MdConfig::paper()
+        },
+        Scale::Paper => acc_apps::md::MdConfig::paper(),
+    }
+}
+
+/// KMEANS workload config for a scale.
+pub fn kmeans_config(scale: Scale) -> acc_apps::kmeans::KmeansConfig {
+    match scale {
+        Scale::Small => acc_apps::kmeans::KmeansConfig::small(),
+        Scale::Scaled => acc_apps::kmeans::KmeansConfig {
+            npoints: 24_700,
+            ..acc_apps::kmeans::KmeansConfig::paper()
+        },
+        Scale::Paper => acc_apps::kmeans::KmeansConfig::paper(),
+    }
+}
+
+/// BFS workload config for a scale.
+pub fn bfs_config(scale: Scale) -> acc_apps::bfs::BfsConfig {
+    match scale {
+        Scale::Small => acc_apps::bfs::BfsConfig::small(),
+        Scale::Scaled => acc_apps::bfs::BfsConfig::scaled(),
+        Scale::Paper => acc_apps::bfs::BfsConfig::paper(),
+    }
+}
+
+/// One run of the full evaluation matrix: every (machine × app × version)
+/// combination, executed once and shared by Figs. 7, 8 and 9.
+#[derive(Debug)]
+pub struct MatrixEntry {
+    pub machine: MachineKind,
+    pub app: App,
+    pub version: Version,
+    pub result: acc_apps::AppResult,
+}
+
+/// Execute the evaluation matrix. With `progress`, prints one line per
+/// configuration to stderr (runs take a while at paper scale).
+pub fn run_matrix(scale: Scale, seed: u64, progress: bool) -> Vec<MatrixEntry> {
+    let mut out = Vec::new();
+    for kind in [MachineKind::Desktop, MachineKind::SupercomputerNode] {
+        for &app in &App::ALL {
+            for v in versions_for(kind) {
+                if progress {
+                    eprintln!("running {} / {} / {} ...", kind.label(), app.name(), v.label());
+                }
+                let mut m = Machine::with_kind(kind);
+                let result = run_app(app, v, &mut m, scale, seed).expect("run");
+                out.push(MatrixEntry {
+                    machine: kind,
+                    app,
+                    version: v,
+                    result,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One Fig. 7 bar: relative performance vs OpenMP (higher = faster).
+#[derive(Debug, Serialize)]
+pub struct Fig7Bar {
+    pub machine: String,
+    pub app: String,
+    pub version: String,
+    pub relative_perf: f64,
+    pub correct: bool,
+}
+
+/// Fig. 7 from a computed matrix: every version normalised to OpenMP.
+pub fn fig7_from(matrix: &[MatrixEntry]) -> Vec<Fig7Bar> {
+    let mut out = Vec::new();
+    for e in matrix {
+        let base = matrix
+            .iter()
+            .find(|b| {
+                b.machine == e.machine && b.app == e.app && b.version == Version::OpenMP
+            })
+            .expect("OpenMP baseline present")
+            .result
+            .time
+            .parallel_region();
+        out.push(Fig7Bar {
+            machine: e.machine.label().to_string(),
+            app: e.app.name().to_string(),
+            version: e.version.label(),
+            relative_perf: base / e.result.time.parallel_region(),
+            correct: e.result.correct,
+        });
+    }
+    out
+}
+
+/// Fig. 7: performance of every version normalised to OpenMP.
+pub fn fig7(scale: Scale, seed: u64) -> Vec<Fig7Bar> {
+    fig7_from(&run_matrix(scale, seed, false))
+}
+
+/// One Fig. 8 stacked bar: phase times normalised to the 1-GPU total.
+#[derive(Debug, Serialize)]
+pub struct Fig8Bar {
+    pub machine: String,
+    pub app: String,
+    pub ngpus: usize,
+    pub kernels: f64,
+    pub cpu_gpu: f64,
+    pub gpu_gpu: f64,
+}
+
+/// Fig. 8 from a computed matrix: proposal breakdown on 1..max GPUs.
+pub fn fig8_from(matrix: &[MatrixEntry]) -> Vec<Fig8Bar> {
+    let mut out = Vec::new();
+    for e in matrix {
+        let Version::Proposal(n) = e.version else {
+            continue;
+        };
+        let base = matrix
+            .iter()
+            .find(|b| {
+                b.machine == e.machine && b.app == e.app && b.version == Version::Proposal(1)
+            })
+            .expect("1-GPU run present")
+            .result
+            .time
+            .parallel_region();
+        out.push(Fig8Bar {
+            machine: e.machine.label().to_string(),
+            app: e.app.name().to_string(),
+            ngpus: n,
+            kernels: e.result.time.kernels / base,
+            cpu_gpu: e.result.time.cpu_gpu / base,
+            gpu_gpu: e.result.time.gpu_gpu / base,
+        });
+    }
+    out
+}
+
+/// Fig. 8: execution-time breakdown of the proposal on 1..max GPUs.
+pub fn fig8(scale: Scale, seed: u64) -> Vec<Fig8Bar> {
+    fig8_from(&run_matrix(scale, seed, false))
+}
+
+/// One Fig. 9 stacked bar: summed per-GPU peak memory normalised to the
+/// 1-GPU usage.
+#[derive(Debug, Serialize)]
+pub struct Fig9Bar {
+    pub machine: String,
+    pub app: String,
+    pub ngpus: usize,
+    pub user: f64,
+    pub system: f64,
+}
+
+/// Fig. 9 from a computed matrix.
+pub fn fig9_from(matrix: &[MatrixEntry]) -> Vec<Fig9Bar> {
+    let mut out = Vec::new();
+    for e in matrix {
+        let Version::Proposal(n) = e.version else {
+            continue;
+        };
+        let base = matrix
+            .iter()
+            .find(|b| {
+                b.machine == e.machine && b.app == e.app && b.version == Version::Proposal(1)
+            })
+            .expect("1-GPU run present")
+            .result
+            .mem
+            .iter()
+            .map(|g| g.user_peak)
+            .sum::<u64>()
+            .max(1);
+        let user: u64 = e.result.mem.iter().map(|g| g.user_peak).sum();
+        let system: u64 = e.result.mem.iter().map(|g| g.system_peak).sum();
+        out.push(Fig9Bar {
+            machine: e.machine.label().to_string(),
+            app: e.app.name().to_string(),
+            ngpus: n,
+            user: user as f64 / base as f64,
+            system: system as f64 / base as f64,
+        });
+    }
+    out
+}
+
+/// Fig. 9: device memory usage of the proposal on 1..max GPUs.
+pub fn fig9(scale: Scale, seed: u64) -> Vec<Fig9Bar> {
+    fig9_from(&run_matrix(scale, seed, false))
+}
+
+/// One chunk-size ablation point.
+#[derive(Debug, Serialize)]
+pub struct ChunkPoint {
+    pub workload: String,
+    pub chunk_kb: usize,
+    pub gpu_gpu_time: f64,
+    pub total_time: f64,
+    pub dirty_chunks_sent: u64,
+    pub p2p_mb: f64,
+}
+
+/// Synthetic replica-sync workload with *clustered* writes: each GPU's
+/// iterations scatter into a small window near its own block of a
+/// replicated array. Small chunks ship only the written windows; large
+/// chunks ship mostly-clean data — the case the two-level scheme's
+/// chunking exists for.
+const CLUSTERED_SRC: &str = "void clustered(int n, int *idx, int *flags) {\n\
+#pragma acc data copyin(idx[0:n]) copy(flags[0:n])\n\
+{\n\
+#pragma acc localaccess(idx) stride(1)\n\
+#pragma acc parallel loop\n\
+for (int i = 0; i < n; i++) flags[idx[i]] = flags[idx[i]] + 1;\n\
+}\n\
+}";
+
+/// §IV-D1 ablation: sweep the second-level dirty-bit chunk size.
+///
+/// Two workloads with opposite write distributions:
+/// * **bfs** (scattered) — frontier writes land everywhere, so nearly
+///   every chunk is dirty and chunking cannot reduce the shipped bytes;
+///   small chunks only add per-transfer overhead;
+/// * **clustered** — writes are dense in small windows, so small chunks
+///   cut the traffic dramatically.
+///
+/// The paper's 1 MB is the compromise between the two regimes.
+pub fn ablation_chunk(scale: Scale, seed: u64) -> Vec<ChunkPoint> {
+    let mut out = Vec::new();
+    let sizes = [64usize, 256, 1024, 4096, 16384];
+
+    // Scattered: BFS on the node with all three GPUs.
+    let prog = acc_apps::runner::compile_app(App::Bfs, Version::Proposal(3)).unwrap();
+    let input = acc_apps::bfs::generate(&bfs_config(scale), seed);
+    for &kb in &sizes {
+        let mut m = Machine::supercomputer_node();
+        let mut ec = ExecConfig::gpus(3);
+        ec.chunk_bytes = kb * 1024;
+        let (scalars, arrays) = acc_apps::bfs::inputs(&input);
+        let r = run_program(&mut m, &ec, &prog, scalars, arrays).expect("run");
+        out.push(ChunkPoint {
+            workload: "bfs (scattered)".into(),
+            chunk_kb: kb,
+            gpu_gpu_time: r.profile.time.gpu_gpu,
+            total_time: r.profile.time.parallel_region(),
+            dirty_chunks_sent: r.profile.dirty_chunks_sent,
+            p2p_mb: r.profile.p2p_bytes as f64 / 1e6,
+        });
+    }
+
+    // Clustered: synthetic, 16 MB replicated array, writes confined to a
+    // 64 KB window per GPU block.
+    let n: usize = match scale {
+        Scale::Small => 1 << 18,
+        _ => 4 << 20,
+    };
+    // Each GPU's block of iterations scatters into one 16K-element window
+    // at the start of its own third of the array: per GPU only ~64 KB of
+    // the replicated array is ever dirty.
+    let window = (16 * 1024usize).min(n / 4);
+    let blk = n.div_ceil(3);
+    let idx: Vec<i32> = (0..n)
+        .map(|i| {
+            let base = (i / blk) * blk;
+            let off = (i as u64).wrapping_mul(2654435761) as usize % window;
+            ((base + off) % n) as i32
+        })
+        .collect();
+    let prog = acc_compiler::compile_source(CLUSTERED_SRC, "clustered", &CompileOptions::proposal())
+        .unwrap();
+    for &kb in &sizes {
+        let mut m = Machine::supercomputer_node();
+        let mut ec = ExecConfig::gpus(3);
+        ec.chunk_bytes = kb * 1024;
+        let arrays = vec![
+            acc_kernel_ir::Buffer::from_i32(&idx),
+            acc_kernel_ir::Buffer::zeroed(acc_kernel_ir::Ty::I32, n),
+        ];
+        let r = run_program(
+            &mut m,
+            &ec,
+            &prog,
+            vec![acc_kernel_ir::Value::I32(n as i32)],
+            arrays,
+        )
+        .expect("run");
+        out.push(ChunkPoint {
+            workload: "clustered".into(),
+            chunk_kb: kb,
+            gpu_gpu_time: r.profile.time.gpu_gpu,
+            total_time: r.profile.time.parallel_region(),
+            dirty_chunks_sent: r.profile.dirty_chunks_sent,
+            p2p_mb: r.profile.p2p_bytes as f64 / 1e6,
+        });
+    }
+    out
+}
+
+/// One layout-transform ablation point.
+#[derive(Debug, Serialize)]
+pub struct LayoutPoint {
+    pub app: String,
+    pub transform: bool,
+    pub kernels_time: f64,
+    pub total_time: f64,
+}
+
+/// §IV-B4 ablation: the 2-D layout transform on/off, for the two apps
+/// with strided `localaccess` reads.
+pub fn ablation_layout(scale: Scale, seed: u64) -> Vec<LayoutPoint> {
+    let mut out = Vec::new();
+    for app in [App::Md, App::Kmeans] {
+        for transform in [true, false] {
+            let opts = CompileOptions {
+                layout_transform: transform,
+                ..CompileOptions::proposal()
+            };
+            let prog = acc_compiler::compile_source(app.source(), app.function(), &opts).unwrap();
+            let mut m = Machine::desktop();
+            let (scalars, arrays) = app_inputs(app, scale, seed);
+            let r = run_program(&mut m, &ExecConfig::gpus(2), &prog, scalars, arrays).unwrap();
+            out.push(LayoutPoint {
+                app: app.name().to_string(),
+                transform,
+                kernels_time: r.profile.time.kernels,
+                total_time: r.profile.time.parallel_region(),
+            });
+        }
+    }
+    out
+}
+
+/// One placement ablation point.
+#[derive(Debug, Serialize)]
+pub struct PlacementPoint {
+    pub app: String,
+    pub distribution: bool,
+    pub h2d_mb: f64,
+    pub total_time: f64,
+    pub user_mem_mb: f64,
+}
+
+/// §IV-C ablation: distribution-based placement (localaccess honored) vs
+/// replica-everything, on 2 GPUs.
+pub fn ablation_placement(scale: Scale, seed: u64) -> Vec<PlacementPoint> {
+    let mut out = Vec::new();
+    for &app in &App::ALL {
+        for dist in [true, false] {
+            let opts = CompileOptions {
+                honor_extensions: dist,
+                layout_transform: dist,
+                instrument: true,
+            };
+            let prog = acc_compiler::compile_source(app.source(), app.function(), &opts).unwrap();
+            let mut m = Machine::desktop();
+            let (scalars, arrays) = app_inputs(app, scale, seed);
+            let r = run_program(&mut m, &ExecConfig::gpus(2), &prog, scalars, arrays).unwrap();
+            out.push(PlacementPoint {
+                app: app.name().to_string(),
+                distribution: dist,
+                h2d_mb: r.profile.h2d_bytes as f64 / 1e6,
+                total_time: r.profile.time.parallel_region(),
+                user_mem_mb: r.mem.iter().map(|g| g.user_peak).sum::<u64>() as f64 / 1e6,
+            });
+        }
+    }
+    out
+}
+
+/// One loader-reuse ablation point.
+#[derive(Debug, Serialize)]
+pub struct ReusePoint {
+    pub app: String,
+    pub reuse: bool,
+    pub h2d_mb: f64,
+    pub cpu_gpu_time: f64,
+    pub total_time: f64,
+}
+
+/// §IV-C ablation: the loader's reload-skipping for iterative kernels,
+/// on the two iterative apps (KMEANS relaunches 74 times, BFS ~10).
+pub fn ablation_loader_reuse(scale: Scale, seed: u64) -> Vec<ReusePoint> {
+    let mut out = Vec::new();
+    for app in [App::Kmeans, App::Bfs] {
+        for reuse in [true, false] {
+            let prog = acc_apps::runner::compile_app(app, Version::Proposal(2)).unwrap();
+            let mut m = Machine::desktop();
+            let mut ec = ExecConfig::gpus(2);
+            ec.loader_reuse = reuse;
+            let (scalars, arrays) = app_inputs(app, scale, seed);
+            let r = run_program(&mut m, &ec, &prog, scalars, arrays).unwrap();
+            out.push(ReusePoint {
+                app: app.name().to_string(),
+                reuse,
+                h2d_mb: r.profile.h2d_bytes as f64 / 1e6,
+                cpu_gpu_time: r.profile.time.cpu_gpu,
+                total_time: r.profile.time.parallel_region(),
+            });
+        }
+    }
+    out
+}
+
+/// One stencil-extension point (paper §VI future work).
+#[derive(Debug, Serialize)]
+pub struct StencilPoint {
+    pub machine: String,
+    pub ngpus: usize,
+    pub relative_perf_vs_1gpu: f64,
+    pub kernels_time: f64,
+    pub cpu_gpu_time: f64,
+    pub gpu_gpu_time: f64,
+    pub p2p_mb: f64,
+    pub miss_checks: u64,
+    pub correct: bool,
+}
+
+/// §VI extension experiment: the 2-D heat stencil run through the 1-D
+/// `localaccess` row distribution. Demonstrates (a) that the system runs
+/// stencils correctly on any GPU count via halo rows, and (b) the paper's
+/// stated limitation — per-iteration halo refresh plus unelidable miss
+/// checks keep multi-GPU gains modest.
+pub fn extension_stencil(scale: Scale, seed: u64) -> Vec<StencilPoint> {
+    use acc_apps::heat2d;
+    let cfg = match scale {
+        Scale::Small => heat2d::Heat2dConfig::small(),
+        _ => heat2d::Heat2dConfig::scaled(),
+    };
+    let input = heat2d::generate(&cfg, seed);
+    let expect = heat2d::reference(&input);
+    let prog = acc_compiler::compile_source(
+        heat2d::SOURCE,
+        heat2d::FUNCTION,
+        &CompileOptions::proposal(),
+    )
+    .unwrap();
+    let mut out = Vec::new();
+    for kind in [MachineKind::Desktop, MachineKind::SupercomputerNode] {
+        let mut base = None;
+        for n in 1..=kind.max_gpus() {
+            let mut m = Machine::with_kind(kind);
+            let (scalars, arrays) = heat2d::inputs(&input);
+            let r = run_program(&mut m, &ExecConfig::gpus(n), &prog, scalars, arrays).unwrap();
+            let t = r.profile.time.parallel_region();
+            let base1 = *base.get_or_insert(t);
+            let err =
+                heat2d::max_error(&r.arrays[heat2d::PLATE_ARRAY].to_f64_vec(), &expect);
+            out.push(StencilPoint {
+                machine: kind.label().to_string(),
+                ngpus: n,
+                relative_perf_vs_1gpu: base1 / t,
+                kernels_time: r.profile.time.kernels,
+                cpu_gpu_time: r.profile.time.cpu_gpu,
+                gpu_gpu_time: r.profile.time.gpu_gpu,
+                p2p_mb: r.profile.p2p_bytes as f64 / 1e6,
+                miss_checks: r.profile.kernel_counters.miss_checks,
+                correct: err < 1e-9,
+            });
+        }
+    }
+    out
+}
+
+/// Generate inputs for an app at a scale (shared by the ablations).
+pub fn app_inputs(
+    app: App,
+    scale: Scale,
+    seed: u64,
+) -> (Vec<acc_kernel_ir::Value>, Vec<acc_kernel_ir::Buffer>) {
+    match app {
+        App::Md => acc_apps::md::inputs(&acc_apps::md::generate(&md_config(scale), seed)),
+        App::Kmeans => {
+            acc_apps::kmeans::inputs(&acc_apps::kmeans::generate(&kmeans_config(scale), seed))
+        }
+        App::Bfs => acc_apps::bfs::inputs(&acc_apps::bfs::generate(&bfs_config(scale), seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_both_machines() {
+        let t = table1();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].machine.contains("Desktop"));
+        assert_eq!(t[1].gpus, "Tesla M2050 x3");
+    }
+
+    #[test]
+    fn versions_per_machine() {
+        assert_eq!(versions_for(MachineKind::Desktop).len(), 5);
+        assert_eq!(versions_for(MachineKind::SupercomputerNode).len(), 6);
+    }
+
+    #[test]
+    fn figure_extractors_normalise_correctly() {
+        // Build a 3-entry matrix by hand (OpenMP + proposal on 1/2 GPUs
+        // for one app) and check the normalisations.
+        let mk = |v: Version| {
+            let mut m = Machine::desktop();
+            MatrixEntry {
+                machine: MachineKind::Desktop,
+                app: App::Md,
+                version: v,
+                result: acc_apps::run_app(App::Md, v, &mut m, Scale::Small, 3).unwrap(),
+            }
+        };
+        let matrix = vec![mk(Version::OpenMP), mk(Version::Proposal(1)), mk(Version::Proposal(2))];
+        let f7 = fig7_from(&matrix);
+        assert_eq!(f7.len(), 3);
+        assert!((f7[0].relative_perf - 1.0).abs() < 1e-12, "OpenMP bar is 1.0");
+        let f8 = fig8_from(&matrix);
+        assert_eq!(f8.len(), 2); // proposal entries only
+        let one_gpu = &f8[0];
+        assert!((one_gpu.kernels + one_gpu.cpu_gpu + one_gpu.gpu_gpu - 1.0).abs() < 1e-9);
+        let f9 = fig9_from(&matrix);
+        assert_eq!(f9.len(), 2);
+        assert!((f9[0].user - 1.0).abs() < 1e-12, "1-GPU user bar is the base");
+        assert_eq!(f9[0].system, 0.0, "single GPU has no system memory");
+    }
+
+    #[test]
+    fn table2_small_scale_runs() {
+        let rows = table2(Scale::Small);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.correct));
+        assert_eq!(rows[0].parallel_loops, 1); // MD
+        assert_eq!(rows[1].parallel_loops, 2); // KMEANS
+        assert_eq!(rows[2].parallel_loops, 1); // BFS
+        assert_eq!(rows[0].localaccess, "2/3");
+        assert_eq!(rows[1].localaccess, "2/5");
+        assert_eq!(rows[2].localaccess, "2/3");
+    }
+}

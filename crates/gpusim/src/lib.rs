@@ -1,0 +1,35 @@
+//! # acc-gpusim — a software model of a single-node multi-GPU machine
+//!
+//! The paper evaluates on real hardware (Table I: a desktop with two Tesla
+//! C2075 cards and a TSUBAME2.0 thin node with three Tesla M2050 cards).
+//! This reproduction has no GPUs, so this crate supplies the machine:
+//!
+//! * [`GpuSpec`] / [`CpuSpec`] — analytic device models that convert the
+//!   dynamic work counters produced by the `acc-kernel-ir` interpreter
+//!   into simulated seconds (throughput-bound roofline: compute vs
+//!   memory-bandwidth, plus launch overhead and atomic serialization);
+//! * [`DeviceMemory`] — a bounded, handle-based device memory with an
+//!   allocator, so out-of-memory behaviour and per-GPU footprints
+//!   (Fig. 9) are observable;
+//! * [`PcieBus`] — a link-level bus model with latency, bandwidth and
+//!   contention on shared segments, pricing CPU↔GPU and GPU↔GPU
+//!   transfers (the two communication categories in Fig. 8);
+//! * [`Machine`] — presets reproducing the paper's two platforms.
+//!
+//! Functional behaviour (what values kernels compute) is bit-exact because
+//! kernels really execute; *performance* is the analytic model. That split
+//! is what lets the benchmark harness reproduce the shape of the paper's
+//! figures without the authors' testbed.
+
+pub mod bus;
+pub mod machine;
+pub mod memory;
+pub mod spec;
+
+pub use bus::{Endpoint, PcieBus};
+pub use machine::{Gpu, Machine, MachineKind};
+pub use memory::{AllocClass, BufferHandle, DeviceMemory, MemError};
+pub use spec::{CpuSpec, GpuSpec};
+
+/// Simulated time in seconds.
+pub type SimTime = f64;

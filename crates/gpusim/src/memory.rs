@@ -1,0 +1,296 @@
+//! Bounded device memory with a handle-based allocator.
+//!
+//! Each simulated GPU owns one [`DeviceMemory`]: a capacity-limited arena
+//! of typed [`Buffer`]s addressed by opaque handles (the analogue of
+//! `cudaMalloc`/`cudaFree` device pointers). The runtime's data loader and
+//! communication manager allocate user arrays, dirty-bit sidecars,
+//! write-miss system buffers and reduction scratch here, and the Fig. 9
+//! accounting simply asks the memory for its usage split.
+
+use std::collections::HashMap;
+
+use acc_kernel_ir::{Buffer, Ty};
+
+/// Opaque handle to a device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferHandle(u64);
+
+/// Classification of an allocation for the Fig. 9 memory-usage split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocClass {
+    /// User data: the application's arrays (replicated or partitioned).
+    User,
+    /// Runtime metadata: dirty bits, miss buffers, reduction scratch.
+    System,
+}
+
+/// Device memory errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemError {
+    /// Allocation would exceed device capacity.
+    OutOfMemory {
+        requested: u64,
+        in_use: u64,
+        capacity: u64,
+    },
+    /// Unknown or already-freed handle.
+    BadHandle,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {in_use} B in use of {capacity} B"
+            ),
+            MemError::BadHandle => write!(f, "invalid device buffer handle"),
+        }
+    }
+}
+impl std::error::Error for MemError {}
+
+#[derive(Debug)]
+struct Slot {
+    buf: Buffer,
+    class: AllocClass,
+}
+
+/// One GPU's memory.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    in_use: u64,
+    user_in_use: u64,
+    system_in_use: u64,
+    next: u64,
+    slots: HashMap<u64, Slot>,
+    /// High-water mark of `in_use`, for reporting peak footprints.
+    peak: u64,
+    user_peak: u64,
+    system_peak: u64,
+}
+
+impl DeviceMemory {
+    /// Create a memory with `capacity` bytes.
+    pub fn new(capacity: u64) -> DeviceMemory {
+        DeviceMemory {
+            capacity,
+            in_use: 0,
+            user_in_use: 0,
+            system_in_use: 0,
+            next: 0,
+            slots: HashMap::new(),
+            peak: 0,
+            user_peak: 0,
+            system_peak: 0,
+        }
+    }
+
+    /// Allocate a zeroed buffer of `len` elements of `ty`.
+    pub fn alloc(&mut self, ty: Ty, len: usize, class: AllocClass) -> Result<BufferHandle, MemError> {
+        let bytes = (len * ty.size_bytes()) as u64;
+        if self.in_use + bytes > self.capacity {
+            return Err(MemError::OutOfMemory {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        match class {
+            AllocClass::User => {
+                self.user_in_use += bytes;
+                self.user_peak = self.user_peak.max(self.user_in_use);
+            }
+            AllocClass::System => {
+                self.system_in_use += bytes;
+                self.system_peak = self.system_peak.max(self.system_in_use);
+            }
+        }
+        let h = self.next;
+        self.next += 1;
+        self.slots.insert(
+            h,
+            Slot {
+                buf: Buffer::zeroed(ty, len),
+                class,
+            },
+        );
+        Ok(BufferHandle(h))
+    }
+
+    /// Free an allocation.
+    pub fn free(&mut self, h: BufferHandle) -> Result<(), MemError> {
+        match self.slots.remove(&h.0) {
+            Some(s) => {
+                let bytes = s.buf.size_bytes() as u64;
+                self.in_use -= bytes;
+                match s.class {
+                    AllocClass::User => self.user_in_use -= bytes,
+                    AllocClass::System => self.system_in_use -= bytes,
+                }
+                Ok(())
+            }
+            None => Err(MemError::BadHandle),
+        }
+    }
+
+    /// Peak bytes per class over the memory's lifetime: `(user, system)`.
+    /// This is the Fig. 9 measurement.
+    pub fn peak_by_class(&self) -> (u64, u64) {
+        (self.user_peak, self.system_peak)
+    }
+
+    /// Borrow a buffer.
+    pub fn get(&self, h: BufferHandle) -> Result<&Buffer, MemError> {
+        self.slots.get(&h.0).map(|s| &s.buf).ok_or(MemError::BadHandle)
+    }
+
+    /// Mutably borrow a buffer.
+    pub fn get_mut(&mut self, h: BufferHandle) -> Result<&mut Buffer, MemError> {
+        self.slots
+            .get_mut(&h.0)
+            .map(|s| &mut s.buf)
+            .ok_or(MemError::BadHandle)
+    }
+
+    /// Mutably borrow several distinct buffers at once (needed to bind all
+    /// of a kernel's buffer parameters simultaneously).
+    ///
+    /// # Panics
+    /// Panics if `handles` contains duplicates — a kernel never binds the
+    /// same array twice; the translator guarantees this.
+    pub fn get_many_mut(
+        &mut self,
+        handles: &[BufferHandle],
+    ) -> Result<Vec<&mut Buffer>, MemError> {
+        for (i, h) in handles.iter().enumerate() {
+            assert!(
+                !handles[..i].contains(h),
+                "duplicate buffer handle in kernel binding"
+            );
+            if !self.slots.contains_key(&h.0) {
+                return Err(MemError::BadHandle);
+            }
+        }
+        // Safe disjoint mutable borrows out of the HashMap: collect raw
+        // pointers first (all keys distinct as asserted above).
+        let out: Vec<&mut Buffer> = handles
+            .iter()
+            .map(|h| {
+                let p: *mut Buffer = &mut self.slots.get_mut(&h.0).unwrap().buf;
+                // SAFETY: handles are pairwise distinct, so these are
+                // disjoint allocations inside the map; the map itself is
+                // not structurally modified while the borrows live.
+                unsafe { &mut *p }
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Peak bytes allocated over the memory's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes allocated per class: `(user, system)` — the Fig. 9 split.
+    pub fn usage_by_class(&self) -> (u64, u64) {
+        let mut user = 0;
+        let mut system = 0;
+        for s in self.slots.values() {
+            match s.class {
+                AllocClass::User => user += s.buf.size_bytes() as u64,
+                AllocClass::System => system += s.buf.size_bytes() as u64,
+            }
+        }
+        (user, system)
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = DeviceMemory::new(1024);
+        let h = m.alloc(Ty::F64, 16, AllocClass::User).unwrap();
+        assert_eq!(m.in_use(), 128);
+        assert_eq!(m.get(h).unwrap().len(), 16);
+        m.free(h).unwrap();
+        assert_eq!(m.in_use(), 0);
+        assert!(m.get(h).is_err());
+        assert_eq!(m.peak(), 128);
+    }
+
+    #[test]
+    fn oom_detected() {
+        let mut m = DeviceMemory::new(100);
+        let err = m.alloc(Ty::F64, 100, AllocClass::User).unwrap_err();
+        assert!(matches!(err, MemError::OutOfMemory { requested: 800, .. }));
+        // Memory state unchanged.
+        assert_eq!(m.in_use(), 0);
+        assert!(m.alloc(Ty::I32, 25, AllocClass::User).is_ok());
+    }
+
+    #[test]
+    fn class_accounting() {
+        let mut m = DeviceMemory::new(4096);
+        m.alloc(Ty::F32, 100, AllocClass::User).unwrap();
+        m.alloc(Ty::I32, 50, AllocClass::System).unwrap();
+        let (u, s) = m.usage_by_class();
+        assert_eq!(u, 400);
+        assert_eq!(s, 200);
+        assert_eq!(m.live_allocations(), 2);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut m = DeviceMemory::new(1024);
+        let h = m.alloc(Ty::I32, 1, AllocClass::User).unwrap();
+        m.free(h).unwrap();
+        assert_eq!(m.free(h), Err(MemError::BadHandle));
+    }
+
+    #[test]
+    fn get_many_mut_disjoint() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(Ty::I32, 4, AllocClass::User).unwrap();
+        let b = m.alloc(Ty::I32, 4, AllocClass::User).unwrap();
+        let bufs = m.get_many_mut(&[a, b]).unwrap();
+        assert_eq!(bufs.len(), 2);
+        bufs.into_iter().for_each(|buf| {
+            buf.set(0, acc_kernel_ir::Value::I32(7));
+        });
+        assert_eq!(m.get(a).unwrap().get(0), acc_kernel_ir::Value::I32(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate buffer handle")]
+    fn get_many_mut_rejects_duplicates() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(Ty::I32, 4, AllocClass::User).unwrap();
+        let _ = m.get_many_mut(&[a, a]);
+    }
+}

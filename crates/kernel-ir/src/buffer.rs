@@ -1,0 +1,202 @@
+//! Typed, byte-backed linear buffers.
+//!
+//! Both host arrays and simulated device arrays are [`Buffer`]s: an element
+//! type plus a little-endian byte payload. Keeping the payload as raw bytes
+//! makes the simulated PCIe transfers, partial (chunked) replica updates and
+//! the two-level dirty-bit bookkeeping byte-accurate, the same way the
+//! paper's runtime moves `cudaMemcpy`-able regions around.
+
+use crate::{Ty, Value};
+
+/// A typed linear buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buffer {
+    ty: Ty,
+    len: usize,
+    bytes: Vec<u8>,
+}
+
+impl Buffer {
+    /// Allocate a zero-initialised buffer of `len` elements of type `ty`.
+    ///
+    /// # Panics
+    /// Panics if `ty` is not storable (`Bool`).
+    pub fn zeroed(ty: Ty, len: usize) -> Buffer {
+        assert!(ty.is_storable(), "buffers of {ty} are not supported");
+        Buffer {
+            ty,
+            len,
+            bytes: vec![0u8; len * ty.size_bytes()],
+        }
+    }
+
+    /// Build a buffer from `i32` elements.
+    pub fn from_i32(data: &[i32]) -> Buffer {
+        let mut b = Buffer::zeroed(Ty::I32, data.len());
+        for (i, v) in data.iter().enumerate() {
+            b.set(i, Value::I32(*v));
+        }
+        b
+    }
+
+    /// Build a buffer from `f32` elements.
+    pub fn from_f32(data: &[f32]) -> Buffer {
+        let mut b = Buffer::zeroed(Ty::F32, data.len());
+        for (i, v) in data.iter().enumerate() {
+            b.set(i, Value::F32(*v));
+        }
+        b
+    }
+
+    /// Build a buffer from `f64` elements.
+    pub fn from_f64(data: &[f64]) -> Buffer {
+        let mut b = Buffer::zeroed(Ty::F64, data.len());
+        for (i, v) in data.iter().enumerate() {
+            b.set(i, Value::F64(*v));
+        }
+        b
+    }
+
+    /// Element type.
+    pub fn ty(&self) -> Ty {
+        self.ty
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Read element `idx`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access — inside the interpreter, bounds are
+    /// validated first so the error can be reported as an [`crate::ExecError`].
+    pub fn get(&self, idx: usize) -> Value {
+        let sz = self.ty.size_bytes();
+        Value::read_le(self.ty, &self.bytes[idx * sz..idx * sz + sz])
+    }
+
+    /// Write element `idx`.
+    pub fn set(&mut self, idx: usize, v: Value) {
+        debug_assert_eq!(v.ty(), self.ty, "type-confused store");
+        let sz = self.ty.size_bytes();
+        v.write_le(&mut self.bytes[idx * sz..idx * sz + sz]);
+    }
+
+    /// Borrow the raw little-endian payload.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutably borrow the raw payload.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Copy `len` elements starting at `src_start` in `src` into this
+    /// buffer starting at `dst_start`. Types must match. Returns the number
+    /// of bytes moved (what a simulated DMA engine would transfer).
+    pub fn copy_range_from(
+        &mut self,
+        dst_start: usize,
+        src: &Buffer,
+        src_start: usize,
+        len: usize,
+    ) -> usize {
+        assert_eq!(self.ty, src.ty, "copy between differently-typed buffers");
+        let sz = self.ty.size_bytes();
+        let nbytes = len * sz;
+        self.bytes[dst_start * sz..dst_start * sz + nbytes]
+            .copy_from_slice(&src.bytes[src_start * sz..src_start * sz + nbytes]);
+        nbytes
+    }
+
+    /// Iterate elements as `Value`s.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Collect into a `Vec<i32>`; panics if the type differs.
+    pub fn to_i32_vec(&self) -> Vec<i32> {
+        assert_eq!(self.ty, Ty::I32);
+        self.iter().map(|v| v.as_i32().unwrap()).collect()
+    }
+
+    /// Collect into a `Vec<f32>`; panics if the type differs.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        assert_eq!(self.ty, Ty::F32);
+        self.iter().map(|v| v.as_f32().unwrap()).collect()
+    }
+
+    /// Collect into a `Vec<f64>`; panics if the type differs.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        assert_eq!(self.ty, Ty::F64);
+        self.iter().map(|v| v.as_f64().unwrap()).collect()
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: Value) {
+        for i in 0..self.len {
+            self.set(i, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_roundtrip() {
+        let mut b = Buffer::zeroed(Ty::F64, 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.size_bytes(), 32);
+        assert_eq!(b.get(2), Value::F64(0.0));
+        b.set(2, Value::F64(1.5));
+        assert_eq!(b.get(2), Value::F64(1.5));
+        assert_eq!(b.get(1), Value::F64(0.0));
+    }
+
+    #[test]
+    fn from_slices() {
+        let b = Buffer::from_i32(&[1, -2, 3]);
+        assert_eq!(b.to_i32_vec(), vec![1, -2, 3]);
+        let b = Buffer::from_f32(&[0.5, 1.5]);
+        assert_eq!(b.to_f32_vec(), vec![0.5, 1.5]);
+        let b = Buffer::from_f64(&[0.25]);
+        assert_eq!(b.to_f64_vec(), vec![0.25]);
+    }
+
+    #[test]
+    fn range_copy_counts_bytes() {
+        let src = Buffer::from_i32(&[10, 20, 30, 40]);
+        let mut dst = Buffer::zeroed(Ty::I32, 4);
+        let n = dst.copy_range_from(1, &src, 2, 2);
+        assert_eq!(n, 8);
+        assert_eq!(dst.to_i32_vec(), vec![0, 30, 40, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn bool_buffers_rejected() {
+        let _ = Buffer::zeroed(Ty::Bool, 1);
+    }
+
+    #[test]
+    fn fill_sets_everything() {
+        let mut b = Buffer::zeroed(Ty::I32, 3);
+        b.fill(Value::I32(7));
+        assert_eq!(b.to_i32_vec(), vec![7, 7, 7]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Human-readable pretty-printing of kernels — the equivalent of inspecting
+//! the translator's generated CUDA. Used by tests (golden output) and the
+//! `--emit-ir` flag of the example binaries.
+
+use std::fmt::Write;
+
+use crate::{BinOp, Builtin, Expr, Kernel, RmwOp, Stmt, UnOp};
+
+/// Render a kernel to pseudo-CUDA text.
+pub fn kernel_to_string(k: &Kernel) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "__global__ {}(", k.name);
+    let mut first = true;
+    for p in &k.params {
+        if !first {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{} {}", p.ty, p.name);
+        first = false;
+    }
+    for b in &k.bufs {
+        if !first {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{} *{} /*{:?}*/", b.ty, b.name, b.access);
+        first = false;
+    }
+    s.push_str(")\n");
+    for (i, r) in k.reductions.iter().enumerate() {
+        let _ = writeln!(s, "  // reduction[{}]: {} {:?} {}", i, r.ty, r.op, r.var);
+    }
+    s.push_str("{\n");
+    for (i, t) in k.locals.iter().enumerate() {
+        let _ = writeln!(s, "  {t} t{i};");
+    }
+    print_block(&mut s, &k.body, k, 1);
+    s.push_str("}\n");
+    s
+}
+
+fn indent(s: &mut String, level: usize) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+fn print_block(s: &mut String, stmts: &[Stmt], k: &Kernel, level: usize) {
+    for st in stmts {
+        print_stmt(s, st, k, level);
+    }
+}
+
+fn print_stmt(s: &mut String, st: &Stmt, k: &Kernel, level: usize) {
+    indent(s, level);
+    match st {
+        Stmt::Assign { local, value } => {
+            let _ = writeln!(s, "t{} = {};", local.0, expr_to_string(value, k));
+        }
+        Stmt::Store {
+            buf,
+            idx,
+            value,
+            dirty,
+            checked,
+        } => {
+            let name = buf_name(k, buf.0);
+            let mut attrs = String::new();
+            if *dirty {
+                attrs.push_str(" /*+dirty*/");
+            }
+            if *checked {
+                attrs.push_str(" /*+misscheck*/");
+            }
+            let _ = writeln!(
+                s,
+                "{}[{}] = {};{attrs}",
+                name,
+                expr_to_string(idx, k),
+                expr_to_string(value, k)
+            );
+        }
+        Stmt::AtomicRmw {
+            buf,
+            idx,
+            op,
+            value,
+        } => {
+            let _ = writeln!(
+                s,
+                "atomic{}(&{}[{}], {});",
+                rmw_name(*op),
+                buf_name(k, buf.0),
+                expr_to_string(idx, k),
+                expr_to_string(value, k)
+            );
+        }
+        Stmt::ReduceScalar { slot, op, value } => {
+            let _ = writeln!(
+                s,
+                "reduce{}(slot{}, {});",
+                rmw_name(*op),
+                slot,
+                expr_to_string(value, k)
+            );
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let _ = writeln!(s, "if ({}) {{", expr_to_string(cond, k));
+            print_block(s, then_, k, level + 1);
+            if !else_.is_empty() {
+                indent(s, level);
+                s.push_str("} else {\n");
+                print_block(s, else_, k, level + 1);
+            }
+            indent(s, level);
+            s.push_str("}\n");
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(s, "while ({}) {{", expr_to_string(cond, k));
+            print_block(s, body, k, level + 1);
+            indent(s, level);
+            s.push_str("}\n");
+        }
+        Stmt::Break => s.push_str("break;\n"),
+        Stmt::Continue => s.push_str("continue;\n"),
+    }
+}
+
+fn buf_name(k: &Kernel, id: u32) -> String {
+    k.bufs
+        .get(id as usize)
+        .map(|b| b.name.clone())
+        .unwrap_or_else(|| format!("buf{id}"))
+}
+
+fn rmw_name(op: RmwOp) -> &'static str {
+    match op {
+        RmwOp::Add => "Add",
+        RmwOp::Mul => "Mul",
+        RmwOp::Min => "Min",
+        RmwOp::Max => "Max",
+    }
+}
+
+/// Render an expression with minimal but correct parenthesisation.
+pub fn expr_to_string(e: &Expr, k: &Kernel) -> String {
+    match e {
+        Expr::Imm(v) => v.to_string(),
+        Expr::Local(l) => format!("t{}", l.0),
+        Expr::Param(p) => k
+            .params
+            .get(p.0 as usize)
+            .map(|pp| pp.name.clone())
+            .unwrap_or_else(|| format!("p{}", p.0)),
+        Expr::ThreadIdx => "tid".to_string(),
+        Expr::Load { buf, idx } => {
+            format!("{}[{}]", buf_name(k, buf.0), expr_to_string(idx, k))
+        }
+        Expr::Unary { op, a } => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            format!("{o}({})", expr_to_string(a, k))
+        }
+        Expr::Binary { op, a, b } => {
+            format!(
+                "({} {} {})",
+                expr_to_string(a, k),
+                binop_str(*op),
+                expr_to_string(b, k)
+            )
+        }
+        Expr::Cast { ty, a } => format!("({ty})({})", expr_to_string(a, k)),
+        Expr::Call { f, args } => {
+            let name = builtin_str(*f);
+            let args: Vec<_> = args.iter().map(|a| expr_to_string(a, k)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Select { c, t, f } => format!(
+            "({} ? {} : {})",
+            expr_to_string(c, k),
+            expr_to_string(t, k),
+            expr_to_string(f, k)
+        ),
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::LAnd => "&&",
+        BinOp::LOr => "||",
+    }
+}
+
+fn builtin_str(f: Builtin) -> &'static str {
+    match f {
+        Builtin::Sqrt => "sqrt",
+        Builtin::Fabs => "fabs",
+        Builtin::Exp => "exp",
+        Builtin::Log => "log",
+        Builtin::Sin => "sin",
+        Builtin::Cos => "cos",
+        Builtin::Floor => "floor",
+        Builtin::Ceil => "ceil",
+        Builtin::Pow => "pow",
+        Builtin::Min => "min",
+        Builtin::Max => "max",
+        Builtin::Abs => "abs",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BufAccess, BufId, BufParam, LocalId, ScalarParam, Ty};
+
+    #[test]
+    fn renders_kernel() {
+        let k = Kernel {
+            name: "saxpy".into(),
+            params: vec![ScalarParam {
+                name: "a".into(),
+                ty: Ty::F32,
+            }],
+            bufs: vec![
+                BufParam {
+                    name: "x".into(),
+                    ty: Ty::F32,
+                    access: BufAccess::Read,
+                },
+                BufParam {
+                    name: "y".into(),
+                    ty: Ty::F32,
+                    access: BufAccess::ReadWrite,
+                },
+            ],
+            locals: vec![Ty::F32],
+            reductions: vec![],
+            body: vec![
+                Stmt::Assign {
+                    local: LocalId(0),
+                    value: Expr::mul(Expr::Param(crate::ParamId(0)), Expr::load(BufId(0), Expr::ThreadIdx)),
+                },
+                Stmt::Store {
+                    buf: BufId(1),
+                    idx: Expr::ThreadIdx,
+                    value: Expr::add(Expr::Local(LocalId(0)), Expr::load(BufId(1), Expr::ThreadIdx)),
+                    dirty: true,
+                    checked: false,
+                },
+            ],
+        };
+        let out = kernel_to_string(&k);
+        assert!(out.contains("__global__ saxpy(f32 a, f32 *x"));
+        assert!(out.contains("t0 = (a * x[tid]);"));
+        assert!(out.contains("y[tid] = (t0 + y[tid]); /*+dirty*/"));
+    }
+}

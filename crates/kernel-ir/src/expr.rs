@@ -1,0 +1,319 @@
+//! Expression nodes of the kernel IR.
+
+use crate::{BufId, LocalId, ParamId, Ty, Value};
+
+/// Binary operators. Arithmetic and bitwise operators require both operands
+/// to have the same type (the frontend inserts casts per C's usual
+/// arithmetic conversions); comparisons produce `Bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Remainder; integer-only.
+    Rem,
+    /// Bitwise and; integer-only.
+    And,
+    /// Bitwise or; integer-only.
+    Or,
+    /// Bitwise xor; integer-only.
+    Xor,
+    /// Shift left; integer-only.
+    Shl,
+    /// Arithmetic shift right; integer-only.
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Short-circuit logical and; operands coerced to bool.
+    LAnd,
+    /// Short-circuit logical or; operands coerced to bool.
+    LOr,
+}
+
+impl BinOp {
+    /// Whether this operator produces a `Bool` regardless of operand type.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether this operator is restricted to integer operands.
+    pub fn is_integer_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
+    }
+
+    /// Whether this operator short-circuits.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LAnd | BinOp::LOr)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`); produces `Bool`.
+    Not,
+    /// Bitwise complement; integer-only.
+    BitNot,
+}
+
+/// Built-in math functions available to kernels, mirroring the subset of
+/// `math.h`/CUDA intrinsics the benchmark applications use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    Sqrt,
+    Fabs,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Floor,
+    Ceil,
+    /// `pow(base, exponent)`.
+    Pow,
+    /// `fmin(a, b)` / integer `min`.
+    Min,
+    /// `fmax(a, b)` / integer `max`.
+    Max,
+    /// Integer absolute value.
+    Abs,
+}
+
+impl Builtin {
+    /// Number of arguments the builtin expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Pow | Builtin::Min | Builtin::Max => 2,
+            _ => 1,
+        }
+    }
+
+    /// Look up a builtin by its C-level name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "sqrt" | "sqrtf" => Builtin::Sqrt,
+            "fabs" | "fabsf" => Builtin::Fabs,
+            "exp" | "expf" => Builtin::Exp,
+            "log" | "logf" => Builtin::Log,
+            "sin" | "sinf" => Builtin::Sin,
+            "cos" | "cosf" => Builtin::Cos,
+            "floor" | "floorf" => Builtin::Floor,
+            "ceil" | "ceilf" => Builtin::Ceil,
+            "pow" | "powf" => Builtin::Pow,
+            "fmin" | "fminf" | "min" => Builtin::Min,
+            "fmax" | "fmaxf" | "max" => Builtin::Max,
+            "abs" => Builtin::Abs,
+            _ => return None,
+        })
+    }
+}
+
+/// An IR expression. Expressions are side-effect free except for the load
+/// counters the interpreter maintains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Immediate constant.
+    Imm(Value),
+    /// Read a per-thread local variable.
+    Local(LocalId),
+    /// Read a read-only scalar launch parameter (loop bounds, captured host
+    /// scalars, partition bases inserted by index rewriting...).
+    Param(ParamId),
+    /// The global iteration index of the executing thread. In the paper's
+    /// generated CUDA this is `blockIdx.x * blockDim.x + threadIdx.x` plus
+    /// the chunk offset assigned to the GPU; here it is directly the
+    /// original loop induction value.
+    ThreadIdx,
+    /// Load one element from a buffer parameter.
+    Load { buf: BufId, idx: Box<Expr> },
+    Unary {
+        op: UnOp,
+        a: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        a: Box<Expr>,
+        b: Box<Expr>,
+    },
+    Cast {
+        ty: Ty,
+        a: Box<Expr>,
+    },
+    Call {
+        f: Builtin,
+        args: Vec<Expr>,
+    },
+    /// Ternary `c ? t : f`; both arms are evaluated lazily.
+    Select {
+        c: Box<Expr>,
+        t: Box<Expr>,
+        f: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor: `i32` immediate.
+    pub fn imm_i32(v: i32) -> Expr {
+        Expr::Imm(Value::I32(v))
+    }
+
+    /// Convenience constructor: `f64` immediate.
+    pub fn imm_f64(v: f64) -> Expr {
+        Expr::Imm(Value::F64(v))
+    }
+
+    /// Convenience constructor: binary node.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
+    }
+
+    /// Convenience constructor: `a + b`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// Convenience constructor: `a - b`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, a, b)
+    }
+
+    /// Convenience constructor: `a * b`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    /// Convenience constructor: buffer load.
+    pub fn load(buf: BufId, idx: Expr) -> Expr {
+        Expr::Load {
+            buf,
+            idx: Box::new(idx),
+        }
+    }
+
+    /// Walk the expression tree, calling `f` on every node (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Imm(_) | Expr::Local(_) | Expr::Param(_) | Expr::ThreadIdx => {}
+            Expr::Load { idx, .. } => idx.visit(f),
+            Expr::Unary { a, .. } | Expr::Cast { a, .. } => a.visit(f),
+            Expr::Binary { a, b, .. } => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Select { c, t, f: fe } => {
+                c.visit(f);
+                t.visit(f);
+                fe.visit(f);
+            }
+        }
+    }
+
+    /// Structurally transform the expression bottom-up. `f` receives each
+    /// node after its children were transformed and may replace it.
+    pub fn map(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        let e = match self {
+            Expr::Imm(_) | Expr::Local(_) | Expr::Param(_) | Expr::ThreadIdx => self,
+            Expr::Load { buf, idx } => Expr::Load {
+                buf,
+                idx: Box::new(idx.map(f)),
+            },
+            Expr::Unary { op, a } => Expr::Unary {
+                op,
+                a: Box::new(a.map(f)),
+            },
+            Expr::Binary { op, a, b } => Expr::Binary {
+                op,
+                a: Box::new(a.map(f)),
+                b: Box::new(b.map(f)),
+            },
+            Expr::Cast { ty, a } => Expr::Cast {
+                ty,
+                a: Box::new(a.map(f)),
+            },
+            Expr::Call { f: bf, args } => Expr::Call {
+                f: bf,
+                args: args.into_iter().map(|a| a.map(f)).collect(),
+            },
+            Expr::Select { c, t, f: fe } => Expr::Select {
+                c: Box::new(c.map(f)),
+                t: Box::new(t.map(f)),
+                f: Box::new(fe.map(f)),
+            },
+        };
+        f(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_arity_and_lookup() {
+        assert_eq!(Builtin::from_name("sqrtf"), Some(Builtin::Sqrt));
+        assert_eq!(Builtin::from_name("pow"), Some(Builtin::Pow));
+        assert_eq!(Builtin::from_name("nosuch"), None);
+        assert_eq!(Builtin::Pow.arity(), 2);
+        assert_eq!(Builtin::Sqrt.arity(), 1);
+    }
+
+    #[test]
+    fn visit_counts_nodes() {
+        let e = Expr::add(
+            Expr::mul(Expr::ThreadIdx, Expr::imm_i32(4)),
+            Expr::load(BufId(0), Expr::ThreadIdx),
+        );
+        let mut n = 0;
+        e.visit(&mut |_| n += 1);
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn map_replaces_threadidx() {
+        let e = Expr::add(Expr::ThreadIdx, Expr::imm_i32(1));
+        let e = e.map(&mut |e| {
+            if matches!(e, Expr::ThreadIdx) {
+                Expr::imm_i32(41)
+            } else {
+                e
+            }
+        });
+        assert_eq!(
+            e,
+            Expr::add(Expr::imm_i32(41), Expr::imm_i32(1))
+        );
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Rem.is_integer_only());
+        assert!(BinOp::LAnd.is_logical());
+    }
+}

@@ -1,0 +1,369 @@
+//! Kernel definitions and static validation.
+
+use std::collections::HashSet;
+
+use crate::{BufId, Expr, LocalId, ParamId, RmwOp, Stmt, Ty};
+
+/// Declared access mode of a buffer parameter, as determined by the
+/// translator's array-access analysis (paper §IV-B5, "array configuration
+/// information").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufAccess {
+    /// Only loaded.
+    Read,
+    /// Only stored.
+    Write,
+    /// Both loaded and stored.
+    ReadWrite,
+    /// Destination of `reductiontoarray` atomic updates.
+    Reduction(RmwOp),
+}
+
+/// A buffer (array) parameter of a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufParam {
+    /// Source-level array name, for diagnostics and runtime binding.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Access mode.
+    pub access: BufAccess,
+}
+
+/// A scalar launch parameter of a kernel (captured host scalar, loop bound,
+/// or a partition base inserted by index rewriting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarParam {
+    /// Name for diagnostics / runtime binding. Compiler-synthesised
+    /// parameters use a `$` prefix (e.g. `$base_x`) so they can never
+    /// collide with source identifiers.
+    pub name: String,
+    pub ty: Ty,
+}
+
+/// A scalar reduction carried by the kernel (`reduction(op:var)` clause).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarReduction {
+    /// Source variable name the partial result flows back into.
+    pub var: String,
+    pub ty: Ty,
+    pub op: RmwOp,
+}
+
+/// A compiled kernel: the body of one OpenACC parallel loop.
+///
+/// Every simulated GPU thread executes `body` once, with [`Expr::ThreadIdx`]
+/// bound to its global iteration index. The runtime decides which contiguous
+/// iteration sub-range each GPU executes (equal static division, paper
+/// §IV-B2) and runs the range through [`crate::run_kernel_range`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (derived from the enclosing function and loop position).
+    pub name: String,
+    /// Scalar launch parameters.
+    pub params: Vec<ScalarParam>,
+    /// Buffer parameters.
+    pub bufs: Vec<BufParam>,
+    /// Types of the per-thread local variables.
+    pub locals: Vec<Ty>,
+    /// Scalar reductions; slot `i` of [`Stmt::ReduceScalar`] refers to
+    /// `reductions[i]`.
+    pub reductions: Vec<ScalarReduction>,
+    /// The per-thread body.
+    pub body: Vec<Stmt>,
+}
+
+/// A static validation error found in a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError(pub String);
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kernel validation error: {}", self.0)
+    }
+}
+impl std::error::Error for ValidationError {}
+
+impl Kernel {
+    /// Check internal consistency: all local/param/buffer/reduction indices
+    /// in the body resolve, `break`/`continue` only appear inside loops,
+    /// and buffer element types are storable. The translator runs this
+    /// after every lowering; it is cheap and catches compiler bugs early.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        for (i, b) in self.bufs.iter().enumerate() {
+            if !b.ty.is_storable() {
+                return Err(ValidationError(format!(
+                    "buffer #{i} `{}` has non-storable type {}",
+                    b.name, b.ty
+                )));
+            }
+        }
+        let mut names = HashSet::new();
+        for p in &self.params {
+            if !names.insert(&p.name) {
+                return Err(ValidationError(format!(
+                    "duplicate scalar parameter `{}`",
+                    p.name
+                )));
+            }
+        }
+        self.validate_block(&self.body, 0)
+    }
+
+    fn validate_block(&self, stmts: &[Stmt], loop_depth: u32) -> Result<(), ValidationError> {
+        for s in stmts {
+            self.validate_stmt(s, loop_depth)?;
+        }
+        Ok(())
+    }
+
+    fn validate_stmt(&self, s: &Stmt, loop_depth: u32) -> Result<(), ValidationError> {
+        match s {
+            Stmt::Assign { local, value } => {
+                self.check_local(*local)?;
+                self.validate_expr(value)?;
+            }
+            Stmt::Store {
+                buf, idx, value, ..
+            } => {
+                self.check_buf(*buf)?;
+                self.validate_expr(idx)?;
+                self.validate_expr(value)?;
+            }
+            Stmt::AtomicRmw {
+                buf, idx, value, ..
+            } => {
+                self.check_buf(*buf)?;
+                self.validate_expr(idx)?;
+                self.validate_expr(value)?;
+            }
+            Stmt::ReduceScalar { slot, value, .. } => {
+                if *slot as usize >= self.reductions.len() {
+                    return Err(ValidationError(format!(
+                        "reduction slot {slot} out of range ({} declared)",
+                        self.reductions.len()
+                    )));
+                }
+                self.validate_expr(value)?;
+            }
+            Stmt::If { cond, then_, else_ } => {
+                self.validate_expr(cond)?;
+                self.validate_block(then_, loop_depth)?;
+                self.validate_block(else_, loop_depth)?;
+            }
+            Stmt::While { cond, body } => {
+                self.validate_expr(cond)?;
+                self.validate_block(body, loop_depth + 1)?;
+            }
+            Stmt::Break | Stmt::Continue => {
+                if loop_depth == 0 {
+                    return Err(ValidationError(
+                        "break/continue outside of a loop".to_string(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_expr(&self, e: &Expr) -> Result<(), ValidationError> {
+        let mut err = None;
+        e.visit(&mut |e| {
+            if err.is_some() {
+                return;
+            }
+            match e {
+                Expr::Local(l) => {
+                    if let Err(e) = self.check_local(*l) {
+                        err = Some(e);
+                    }
+                }
+                Expr::Param(p) => {
+                    if let Err(e) = self.check_param(*p) {
+                        err = Some(e);
+                    }
+                }
+                Expr::Load { buf, .. } => {
+                    if let Err(e) = self.check_buf(*buf) {
+                        err = Some(e);
+                    }
+                }
+                Expr::Call { f, args }
+                    if args.len() != f.arity() => {
+                        err = Some(ValidationError(format!(
+                            "builtin {f:?} called with {} args, expects {}",
+                            args.len(),
+                            f.arity()
+                        )));
+                    }
+                _ => {}
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn check_local(&self, l: LocalId) -> Result<(), ValidationError> {
+        if (l.0 as usize) < self.locals.len() {
+            Ok(())
+        } else {
+            Err(ValidationError(format!(
+                "local {} out of range ({} declared)",
+                l.0,
+                self.locals.len()
+            )))
+        }
+    }
+
+    fn check_param(&self, p: ParamId) -> Result<(), ValidationError> {
+        if (p.0 as usize) < self.params.len() {
+            Ok(())
+        } else {
+            Err(ValidationError(format!(
+                "scalar param {} out of range ({} declared)",
+                p.0,
+                self.params.len()
+            )))
+        }
+    }
+
+    fn check_buf(&self, b: BufId) -> Result<(), ValidationError> {
+        if (b.0 as usize) < self.bufs.len() {
+            Ok(())
+        } else {
+            Err(ValidationError(format!(
+                "buffer {} out of range ({} declared)",
+                b.0,
+                self.bufs.len()
+            )))
+        }
+    }
+
+    /// Find the scalar-parameter index with the given name.
+    pub fn param_index(&self, name: &str) -> Option<ParamId> {
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ParamId(i as u32))
+    }
+
+    /// Find the buffer-parameter index with the given name.
+    pub fn buf_index(&self, name: &str) -> Option<BufId> {
+        self.bufs
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| BufId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Expr, Value};
+
+    fn empty_kernel() -> Kernel {
+        Kernel {
+            name: "k".into(),
+            params: vec![],
+            bufs: vec![],
+            locals: vec![],
+            reductions: vec![],
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn empty_is_valid() {
+        assert!(empty_kernel().validate().is_ok());
+    }
+
+    #[test]
+    fn detects_out_of_range_local() {
+        let mut k = empty_kernel();
+        k.body = vec![Stmt::Assign {
+            local: LocalId(0),
+            value: Expr::Imm(Value::I32(0)),
+        }];
+        assert!(k.validate().is_err());
+        k.locals.push(Ty::I32);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn detects_break_outside_loop() {
+        let mut k = empty_kernel();
+        k.body = vec![Stmt::Break];
+        assert!(k.validate().is_err());
+        k.body = vec![Stmt::While {
+            cond: Expr::imm_i32(0),
+            body: vec![Stmt::Break],
+        }];
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn detects_bad_builtin_arity() {
+        let mut k = empty_kernel();
+        k.locals.push(Ty::F64);
+        k.body = vec![Stmt::Assign {
+            local: LocalId(0),
+            value: Expr::Call {
+                f: crate::Builtin::Sqrt,
+                args: vec![],
+            },
+        }];
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn detects_duplicate_params() {
+        let mut k = empty_kernel();
+        k.params = vec![
+            ScalarParam {
+                name: "n".into(),
+                ty: Ty::I32,
+            },
+            ScalarParam {
+                name: "n".into(),
+                ty: Ty::I32,
+            },
+        ];
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut k = empty_kernel();
+        k.params.push(ScalarParam {
+            name: "n".into(),
+            ty: Ty::I32,
+        });
+        k.bufs.push(BufParam {
+            name: "x".into(),
+            ty: Ty::F64,
+            access: BufAccess::Read,
+        });
+        assert_eq!(k.param_index("n"), Some(ParamId(0)));
+        assert_eq!(k.param_index("m"), None);
+        assert_eq!(k.buf_index("x"), Some(BufId(0)));
+    }
+
+    #[test]
+    fn detects_reduction_slot_out_of_range() {
+        let mut k = empty_kernel();
+        k.body = vec![Stmt::ReduceScalar {
+            slot: 0,
+            op: RmwOp::Add,
+            value: Expr::imm_i32(1),
+        }];
+        assert!(k.validate().is_err());
+        k.reductions.push(ScalarReduction {
+            var: "s".into(),
+            ty: Ty::I32,
+            op: RmwOp::Add,
+        });
+        assert!(k.validate().is_ok());
+    }
+}

@@ -1,0 +1,170 @@
+//! Statement nodes of the kernel IR.
+
+use crate::{BufId, Expr, LocalId};
+
+/// Read-modify-write operators usable for atomic buffer updates and scalar
+/// reductions. These correspond to the reduction operators OpenACC's
+/// `reduction` clause (and this paper's `reductiontoarray` extension)
+/// support for the benchmark applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+}
+
+impl RmwOp {
+    /// Parse the C spelling used inside `reduction(OP:var)` clauses.
+    pub fn from_clause(tok: &str) -> Option<RmwOp> {
+        Some(match tok {
+            "+" => RmwOp::Add,
+            "*" => RmwOp::Mul,
+            "min" => RmwOp::Min,
+            "max" => RmwOp::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// An IR statement, executed by one simulated GPU thread (kernel side) or
+/// by the sequential host interpreter (host side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `local = value`.
+    Assign { local: LocalId, value: Expr },
+    /// `buf[idx] = value`, with the instrumentation the translator chose:
+    ///
+    /// * `dirty` — the array is replicated across GPUs, so the generated
+    ///   code also sets the element's dirty bit and its chunk's second-level
+    ///   dirty bit (paper §IV-D1).
+    /// * `checked` — the array is distributed, and the compiler could not
+    ///   prove the write lands in the local partition: the store becomes a
+    ///   bounds check that either writes locally or appends a
+    ///   (destination, value) record to the write-miss buffer
+    ///   (paper §IV-D2). When the compiler proved locality the flag is
+    ///   false and the plain store remains.
+    Store {
+        buf: BufId,
+        idx: Expr,
+        value: Expr,
+        dirty: bool,
+        checked: bool,
+    },
+    /// Atomic `buf[idx] = buf[idx] OP value`; used by the hierarchical
+    /// lowering of `reductiontoarray` statements. Within a simulated GPU
+    /// these accumulate into the GPU-private copy of the destination array;
+    /// the runtime's communication manager merges the per-GPU copies after
+    /// the kernel wave.
+    AtomicRmw {
+        buf: BufId,
+        idx: Expr,
+        op: RmwOp,
+        value: Expr,
+    },
+    /// Accumulate `value` into per-launch scalar reduction slot `slot`.
+    /// This models the paper's hierarchical reduction (§IV-B4): block-level
+    /// shared-memory combining, then per-GPU combining; the interpreter
+    /// folds the first two levels into one per-GPU partial.
+    ReduceScalar { slot: u32, op: RmwOp, value: Expr },
+    /// `if (cond) { then_ } else { else_ }`.
+    If {
+        cond: Expr,
+        then_: Vec<Stmt>,
+        else_: Vec<Stmt>,
+    },
+    /// `while (cond) { body }`. `for` loops are lowered to an init
+    /// assignment plus a `While` whose body ends with the step assignment.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// Loop break.
+    Break,
+    /// Loop continue. Note: the mini-C frontend rejects `continue` inside
+    /// lowered `for` bodies (the step would be skipped); it is only emitted
+    /// for genuine `while` loops.
+    Continue,
+}
+
+impl Stmt {
+    /// Visit every statement in this subtree (pre-order), including nested
+    /// loop and branch bodies.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::If { then_, else_, .. } => {
+                for s in then_ {
+                    s.visit(f);
+                }
+                for s in else_ {
+                    s.visit(f);
+                }
+            }
+            Stmt::While { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Visit every expression appearing in this subtree.
+    pub fn visit_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        self.visit(&mut |s| match s {
+            Stmt::Assign { value, .. } => value.visit(f),
+            Stmt::Store { idx, value, .. } => {
+                idx.visit(f);
+                value.visit(f);
+            }
+            Stmt::AtomicRmw { idx, value, .. } => {
+                idx.visit(f);
+                value.visit(f);
+            }
+            Stmt::ReduceScalar { value, .. } => value.visit(f),
+            Stmt::If { cond, .. } => cond.visit(f),
+            Stmt::While { cond, .. } => cond.visit(f),
+            Stmt::Break | Stmt::Continue => {}
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    #[test]
+    fn rmw_from_clause() {
+        assert_eq!(RmwOp::from_clause("+"), Some(RmwOp::Add));
+        assert_eq!(RmwOp::from_clause("min"), Some(RmwOp::Min));
+        assert_eq!(RmwOp::from_clause("^"), None);
+    }
+
+    #[test]
+    fn visit_reaches_nested() {
+        let s = Stmt::While {
+            cond: Expr::imm_i32(1),
+            body: vec![Stmt::If {
+                cond: Expr::imm_i32(0),
+                then_: vec![Stmt::Break],
+                else_: vec![Stmt::Continue],
+            }],
+        };
+        let mut n = 0;
+        s.visit(&mut |_| n += 1);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn visit_exprs_reaches_all() {
+        let s = Stmt::Store {
+            buf: crate::BufId(0),
+            idx: Expr::ThreadIdx,
+            value: Expr::add(Expr::imm_i32(1), Expr::imm_i32(2)),
+            dirty: false,
+            checked: false,
+        };
+        let mut n = 0;
+        s.visit_exprs(&mut |_| n += 1);
+        assert_eq!(n, 4); // ThreadIdx + Add + two Imm
+    }
+}

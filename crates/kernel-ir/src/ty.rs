@@ -1,0 +1,246 @@
+//! Scalar types and runtime values of the kernel IR.
+//!
+//! The type system mirrors what the paper's translator works with when it
+//! generates CUDA from C: 32-bit integers, single- and double-precision
+//! floats, plus an internal boolean type produced by comparisons.
+
+use std::fmt;
+
+/// Scalar element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit signed integer (`int` in the mini-C dialect).
+    I32,
+    /// IEEE-754 single precision (`float`).
+    F32,
+    /// IEEE-754 double precision (`double`).
+    F64,
+    /// Boolean, produced by comparisons and logical operators. Not a valid
+    /// buffer element type.
+    Bool,
+}
+
+impl Ty {
+    /// Size in bytes of one element of this type inside a device buffer.
+    ///
+    /// `Bool` is stored as a full byte in the (rare) case it lands in
+    /// memory, but buffers of `Bool` are rejected by kernel validation.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            Ty::I32 | Ty::F32 => 4,
+            Ty::F64 => 8,
+            Ty::Bool => 1,
+        }
+    }
+
+    /// True for `F32`/`F64`.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// True for types that may be stored in buffers.
+    pub fn is_storable(self) -> bool {
+        !matches!(self, Ty::Bool)
+    }
+
+    /// The zero value of this type, used to initialise locals and
+    /// reduction identities for `+`.
+    pub fn zero(self) -> Value {
+        match self {
+            Ty::I32 => Value::I32(0),
+            Ty::F32 => Value::F32(0.0),
+            Ty::F64 => Value::F64(0.0),
+            Ty::Bool => Value::Bool(false),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I32 => "i32",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+            Ty::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime scalar value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    I32(i32),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn ty(self) -> Ty {
+        match self {
+            Value::I32(_) => Ty::I32,
+            Value::F32(_) => Ty::F32,
+            Value::F64(_) => Ty::F64,
+            Value::Bool(_) => Ty::Bool,
+        }
+    }
+
+    /// Interpret as an i64 index; floats are rejected (the compiler inserts
+    /// explicit casts for float-typed indices).
+    pub fn as_index(self) -> Option<i64> {
+        match self {
+            Value::I32(v) => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a boolean condition. Integers use C truthiness.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            Value::I32(v) => Some(v != 0),
+            _ => None,
+        }
+    }
+
+    /// Extract an `i32`, if that is the value's type.
+    pub fn as_i32(self) -> Option<i32> {
+        match self {
+            Value::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f32`, if that is the value's type.
+    pub fn as_f32(self) -> Option<f32> {
+        match self {
+            Value::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f64`, if that is the value's type.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric cast following C conversion rules (`(T)x`).
+    pub fn cast(self, to: Ty) -> Value {
+        match (self, to) {
+            (v, t) if v.ty() == t => v,
+            (Value::I32(v), Ty::F32) => Value::F32(v as f32),
+            (Value::I32(v), Ty::F64) => Value::F64(v as f64),
+            (Value::I32(v), Ty::Bool) => Value::Bool(v != 0),
+            (Value::F32(v), Ty::I32) => Value::I32(v as i32),
+            (Value::F32(v), Ty::F64) => Value::F64(v as f64),
+            (Value::F32(v), Ty::Bool) => Value::Bool(v != 0.0),
+            (Value::F64(v), Ty::I32) => Value::I32(v as i32),
+            (Value::F64(v), Ty::F32) => Value::F32(v as f32),
+            (Value::F64(v), Ty::Bool) => Value::Bool(v != 0.0),
+            (Value::Bool(v), Ty::I32) => Value::I32(v as i32),
+            (Value::Bool(v), Ty::F32) => Value::F32(v as i32 as f32),
+            (Value::Bool(v), Ty::F64) => Value::F64(v as i32 as f64),
+            (v, _) => v, // same-type, covered by the first arm
+        }
+    }
+
+    /// Encode into little-endian bytes, exactly `self.ty().size_bytes()`
+    /// long. This is the wire/buffer representation used by the simulated
+    /// device memories.
+    pub fn write_le(self, out: &mut [u8]) {
+        match self {
+            Value::I32(v) => out[..4].copy_from_slice(&v.to_le_bytes()),
+            Value::F32(v) => out[..4].copy_from_slice(&v.to_le_bytes()),
+            Value::F64(v) => out[..8].copy_from_slice(&v.to_le_bytes()),
+            Value::Bool(v) => out[0] = v as u8,
+        }
+    }
+
+    /// Decode a value of type `ty` from little-endian bytes.
+    pub fn read_le(ty: Ty, bytes: &[u8]) -> Value {
+        match ty {
+            Ty::I32 => Value::I32(i32::from_le_bytes(bytes[..4].try_into().unwrap())),
+            Ty::F32 => Value::F32(f32::from_le_bytes(bytes[..4].try_into().unwrap())),
+            Ty::F64 => Value::F64(f64::from_le_bytes(bytes[..8].try_into().unwrap())),
+            Ty::Bool => Value::Bool(bytes[0] != 0),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}f"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Ty::I32.size_bytes(), 4);
+        assert_eq!(Ty::F32.size_bytes(), 4);
+        assert_eq!(Ty::F64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn storable() {
+        assert!(Ty::I32.is_storable());
+        assert!(Ty::F64.is_storable());
+        assert!(!Ty::Bool.is_storable());
+    }
+
+    #[test]
+    fn cast_follows_c_rules() {
+        assert_eq!(Value::I32(3).cast(Ty::F64), Value::F64(3.0));
+        assert_eq!(Value::F64(3.9).cast(Ty::I32), Value::I32(3));
+        assert_eq!(Value::F32(-1.5).cast(Ty::I32), Value::I32(-1));
+        assert_eq!(Value::Bool(true).cast(Ty::I32), Value::I32(1));
+        assert_eq!(Value::I32(0).cast(Ty::Bool), Value::Bool(false));
+    }
+
+    #[test]
+    fn cast_same_type_is_identity() {
+        for v in [Value::I32(7), Value::F32(1.25), Value::F64(-2.5)] {
+            assert_eq!(v.cast(v.ty()), v);
+        }
+    }
+
+    #[test]
+    fn le_roundtrip() {
+        let mut buf = [0u8; 8];
+        for v in [
+            Value::I32(-123456),
+            Value::F32(3.5),
+            Value::F64(-0.000123),
+            Value::Bool(true),
+        ] {
+            v.write_le(&mut buf);
+            assert_eq!(Value::read_le(v.ty(), &buf), v);
+        }
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::I32(0).as_bool(), Some(false));
+        assert_eq!(Value::I32(-1).as_bool(), Some(true));
+        assert_eq!(Value::F64(0.0).as_bool(), None);
+    }
+
+    #[test]
+    fn index_only_from_int() {
+        assert_eq!(Value::I32(5).as_index(), Some(5));
+        assert_eq!(Value::F32(5.0).as_index(), None);
+    }
+}

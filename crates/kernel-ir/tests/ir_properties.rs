@@ -1,0 +1,123 @@
+//! Property tests on the kernel IR's data plane: reduction-operator
+//! algebra, buffer range copies, and interpreter determinism.
+
+use acc_kernel_ir::interp::{rmw_apply, rmw_identity};
+use acc_kernel_ir::{
+    run_kernel_range, BufAccess, BufId, BufParam, Buffer, BufSlot, ExecCtx, Expr, Kernel,
+    RmwOp, Stmt, Ty, Value,
+};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = RmwOp> {
+    prop_oneof![
+        Just(RmwOp::Add),
+        Just(RmwOp::Mul),
+        Just(RmwOp::Min),
+        Just(RmwOp::Max)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Integer reductions are associative and commutative (the property
+    /// the multi-GPU tree merge relies on), and the identity is neutral.
+    #[test]
+    fn int_rmw_is_a_commutative_monoid(
+        op in arb_op(),
+        a in -1000i32..1000,
+        b in -1000i32..1000,
+        c in -1000i32..1000,
+    ) {
+        let v = |x| Value::I32(x);
+        let ap = |x, y| rmw_apply(op, x, y).unwrap();
+        prop_assert_eq!(ap(v(a), v(b)), ap(v(b), v(a)));
+        prop_assert_eq!(ap(ap(v(a), v(b)), v(c)), ap(v(a), ap(v(b), v(c))));
+        let id = rmw_identity(op, Ty::I32);
+        prop_assert_eq!(ap(id, v(a)), v(a));
+        prop_assert_eq!(ap(v(a), id), v(a));
+    }
+
+    /// Range copies move exactly the requested window and nothing else.
+    #[test]
+    fn buffer_range_copy_is_exact(
+        n in 1usize..200,
+        src_vals in prop::collection::vec(-100i32..100, 1..200),
+        dst_start in 0usize..200,
+        src_start in 0usize..200,
+        len in 0usize..200,
+    ) {
+        let n = n.max(src_vals.len());
+        let mut src_data = src_vals.clone();
+        src_data.resize(n, 0);
+        let src = Buffer::from_i32(&src_data);
+        let mut dst = Buffer::from_i32(&vec![7i32; n]);
+        let dst_start = dst_start % n;
+        let src_start = src_start % n;
+        let len = len.min(n - dst_start).min(n - src_start);
+        let moved = dst.copy_range_from(dst_start, &src, src_start, len);
+        prop_assert_eq!(moved, len * 4);
+        let out = dst.to_i32_vec();
+        for i in 0..n {
+            if i >= dst_start && i < dst_start + len {
+                prop_assert_eq!(out[i], src_data[src_start + i - dst_start]);
+            } else {
+                prop_assert_eq!(out[i], 7);
+            }
+        }
+    }
+
+    /// Splitting an iteration space across "GPUs" in any way produces the
+    /// same buffer contents and the same total counted work as one pass
+    /// (the BSP foundation: iterations are independent).
+    #[test]
+    fn split_execution_equals_whole_execution(
+        n in 1i64..120,
+        cut in 0i64..120,
+        data in prop::collection::vec(-50i32..50, 1..120),
+    ) {
+        let n = n.min(data.len() as i64);
+        let cut = cut.clamp(0, n);
+        // Kernel: out[i] = a[i] * 3 - 1
+        let k = Kernel {
+            name: "t".into(),
+            params: vec![],
+            bufs: vec![
+                BufParam { name: "a".into(), ty: Ty::I32, access: BufAccess::Read },
+                BufParam { name: "out".into(), ty: Ty::I32, access: BufAccess::Write },
+            ],
+            locals: vec![],
+            reductions: vec![],
+            body: vec![Stmt::Store {
+                buf: BufId(1),
+                idx: Expr::ThreadIdx,
+                value: Expr::sub(
+                    Expr::mul(Expr::load(BufId(0), Expr::ThreadIdx), Expr::imm_i32(3)),
+                    Expr::imm_i32(1),
+                ),
+                dirty: false,
+                checked: false,
+            }],
+        };
+        let run_split = |ranges: &[(i64, i64)]| {
+            let mut a = Buffer::from_i32(&data[..n as usize]);
+            let mut out = Buffer::zeroed(Ty::I32, n as usize);
+            let mut total_threads = 0;
+            for &(lo, hi) in ranges {
+                let mut ctx = ExecCtx::new(
+                    &k,
+                    vec![],
+                    vec![BufSlot::whole(&mut a), BufSlot::whole(&mut out)],
+                );
+                run_kernel_range(&k, &mut ctx, lo, hi).unwrap();
+                total_threads += ctx.counters.threads;
+            }
+            (out.to_i32_vec(), total_threads)
+        };
+        let (whole, t1) = run_split(&[(0, n)]);
+        let (split, t2) = run_split(&[(0, cut), (cut, n)]);
+        prop_assert_eq!(whole, split);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(t1, n as u64);
+    }
+}

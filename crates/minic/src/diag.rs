@@ -1,0 +1,186 @@
+//! Source spans and diagnostics.
+
+use std::fmt;
+
+/// A byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at a position.
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based (line, column) of the span start within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// A frontend diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Render with line/column resolved against the source.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        format!("{sev} at {line}:{col}: {}", self.message)
+    }
+
+    /// Render compiler-style with the offending source line and a caret
+    /// under the span:
+    ///
+    /// ```text
+    /// error: unknown variable `x`
+    ///   --> 3:5
+    ///    |
+    ///  3 |     x = 1;
+    ///    |     ^^^
+    /// ```
+    pub fn render_verbose(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let src_line = src.lines().nth(line - 1).unwrap_or("");
+        let width = line.to_string().len().max(2);
+        let carets = (self.span.end - self.span.start)
+            .clamp(1, src_line.len().saturating_sub(col - 1).max(1));
+        format!(
+            "{sev}: {}\n{:>width$}--> {line}:{col}\n{:>width$} |\n{line:>width$} | {src_line}\n\
+             {:>width$} | {}{}",
+            self.message,
+            "",
+            "",
+            "",
+            " ".repeat(col - 1),
+            "^".repeat(carets),
+            width = width + 1,
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}: {}", self.message)
+    }
+}
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(Span::point(0).line_col(src), (1, 1));
+        assert_eq!(Span::point(4).line_col(src), (2, 1));
+        assert_eq!(Span::point(6).line_col(src), (2, 3));
+        assert_eq!(Span::point(9).line_col(src), (3, 2));
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn render_contains_position() {
+        let d = Diagnostic::error(Span::point(4), "unexpected token");
+        assert_eq!(d.render("abc\ndef"), "error at 2:1: unexpected token");
+    }
+
+    #[test]
+    fn render_verbose_shows_caret_under_span() {
+        let src = "void f() {\n  x = 1;\n}";
+        // `x` is at byte 13 (line 2, col 3).
+        let d = Diagnostic::error(Span::new(13, 14), "unknown variable `x`");
+        let out = d.render_verbose(src);
+        assert!(out.contains("error: unknown variable `x`"), "{out}");
+        assert!(out.contains("--> 2:3"), "{out}");
+        assert!(out.contains("2 |   x = 1;"), "{out}");
+        let caret_line = out.lines().last().unwrap();
+        assert_eq!(caret_line.trim_end(), "    |   ^", "{out}");
+    }
+
+    #[test]
+    fn render_verbose_handles_spans_past_line_end() {
+        let src = "ab";
+        let d = Diagnostic::error(Span::new(0, 100), "huge span");
+        let out = d.render_verbose(src);
+        assert!(out.contains("^^"), "{out}");
+        assert!(!out.contains("^^^"), "{out}");
+    }
+}

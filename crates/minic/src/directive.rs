@@ -1,0 +1,604 @@
+//! OpenACC directive types and the directive mini-parser.
+//!
+//! The lexer delivers every `#pragma` line as one token carrying the raw
+//! text (e.g. `acc parallel loop reduction(+:sum) copyin(x[0:n])`).
+//! [`parse_directive`] re-lexes that text and produces a structured
+//! [`Directive`]. The grammar implemented here covers:
+//!
+//! ```text
+//! acc data      {copy|copyin|copyout|create|present}(section,...)*
+//! acc parallel loop  [gang] [worker] [vector] [num_gangs(e)]
+//!                    [reduction(op:var)] [data clauses...]
+//! acc kernels loop   — same clauses as parallel loop
+//! acc update    {host|device|self}(section,...)*
+//! acc localaccess(arr) [stride(e)] [left(e)] [right(e)]      (extension)
+//! acc reductiontoarray(op: arr[len]) / (op: arr[lo:len])     (extension)
+//! ```
+//!
+//! A *section* is `name` (whole array) or `name[start:len]` — OpenACC 1.0
+//! subarray notation.
+
+use crate::ast::Expr;
+use crate::diag::{Diagnostic, Span};
+use crate::lexer;
+use crate::parser::Parser;
+use crate::token::TokenKind;
+
+/// Data-clause kinds of the `data` construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataClauseKind {
+    /// `copy`: copyin at region entry, copyout at exit.
+    Copy,
+    /// `copyin`: host→device at entry only.
+    CopyIn,
+    /// `copyout`: device→host at exit only (device array created at entry).
+    CopyOut,
+    /// `create`: device allocation only, no transfers.
+    Create,
+    /// `present`: assert the array is already on the device.
+    Present,
+}
+
+/// An array (sub)section `name[start:len]` or a whole array `name`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArraySection {
+    pub name: String,
+    /// `None` means "the whole array" (length known to the runtime from
+    /// the bound host buffer).
+    pub range: Option<(Expr, Expr)>,
+    pub span: Span,
+}
+
+/// One data clause with its sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataClause {
+    pub kind: DataClauseKind,
+    pub sections: Vec<ArraySection>,
+}
+
+/// `#pragma acc data ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataDirective {
+    pub clauses: Vec<DataClause>,
+    pub span: Span,
+}
+
+/// `reduction(op:var)` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionClause {
+    /// Operator spelling: `+`, `*`, `min`, `max`.
+    pub op: String,
+    pub var: String,
+    pub span: Span,
+}
+
+/// Which construct introduced a combined parallel loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelKind {
+    Parallel,
+    Kernels,
+}
+
+/// `#pragma acc parallel loop ...` / `#pragma acc kernels loop ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelDirective {
+    pub kind: ParallelKind,
+    /// Scheduling hints; accepted and recorded, advisory for the simulator.
+    pub gang: bool,
+    pub worker: bool,
+    pub vector: bool,
+    pub num_gangs: Option<Expr>,
+    pub vector_length: Option<Expr>,
+    pub reductions: Vec<ReductionClause>,
+    pub data_clauses: Vec<DataClause>,
+    pub span: Span,
+}
+
+/// `#pragma acc localaccess(arr) stride(e) left(e) right(e)` — the paper's
+/// first extension (§III-C). Iteration `i` of the annotated loop reads
+/// only `arr[stride*i - left ..= stride*(i+1) - 1 + right]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalAccess {
+    pub array: String,
+    /// Defaults to `1` when the clause is omitted.
+    pub stride: Option<Expr>,
+    /// Defaults to `0`.
+    pub left: Option<Expr>,
+    /// Defaults to `0`.
+    pub right: Option<Expr>,
+    pub span: Span,
+}
+
+/// `#pragma acc update host(...) device(...)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UpdateDirective {
+    pub host: Vec<ArraySection>,
+    pub device: Vec<ArraySection>,
+    pub span: Span,
+}
+
+/// `#pragma acc reductiontoarray(op: arr[len])` — the paper's second
+/// extension (§III-C): the next statement is a reduction into a
+/// dynamically indexed element of `arr`, whose index range is
+/// `[0, len)` (or `[lo, lo+len)` with the two-expression form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionToArrayDirective {
+    pub op: String,
+    pub array: String,
+    pub range: Option<(Expr, Expr)>,
+    pub span: Span,
+}
+
+/// Any parsed `#pragma acc` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Directive {
+    Data(DataDirective),
+    /// Combined `parallel loop` / `kernels loop`.
+    ParallelLoop(ParallelDirective),
+    /// Split form: `#pragma acc parallel` / `#pragma acc kernels`
+    /// followed by a block whose loops carry `#pragma acc loop` — the
+    /// shape of the paper's Fig. 1 example.
+    ParallelRegion(ParallelDirective),
+    /// Orphan `#pragma acc loop`, only valid inside a parallel region;
+    /// its clauses merge with the region's.
+    Loop(ParallelDirective),
+    Update(UpdateDirective),
+    LocalAccess(LocalAccess),
+    ReductionToArray(ReductionToArrayDirective),
+}
+
+/// Merge a region directive with an inner `loop` directive (clauses
+/// combine; the construct kind comes from the region).
+pub fn merge_region_loop(region: &ParallelDirective, lp: &ParallelDirective) -> ParallelDirective {
+    let mut d = region.clone();
+    d.gang |= lp.gang;
+    d.worker |= lp.worker;
+    d.vector |= lp.vector;
+    if d.num_gangs.is_none() {
+        d.num_gangs = lp.num_gangs.clone();
+    }
+    if d.vector_length.is_none() {
+        d.vector_length = lp.vector_length.clone();
+    }
+    d.reductions.extend(lp.reductions.iter().cloned());
+    d.data_clauses.extend(lp.data_clauses.iter().cloned());
+    d.span = lp.span;
+    d
+}
+
+/// Parse the text of one `#pragma` line (the part after `#pragma`).
+/// Non-`acc` pragmas (e.g. `omp`) are returned as `Ok(None)` and ignored.
+pub fn parse_directive(text: &str, span: Span) -> Result<Option<Directive>, Diagnostic> {
+    let tokens = lexer::lex(text)
+        .map_err(|d| Diagnostic::error(span, format!("in #pragma: {}", d.message)))?;
+    let mut p = Parser::new(&tokens);
+
+    let head = match p.eat_ident() {
+        Some(s) => s,
+        None => return Ok(None),
+    };
+    if head != "acc" {
+        return Ok(None);
+    }
+
+    let kw = p
+        .eat_ident()
+        .ok_or_else(|| Diagnostic::error(span, "expected directive name after `acc`"))?;
+
+    let dir = match kw.as_str() {
+        "data" => Directive::Data(DataDirective {
+            clauses: parse_data_clauses(&mut p, span, true)?,
+            span,
+        }),
+        "parallel" | "kernels" => {
+            let kind = if kw == "parallel" {
+                ParallelKind::Parallel
+            } else {
+                ParallelKind::Kernels
+            };
+            // Combined form (`parallel loop`) or region form (`parallel`
+            // followed by a block with inner `loop` directives).
+            let save = p.clone_pos();
+            let combined = matches!(p.eat_ident().as_deref(), Some("loop"));
+            if !combined {
+                p.restore_pos(save);
+            }
+            let d = parse_parallel_clauses(&mut p, kind, span)?;
+            let Directive::ParallelLoop(d) = d else {
+                unreachable!()
+            };
+            if combined {
+                Directive::ParallelLoop(d)
+            } else {
+                Directive::ParallelRegion(d)
+            }
+        }
+        "loop" => {
+            let d = parse_parallel_clauses(&mut p, ParallelKind::Parallel, span)?;
+            let Directive::ParallelLoop(d) = d else {
+                unreachable!()
+            };
+            Directive::Loop(d)
+        }
+        "update" => {
+            let mut u = UpdateDirective {
+                span,
+                ..Default::default()
+            };
+            loop {
+                match p.eat_ident().as_deref() {
+                    Some("host") | Some("self") => {
+                        u.host.extend(parse_section_list(&mut p, span)?)
+                    }
+                    Some("device") => u.device.extend(parse_section_list(&mut p, span)?),
+                    Some(other) => {
+                        return Err(Diagnostic::error(
+                            span,
+                            format!("unknown update clause `{other}`"),
+                        ))
+                    }
+                    None => break,
+                }
+            }
+            if u.host.is_empty() && u.device.is_empty() {
+                return Err(Diagnostic::error(
+                    span,
+                    "update directive needs host(...) or device(...)",
+                ));
+            }
+            Directive::Update(u)
+        }
+        "localaccess" => {
+            p.expect(&TokenKind::LParen, span)?;
+            let array = p
+                .eat_ident()
+                .ok_or_else(|| Diagnostic::error(span, "expected array name in localaccess"))?;
+            p.expect(&TokenKind::RParen, span)?;
+            let mut la = LocalAccess {
+                array,
+                stride: None,
+                left: None,
+                right: None,
+                span,
+            };
+            loop {
+                // Optional separating commas between clauses.
+                let _ = p.eat(&TokenKind::Comma);
+                match p.eat_ident().as_deref() {
+                    Some("stride") => la.stride = Some(parse_paren_expr(&mut p, span)?),
+                    Some("left") => la.left = Some(parse_paren_expr(&mut p, span)?),
+                    Some("right") => la.right = Some(parse_paren_expr(&mut p, span)?),
+                    Some(other) => {
+                        return Err(Diagnostic::error(
+                            span,
+                            format!("unknown localaccess clause `{other}`"),
+                        ))
+                    }
+                    None => break,
+                }
+            }
+            Directive::LocalAccess(la)
+        }
+        "reductiontoarray" => {
+            p.expect(&TokenKind::LParen, span)?;
+            let op = parse_reduction_op(&mut p, span)?;
+            p.expect(&TokenKind::Colon, span)?;
+            let array = p.eat_ident().ok_or_else(|| {
+                Diagnostic::error(span, "expected array name in reductiontoarray")
+            })?;
+            let range = if p.eat(&TokenKind::LBracket) {
+                let a = p.parse_expr_public(span)?;
+                let r = if p.eat(&TokenKind::Colon) {
+                    let b = p.parse_expr_public(span)?;
+                    Some((a, b))
+                } else {
+                    // Single expression = length with start 0.
+                    Some((Expr::IntLit(0, span), a))
+                };
+                p.expect(&TokenKind::RBracket, span)?;
+                r
+            } else {
+                None
+            };
+            p.expect(&TokenKind::RParen, span)?;
+            Directive::ReductionToArray(ReductionToArrayDirective {
+                op,
+                array,
+                range,
+                span,
+            })
+        }
+        other => {
+            return Err(Diagnostic::error(
+                span,
+                format!("unknown OpenACC directive `{other}`"),
+            ))
+        }
+    };
+
+    if !p.at_eof() {
+        return Err(Diagnostic::error(
+            span,
+            "trailing tokens at end of directive",
+        ));
+    }
+    Ok(Some(dir))
+}
+
+fn parse_reduction_op(p: &mut Parser<'_>, span: Span) -> Result<String, Diagnostic> {
+    if p.eat(&TokenKind::Plus) {
+        return Ok("+".to_string());
+    }
+    if p.eat(&TokenKind::Star) {
+        return Ok("*".to_string());
+    }
+    match p.eat_ident().as_deref() {
+        Some("min") => Ok("min".to_string()),
+        Some("max") => Ok("max".to_string()),
+        _ => Err(Diagnostic::error(
+            span,
+            "expected reduction operator (+, *, min, max)",
+        )),
+    }
+}
+
+fn parse_paren_expr(p: &mut Parser<'_>, span: Span) -> Result<Expr, Diagnostic> {
+    p.expect(&TokenKind::LParen, span)?;
+    let e = p.parse_expr_public(span)?;
+    p.expect(&TokenKind::RParen, span)?;
+    Ok(e)
+}
+
+fn parse_parallel_clauses(
+    p: &mut Parser<'_>,
+    kind: ParallelKind,
+    span: Span,
+) -> Result<Directive, Diagnostic> {
+    let mut d = ParallelDirective {
+        kind,
+        gang: false,
+        worker: false,
+        vector: false,
+        num_gangs: None,
+        vector_length: None,
+        reductions: vec![],
+        data_clauses: vec![],
+        span,
+    };
+    loop {
+        match p.eat_ident().as_deref() {
+            Some("gang") => d.gang = true,
+            Some("worker") => d.worker = true,
+            Some("vector") => d.vector = true,
+            Some("num_gangs") => d.num_gangs = Some(parse_paren_expr(p, span)?),
+            Some("vector_length") => d.vector_length = Some(parse_paren_expr(p, span)?),
+            Some("independent") => {} // advisory, always assumed
+            Some("reduction") => {
+                p.expect(&TokenKind::LParen, span)?;
+                let op = parse_reduction_op(p, span)?;
+                p.expect(&TokenKind::Colon, span)?;
+                loop {
+                    let var = p.eat_ident().ok_or_else(|| {
+                        Diagnostic::error(span, "expected variable in reduction clause")
+                    })?;
+                    d.reductions.push(ReductionClause {
+                        op: op.clone(),
+                        var,
+                        span,
+                    });
+                    if !p.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                p.expect(&TokenKind::RParen, span)?;
+            }
+            Some(name) => {
+                if let Some(kind) = data_clause_kind(name) {
+                    d.data_clauses.push(DataClause {
+                        kind,
+                        sections: parse_section_list(p, span)?,
+                    });
+                } else {
+                    return Err(Diagnostic::error(
+                        span,
+                        format!("unknown parallel-loop clause `{name}`"),
+                    ));
+                }
+            }
+            None => break,
+        }
+    }
+    Ok(Directive::ParallelLoop(d))
+}
+
+fn data_clause_kind(name: &str) -> Option<DataClauseKind> {
+    Some(match name {
+        "copy" => DataClauseKind::Copy,
+        "copyin" => DataClauseKind::CopyIn,
+        "copyout" => DataClauseKind::CopyOut,
+        "create" => DataClauseKind::Create,
+        "present" => DataClauseKind::Present,
+        _ => return None,
+    })
+}
+
+#[allow(clippy::while_let_loop)]
+fn parse_data_clauses(
+    p: &mut Parser<'_>,
+    span: Span,
+    require_some: bool,
+) -> Result<Vec<DataClause>, Diagnostic> {
+    let mut out = Vec::new();
+    loop {
+        match p.eat_ident() {
+            Some(name) => match data_clause_kind(&name) {
+                Some(kind) => out.push(DataClause {
+                    kind,
+                    sections: parse_section_list(p, span)?,
+                }),
+                None => {
+                    return Err(Diagnostic::error(
+                        span,
+                        format!("unknown data clause `{name}`"),
+                    ))
+                }
+            },
+            None => break,
+        }
+    }
+    if require_some && out.is_empty() {
+        return Err(Diagnostic::error(span, "data directive without clauses"));
+    }
+    Ok(out)
+}
+
+fn parse_section_list(p: &mut Parser<'_>, span: Span) -> Result<Vec<ArraySection>, Diagnostic> {
+    p.expect(&TokenKind::LParen, span)?;
+    let mut out = Vec::new();
+    loop {
+        let name = p
+            .eat_ident()
+            .ok_or_else(|| Diagnostic::error(span, "expected array name in clause"))?;
+        let range = if p.eat(&TokenKind::LBracket) {
+            let start = p.parse_expr_public(span)?;
+            p.expect(&TokenKind::Colon, span)?;
+            let len = p.parse_expr_public(span)?;
+            p.expect(&TokenKind::RBracket, span)?;
+            Some((start, len))
+        } else {
+            None
+        };
+        out.push(ArraySection { name, range, span });
+        if !p.eat(&TokenKind::Comma) {
+            break;
+        }
+    }
+    p.expect(&TokenKind::RParen, span)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Directive {
+        parse_directive(text, Span::default()).unwrap().unwrap()
+    }
+
+    #[test]
+    fn parses_data_directive() {
+        let d = parse("acc data copy(x[0:n]) copyin(a, b[2:m]) create(tmp)");
+        let Directive::Data(d) = d else { panic!() };
+        assert_eq!(d.clauses.len(), 3);
+        assert_eq!(d.clauses[0].kind, DataClauseKind::Copy);
+        assert_eq!(d.clauses[0].sections[0].name, "x");
+        assert!(d.clauses[0].sections[0].range.is_some());
+        assert_eq!(d.clauses[1].sections.len(), 2);
+        assert!(d.clauses[1].sections[0].range.is_none());
+        assert_eq!(d.clauses[2].kind, DataClauseKind::Create);
+    }
+
+    #[test]
+    fn parses_parallel_loop() {
+        let d = parse("acc parallel loop gang vector reduction(+:sum) copyin(x)");
+        let Directive::ParallelLoop(d) = d else { panic!() };
+        assert_eq!(d.kind, ParallelKind::Parallel);
+        assert!(d.gang && d.vector && !d.worker);
+        assert_eq!(d.reductions.len(), 1);
+        assert_eq!(d.reductions[0].op, "+");
+        assert_eq!(d.reductions[0].var, "sum");
+        assert_eq!(d.data_clauses.len(), 1);
+    }
+
+    #[test]
+    fn parses_kernels_loop() {
+        let d = parse("acc kernels loop");
+        let Directive::ParallelLoop(d) = d else { panic!() };
+        assert_eq!(d.kind, ParallelKind::Kernels);
+    }
+
+    #[test]
+    fn split_region_and_orphan_loop_parse() {
+        assert!(matches!(
+            parse("acc parallel reduction(+:s)"),
+            Directive::ParallelRegion(_)
+        ));
+        assert!(matches!(parse("acc loop gang vector"), Directive::Loop(_)));
+    }
+
+    #[test]
+    fn merge_region_loop_combines_clauses() {
+        let Directive::ParallelRegion(r) = parse("acc parallel reduction(+:s) copyin(x)") else {
+            panic!()
+        };
+        let Directive::Loop(l) = parse("acc loop gang reduction(max:m)") else {
+            panic!()
+        };
+        let m = merge_region_loop(&r, &l);
+        assert!(m.gang);
+        assert_eq!(m.reductions.len(), 2);
+        assert_eq!(m.data_clauses.len(), 1);
+    }
+
+    #[test]
+    fn parses_localaccess() {
+        let d = parse("acc localaccess(x) stride(4) left(1) right(2)");
+        let Directive::LocalAccess(d) = d else { panic!() };
+        assert_eq!(d.array, "x");
+        assert!(d.stride.is_some());
+        assert!(d.left.is_some());
+        assert!(d.right.is_some());
+    }
+
+    #[test]
+    fn localaccess_defaults() {
+        let d = parse("acc localaccess(b)");
+        let Directive::LocalAccess(d) = d else { panic!() };
+        assert!(d.stride.is_none() && d.left.is_none() && d.right.is_none());
+    }
+
+    #[test]
+    fn localaccess_stride_expr() {
+        let d = parse("acc localaccess(features) stride(nfeatures)");
+        let Directive::LocalAccess(d) = d else { panic!() };
+        assert!(matches!(
+            d.stride,
+            Some(crate::ast::Expr::Ident(ref n, _)) if n == "nfeatures"
+        ));
+    }
+
+    #[test]
+    fn parses_reductiontoarray() {
+        let d = parse("acc reductiontoarray(+: errors[nclusters])");
+        let Directive::ReductionToArray(d) = d else { panic!() };
+        assert_eq!(d.op, "+");
+        assert_eq!(d.array, "errors");
+        assert!(d.range.is_some());
+    }
+
+    #[test]
+    fn parses_update() {
+        let d = parse("acc update host(x[0:n]) device(y)");
+        let Directive::Update(d) = d else { panic!() };
+        assert_eq!(d.host.len(), 1);
+        assert_eq!(d.device.len(), 1);
+    }
+
+    #[test]
+    fn non_acc_pragmas_ignored() {
+        assert_eq!(parse_directive("omp parallel for", Span::default()).unwrap(), None);
+        assert_eq!(parse_directive("once", Span::default()).unwrap(), None);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_directive("acc data copy(x) garbage(", Span::default()).is_err());
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        let d = parse("acc parallel loop reduction(max:best)");
+        let Directive::ParallelLoop(d) = d else { panic!() };
+        assert_eq!(d.reductions[0].op, "max");
+    }
+}

@@ -1,0 +1,340 @@
+//! The lexer.
+//!
+//! Straightforward hand-written scanner. `#pragma` lines are captured as
+//! single [`TokenKind::Pragma`] tokens carrying the raw directive text;
+//! the directive mini-parser in [`crate::directive`] re-lexes that text
+//! with this same lexer.
+
+use crate::diag::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lex a full source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i] as char;
+
+        // Whitespace
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments
+        if c == '/' && i + 1 < n {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < n && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    let start = i;
+                    i += 2;
+                    loop {
+                        if i + 1 >= n {
+                            return Err(Diagnostic::error(
+                                Span::new(start, n),
+                                "unterminated block comment",
+                            ));
+                        }
+                        if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Preprocessor: only `#pragma` survives (includes/defines are not
+        // part of the dialect; `#include` lines are skipped for
+        // convenience so sources can look like real C files).
+        if c == '#' {
+            let start = i;
+            let mut j = i;
+            while j < n && bytes[j] != b'\n' {
+                j += 1;
+            }
+            let line = &src[i..j];
+            i = j;
+            let rest = line[1..].trim_start();
+            if let Some(body) = rest.strip_prefix("pragma") {
+                out.push(Token {
+                    kind: TokenKind::Pragma(body.trim().to_string()),
+                    span: Span::new(start, j),
+                });
+            } else if rest.starts_with("include") || rest.starts_with("define") {
+                // Ignored.
+            } else {
+                return Err(Diagnostic::error(
+                    Span::new(start, j),
+                    format!("unsupported preprocessor line: `{line}`"),
+                ));
+            }
+            continue;
+        }
+
+        // Numbers
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && (bytes[i + 1] as char).is_ascii_digit())
+        {
+            let start = i;
+            let mut is_float = false;
+            while i < n && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < n && bytes[i] == b'.' {
+                is_float = true;
+                i += 1;
+                while i < n && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < n && (bytes[i] == b'e' || bytes[i] == b'E') {
+                is_float = true;
+                i += 1;
+                if i < n && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    i += 1;
+                }
+                while i < n && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &src[start..i];
+            let span = Span::new(start, i);
+            // Suffixes
+            if i < n && (bytes[i] == b'f' || bytes[i] == b'F') {
+                i += 1;
+                let v: f32 = text.parse().map_err(|_| {
+                    Diagnostic::error(span, format!("invalid float literal `{text}`"))
+                })?;
+                out.push(Token {
+                    kind: TokenKind::FloatLitF32(v),
+                    span,
+                });
+                continue;
+            }
+            if is_float {
+                let v: f64 = text.parse().map_err(|_| {
+                    Diagnostic::error(span, format!("invalid float literal `{text}`"))
+                })?;
+                out.push(Token {
+                    kind: TokenKind::FloatLit(v),
+                    span,
+                });
+            } else {
+                let v: i64 = text.parse().map_err(|_| {
+                    Diagnostic::error(span, format!("invalid integer literal `{text}`"))
+                })?;
+                out.push(Token {
+                    kind: TokenKind::IntLit(v),
+                    span,
+                });
+            }
+            continue;
+        }
+
+        // Identifiers / keywords
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let kind = TokenKind::keyword(text)
+                .unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+            out.push(Token {
+                kind,
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+
+        // Operators and punctuation (longest match first)
+        let two = if i + 1 < n { &src[i..i + 2] } else { "" };
+        let (kind, len) = match two {
+            "<<" => (TokenKind::Shl, 2),
+            ">>" => (TokenKind::Shr, 2),
+            "<=" => (TokenKind::Le, 2),
+            ">=" => (TokenKind::Ge, 2),
+            "==" => (TokenKind::EqEq, 2),
+            "!=" => (TokenKind::Ne, 2),
+            "&&" => (TokenKind::AmpAmp, 2),
+            "||" => (TokenKind::PipePipe, 2),
+            "+=" => (TokenKind::PlusAssign, 2),
+            "-=" => (TokenKind::MinusAssign, 2),
+            "*=" => (TokenKind::StarAssign, 2),
+            "/=" => (TokenKind::SlashAssign, 2),
+            "++" => (TokenKind::PlusPlus, 2),
+            "--" => (TokenKind::MinusMinus, 2),
+            _ => {
+                let k = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ';' => TokenKind::Semi,
+                    ',' => TokenKind::Comma,
+                    ':' => TokenKind::Colon,
+                    '?' => TokenKind::Question,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    '/' => TokenKind::Slash,
+                    '%' => TokenKind::Percent,
+                    '&' => TokenKind::Amp,
+                    '|' => TokenKind::Pipe,
+                    '^' => TokenKind::Caret,
+                    '~' => TokenKind::Tilde,
+                    '!' => TokenKind::Bang,
+                    '<' => TokenKind::Lt,
+                    '>' => TokenKind::Gt,
+                    '=' => TokenKind::Assign,
+                    _ => {
+                        return Err(Diagnostic::error(
+                            Span::point(i),
+                            format!("unexpected character `{c}`"),
+                        ))
+                    }
+                };
+                (k, 1)
+            }
+        };
+        out.push(Token {
+            kind,
+            span: Span::new(i, i + len),
+        });
+        i += len;
+    }
+
+    out.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::point(n),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int i = 0;"),
+            vec![
+                T::KwInt,
+                T::Ident("i".into()),
+                T::Assign,
+                T::IntLit(0),
+                T::Semi,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats() {
+        assert_eq!(
+            kinds("1.5 2e3 0.5f 7"),
+            vec![
+                T::FloatLit(1.5),
+                T::FloatLit(2000.0),
+                T::FloatLitF32(0.5),
+                T::IntLit(7),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(
+            kinds("a <= b << c <+ d += ++e"),
+            vec![
+                T::Ident("a".into()),
+                T::Le,
+                T::Ident("b".into()),
+                T::Shl,
+                T::Ident("c".into()),
+                T::Lt,
+                T::Plus,
+                T::Ident("d".into()),
+                T::PlusAssign,
+                T::PlusPlus,
+                T::Ident("e".into()),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line\n /* block\n more */ b"),
+            vec![T::Ident("a".into()), T::Ident("b".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn captures_pragma_lines() {
+        let ks = kinds("#pragma acc parallel loop\nfor(;;) ;");
+        assert_eq!(ks[0], T::Pragma("acc parallel loop".into()));
+        assert_eq!(ks[1], T::KwFor);
+    }
+
+    #[test]
+    fn skips_includes() {
+        assert_eq!(kinds("#include <math.h>\nx"), vec![T::Ident("x".into()), T::Eof]);
+    }
+
+    #[test]
+    fn rejects_unknown_preprocessor() {
+        assert!(lex("#if 0").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int i = $;").is_err());
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        assert_eq!(
+            kinds("for while if else return break continue void double float"),
+            vec![
+                T::KwFor,
+                T::KwWhile,
+                T::KwIf,
+                T::KwElse,
+                T::KwReturn,
+                T::KwBreak,
+                T::KwContinue,
+                T::KwVoid,
+                T::KwDouble,
+                T::KwFloat,
+                T::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,894 @@
+//! Recursive-descent parser for the mini-C dialect.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Span};
+use crate::directive::{parse_directive, Directive, LocalAccess};
+use crate::token::{Token, TokenKind};
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(tokens: &[Token]) -> Result<Program, Diagnostic> {
+    let mut p = Parser::new(tokens);
+    let mut functions = Vec::new();
+    while !p.at_eof() {
+        functions.push(p.parse_function()?);
+    }
+    Ok(Program { functions })
+}
+
+/// Token-stream cursor; also reused by the directive mini-parser.
+pub struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    /// Enclosing split parallel-region directive, if parsing inside one.
+    region: Option<crate::directive::ParallelDirective>,
+}
+
+impl<'a> Parser<'a> {
+    /// Create a cursor over `toks` (which must end with `Eof`).
+    pub fn new(toks: &'a [Token]) -> Parser<'a> {
+        Parser {
+            toks,
+            pos: 0,
+            region: None,
+        }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos.min(self.toks.len() - 1)].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> &'a Token {
+        let t = &self.toks[self.pos.min(self.toks.len() - 1)];
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// True at end of input.
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    /// Save the cursor position (for bounded lookahead).
+    pub fn clone_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Restore a position saved with [`Parser::clone_pos`].
+    pub fn restore_pos(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// Consume the next token if it matches.
+    pub fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume an identifier, returning its text.
+    pub fn eat_ident(&mut self) -> Option<String> {
+        if let TokenKind::Ident(s) = self.peek() {
+            let s = s.clone();
+            self.bump();
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Require a token.
+    pub fn expect(&mut self, kind: &TokenKind, ctx: Span) -> Result<(), Diagnostic> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            let span = if self.span() == Span::default() {
+                ctx
+            } else {
+                self.span()
+            };
+            Err(Diagnostic::error(
+                span,
+                format!("expected {kind:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    /// Entry point used by the directive parser for clause expressions.
+    pub fn parse_expr_public(&mut self, _ctx: Span) -> Result<Expr, Diagnostic> {
+        self.parse_assignment()
+    }
+
+    // ---- types ----
+
+    fn peek_is_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwDouble | TokenKind::KwVoid
+        )
+    }
+
+    fn parse_base_type(&mut self) -> Result<CType, Diagnostic> {
+        let t = match self.peek() {
+            TokenKind::KwInt => CType::Int,
+            TokenKind::KwFloat => CType::Float,
+            TokenKind::KwDouble => CType::Double,
+            TokenKind::KwVoid => CType::Void,
+            other => {
+                return Err(Diagnostic::error(
+                    self.span(),
+                    format!("expected type, found {other:?}"),
+                ))
+            }
+        };
+        self.bump();
+        Ok(t)
+    }
+
+    // ---- functions ----
+
+    fn parse_function(&mut self) -> Result<Function, Diagnostic> {
+        let start = self.span();
+        let ret = self.parse_base_type()?;
+        let name = self
+            .eat_ident()
+            .ok_or_else(|| Diagnostic::error(self.span(), "expected function name"))?;
+        self.expect(&TokenKind::LParen, start)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let pspan = self.span();
+                let mut ty = self.parse_base_type()?;
+                while self.eat(&TokenKind::Star) {
+                    ty = CType::Ptr(Box::new(ty));
+                }
+                let pname = self
+                    .eat_ident()
+                    .ok_or_else(|| Diagnostic::error(self.span(), "expected parameter name"))?;
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    span: pspan,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, start)?;
+        }
+        let body = self.parse_block()?;
+        Ok(Function {
+            name,
+            ret,
+            params,
+            body,
+            span: start.merge(self.span()),
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Block, Diagnostic> {
+        let start = self.span();
+        self.expect(&TokenKind::LBrace, start)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.at_eof() {
+                return Err(Diagnostic::error(start, "unterminated block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    // ---- statements ----
+
+    fn parse_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Pragma(_) => self.parse_pragma_stmt(),
+            TokenKind::LBrace => Ok(Stmt::Block(self.parse_block()?)),
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Empty(span))
+            }
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwDouble => self.parse_decl(),
+            TokenKind::KwVoid => Err(Diagnostic::error(span, "void declaration")),
+            TokenKind::KwFor => self.parse_for(),
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen, span)?;
+                let cond = self.parse_assignment()?;
+                self.expect(&TokenKind::RParen, span)?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen, span)?;
+                let cond = self.parse_assignment()?;
+                self.expect(&TokenKind::RParen, span)?;
+                let then_ = Box::new(self.parse_stmt()?);
+                let else_ = if self.eat(&TokenKind::KwElse) {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_,
+                    else_,
+                    span,
+                })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let e = if self.eat(&TokenKind::Semi) {
+                    None
+                } else {
+                    let e = self.parse_assignment()?;
+                    self.expect(&TokenKind::Semi, span)?;
+                    Some(e)
+                };
+                Ok(Stmt::Return(e, span))
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi, span)?;
+                Ok(Stmt::Break(span))
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi, span)?;
+                Ok(Stmt::Continue(span))
+            }
+            _ => {
+                let e = self.parse_assignment()?;
+                self.expect(&TokenKind::Semi, span)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn parse_decl(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.span();
+        let ty = self.parse_base_type()?;
+        if matches!(self.peek(), TokenKind::Star) {
+            return Err(Diagnostic::error(
+                span,
+                "pointer declarations are only allowed as function parameters",
+            ));
+        }
+        let mut decls = Vec::new();
+        loop {
+            let dspan = self.span();
+            let name = self
+                .eat_ident()
+                .ok_or_else(|| Diagnostic::error(self.span(), "expected declarator name"))?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_assignment()?)
+            } else {
+                None
+            };
+            decls.push(Declarator {
+                name,
+                init,
+                span: dspan,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semi, span)?;
+        Ok(Stmt::Decl { ty, decls, span })
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.span();
+        self.bump(); // for
+        self.expect(&TokenKind::LParen, span)?;
+        let init = if self.eat(&TokenKind::Semi) {
+            None
+        } else if self.peek_is_type() {
+            // C99-style `for (int i = 0; ...)`.
+            Some(Box::new(self.parse_decl()?))
+        } else {
+            let e = self.parse_assignment()?;
+            self.expect(&TokenKind::Semi, span)?;
+            Some(Box::new(Stmt::Expr(e)))
+        };
+        let cond = if self.eat(&TokenKind::Semi) {
+            None
+        } else {
+            let e = self.parse_assignment()?;
+            self.expect(&TokenKind::Semi, span)?;
+            Some(e)
+        };
+        let step = if matches!(self.peek(), TokenKind::RParen) {
+            None
+        } else {
+            Some(self.parse_assignment()?)
+        };
+        self.expect(&TokenKind::RParen, span)?;
+        let body = Box::new(self.parse_stmt()?);
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            span,
+        })
+    }
+
+    /// Handle one-or-more consecutive pragma lines and attach them to the
+    /// right following statement.
+    #[allow(clippy::while_let_loop)] // the loop body borrows `self` twice
+    fn parse_pragma_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.span();
+        let mut parallel: Option<crate::directive::ParallelDirective> = None;
+        let mut localaccess: Vec<LocalAccess> = Vec::new();
+
+        loop {
+            let TokenKind::Pragma(text) = self.peek() else { break };
+            let text = text.clone();
+            let pspan = self.span();
+            let dir = parse_directive(&text, pspan)?;
+            self.bump();
+            match dir {
+                None => {
+                    // Non-acc pragma: ignore; if nothing else pending,
+                    // continue scanning for pragmas or fall through.
+                    if parallel.is_none() && localaccess.is_empty() {
+                        if matches!(self.peek(), TokenKind::Pragma(_)) {
+                            continue;
+                        }
+                        return self.parse_stmt();
+                    }
+                }
+                Some(Directive::Data(d)) => {
+                    if parallel.is_some() || !localaccess.is_empty() {
+                        return Err(Diagnostic::error(
+                            pspan,
+                            "data directive cannot follow localaccess/parallel pragmas",
+                        ));
+                    }
+                    let body = Box::new(self.parse_stmt()?);
+                    return Ok(Stmt::DataRegion { dir: d, body, span });
+                }
+                Some(Directive::Update(d)) => {
+                    if parallel.is_some() || !localaccess.is_empty() {
+                        return Err(Diagnostic::error(
+                            pspan,
+                            "update directive cannot follow localaccess/parallel pragmas",
+                        ));
+                    }
+                    return Ok(Stmt::Update { dir: d, span });
+                }
+                Some(Directive::ReductionToArray(d)) => {
+                    if parallel.is_some() || !localaccess.is_empty() {
+                        return Err(Diagnostic::error(
+                            pspan,
+                            "reductiontoarray cannot mix with loop-level pragmas",
+                        ));
+                    }
+                    let stmt = Box::new(self.parse_stmt()?);
+                    return Ok(Stmt::ReductionToArray { dir: d, stmt, span });
+                }
+                Some(Directive::LocalAccess(la)) => {
+                    localaccess.push(la);
+                }
+                Some(Directive::ParallelLoop(d)) => {
+                    if parallel.is_some() {
+                        return Err(Diagnostic::error(
+                            pspan,
+                            "two parallel-loop directives on one loop",
+                        ));
+                    }
+                    parallel = Some(d);
+                }
+                Some(Directive::ParallelRegion(d)) => {
+                    if parallel.is_some() || !localaccess.is_empty() {
+                        return Err(Diagnostic::error(
+                            pspan,
+                            "a parallel region cannot mix with loop-level pragmas",
+                        ));
+                    }
+                    return self.parse_parallel_region(d, span);
+                }
+                Some(Directive::Loop(d)) => {
+                    // Orphan `loop`: only valid inside a parallel region,
+                    // where it merges with the region's clauses.
+                    let Some(region) = self.region.clone() else {
+                        return Err(Diagnostic::error(
+                            pspan,
+                            "`#pragma acc loop` outside of a parallel region; use the \
+                             combined `#pragma acc parallel loop` form or wrap the loop \
+                             in `#pragma acc parallel { ... }`",
+                        ));
+                    };
+                    if parallel.is_some() {
+                        return Err(Diagnostic::error(
+                            pspan,
+                            "two loop directives on one loop",
+                        ));
+                    }
+                    parallel = Some(crate::directive::merge_region_loop(&region, &d));
+                }
+            }
+        }
+
+        // Pragmas consumed; now the annotated loop must follow.
+        match parallel {
+            Some(dir) => {
+                let loop_stmt = self.parse_stmt()?;
+                if !matches!(loop_stmt, Stmt::For { .. }) {
+                    return Err(Diagnostic::error(
+                        span,
+                        "parallel loop directive must be followed by a for loop",
+                    ));
+                }
+                Ok(Stmt::ParallelLoop {
+                    dir,
+                    localaccess,
+                    loop_: Box::new(loop_stmt),
+                    span,
+                })
+            }
+            None => Err(Diagnostic::error(
+                span,
+                "localaccess directive without a parallel loop directive",
+            )),
+        }
+    }
+
+    /// Parse the split `#pragma acc parallel { ... }` region form (the
+    /// paper's Fig. 1 shape): the following block may contain only
+    /// declarations and `#pragma acc loop`-annotated loops; each loop
+    /// becomes a parallel loop with the region's clauses merged in.
+    fn parse_parallel_region(
+        &mut self,
+        dir: crate::directive::ParallelDirective,
+        span: Span,
+    ) -> Result<Stmt, Diagnostic> {
+        if self.region.is_some() {
+            return Err(Diagnostic::error(span, "nested parallel regions"));
+        }
+        self.region = Some(dir);
+        let body = self.parse_stmt();
+        self.region = None;
+        let body = body?;
+        let Stmt::Block(b) = body else {
+            return Err(Diagnostic::error(
+                span,
+                "a split parallel region must be followed by a `{ ... }` block",
+            ));
+        };
+        for s in &b.stmts {
+            match s {
+                Stmt::ParallelLoop { .. } | Stmt::Decl { .. } | Stmt::Empty(_) => {}
+                other => {
+                    return Err(Diagnostic::error(
+                        other.span(),
+                        "statements inside a split parallel region must be \
+                         `#pragma acc loop`-annotated loops (or declarations); \
+                         OpenACC's redundant gang execution is not supported",
+                    ))
+                }
+            }
+        }
+        if !b.stmts.iter().any(|s| matches!(s, Stmt::ParallelLoop { .. })) {
+            return Err(Diagnostic::error(
+                span,
+                "parallel region contains no `#pragma acc loop`",
+            ));
+        }
+        Ok(Stmt::Block(b))
+    }
+
+    // ---- expressions (C precedence ladder) ----
+
+    fn parse_assignment(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.parse_ternary()?;
+        let op = match self.peek() {
+            TokenKind::Assign => AssignOp::Assign,
+            TokenKind::PlusAssign => AssignOp::AddAssign,
+            TokenKind::MinusAssign => AssignOp::SubAssign,
+            TokenKind::StarAssign => AssignOp::MulAssign,
+            TokenKind::SlashAssign => AssignOp::DivAssign,
+            _ => return Ok(lhs),
+        };
+        let span = self.span();
+        self.bump();
+        let rhs = self.parse_assignment()?;
+        Ok(Expr::Assign {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, Diagnostic> {
+        let cond = self.parse_binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let span = cond.span();
+            let then_ = self.parse_assignment()?;
+            self.expect(&TokenKind::Colon, span)?;
+            let else_ = self.parse_ternary()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_: Box::new(then_),
+                else_: Box::new(else_),
+                span,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing over binary operators. Level 0 is `||`.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::PipePipe => (BinaryOp::LOr, 0),
+                TokenKind::AmpAmp => (BinaryOp::LAnd, 1),
+                TokenKind::Pipe => (BinaryOp::BitOr, 2),
+                TokenKind::Caret => (BinaryOp::BitXor, 3),
+                TokenKind::Amp => (BinaryOp::BitAnd, 4),
+                TokenKind::EqEq => (BinaryOp::Eq, 5),
+                TokenKind::Ne => (BinaryOp::Ne, 5),
+                TokenKind::Lt => (BinaryOp::Lt, 6),
+                TokenKind::Le => (BinaryOp::Le, 6),
+                TokenKind::Gt => (BinaryOp::Gt, 6),
+                TokenKind::Ge => (BinaryOp::Ge, 6),
+                TokenKind::Shl => (BinaryOp::Shl, 7),
+                TokenKind::Shr => (BinaryOp::Shr, 7),
+                TokenKind::Plus => (BinaryOp::Add, 8),
+                TokenKind::Minus => (BinaryOp::Sub, 8),
+                TokenKind::Star => (BinaryOp::Mul, 9),
+                TokenKind::Slash => (BinaryOp::Div, 9),
+                TokenKind::Percent => (BinaryOp::Rem, 9),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let span = self.span();
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnaryOp::Neg),
+            TokenKind::Bang => Some(UnaryOp::Not),
+            TokenKind::Tilde => Some(UnaryOp::BitNot),
+            TokenKind::PlusPlus => Some(UnaryOp::PreInc),
+            TokenKind::MinusMinus => Some(UnaryOp::PreDec),
+            TokenKind::Plus => {
+                self.bump();
+                return self.parse_unary();
+            }
+            // Cast: `(type) expr`
+            TokenKind::LParen
+                if matches!(
+                    self.peek2(),
+                    TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwDouble
+                ) =>
+            {
+                self.bump();
+                let ty = self.parse_base_type()?;
+                if self.eat(&TokenKind::Star) {
+                    return Err(Diagnostic::error(span, "pointer casts are not supported"));
+                }
+                self.expect(&TokenKind::RParen, span)?;
+                let expr = self.parse_unary()?;
+                return Ok(Expr::Cast {
+                    ty,
+                    expr: Box::new(expr),
+                    span,
+                });
+            }
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let expr = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op,
+                    expr: Box::new(expr),
+                    span,
+                })
+            }
+            None => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, Diagnostic> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let span = self.span();
+            if self.eat(&TokenKind::LBracket) {
+                let idx = self.parse_assignment()?;
+                self.expect(&TokenKind::RBracket, span)?;
+                e = Expr::Index {
+                    base: Box::new(e),
+                    idx: Box::new(idx),
+                    span,
+                };
+            } else if self.eat(&TokenKind::PlusPlus) {
+                e = Expr::Postfix {
+                    op: PostfixOp::PostInc,
+                    expr: Box::new(e),
+                    span,
+                };
+            } else if self.eat(&TokenKind::MinusMinus) {
+                e = Expr::Postfix {
+                    op: PostfixOp::PostDec,
+                    expr: Box::new(e),
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v, span))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::F64Lit(v, span))
+            }
+            TokenKind::FloatLitF32(v) => {
+                self.bump();
+                Ok(Expr::F32Lit(v, span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_assignment()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, span)?;
+                    }
+                    Ok(Expr::Call { name, args, span })
+                } else {
+                    Ok(Expr::Ident(name, span))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_assignment()?;
+                self.expect(&TokenKind::RParen, span)?;
+                Ok(e)
+            }
+            other => Err(Diagnostic::error(
+                span,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    fn parse_err(src: &str) -> Diagnostic {
+        parse(&lex(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn parses_simple_function() {
+        let p = parse_src("void f(int n, double *x) { int i = 0; i = i + 1; }");
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].ty, CType::Ptr(Box::new(CType::Double)));
+        assert_eq!(f.body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse_src("void f(int n) { int i; for (i = 0; i < n; i++) { } }");
+        let Stmt::For { init, cond, step, .. } = &p.functions[0].body.stmts[1] else {
+            panic!()
+        };
+        assert!(init.is_some() && cond.is_some() && step.is_some());
+    }
+
+    #[test]
+    fn parses_c99_for_decl() {
+        let p = parse_src("void f(int n) { for (int i = 0; i < n; i++) ; }");
+        let Stmt::For { init, .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(init.as_deref(), Some(Stmt::Decl { .. })));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_src("void f(int a, int b, int c, int r) { r = a + b * c; }");
+        let Stmt::Expr(Expr::Assign { rhs, .. }) = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        let Expr::Binary { op: BinaryOp::Add, rhs: add_rhs, .. } = rhs.as_ref() else {
+            panic!("expected Add at top, got {rhs:?}")
+        };
+        assert!(matches!(
+            add_rhs.as_ref(),
+            Expr::Binary { op: BinaryOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_ternary_and_cast() {
+        parse_src("void f(int a, double d) { d = a > 0 ? (double)a : 0.0; }");
+    }
+
+    #[test]
+    fn parses_index_chain_and_calls() {
+        parse_src("void f(double *x, int *idx, int i, double r) { r = sqrt(x[idx[i]] * 2.0); }");
+    }
+
+    #[test]
+    fn parses_parallel_loop_with_localaccess() {
+        let p = parse_src(
+            "void f(int n, double *x, double *y) {\n\
+             #pragma acc localaccess(x) stride(1)\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = x[i];\n\
+             }",
+        );
+        let Stmt::ParallelLoop { localaccess, .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(localaccess.len(), 1);
+        assert_eq!(localaccess[0].array, "x");
+    }
+
+    #[test]
+    fn localaccess_after_parallel_also_attaches() {
+        let p = parse_src(
+            "void f(int n, double *x, double *y) {\n\
+             #pragma acc parallel loop\n\
+             #pragma acc localaccess(x)\n\
+             for (int i = 0; i < n; i++) y[i] = x[i];\n\
+             }",
+        );
+        let Stmt::ParallelLoop { localaccess, .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(localaccess.len(), 1);
+    }
+
+    #[test]
+    fn parses_data_region() {
+        let p = parse_src(
+            "void f(int n, double *x) {\n\
+             #pragma acc data copy(x[0:n])\n\
+             {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) x[i] = 0.0;\n\
+             }\n\
+             }",
+        );
+        let Stmt::DataRegion { body, .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        let Stmt::Block(b) = body.as_ref() else { panic!() };
+        assert!(matches!(b.stmts[0], Stmt::ParallelLoop { .. }));
+    }
+
+    #[test]
+    fn parses_reductiontoarray_attachment() {
+        let p = parse_src(
+            "void f(int n, int *m, double *e, double *v) {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) {\n\
+             #pragma acc reductiontoarray(+: e[5])\n\
+             e[m[i]] += v[i];\n\
+             }\n\
+             }",
+        );
+        let Stmt::ParallelLoop { loop_, .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        let Stmt::For { body, .. } = loop_.as_ref() else { panic!() };
+        let Stmt::Block(b) = body.as_ref() else { panic!() };
+        assert!(matches!(b.stmts[0], Stmt::ReductionToArray { .. }));
+    }
+
+    #[test]
+    fn orphan_localaccess_rejected() {
+        let e = parse_err(
+            "void f(int n, double *x) {\n\
+             #pragma acc localaccess(x)\n\
+             x[0] = 1.0;\n\
+             }",
+        );
+        assert!(e.message.contains("localaccess"));
+    }
+
+    #[test]
+    fn parallel_without_for_rejected() {
+        let e = parse_err(
+            "void f(int n) {\n\
+             #pragma acc parallel loop\n\
+             n = 1;\n\
+             }",
+        );
+        assert!(e.message.contains("for loop"));
+    }
+
+    #[test]
+    fn local_pointer_decl_rejected() {
+        let e = parse_err("void f() { int *p; }");
+        assert!(e.message.contains("pointer declarations"));
+    }
+
+    #[test]
+    fn parses_update_stmt() {
+        let p = parse_src(
+            "void f(int n, double *x) {\n\
+             #pragma acc update host(x[0:n])\n\
+             }",
+        );
+        assert!(matches!(p.functions[0].body.stmts[0], Stmt::Update { .. }));
+    }
+
+    #[test]
+    fn parses_compound_assign_and_incdec() {
+        parse_src("void f(int i, double s, double *x) { s += x[i]; s *= 2.0; i--; ++i; }");
+    }
+
+    #[test]
+    fn non_acc_pragma_skipped() {
+        let p = parse_src(
+            "void f(int i) {\n\
+             #pragma omp parallel for\n\
+             i = 1;\n\
+             }",
+        );
+        assert!(matches!(p.functions[0].body.stmts[0], Stmt::Expr(_)));
+    }
+}

@@ -1,0 +1,101 @@
+//! Token definitions.
+
+use crate::diag::Span;
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Token kinds of the mini-C dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    /// Float literal with `f` suffix (single precision).
+    FloatLitF32(f32),
+
+    // Keywords
+    KwInt,
+    KwFloat,
+    KwDouble,
+    KwVoid,
+    KwFor,
+    KwWhile,
+    KwIf,
+    KwElse,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+
+    // A `#pragma ...` line, carried verbatim (content after `#pragma`).
+    Pragma(String),
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+
+    // Operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        Some(match s {
+            "int" => TokenKind::KwInt,
+            "float" => TokenKind::KwFloat,
+            "double" => TokenKind::KwDouble,
+            "void" => TokenKind::KwVoid,
+            "for" => TokenKind::KwFor,
+            "while" => TokenKind::KwWhile,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            _ => return None,
+        })
+    }
+}

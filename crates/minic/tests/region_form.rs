@@ -1,0 +1,167 @@
+//! The split `#pragma acc parallel` region form (paper Fig. 1).
+
+use acc_minic::frontend;
+use acc_minic::hir::HostStmt;
+
+#[test]
+fn fig1_shape_compiles() {
+    // The paper's Fig. 1: a data region, a parallel region with a
+    // reduction clause, and an inner `#pragma acc loop`.
+    let src = "void f(int n, double *x, double *b, double sum) {\n\
+#pragma acc data copyin(b[0:n]) copy(x[0:n])\n\
+{\n\
+#pragma acc parallel reduction(+:sum)\n\
+{\n\
+#pragma acc loop gang vector\n\
+for (int i = 0; i < n; i++) {\n\
+x[i] = x[i] + b[i];\n\
+sum += x[i];\n\
+}\n\
+}\n\
+}\n\
+}";
+    let p = frontend(src).unwrap_or_else(|d| panic!("{d:?}"));
+    let HostStmt::DataRegion { body, .. } = &p.functions[0].body[0] else {
+        panic!()
+    };
+    let HostStmt::ParallelLoop(node) = &body[0] else {
+        panic!("{body:?}")
+    };
+    // The region's reduction clause reached the loop.
+    assert_eq!(node.reductions.len(), 1);
+}
+
+#[test]
+fn region_with_two_loops() {
+    let src = "void f(int n, double *x, double *y) {\n\
+#pragma acc parallel\n\
+{\n\
+#pragma acc loop\n\
+for (int i = 0; i < n; i++) x[i] = 1.0;\n\
+#pragma acc loop\n\
+for (int i = 0; i < n; i++) y[i] = x[i];\n\
+}\n\
+}";
+    let p = frontend(src).unwrap_or_else(|d| panic!("{d:?}"));
+    let loops = p.functions[0]
+        .body
+        .iter()
+        .filter(|s| matches!(s, HostStmt::ParallelLoop(_)))
+        .count();
+    assert_eq!(loops, 2);
+}
+
+#[test]
+fn localaccess_inside_region() {
+    let src = "void f(int n, double *x) {\n\
+#pragma acc parallel\n\
+{\n\
+#pragma acc localaccess(x) stride(1)\n\
+#pragma acc loop\n\
+for (int i = 0; i < n; i++) x[i] = 2.0;\n\
+}\n\
+}";
+    let p = frontend(src).unwrap_or_else(|d| panic!("{d:?}"));
+    let HostStmt::ParallelLoop(node) = &p.functions[0].body[0] else {
+        panic!()
+    };
+    assert_eq!(node.localaccess.len(), 1);
+}
+
+#[test]
+fn orphan_loop_outside_region_rejected() {
+    let src = "void f(int n, double *x) {\n\
+#pragma acc loop\n\
+for (int i = 0; i < n; i++) x[i] = 1.0;\n\
+}";
+    let err = frontend(src).unwrap_err();
+    assert!(err[0].message.contains("outside of a parallel region"), "{err:?}");
+}
+
+#[test]
+fn plain_statement_inside_region_rejected() {
+    let src = "void f(int n, double *x) {\n\
+#pragma acc parallel\n\
+{\n\
+n = n + 1;\n\
+}\n\
+}";
+    let err = frontend(src).unwrap_err();
+    assert!(err[0].message.contains("split parallel region"), "{err:?}");
+}
+
+#[test]
+fn empty_region_rejected() {
+    let src = "void f(int n) {\n\
+#pragma acc parallel\n\
+{\n\
+}\n\
+}";
+    let err = frontend(src).unwrap_err();
+    assert!(err[0].message.contains("no `#pragma acc loop`"), "{err:?}");
+}
+
+#[test]
+fn nested_regions_rejected() {
+    let src = "void f(int n, double *x) {\n\
+#pragma acc parallel\n\
+{\n\
+#pragma acc parallel\n\
+{\n\
+#pragma acc loop\n\
+for (int i = 0; i < n; i++) x[i] = 1.0;\n\
+}\n\
+}\n\
+}";
+    let err = frontend(src).unwrap_err();
+    assert!(
+        err[0].message.contains("nested") || err[0].message.contains("split parallel"),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn region_runs_end_to_end() {
+    use acc_compiler::{compile_source, CompileOptions};
+    use acc_gpusim::Machine;
+    use acc_kernel_ir::{Buffer, Value};
+    use acc_runtime::{run_program, ExecConfig};
+
+    let src = "void f(int n, double *x, double *b, double sum, double *out) {\n\
+#pragma acc data copyin(b[0:n]) copy(x[0:n]) copyout(out[0:1])\n\
+{\n\
+#pragma acc parallel reduction(+:sum)\n\
+{\n\
+#pragma acc loop\n\
+for (int i = 0; i < n; i++) {\n\
+x[i] = x[i] + b[i];\n\
+sum += b[i];\n\
+}\n\
+}\n\
+#pragma acc parallel\n\
+{\n\
+#pragma acc loop\n\
+for (int i = 0; i < 1; i++) out[i] = sum;\n\
+}\n\
+}\n\
+}";
+    let prog = compile_source(src, "f", &CompileOptions::proposal()).unwrap();
+    let n = 100;
+    let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let expect_sum: f64 = b.iter().sum();
+    let mut m = Machine::desktop();
+    let r = run_program(
+        &mut m,
+        &ExecConfig::gpus(2),
+        &prog,
+        vec![Value::I32(n as i32), Value::F64(0.0)],
+        vec![
+            Buffer::zeroed(acc_kernel_ir::Ty::F64, n),
+            Buffer::from_f64(&b),
+            Buffer::zeroed(acc_kernel_ir::Ty::F64, 1),
+        ],
+    )
+    .unwrap();
+    assert_eq!(r.arrays[0].to_f64_vec(), b);
+    assert_eq!(r.arrays[2].to_f64_vec()[0], expect_sum);
+}

@@ -1,0 +1,62 @@
+//! Frontend robustness: the lexer/parser/sema must never panic — every
+//! malformed input becomes a `Diagnostic`.
+
+use acc_minic::{frontend, lexer, parser};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer returns (not panics) on arbitrary ASCII soup.
+    #[test]
+    fn lexer_total_on_ascii(src in "[ -~\\n\\t]{0,200}") {
+        let _ = lexer::lex(&src);
+    }
+
+    /// The parser is total over whatever token streams the lexer accepts.
+    #[test]
+    fn parser_total_on_ascii(src in "[ -~\\n\\t]{0,200}") {
+        if let Ok(toks) = lexer::lex(&src) {
+            let _ = parser::parse(&toks);
+        }
+    }
+
+    /// The whole frontend is total on C-looking fragments.
+    #[test]
+    fn frontend_total_on_c_fragments(
+        body in "[a-z0-9 =+\\-*/;(){}\\[\\]<>!&|,.]{0,160}"
+    ) {
+        let src = format!("void f(int n, double *x) {{ {body} }}");
+        let _ = frontend(&src);
+    }
+
+    /// Pragma lines never panic the directive parser.
+    #[test]
+    fn pragmas_total(body in "[a-z0-9 :+*,()\\[\\]]{0,80}") {
+        let src = format!(
+            "void f(int n, double *x) {{\n#pragma acc {body}\nx[0] = 1.0;\n}}"
+        );
+        let _ = frontend(&src);
+    }
+}
+
+/// Deterministic regression inputs that once mattered during development.
+#[test]
+fn regression_inputs_do_not_panic() {
+    for src in [
+        "",
+        "void",
+        "void f(",
+        "void f() {",
+        "void f() { for (;;) ; }",
+        "void f() { 1 + ; }",
+        "void f(int n) { n = ((((n)))); }",
+        "void f() { /* unterminated",
+        "#pragma acc data",
+        "void f(double *x) {\n#pragma acc parallel loop\nwhile (1) ;\n}",
+        "void f(int i) { i = 2147483648; }", // doesn't fit in int
+        "void f(int i) { i++++; }",
+    ] {
+        let _ = frontend(src);
+    }
+}

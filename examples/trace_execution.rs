@@ -1,0 +1,46 @@
+//! Print the runtime's execution trace for a small multi-GPU run: every
+//! data-region event, launch, loader decision and communication round —
+//! the observable version of the paper's Fig. 3 execution steps.
+//!
+//! ```text
+//! cargo run -p acc-apps --example trace_execution
+//! ```
+
+use acc_apps::kmeans;
+use acc_compiler::{compile_source, CompileOptions};
+use acc_gpusim::Machine;
+use acc_runtime::{run_program, ExecConfig};
+
+fn main() {
+    let cfg = kmeans::KmeansConfig {
+        npoints: 2000,
+        nfeatures: 8,
+        nclusters: 4,
+        iters: 2,
+    };
+    let input = kmeans::generate(&cfg, 42);
+    let prog =
+        compile_source(kmeans::SOURCE, kmeans::FUNCTION, &CompileOptions::proposal()).unwrap();
+
+    let mut machine = Machine::supercomputer_node();
+    let mut ec = ExecConfig::gpus(3);
+    ec.trace = true;
+    let (scalars, arrays) = kmeans::inputs(&input);
+    let report = run_program(&mut machine, &ec, &prog, scalars, arrays).expect("run");
+
+    println!(
+        "KMEANS {} points x {} features, k={}, {} iterations on 3 GPUs\n",
+        cfg.npoints, cfg.nfeatures, cfg.nclusters, cfg.iters
+    );
+    for line in &report.profile.trace {
+        println!("{line}");
+    }
+    let t = report.profile.time;
+    println!(
+        "\ntotals: kernels {:.3} ms | cpu-gpu {:.3} ms | gpu-gpu {:.3} ms | host {:.3} ms",
+        t.kernels * 1e3,
+        t.cpu_gpu * 1e3,
+        t.gpu_gpu * 1e3,
+        t.host * 1e3
+    );
+}
