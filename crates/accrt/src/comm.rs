@@ -18,6 +18,7 @@ use acc_compiler::{CompiledKernel, Placement};
 use acc_gpusim::Endpoint;
 use acc_kernel_ir::interp::rmw_apply;
 use acc_kernel_ir::{MissRecord, RmwOp, Value};
+use acc_obs::{CommRound, MissReplay, ReductionMerge, TransferKind, TransferSpan};
 
 use crate::exec::{ArrLaunch, Engine};
 use crate::RunError;
@@ -124,14 +125,39 @@ impl<'a> Engine<'a> {
                 for &(lo, hi) in &per_gpu_runs[g] {
                     self.copy_elements_between_gpus(bi.arr, g, h, lo as i64, hi as i64)?;
                 }
+                let mut pair_start = f64::INFINITY;
+                let mut pair_end = t2;
+                let mut pair_bytes = 0u64;
                 for &bytes in &per_gpu_chunk_sizes[g] {
-                    let (_, e) =
+                    let (s, e) =
                         self.machine
                             .bus
                             .transfer(Endpoint::Gpu(g), Endpoint::Gpu(h), bytes, t2);
-                    end = end.max(e);
+                    self.rec.transfer(TransferSpan {
+                        kind: TransferKind::P2P,
+                        array: self.prog.array_params[bi.arr].0.clone(),
+                        bytes,
+                        src: Some(g),
+                        dst: Some(h),
+                        why: "sync",
+                        start: s,
+                        end: e,
+                    });
+                    pair_start = pair_start.min(s);
+                    pair_end = pair_end.max(e);
+                    pair_bytes += bytes;
                 }
-                self.prof.dirty_chunks_sent += per_gpu_chunk_sizes[g].len() as u64;
+                end = end.max(pair_end);
+                self.rec.comm_round(CommRound {
+                    launch: self.cur_launch,
+                    array: self.prog.array_params[bi.arr].0.clone(),
+                    src: g,
+                    dst: h,
+                    chunks: per_gpu_chunk_sizes[g].len() as u64,
+                    bytes: pair_bytes,
+                    start: pair_start.min(pair_end),
+                    end: pair_end,
+                });
             }
         }
 
@@ -195,21 +221,50 @@ impl<'a> Engine<'a> {
                         buf.set(local as usize, v);
                     }
                 }
-                self.prof.miss_records += recs.len() as u64;
                 if owner == g {
                     // Shouldn't happen (local writes don't miss), but be
                     // robust: applied with no transfer.
+                    self.rec.miss_replay(MissReplay {
+                        launch: self.cur_launch,
+                        array: ck.configs[kbuf].name.clone(),
+                        src: g,
+                        dst: owner,
+                        records: recs.len() as u64,
+                        bytes: 0,
+                        start: t2,
+                        end: t2,
+                    });
                     continue;
                 }
                 let bytes = (recs.len() * (8 + elem)) as u64;
-                let (_, e) =
+                let (s, e) =
                     self.machine
                         .bus
                         .transfer(Endpoint::Gpu(g), Endpoint::Gpu(owner), bytes, t2);
+                self.rec.transfer(TransferSpan {
+                    kind: TransferKind::P2P,
+                    array: ck.configs[kbuf].name.clone(),
+                    bytes,
+                    src: Some(g),
+                    dst: Some(owner),
+                    why: "miss",
+                    start: s,
+                    end: e,
+                });
                 // Completing the writes is a small kernel on the owner.
                 let apply = self.machine.gpus[owner]
                     .spec
                     .local_copy_time((recs.len() * elem) as u64);
+                self.rec.miss_replay(MissReplay {
+                    launch: self.cur_launch,
+                    array: ck.configs[kbuf].name.clone(),
+                    src: g,
+                    dst: owner,
+                    records: recs.len() as u64,
+                    bytes,
+                    start: s,
+                    end: e + apply,
+                });
                 end = end.max(e + apply);
             }
         }
@@ -251,11 +306,30 @@ impl<'a> Engine<'a> {
                     }
                 }
                 let bytes = (n * elem) as u64;
-                let (_, e) =
+                let (s, e) =
                     self.machine
                         .bus
                         .transfer(Endpoint::Gpu(src), Endpoint::Gpu(g), bytes, round_start);
+                self.rec.transfer(TransferSpan {
+                    kind: TransferKind::P2P,
+                    array: self.prog.array_params[bi.arr].0.clone(),
+                    bytes,
+                    src: Some(src),
+                    dst: Some(g),
+                    why: "reduce",
+                    start: s,
+                    end: e,
+                });
                 let combine = self.machine.gpus[g].spec.local_copy_time(bytes);
+                self.rec.reduction_merge(ReductionMerge {
+                    launch: self.cur_launch,
+                    array: self.prog.array_params[bi.arr].0.clone(),
+                    src,
+                    dst: g,
+                    bytes,
+                    start: s,
+                    end: e + combine,
+                });
                 round_end = round_end.max(e + combine);
                 g += stride * 2;
             }

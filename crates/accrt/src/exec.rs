@@ -8,6 +8,7 @@ use acc_compiler::affine::AccessPattern;
 use acc_compiler::hostgen::CompiledClause;
 use acc_gpusim::{Gpu, Machine};
 use acc_kernel_ir as ir;
+use acc_obs::{LaunchSpan, PhaseKind, Recorder};
 use ir::interp::{eval_host_expr, rmw_apply, run_host_block, run_kernel_range};
 use ir::{Buffer, BufSlot, DirtyMap, ExecCtx, Kernel, MissRecord, OpCounters, Value};
 
@@ -78,7 +79,14 @@ pub(crate) struct Engine<'a> {
     pub locals: Vec<Value>,
     pub host_arrays: Vec<Buffer>,
     pub arrays: Vec<ArrayState>,
-    pub prof: Profiler,
+    /// The structured event stream; times and event counters are derived
+    /// from it at the end of the run.
+    pub rec: Recorder,
+    /// Aggregated interpreter work counters (not part of the stream).
+    pub kernel_counters: OpCounters,
+    pub host_counters: OpCounters,
+    /// Id of the launch currently executing (valid inside `launch`).
+    pub cur_launch: u64,
     pub now: f64,
 }
 
@@ -110,7 +118,10 @@ impl<'a> Engine<'a> {
             locals,
             host_arrays,
             arrays,
-            prof: Profiler::default(),
+            rec: Recorder::new(cfg.tracing),
+            kernel_counters: OpCounters::default(),
+            host_counters: OpCounters::default(),
+            cur_launch: 0,
             now: 0.0,
         }
     }
@@ -118,11 +129,19 @@ impl<'a> Engine<'a> {
     pub fn run(mut self) -> Result<RunReport, RunError> {
         let prog = self.prog;
         self.exec_ops(&prog.host)?;
-        // Sequential host time from the aggregate host counters.
-        self.prof.time.host = self.machine.cpu.serial_time(&self.prof.host_counters);
-        self.prof.h2d_bytes = self.machine.bus.h2d_bytes;
-        self.prof.d2h_bytes = self.machine.bus.d2h_bytes;
-        self.prof.p2p_bytes = self.machine.bus.p2p_bytes;
+        // Sequential host time from the aggregate host counters, appended
+        // to the timeline as one phase span (host statements interleave
+        // with the simulated phases but are priced in aggregate).
+        let host_time = self.machine.cpu.serial_time(&self.host_counters);
+        self.rec
+            .phase(None, PhaseKind::Host, self.now, self.now + host_time);
+        let trace = self.rec.finish();
+        let mut profile = Profiler::from_trace(&trace);
+        profile.kernel_counters = self.kernel_counters;
+        profile.host_counters = self.host_counters;
+        debug_assert_eq!(profile.h2d_bytes, self.machine.bus.h2d_bytes);
+        debug_assert_eq!(profile.d2h_bytes, self.machine.bus.d2h_bytes);
+        debug_assert_eq!(profile.p2p_bytes, self.machine.bus.p2p_bytes);
         let mem = self
             .machine
             .gpus
@@ -138,8 +157,9 @@ impl<'a> Engine<'a> {
         Ok(RunReport {
             arrays: self.host_arrays,
             locals: self.locals,
-            profile: self.prof,
+            profile,
             mem,
+            trace,
         })
     }
 
@@ -162,7 +182,7 @@ impl<'a> Engine<'a> {
     pub(crate) fn eval_host(&mut self, e: &ir::Expr) -> Result<Value, RunError> {
         let mut ctx = Self::host_ctx(&mut self.host_arrays);
         let v = eval_host_expr(e, &mut self.locals, &mut ctx)?;
-        self.prof.host_counters.merge(&ctx.counters);
+        self.host_counters.merge(&ctx.counters);
         Ok(v)
     }
 
@@ -181,7 +201,7 @@ impl<'a> Engine<'a> {
     fn exec_plain(&mut self, s: &ir::Stmt) -> Result<(), RunError> {
         let mut ctx = Self::host_ctx(&mut self.host_arrays);
         run_host_block(std::slice::from_ref(s), &mut self.locals, &mut ctx)?;
-        self.prof.host_counters.merge(&ctx.counters);
+        self.host_counters.merge(&ctx.counters);
         Ok(())
     }
 
@@ -226,11 +246,6 @@ impl<'a> Engine<'a> {
     fn data_enter(&mut self, region: usize, clauses: &[CompiledClause]) -> Result<(), RunError> {
         if self.cfg.mode == ExecMode::CpuParallel {
             return Ok(());
-        }
-        if self.cfg.trace {
-            self.prof
-                .trace
-                .push(format!("data region #{region} enter ({} clauses)", clauses.len()));
         }
         use acc_minic::directive::DataClauseKind as K;
         for c in clauses {
@@ -292,14 +307,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        self.prof.time.cpu_gpu += end - t0;
+        self.rec.phase(None, PhaseKind::Data, t0, end);
         self.now = end;
-        if self.cfg.trace {
-            self.prof.trace.push(format!(
-                "data region #{region} exit (copy-out {:.3} ms)",
-                (end - t0) * 1e3
-            ));
-        }
         Ok(())
     }
 
@@ -323,7 +332,7 @@ impl<'a> Engine<'a> {
             let e = self.push_to_device(s.array, lo, hi, t0)?;
             end = end.max(e);
         }
-        self.prof.time.cpu_gpu += end - t0;
+        self.rec.phase(None, PhaseKind::Data, t0, end);
         self.now = end;
         Ok(())
     }
@@ -347,7 +356,7 @@ impl<'a> Engine<'a> {
     fn launch(&mut self, kidx: usize) -> Result<(), RunError> {
         let prog = self.prog;
         let ck = &prog.kernels[kidx];
-        self.prof.kernel_launches += 1;
+        self.cur_launch = self.rec.launch_begin();
         match self.cfg.mode {
             ExecMode::CpuParallel => self.launch_cpu(ck),
             ExecMode::Gpu => self.launch_gpu(ck),
@@ -415,9 +424,10 @@ impl<'a> Engine<'a> {
             terms.push((sb, cpu_write_eff(cpu, cfg, resident)));
         }
         let t = cpu.parallel_region_time_split(&counters, &terms);
-        self.prof.time.kernels += t;
+        self.rec
+            .phase(Some(self.cur_launch), PhaseKind::Kernel, self.now, self.now + t);
         self.now += t;
-        self.prof.kernel_counters.merge(&counters);
+        self.kernel_counters.merge(&counters);
         self.apply_scalar_reductions(ck, &[partials])?;
         Ok(())
     }
@@ -447,36 +457,11 @@ impl<'a> Engine<'a> {
         // Resolve per-array launch placement.
         let binfo = self.resolve_bindings(ck, &tasks)?;
 
-        if self.cfg.trace {
-            let placements: Vec<String> = binfo
-                .iter()
-                .map(|bi| {
-                    format!(
-                        "{}:{:?}",
-                        self.prog.array_params[bi.arr].0,
-                        bi.placement
-                    )
-                })
-                .collect();
-            self.prof.trace.push(format!(
-                "launch `{}` [{lo}, {hi}) over {ngpus} GPU(s); placements: {}",
-                ck.kernel.name,
-                placements.join(", ")
-            ));
-        }
-
         // ---- loader phase ----
         let t0 = self.now;
-        let h2d_before = self.machine.bus.h2d_bytes;
         let t1 = self.loader_phase(ck, &binfo, t0)?;
-        self.prof.time.cpu_gpu += t1 - t0;
-        if self.cfg.trace {
-            self.prof.trace.push(format!(
-                "  loader: {:.3} ms, {:.2} MB host->device",
-                (t1 - t0) * 1e3,
-                (self.machine.bus.h2d_bytes - h2d_before) as f64 / 1e6
-            ));
-        }
+        self.rec
+            .phase(Some(self.cur_launch), PhaseKind::Loader, t0, t1);
 
         // ---- kernel phase ----
         let mut jobs: Vec<Option<Job>> = Vec::with_capacity(ngpus);
@@ -535,7 +520,8 @@ impl<'a> Engine<'a> {
             job_outs.push(out);
         }
 
-        // Kernel-phase duration = slowest GPU.
+        // Kernel-phase duration = slowest GPU; every GPU that ran gets a
+        // launch span on its own timeline starting at the barrier `t1`.
         let mut tk = 0.0f64;
         for (g, out) in job_outs.iter().enumerate() {
             if !out.ran {
@@ -550,14 +536,24 @@ impl<'a> Engine<'a> {
                 terms.push((lb, gpu_read_eff(spec, cfg, resident)));
                 terms.push((sb, gpu_write_eff(spec, cfg, resident)));
             }
-            tk = tk.max(spec.kernel_time_split(&out.counters, &terms));
-            self.prof.kernel_counters.merge(&out.counters);
+            let tg = spec.kernel_time_split(&out.counters, &terms);
+            tk = tk.max(tg);
+            self.kernel_counters.merge(&out.counters);
+            self.rec.launch_span(LaunchSpan {
+                launch: self.cur_launch,
+                kernel: ck.kernel.name.clone(),
+                gpu: g,
+                rows: tasks[g],
+                start: t1,
+                end: t1 + tg,
+            });
         }
         if job_outs.iter().all(|o| !o.ran) {
             // Degenerate empty launch still pays one launch overhead.
             tk = self.machine.gpus[0].spec.launch_overhead_s;
         }
-        self.prof.time.kernels += tk;
+        self.rec
+            .phase(Some(self.cur_launch), PhaseKind::Kernel, t1, t1 + tk);
         let t2 = t1 + tk;
 
         // Scalar reductions merge back into host locals.
@@ -577,20 +573,10 @@ impl<'a> Engine<'a> {
 
         // ---- communication phase ----
         let misses: Vec<Vec<MissRecord>> = job_outs.into_iter().map(|o| o.misses).collect();
-        let n_misses: usize = misses.iter().map(|m| m.len()).sum();
-        let p2p_before = self.machine.bus.p2p_bytes;
         let t3 = self.comm_phase(ck, &binfo, misses, t2)?;
-        self.prof.time.gpu_gpu += t3 - t2;
+        self.rec
+            .phase(Some(self.cur_launch), PhaseKind::Comm, t2, t3);
         self.now = t3;
-        if self.cfg.trace {
-            self.prof.trace.push(format!(
-                "  kernels: {:.3} ms (slowest GPU); comm: {:.3} ms, {:.2} MB GPU<->GPU, {} miss records",
-                tk * 1e3,
-                (t3 - t2) * 1e3,
-                (self.machine.bus.p2p_bytes - p2p_before) as f64 / 1e6,
-                n_misses
-            ));
-        }
 
         // Close implicit regions (copy-out + free).
         for arr in implicit {
@@ -605,7 +591,7 @@ impl<'a> Engine<'a> {
             } else {
                 t0
             };
-            self.prof.time.cpu_gpu += end - t0;
+            self.rec.phase(None, PhaseKind::Data, t0, end);
             self.now = end;
             self.arrays[arr].region_depth = 0;
             self.free_array_devices(arr)?;

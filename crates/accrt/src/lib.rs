@@ -35,8 +35,17 @@ use acc_compiler::CompiledProgram;
 use acc_gpusim::{Machine, MemError};
 use acc_kernel_ir::{Buffer, ExecError, Value};
 
+pub use acc_obs::{Trace, TraceLevel};
 pub use profiler::{Profiler, TimeBreakdown};
 pub use ranges::RangeSet;
+
+/// The names most programs driving the runtime need:
+/// `use acc_runtime::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        run_program, ExecConfig, ExecMode, RunError, RunReport, Trace, TraceLevel,
+    };
+}
 
 /// How to execute the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +59,21 @@ pub enum ExecMode {
 }
 
 /// Runtime configuration.
+///
+/// Construct with [`ExecConfig::gpus`] or [`ExecConfig::openmp`] and
+/// refine with the builder methods:
+///
+/// ```ignore
+/// let cfg = ExecConfig::gpus(3)
+///     .chunk_bytes(1 << 20)
+///     .loader_reuse(false)
+///     .tracing(TraceLevel::Spans);
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: fields stay readable, but new
+/// options can be added without breaking downstream constructors.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ExecConfig {
     /// Number of GPUs to use (must not exceed the machine's).
     pub ngpus: usize,
@@ -65,10 +88,10 @@ pub struct ExecConfig {
     /// additional data movement ... when the read memory access pattern
     /// in the next kernel call is the same").
     pub loader_reuse: bool,
-    /// Record a human-readable event trace into
-    /// [`Profiler::trace`](profiler::Profiler) (launches, loader
-    /// decisions, communication rounds).
-    pub trace: bool,
+    /// How much structured-event detail the run retains in
+    /// [`RunReport::trace`]. Phase totals and counters are accumulated
+    /// regardless.
+    pub tracing: TraceLevel,
 }
 
 impl ExecConfig {
@@ -80,7 +103,7 @@ impl ExecConfig {
             chunk_bytes: acc_kernel_ir::dirty::DEFAULT_CHUNK_BYTES,
             miss_capacity: 1 << 22,
             loader_reuse: true,
-            trace: false,
+            tracing: TraceLevel::Off,
         }
     }
 
@@ -89,16 +112,41 @@ impl ExecConfig {
         ExecConfig {
             ngpus: 0,
             mode: ExecMode::CpuParallel,
-            chunk_bytes: acc_kernel_ir::dirty::DEFAULT_CHUNK_BYTES,
-            miss_capacity: 1 << 22,
-            loader_reuse: true,
-            trace: false,
+            ..ExecConfig::gpus(0)
         }
+    }
+
+    /// Set the second-level dirty-bit chunk size in bytes.
+    pub fn chunk_bytes(mut self, bytes: usize) -> ExecConfig {
+        self.chunk_bytes = bytes;
+        self
+    }
+
+    /// Set the per-GPU write-miss buffer capacity, in records.
+    pub fn miss_capacity(mut self, records: usize) -> ExecConfig {
+        self.miss_capacity = records;
+        self
+    }
+
+    /// Enable or disable loader reuse of resident ranges (ablation).
+    pub fn loader_reuse(mut self, reuse: bool) -> ExecConfig {
+        self.loader_reuse = reuse;
+        self
+    }
+
+    /// Set the event-retention level for [`RunReport::trace`].
+    pub fn tracing(mut self, level: TraceLevel) -> ExecConfig {
+        self.tracing = level;
+        self
     }
 }
 
 /// Runtime errors.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// failure modes can be reported without a breaking change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RunError {
     /// Kernel or host interpretation failed.
     Exec(ExecError),
@@ -163,10 +211,15 @@ pub struct RunReport {
     pub arrays: Vec<Buffer>,
     /// Final host scalar frame (useful for scalar outputs/diagnostics).
     pub locals: Vec<Value>,
-    /// Simulated-time breakdown and transfer/work statistics.
+    /// Simulated-time breakdown and transfer/work statistics (derived
+    /// from the structured event stream in [`RunReport::trace`]).
     pub profile: Profiler,
     /// Per-GPU peak device-memory usage.
     pub mem: Vec<GpuMemReport>,
+    /// The structured event stream (detail set by
+    /// [`ExecConfig::tracing`]); export with
+    /// [`Trace::chrome_trace`] / [`Trace::summary_table`].
+    pub trace: Trace,
 }
 
 impl RunReport {
@@ -231,6 +284,10 @@ pub fn run_program(
     }
 
     machine.reset();
+    // At `Spans` level the bus keeps its own transfer journal, so tests
+    // can cross-check the recorder's spans against what the bus actually
+    // scheduled.
+    machine.bus.set_journal(cfg.tracing.keeps_spans());
     let engine = exec::Engine::new(machine, cfg, prog, scalars, arrays);
     engine.run()
 }

@@ -21,6 +21,7 @@ use acc_gpusim::memory::AllocClass;
 use acc_gpusim::Endpoint;
 use acc_kernel_ir::interp::rmw_identity;
 use acc_kernel_ir::{DirtyMap, Ty};
+use acc_obs::{LoaderDecision, TransferKind, TransferSpan};
 
 use crate::exec::{ArrLaunch, Engine};
 use crate::ranges::RangeSet;
@@ -92,6 +93,9 @@ impl<'a> Engine<'a> {
                 }
                 _ => {
                     for g in 0..ngpus {
+                        if bi.required[g].0 >= bi.required[g].1 {
+                            continue;
+                        }
                         let e = self.fill_required(bi.arr, g, bi.required[g], t0)?;
                         end = end.max(e);
                     }
@@ -134,7 +138,7 @@ impl<'a> Engine<'a> {
             ex
         };
         for (lo, hi) in exclusive.iter().collect::<Vec<_>>() {
-            let e = self.xfer_d2h(arr, g, lo, hi, t0)?;
+            let e = self.xfer_d2h(arr, g, lo, hi, t0, "evict")?;
             end = end.max(e);
         }
         // Re-allocate the window.
@@ -201,6 +205,7 @@ impl<'a> Engine<'a> {
         if req.0 >= req.1 {
             return Ok(end);
         }
+        let elem = self.arrays[arr].elem() as u64;
         let mut missing = if self.cfg.loader_reuse {
             let ga = &self.arrays[arr].gpu[g];
             ga.valid.missing_in(req.0, req.1)
@@ -217,8 +222,18 @@ impl<'a> Engine<'a> {
             }
         };
         if missing.is_empty() {
+            // Clean reuse of the resident window — the §IV-C fast path.
+            self.rec.loader_decision(LoaderDecision {
+                launch: self.cur_launch,
+                array: self.prog.array_params[arr].0.clone(),
+                gpu: g,
+                reused: true,
+                bytes_moved: 0,
+                at: t0,
+            });
             return Ok(end);
         }
+        let mut bytes_moved = 0u64;
         // While the host copy is current, the loader always loads from CPU
         // memory (paper §IV-C). Once device writes have made it stale,
         // peer GPUs holding current device data become the sources.
@@ -239,17 +254,19 @@ impl<'a> Engine<'a> {
                     }
                 };
                 for (lo, hi) in avail.iter().collect::<Vec<_>>() {
-                    let e = self.xfer_p2p(arr, h, g, lo, hi, t0)?;
+                    let e = self.xfer_p2p(arr, h, g, lo, hi, t0, "fill")?;
                     end = end.max(e);
                     missing.remove(lo, hi);
+                    bytes_moved += (hi - lo) as u64 * elem;
                 }
             }
         }
         // Host source.
         if self.arrays[arr].init_from_host {
             for (lo, hi) in missing.iter().collect::<Vec<_>>() {
-                let e = self.xfer_h2d(arr, g, lo, hi, t0)?;
+                let e = self.xfer_h2d(arr, g, lo, hi, t0, "load")?;
                 end = end.max(e);
+                bytes_moved += (hi - lo) as u64 * elem;
             }
         } else {
             // `create`: fresh zeroed allocation already matches.
@@ -258,6 +275,14 @@ impl<'a> Engine<'a> {
                 ga.valid.insert(lo, hi);
             }
         }
+        self.rec.loader_decision(LoaderDecision {
+            launch: self.cur_launch,
+            array: self.prog.array_params[arr].0.clone(),
+            gpu: g,
+            reused: false,
+            bytes_moved,
+            at: end,
+        });
         Ok(end)
     }
 
@@ -285,7 +310,7 @@ impl<'a> Engine<'a> {
     // ---------------- transfers ----------------
 
     /// Host → device `[lo, hi)` (global elements). Functional copy plus
-    /// bus-scheduled timing.
+    /// bus-scheduled timing; emits a [`TransferSpan`].
     pub(crate) fn xfer_h2d(
         &mut self,
         arr: usize,
@@ -293,6 +318,7 @@ impl<'a> Engine<'a> {
         lo: i64,
         hi: i64,
         ready: f64,
+        why: &'static str,
     ) -> Result<f64, RunError> {
         if lo >= hi {
             return Ok(ready);
@@ -305,10 +331,20 @@ impl<'a> Engine<'a> {
         let dev = self.machine.gpus[g].memory.get_mut(handle)?;
         dev.copy_range_from((lo - wlo) as usize, host, lo as usize, (hi - lo) as usize);
         let bytes = ((hi - lo) as usize * elem) as u64;
-        let (_, end) = self
+        let (start, end) = self
             .machine
             .bus
             .transfer(Endpoint::Host, Endpoint::Gpu(g), bytes, ready);
+        self.rec.transfer(TransferSpan {
+            kind: TransferKind::H2D,
+            array: self.prog.array_params[arr].0.clone(),
+            bytes,
+            src: None,
+            dst: Some(g),
+            why,
+            start,
+            end,
+        });
         self.arrays[arr].gpu[g].valid.insert(lo, hi);
         Ok(end)
     }
@@ -321,6 +357,7 @@ impl<'a> Engine<'a> {
         lo: i64,
         hi: i64,
         ready: f64,
+        why: &'static str,
     ) -> Result<f64, RunError> {
         if lo >= hi {
             return Ok(ready);
@@ -333,15 +370,26 @@ impl<'a> Engine<'a> {
         let host = &mut self.host_arrays[arr];
         host.copy_range_from(lo as usize, dev, (lo - wlo) as usize, (hi - lo) as usize);
         let bytes = ((hi - lo) as usize * elem) as u64;
-        let (_, end) = self
+        let (start, end) = self
             .machine
             .bus
             .transfer(Endpoint::Gpu(g), Endpoint::Host, bytes, ready);
+        self.rec.transfer(TransferSpan {
+            kind: TransferKind::D2H,
+            array: self.prog.array_params[arr].0.clone(),
+            bytes,
+            src: Some(g),
+            dst: None,
+            why,
+            start,
+            end,
+        });
         Ok(end)
     }
 
     /// Device → device `[lo, hi)` (through a staging copy; the simulated
     /// bus still prices it as one peer transfer).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn xfer_p2p(
         &mut self,
         arr: usize,
@@ -350,6 +398,7 @@ impl<'a> Engine<'a> {
         lo: i64,
         hi: i64,
         ready: f64,
+        why: &'static str,
     ) -> Result<f64, RunError> {
         if lo >= hi {
             return Ok(ready);
@@ -369,12 +418,22 @@ impl<'a> Engine<'a> {
             let off = (lo - ga.window.0) as usize * elem;
             db.bytes_mut()[off..off + staged.len()].copy_from_slice(&staged);
         }
-        let (_, end) = self.machine.bus.transfer(
+        let (start, end) = self.machine.bus.transfer(
             Endpoint::Gpu(src),
             Endpoint::Gpu(dst),
             staged.len() as u64,
             ready,
         );
+        self.rec.transfer(TransferSpan {
+            kind: TransferKind::P2P,
+            array: self.prog.array_params[arr].0.clone(),
+            bytes: staged.len() as u64,
+            src: Some(src),
+            dst: Some(dst),
+            why,
+            start,
+            end,
+        });
         self.arrays[arr].gpu[dst].valid.insert(lo, hi);
         Ok(end)
     }
@@ -406,7 +465,7 @@ impl<'a> Engine<'a> {
                 }
             };
             for (a, b) in take.iter().collect::<Vec<_>>() {
-                let e = self.xfer_d2h(arr, g, a, b, t0)?;
+                let e = self.xfer_d2h(arr, g, a, b, t0, "flush")?;
                 end = end.max(e);
                 remaining.remove(a, b);
             }
@@ -438,7 +497,7 @@ impl<'a> Engine<'a> {
             let a = lo.max(wlo);
             let b = hi.min(whi);
             if a < b {
-                let e = self.xfer_h2d(arr, g, a, b, t0)?;
+                let e = self.xfer_h2d(arr, g, a, b, t0, "update")?;
                 end = end.max(e);
             }
         }

@@ -35,6 +35,12 @@ impl TimeBreakdown {
 }
 
 /// Run-wide profiler: phase times, work counters, transfer volumes.
+///
+/// Times and event counters are **derived** from the run's structured
+/// event stream (`acc_obs::Trace`) by [`Profiler::from_trace`] — the
+/// event stream is the single source of truth; this struct is the
+/// convenient scalar view of it. The `OpCounters` work totals come from
+/// the interpreter and are merged in by the engine.
 #[derive(Debug, Clone, Default)]
 pub struct Profiler {
     pub time: TimeBreakdown,
@@ -54,16 +60,36 @@ pub struct Profiler {
     pub miss_records: u64,
     /// Dirty chunks shipped by the replica-sync path.
     pub dirty_chunks_sent: u64,
-    /// Human-readable execution trace (only populated when
-    /// `ExecConfig::trace` is set): one line per runtime event — region
-    /// enter/exit, loader decisions, launches, communication rounds.
-    pub trace: Vec<String>,
 }
 
 impl Profiler {
     /// Reset everything.
     pub fn reset(&mut self) {
         *self = Profiler::default();
+    }
+
+    /// Derive the time breakdown and event counters from a finished
+    /// event stream. Work counters (`kernel_counters`/`host_counters`)
+    /// are not in the stream and start at their defaults.
+    pub fn from_trace(trace: &acc_obs::Trace) -> Profiler {
+        let totals = trace.totals();
+        let c = trace.counters();
+        Profiler {
+            time: TimeBreakdown {
+                kernels: totals.kernels,
+                cpu_gpu: totals.cpu_gpu,
+                gpu_gpu: totals.gpu_gpu,
+                host: totals.host,
+            },
+            kernel_counters: OpCounters::default(),
+            host_counters: OpCounters::default(),
+            kernel_launches: c.kernel_launches as usize,
+            h2d_bytes: c.h2d_bytes,
+            d2h_bytes: c.d2h_bytes,
+            p2p_bytes: c.p2p_bytes,
+            miss_records: c.miss_records,
+            dirty_chunks_sent: c.dirty_chunks_sent,
+        }
     }
 }
 

@@ -209,7 +209,7 @@ for (int i = 0; i < n; i++) flags[idx[i]] = 1;\n\
 fn replicated_scatter_syncs_with_dirty_bits() {
     let n = 4096;
     // Permutation scatter: every GPU writes far-away elements.
-    let idx: Vec<i32> = (0..n).map(|i| ((i * 2654435761u64 as i64) % n as i64) as i32).collect();
+    let idx: Vec<i32> = (0..n).map(|i| ((i * 2654435761u64 as i64) % n) as i32).collect();
     let mut expect = vec![0i32; n as usize];
     for &i in &idx {
         expect[i as usize] = 1;
@@ -473,8 +473,7 @@ t = t + 1;\n\
     let prog = compile_source(src, "f", &CompileOptions::proposal()).unwrap();
     let run = |reuse: bool| {
         let mut m = machine();
-        let mut ec = ExecConfig::gpus(2);
-        ec.loader_reuse = reuse;
+        let ec = ExecConfig::gpus(2).loader_reuse(reuse);
         run_program(
             &mut m,
             &ec,

@@ -143,12 +143,12 @@ pub const Y_ARRAY: usize = 4;
 /// Pure-Rust oracle.
 pub fn reference(input: &SpmvInput) -> Vec<f64> {
     let mut y = vec![0.0f64; input.cfg.nrows];
-    for i in 0..input.cfg.nrows {
+    for (i, yi) in y.iter_mut().enumerate() {
         let mut s = 0.0;
         for k in input.row_ptr[i] as usize..input.row_ptr[i + 1] as usize {
             s += input.vals[k] * input.x[input.col_idx[k] as usize];
         }
-        y[i] = s;
+        *yi = s;
     }
     y
 }

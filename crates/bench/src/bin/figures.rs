@@ -4,16 +4,23 @@
 //! cargo run --release -p acc-bench --bin figures -- all
 //! cargo run --release -p acc-bench --bin figures -- fig7 --scale scaled
 //! cargo run --release -p acc-bench --bin figures -- table2 --scale paper --json out.json
+//! cargo run --release -p acc-bench --bin figures -- trace --json heat2d.trace.json
 //! ```
 //!
 //! Targets: `table1`, `table2`, `fig7`, `fig8`, `fig9`, `ablation-chunk`,
-//! `ablation-layout`, `ablation-placement`, `all`.
+//! `ablation-layout`, `ablation-placement`, `ablation-loader-reuse`,
+//! `extension-stencil`, `trace`, `all`.
 //! Scales: `small` (seconds), `scaled` (default; structure-preserving
 //! reductions of the paper inputs), `paper` (full published sizes).
+//!
+//! The `trace` target runs the heat2d stencil on 3 simulated GPUs with
+//! full span tracing and writes a Chrome trace-event file (open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) next to the phase
+//! summary table.
 
 use acc_apps::Scale;
 use acc_bench::*;
-use serde::Serialize;
+use acc_obs::json::Value;
 use std::fmt::Write as _;
 
 struct Args {
@@ -49,7 +56,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [table1|table2|fig7|fig8|fig9|ablation-chunk|\
-                     ablation-layout|ablation-placement|all] [--scale small|scaled|paper] \
+                     ablation-layout|ablation-placement|ablation-loader-reuse|\
+                     extension-stencil|trace|all] [--scale small|scaled|paper] \
                      [--json FILE] [--seed N]"
                 );
                 std::process::exit(0);
@@ -60,33 +68,44 @@ fn parse_args() -> Args {
     args
 }
 
-#[derive(Serialize, Default)]
-struct AllOutputs {
-    #[serde(skip_serializing_if = "Option::is_none")]
-    table1: Option<Vec<MachineRow>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    table2: Option<Vec<AppRow>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    fig7: Option<Vec<Fig7Bar>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    fig8: Option<Vec<Fig8Bar>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    fig9: Option<Vec<Fig9Bar>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    ablation_chunk: Option<Vec<ChunkPoint>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    ablation_layout: Option<Vec<LayoutPoint>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    ablation_placement: Option<Vec<PlacementPoint>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    ablation_loader_reuse: Option<Vec<ReusePoint>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    extension_stencil: Option<Vec<StencilPoint>>,
+/// The `trace` target: heat2d on 3 simulated GPUs with span-level
+/// tracing; prints the summary table and writes the Chrome trace.
+fn run_trace_target(args: &Args) {
+    use acc_compiler::CompileOptions;
+    use acc_gpusim::Machine;
+    use acc_runtime::prelude::*;
+
+    let cfg = match args.scale {
+        Scale::Small => acc_apps::heat2d::Heat2dConfig::small(),
+        _ => acc_apps::heat2d::Heat2dConfig::scaled(),
+    };
+    let input = acc_apps::heat2d::generate(&cfg, args.seed);
+    let prog = acc_compiler::compile_source(
+        acc_apps::heat2d::SOURCE,
+        acc_apps::heat2d::FUNCTION,
+        &CompileOptions::proposal(),
+    )
+    .unwrap();
+    let mut m = Machine::supercomputer_node();
+    let (scalars, arrays) = acc_apps::heat2d::inputs(&input);
+    let ec = ExecConfig::gpus(3).tracing(TraceLevel::Spans);
+    let r = run_program(&mut m, &ec, &prog, scalars, arrays).expect("run");
+    print!("{}", r.trace.summary_table());
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "heat2d.trace.json".to_string());
+    std::fs::write(&path, r.trace.chrome_trace()).expect("write trace");
+    eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
 }
 
 fn main() {
     let args = parse_args();
-    let mut out = AllOutputs::default();
+    if args.target == "trace" {
+        run_trace_target(&args);
+        return;
+    }
+    let mut out: Vec<(&'static str, Value)> = Vec::new();
     let all = args.target == "all";
     let mut text = String::new();
 
@@ -101,7 +120,24 @@ fn main() {
                 r.machine, r.cpu, r.omp_threads, r.gpus, r.gpu_mem_gb, r.h2d_gbs, r.p2p_gbs
             );
         }
-        out.table1 = Some(t);
+        out.push((
+            "table1",
+            Value::Arr(
+                t.iter()
+                    .map(|r| {
+                        Value::obj([
+                            ("machine", Value::str(&r.machine)),
+                            ("cpu", Value::str(&r.cpu)),
+                            ("omp_threads", Value::num(r.omp_threads as f64)),
+                            ("gpus", Value::str(&r.gpus)),
+                            ("gpu_mem_gb", Value::num(r.gpu_mem_gb)),
+                            ("h2d_gbs", Value::num(r.h2d_gbs)),
+                            ("p2p_gbs", Value::num(r.p2p_gbs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     if all || args.target == "table2" {
@@ -126,7 +162,25 @@ fn main() {
                 r.correct
             );
         }
-        out.table2 = Some(t);
+        out.push((
+            "table2",
+            Value::Arr(
+                t.iter()
+                    .map(|r| {
+                        Value::obj([
+                            ("app", Value::str(&r.app)),
+                            ("description", Value::str(&r.description)),
+                            ("input", Value::str(&r.input)),
+                            ("device_mb", Value::num(r.device_mb)),
+                            ("parallel_loops", Value::num(r.parallel_loops as f64)),
+                            ("kernel_execs", Value::num(r.kernel_execs as f64)),
+                            ("localaccess", Value::str(&r.localaccess)),
+                            ("correct", Value::Bool(r.correct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     // Figs. 7–9 share one evaluation matrix (every machine × app ×
@@ -158,7 +212,22 @@ fn main() {
                 if b.correct { "" } else { "  !! WRONG RESULT" }
             );
         }
-        out.fig7 = Some(t);
+        out.push((
+            "fig7",
+            Value::Arr(
+                t.iter()
+                    .map(|b| {
+                        Value::obj([
+                            ("machine", Value::str(&b.machine)),
+                            ("app", Value::str(&b.app)),
+                            ("version", Value::str(&b.version)),
+                            ("relative_perf", Value::num(b.relative_perf)),
+                            ("correct", Value::Bool(b.correct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     if all || args.target == "fig8" {
@@ -184,7 +253,23 @@ fn main() {
                 b.kernels + b.cpu_gpu + b.gpu_gpu
             );
         }
-        out.fig8 = Some(t);
+        out.push((
+            "fig8",
+            Value::Arr(
+                t.iter()
+                    .map(|b| {
+                        Value::obj([
+                            ("machine", Value::str(&b.machine)),
+                            ("app", Value::str(&b.app)),
+                            ("ngpus", Value::num(b.ngpus as f64)),
+                            ("kernels", Value::num(b.kernels)),
+                            ("cpu_gpu", Value::num(b.cpu_gpu)),
+                            ("gpu_gpu", Value::num(b.gpu_gpu)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     if all || args.target == "fig9" {
@@ -209,7 +294,22 @@ fn main() {
                 b.system * 100.0
             );
         }
-        out.fig9 = Some(t);
+        out.push((
+            "fig9",
+            Value::Arr(
+                t.iter()
+                    .map(|b| {
+                        Value::obj([
+                            ("machine", Value::str(&b.machine)),
+                            ("app", Value::str(&b.app)),
+                            ("ngpus", Value::num(b.ngpus as f64)),
+                            ("user", Value::num(b.user)),
+                            ("system", Value::num(b.system)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     if all || args.target == "ablation-chunk" {
@@ -230,7 +330,23 @@ fn main() {
                 p.chunk_kb, p.gpu_gpu_time, p.total_time, p.dirty_chunks_sent, p.p2p_mb
             );
         }
-        out.ablation_chunk = Some(t);
+        out.push((
+            "ablation_chunk",
+            Value::Arr(
+                t.iter()
+                    .map(|p| {
+                        Value::obj([
+                            ("workload", Value::str(&p.workload)),
+                            ("chunk_kb", Value::num(p.chunk_kb as f64)),
+                            ("gpu_gpu_time", Value::num(p.gpu_gpu_time)),
+                            ("total_time", Value::num(p.total_time)),
+                            ("dirty_chunks_sent", Value::num(p.dirty_chunks_sent as f64)),
+                            ("p2p_mb", Value::num(p.p2p_mb)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     if all || args.target == "ablation-layout" {
@@ -246,7 +362,21 @@ fn main() {
                 p.app, p.transform, p.kernels_time, p.total_time
             );
         }
-        out.ablation_layout = Some(t);
+        out.push((
+            "ablation_layout",
+            Value::Arr(
+                t.iter()
+                    .map(|p| {
+                        Value::obj([
+                            ("app", Value::str(&p.app)),
+                            ("transform", Value::Bool(p.transform)),
+                            ("kernels_time", Value::num(p.kernels_time)),
+                            ("total_time", Value::num(p.total_time)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     if all || args.target == "ablation-placement" {
@@ -262,7 +392,22 @@ fn main() {
                 p.app, p.distribution, p.h2d_mb, p.user_mem_mb, p.total_time
             );
         }
-        out.ablation_placement = Some(t);
+        out.push((
+            "ablation_placement",
+            Value::Arr(
+                t.iter()
+                    .map(|p| {
+                        Value::obj([
+                            ("app", Value::str(&p.app)),
+                            ("distribution", Value::Bool(p.distribution)),
+                            ("h2d_mb", Value::num(p.h2d_mb)),
+                            ("total_time", Value::num(p.total_time)),
+                            ("user_mem_mb", Value::num(p.user_mem_mb)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     if all || args.target == "ablation-loader-reuse" {
@@ -278,7 +423,22 @@ fn main() {
                 p.app, p.reuse, p.h2d_mb, p.cpu_gpu_time, p.total_time
             );
         }
-        out.ablation_loader_reuse = Some(t);
+        out.push((
+            "ablation_loader_reuse",
+            Value::Arr(
+                t.iter()
+                    .map(|p| {
+                        Value::obj([
+                            ("app", Value::str(&p.app)),
+                            ("reuse", Value::Bool(p.reuse)),
+                            ("h2d_mb", Value::num(p.h2d_mb)),
+                            ("cpu_gpu_time", Value::num(p.cpu_gpu_time)),
+                            ("total_time", Value::num(p.total_time)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     if all || args.target == "extension-stencil" {
@@ -307,12 +467,31 @@ fn main() {
                 if p.correct { "" } else { "  !! WRONG" }
             );
         }
-        out.extension_stencil = Some(t);
+        out.push((
+            "extension_stencil",
+            Value::Arr(
+                t.iter()
+                    .map(|p| {
+                        Value::obj([
+                            ("machine", Value::str(&p.machine)),
+                            ("ngpus", Value::num(p.ngpus as f64)),
+                            ("relative_perf_vs_1gpu", Value::num(p.relative_perf_vs_1gpu)),
+                            ("kernels_time", Value::num(p.kernels_time)),
+                            ("cpu_gpu_time", Value::num(p.cpu_gpu_time)),
+                            ("gpu_gpu_time", Value::num(p.gpu_gpu_time)),
+                            ("p2p_mb", Value::num(p.p2p_mb)),
+                            ("miss_checks", Value::num(p.miss_checks as f64)),
+                            ("correct", Value::Bool(p.correct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     print!("{text}");
     if let Some(path) = args.json {
-        let json = serde_json::to_string_pretty(&out).expect("serialise");
+        let json = Value::obj(out).to_string_pretty();
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

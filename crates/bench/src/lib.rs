@@ -18,14 +18,13 @@
 //! * [`ablation_placement`] — distribution-based placement vs
 //!   replica-everything (§IV-C).
 //!
-//! All entry points return serde-serialisable data; the `figures` binary
-//! renders them as text tables and optionally JSON.
+//! All entry points return plain data; the `figures` binary renders them
+//! as text tables and optionally JSON (via `acc_obs::json`).
 
 use acc_apps::{run_app, App, Scale, Version};
 use acc_compiler::CompileOptions;
 use acc_gpusim::{Machine, MachineKind};
 use acc_runtime::{run_program, ExecConfig};
-use serde::Serialize;
 
 /// Compile-checks (and runs) the code examples embedded in the README.
 #[doc = include_str!("../../../README.md")]
@@ -48,7 +47,7 @@ pub fn versions_for(kind: MachineKind) -> Vec<Version> {
 }
 
 /// One Table I column.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct MachineRow {
     pub machine: String,
     pub cpu: String,
@@ -79,7 +78,7 @@ pub fn table1() -> Vec<MachineRow> {
 }
 
 /// One Table II row.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct AppRow {
     pub app: String,
     pub description: String,
@@ -210,7 +209,7 @@ pub fn run_matrix(scale: Scale, seed: u64, progress: bool) -> Vec<MatrixEntry> {
 }
 
 /// One Fig. 7 bar: relative performance vs OpenMP (higher = faster).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig7Bar {
     pub machine: String,
     pub app: String,
@@ -249,7 +248,7 @@ pub fn fig7(scale: Scale, seed: u64) -> Vec<Fig7Bar> {
 }
 
 /// One Fig. 8 stacked bar: phase times normalised to the 1-GPU total.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig8Bar {
     pub machine: String,
     pub app: String,
@@ -294,7 +293,7 @@ pub fn fig8(scale: Scale, seed: u64) -> Vec<Fig8Bar> {
 
 /// One Fig. 9 stacked bar: summed per-GPU peak memory normalised to the
 /// 1-GPU usage.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig9Bar {
     pub machine: String,
     pub app: String,
@@ -341,7 +340,7 @@ pub fn fig9(scale: Scale, seed: u64) -> Vec<Fig9Bar> {
 }
 
 /// One chunk-size ablation point.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ChunkPoint {
     pub workload: String,
     pub chunk_kb: usize,
@@ -384,8 +383,7 @@ pub fn ablation_chunk(scale: Scale, seed: u64) -> Vec<ChunkPoint> {
     let input = acc_apps::bfs::generate(&bfs_config(scale), seed);
     for &kb in &sizes {
         let mut m = Machine::supercomputer_node();
-        let mut ec = ExecConfig::gpus(3);
-        ec.chunk_bytes = kb * 1024;
+        let ec = ExecConfig::gpus(3).chunk_bytes(kb * 1024);
         let (scalars, arrays) = acc_apps::bfs::inputs(&input);
         let r = run_program(&mut m, &ec, &prog, scalars, arrays).expect("run");
         out.push(ChunkPoint {
@@ -420,8 +418,7 @@ pub fn ablation_chunk(scale: Scale, seed: u64) -> Vec<ChunkPoint> {
         .unwrap();
     for &kb in &sizes {
         let mut m = Machine::supercomputer_node();
-        let mut ec = ExecConfig::gpus(3);
-        ec.chunk_bytes = kb * 1024;
+        let ec = ExecConfig::gpus(3).chunk_bytes(kb * 1024);
         let arrays = vec![
             acc_kernel_ir::Buffer::from_i32(&idx),
             acc_kernel_ir::Buffer::zeroed(acc_kernel_ir::Ty::I32, n),
@@ -447,7 +444,7 @@ pub fn ablation_chunk(scale: Scale, seed: u64) -> Vec<ChunkPoint> {
 }
 
 /// One layout-transform ablation point.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct LayoutPoint {
     pub app: String,
     pub transform: bool,
@@ -481,7 +478,7 @@ pub fn ablation_layout(scale: Scale, seed: u64) -> Vec<LayoutPoint> {
 }
 
 /// One placement ablation point.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct PlacementPoint {
     pub app: String,
     pub distribution: bool,
@@ -518,7 +515,7 @@ pub fn ablation_placement(scale: Scale, seed: u64) -> Vec<PlacementPoint> {
 }
 
 /// One loader-reuse ablation point.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ReusePoint {
     pub app: String,
     pub reuse: bool,
@@ -535,8 +532,7 @@ pub fn ablation_loader_reuse(scale: Scale, seed: u64) -> Vec<ReusePoint> {
         for reuse in [true, false] {
             let prog = acc_apps::runner::compile_app(app, Version::Proposal(2)).unwrap();
             let mut m = Machine::desktop();
-            let mut ec = ExecConfig::gpus(2);
-            ec.loader_reuse = reuse;
+            let ec = ExecConfig::gpus(2).loader_reuse(reuse);
             let (scalars, arrays) = app_inputs(app, scale, seed);
             let r = run_program(&mut m, &ec, &prog, scalars, arrays).unwrap();
             out.push(ReusePoint {
@@ -552,7 +548,7 @@ pub fn ablation_loader_reuse(scale: Scale, seed: u64) -> Vec<ReusePoint> {
 }
 
 /// One stencil-extension point (paper §VI future work).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct StencilPoint {
     pub machine: String,
     pub ngpus: usize,

@@ -40,6 +40,16 @@ enum Segment {
     Root,
 }
 
+/// One transfer as the bus scheduled it (journal entry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferRec {
+    pub src: Endpoint,
+    pub dst: Endpoint,
+    pub bytes: u64,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
 /// Bus configuration and per-segment timelines.
 #[derive(Debug, Clone)]
 pub struct PcieBus {
@@ -57,6 +67,8 @@ pub struct PcieBus {
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
     pub p2p_bytes: u64,
+    /// Optional transfer journal (see [`PcieBus::set_journal`]).
+    journal: Option<Vec<TransferRec>>,
 }
 
 impl PcieBus {
@@ -71,7 +83,21 @@ impl PcieBus {
             h2d_bytes: 0,
             d2h_bytes: 0,
             p2p_bytes: 0,
+            journal: None,
         }
+    }
+
+    /// Turn the transfer journal on or off. When on, every scheduled
+    /// transfer (zero-byte transfers excepted — they never occupy the
+    /// bus) is appended to the journal the runtime's observability layer
+    /// cross-checks its spans against.
+    pub fn set_journal(&mut self, on: bool) {
+        self.journal = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// The recorded transfers, if the journal is enabled.
+    pub fn journal(&self) -> Option<&[TransferRec]> {
+        self.journal.as_deref()
     }
 
     /// Desktop machine (Table I): PCIe 2.0 x16 per GPU, single IOH.
@@ -148,15 +174,28 @@ impl PcieBus {
             (Endpoint::Gpu(_), Endpoint::Host) => self.d2h_bytes += bytes,
             _ => self.p2p_bytes += bytes,
         }
+        if let Some(j) = self.journal.as_mut() {
+            j.push(TransferRec {
+                src,
+                dst,
+                bytes,
+                start,
+                end,
+            });
+        }
         (start, end)
     }
 
-    /// Reset timelines and byte counters (e.g. between benchmark runs).
+    /// Reset timelines, byte counters, and journal contents (e.g.
+    /// between benchmark runs). Whether the journal is enabled persists.
     pub fn reset(&mut self) {
         self.free_at.clear();
         self.h2d_bytes = 0;
         self.d2h_bytes = 0;
         self.p2p_bytes = 0;
+        if let Some(j) = self.journal.as_mut() {
+            j.clear();
+        }
     }
 }
 
@@ -248,6 +287,35 @@ mod tests {
         assert_eq!(bus.h2d_bytes, 0);
         let (s, _) = bus.transfer(Endpoint::Host, Endpoint::Gpu(0), 1 << 20, 0.0);
         assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn journal_records_transfers() {
+        let mut bus = PcieBus::desktop();
+        assert!(bus.journal().is_none());
+        bus.set_journal(true);
+        bus.transfer(Endpoint::Host, Endpoint::Gpu(0), 0, 0.0); // free, unrecorded
+        let (s, e) = bus.transfer(Endpoint::Host, Endpoint::Gpu(1), 1 << 20, 0.0);
+        let (s2, e2) = bus.transfer(Endpoint::Gpu(1), Endpoint::Gpu(2), 4096, 0.0);
+        let j = bus.journal().unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(
+            j[0],
+            TransferRec {
+                src: Endpoint::Host,
+                dst: Endpoint::Gpu(1),
+                bytes: 1 << 20,
+                start: s,
+                end: e,
+            }
+        );
+        assert_eq!(j[1].bytes, 4096);
+        assert_eq!((j[1].start, j[1].end), (s2, e2));
+        // Reset clears entries but keeps the journal enabled.
+        bus.reset();
+        assert_eq!(bus.journal().unwrap().len(), 0);
+        bus.set_journal(false);
+        assert!(bus.journal().is_none());
     }
 
     #[test]

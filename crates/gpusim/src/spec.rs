@@ -348,10 +348,14 @@ mod tests {
     #[test]
     fn atomic_heavy_kernels_penalized_on_gpu() {
         let g = GpuSpec::tesla_c2075();
-        let mut w = OpCounters::default();
-        w.atomics = 100_000_000;
-        let mut w2 = OpCounters::default();
-        w2.int_ops = 100_000_000;
+        let w = OpCounters {
+            atomics: 100_000_000,
+            ..Default::default()
+        };
+        let w2 = OpCounters {
+            int_ops: 100_000_000,
+            ..Default::default()
+        };
         assert!(g.kernel_time(&w, 1.0) > g.kernel_time(&w2, 1.0) * 10.0);
     }
 

@@ -1,0 +1,626 @@
+//! Structured observability for the multi-GPU runtime simulation.
+//!
+//! The runtime emits **typed events** — kernel launches, host↔device and
+//! peer-to-peer transfers, communication rounds, loader decisions, miss
+//! replays, reduction merges — onto per-GPU timelines stamped with the
+//! simulated clock. A [`Recorder`] collects them during a run; the
+//! finished [`Trace`] is the single source of truth from which the
+//! runtime derives its phase time breakdown and profiler counters, and
+//! from which the exporters render:
+//!
+//! * [`Trace::chrome_trace`] — Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev);
+//! * [`Trace::summary_table`] — a plain-text per-phase/per-GPU table;
+//! * [`Trace::render_text`] — the legacy line-per-event textual trace.
+//!
+//! How much detail is retained is controlled by [`TraceLevel`]; phase
+//! totals and counters are accumulated at **every** level (including
+//! [`TraceLevel::Off`]) so profiling results never depend on tracing.
+
+pub mod chrome;
+pub mod json;
+pub mod summary;
+
+/// Simulated seconds (mirror of `acc_gpusim::SimTime`; kept local so this
+/// crate stays dependency-free).
+pub type SimTime = f64;
+
+/// How much event detail a run retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Keep no events. Totals and counters are still accumulated.
+    #[default]
+    Off,
+    /// Keep coarse events: phases, per-GPU kernel launches, communication
+    /// rounds, and loader decisions.
+    Summary,
+    /// Keep everything `Summary` does plus every individual transfer,
+    /// miss replay, and reduction merge step.
+    Spans,
+}
+
+impl TraceLevel {
+    /// True if coarse (summary-level) events are retained.
+    pub fn keeps_summary(self) -> bool {
+        !matches!(self, TraceLevel::Off)
+    }
+
+    /// True if fine-grained span events are retained.
+    pub fn keeps_spans(self) -> bool {
+        matches!(self, TraceLevel::Spans)
+    }
+}
+
+/// The BSP phases of one parallel region (paper Fig. 3) plus the host
+/// bookkeeping bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Loader: window reshaping and contents filling (CPU↔GPU bucket).
+    Loader,
+    /// Parallel kernel execution (KERNELS bucket; wall time is the
+    /// slowest GPU).
+    Kernel,
+    /// Communication: replica sync, miss replay, reduction merge
+    /// (GPU↔GPU bucket).
+    Comm,
+    /// Data-region and other host-driven CPU↔GPU traffic outside the
+    /// three launch phases.
+    Data,
+    /// Host compute between accelerator constructs.
+    Host,
+}
+
+impl PhaseKind {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::Loader => "loader",
+            PhaseKind::Kernel => "kernel",
+            PhaseKind::Comm => "comm",
+            PhaseKind::Data => "data",
+            PhaseKind::Host => "host",
+        }
+    }
+}
+
+/// Direction of a simulated bus transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferKind {
+    /// Host memory to a device.
+    H2D,
+    /// A device to host memory.
+    D2H,
+    /// Device to device across the PCIe root complex.
+    P2P,
+}
+
+impl TransferKind {
+    /// Stable name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransferKind::H2D => "H2D",
+            TransferKind::D2H => "D2H",
+            TransferKind::P2P => "P2P",
+        }
+    }
+}
+
+/// One kernel execution on one GPU within a launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchSpan {
+    /// Monotonic launch number (shared by all GPUs of one launch).
+    pub launch: u64,
+    /// Kernel (function) name.
+    pub kernel: String,
+    /// Executing GPU.
+    pub gpu: usize,
+    /// Iteration-space slice this GPU ran, as `[begin, end)`.
+    pub rows: (i64, i64),
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+/// One simulated bus transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferSpan {
+    pub kind: TransferKind,
+    /// Array whose bytes moved.
+    pub array: String,
+    pub bytes: u64,
+    /// Source GPU for `P2P`/`D2H`; `None` means the host.
+    pub src: Option<usize>,
+    /// Destination GPU for `P2P`/`H2D`; `None` means the host.
+    pub dst: Option<usize>,
+    /// Why the transfer happened (e.g. "window", "fill", "sync",
+    /// "miss", "reduce", "update").
+    pub why: &'static str,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl TransferSpan {
+    /// The GPU whose timeline this span occupies (its PCIe link).
+    pub fn gpu(&self) -> usize {
+        match self.kind {
+            TransferKind::H2D => self.dst.expect("H2D has a destination GPU"),
+            TransferKind::D2H => self.src.expect("D2H has a source GPU"),
+            // A P2P copy occupies both links; attribute it to the
+            // destination, whose data dependence it satisfies.
+            TransferKind::P2P => self.dst.expect("P2P has a destination GPU"),
+        }
+    }
+}
+
+/// One communication round between a GPU pair (dirty-chunk replica sync).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommRound {
+    pub launch: u64,
+    pub array: String,
+    /// Sending GPU.
+    pub src: usize,
+    /// Receiving GPU.
+    pub dst: usize,
+    /// Dirty chunks shipped this round.
+    pub chunks: u64,
+    pub bytes: u64,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+/// The loader's verdict for one array on one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoaderDecision {
+    pub launch: u64,
+    pub array: String,
+    pub gpu: usize,
+    /// True when the resident window was reused without refilling.
+    pub reused: bool,
+    /// Bytes actually moved to honor the decision (0 on a clean reuse).
+    pub bytes_moved: u64,
+    /// Simulated instant the decision applied.
+    pub at: SimTime,
+}
+
+/// Replay of buffered out-of-partition writes to an array's owner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissReplay {
+    pub launch: u64,
+    pub array: String,
+    /// GPU that buffered the out-of-partition writes.
+    pub src: usize,
+    /// Owning GPU the records were applied to.
+    pub dst: usize,
+    /// Buffered write records replayed.
+    pub records: u64,
+    pub bytes: u64,
+    pub start: SimTime,
+    /// Includes the owner-side apply cost, not just the bus copy.
+    pub end: SimTime,
+}
+
+/// One step of the binary-tree merge of private reduction copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionMerge {
+    pub launch: u64,
+    pub array: String,
+    /// GPU whose private copy was shipped.
+    pub src: usize,
+    /// GPU that combined it into its own copy.
+    pub dst: usize,
+    pub bytes: u64,
+    pub start: SimTime,
+    /// Includes the combine cost on `dst`.
+    pub end: SimTime,
+}
+
+/// One phase interval of a parallel region (or a host/data interval).
+/// Phase spans are the accounting source for the time breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpan {
+    /// Launch this phase belongs to; `None` for host/data intervals
+    /// outside any launch.
+    pub launch: Option<u64>,
+    pub phase: PhaseKind,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+/// A typed event on the run's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    Phase(PhaseSpan),
+    Launch(LaunchSpan),
+    Transfer(TransferSpan),
+    Comm(CommRound),
+    Loader(LoaderDecision),
+    Miss(MissReplay),
+    Reduction(ReductionMerge),
+}
+
+impl Event {
+    /// Start of the event's interval (point events report their instant).
+    pub fn start(&self) -> SimTime {
+        match self {
+            Event::Phase(e) => e.start,
+            Event::Launch(e) => e.start,
+            Event::Transfer(e) => e.start,
+            Event::Comm(e) => e.start,
+            Event::Loader(e) => e.at,
+            Event::Miss(e) => e.start,
+            Event::Reduction(e) => e.start,
+        }
+    }
+
+    /// End of the event's interval (== start for point events).
+    pub fn end(&self) -> SimTime {
+        match self {
+            Event::Phase(e) => e.end,
+            Event::Launch(e) => e.end,
+            Event::Transfer(e) => e.end,
+            Event::Comm(e) => e.end,
+            Event::Loader(e) => e.at,
+            Event::Miss(e) => e.end,
+            Event::Reduction(e) => e.end,
+        }
+    }
+}
+
+/// Phase-time totals accumulated from [`PhaseSpan`]s (the event-stream
+/// equivalent of the runtime's `TimeBreakdown`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Kernel phases (slowest GPU per launch).
+    pub kernels: SimTime,
+    /// Loader phases plus data-region CPU↔GPU traffic.
+    pub cpu_gpu: SimTime,
+    /// Communication phases.
+    pub gpu_gpu: SimTime,
+    /// Host compute.
+    pub host: SimTime,
+}
+
+impl PhaseTotals {
+    /// Sum over all categories.
+    pub fn total(&self) -> SimTime {
+        self.kernels + self.cpu_gpu + self.gpu_gpu + self.host
+    }
+}
+
+/// Scalar counters accumulated from the event stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    pub kernel_launches: u64,
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+    pub p2p_bytes: u64,
+    pub miss_records: u64,
+    pub dirty_chunks_sent: u64,
+    /// Loader decisions that reused the resident window.
+    pub loader_reuses: u64,
+    /// Loader decisions that (re)loaded data.
+    pub loader_loads: u64,
+}
+
+/// Collects events during a run. Totals and counters are accumulated at
+/// every [`TraceLevel`]; the level only controls which events are kept.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    level: TraceLevel,
+    events: Vec<Event>,
+    totals: PhaseTotals,
+    counters: Counters,
+}
+
+impl Recorder {
+    pub fn new(level: TraceLevel) -> Recorder {
+        Recorder {
+            level,
+            events: Vec::new(),
+            totals: PhaseTotals::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The retention level this recorder was built with.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Totals accumulated so far.
+    pub fn totals(&self) -> PhaseTotals {
+        self.totals
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Record a phase interval. Zero-length intervals still count toward
+    /// totals (they are exact zeros) but are not retained as events.
+    pub fn phase(&mut self, launch: Option<u64>, phase: PhaseKind, start: SimTime, end: SimTime) {
+        debug_assert!(end >= start, "phase interval runs backwards");
+        let dt = end - start;
+        match phase {
+            PhaseKind::Kernel => self.totals.kernels += dt,
+            PhaseKind::Loader | PhaseKind::Data => self.totals.cpu_gpu += dt,
+            PhaseKind::Comm => self.totals.gpu_gpu += dt,
+            PhaseKind::Host => self.totals.host += dt,
+        }
+        if self.level.keeps_summary() && dt > 0.0 {
+            self.events.push(Event::Phase(PhaseSpan {
+                launch,
+                phase,
+                start,
+                end,
+            }));
+        }
+    }
+
+    /// Record one GPU's kernel execution. Call once per launch per GPU;
+    /// the launch counter is bumped by [`Recorder::launch_begin`].
+    pub fn launch_span(&mut self, span: LaunchSpan) {
+        if self.level.keeps_summary() {
+            self.events.push(Event::Launch(span));
+        }
+    }
+
+    /// Count a kernel launch; returns its monotonic id.
+    pub fn launch_begin(&mut self) -> u64 {
+        let id = self.counters.kernel_launches;
+        self.counters.kernel_launches += 1;
+        id
+    }
+
+    /// Record a bus transfer (also feeds the byte counters).
+    pub fn transfer(&mut self, span: TransferSpan) {
+        match span.kind {
+            TransferKind::H2D => self.counters.h2d_bytes += span.bytes,
+            TransferKind::D2H => self.counters.d2h_bytes += span.bytes,
+            TransferKind::P2P => self.counters.p2p_bytes += span.bytes,
+        }
+        if self.level.keeps_spans() {
+            self.events.push(Event::Transfer(span));
+        }
+    }
+
+    /// Record a replica-sync round (also counts its dirty chunks).
+    pub fn comm_round(&mut self, round: CommRound) {
+        self.counters.dirty_chunks_sent += round.chunks;
+        if self.level.keeps_summary() {
+            self.events.push(Event::Comm(round));
+        }
+    }
+
+    /// Record a loader decision.
+    pub fn loader_decision(&mut self, d: LoaderDecision) {
+        if d.reused {
+            self.counters.loader_reuses += 1;
+        } else {
+            self.counters.loader_loads += 1;
+        }
+        if self.level.keeps_summary() {
+            self.events.push(Event::Loader(d));
+        }
+    }
+
+    /// Record a miss replay (also counts its records).
+    pub fn miss_replay(&mut self, m: MissReplay) {
+        self.counters.miss_records += m.records;
+        if self.level.keeps_spans() {
+            self.events.push(Event::Miss(m));
+        }
+    }
+
+    /// Record one reduction-merge step.
+    pub fn reduction_merge(&mut self, r: ReductionMerge) {
+        if self.level.keeps_spans() {
+            self.events.push(Event::Reduction(r));
+        }
+    }
+
+    /// Finish recording.
+    pub fn finish(self) -> Trace {
+        Trace {
+            level: self.level,
+            events: self.events,
+            totals: self.totals,
+            counters: self.counters,
+        }
+    }
+}
+
+/// The finished event stream of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    level: TraceLevel,
+    events: Vec<Event>,
+    totals: PhaseTotals,
+    counters: Counters,
+}
+
+impl Trace {
+    /// The level the run recorded at.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// All retained events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Phase totals derived from the event stream.
+    pub fn totals(&self) -> PhaseTotals {
+        self.totals
+    }
+
+    /// Counters derived from the event stream.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// GPU ids that appear in any retained event, ascending.
+    pub fn gpus(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = Vec::new();
+        let mut push = |g: usize| {
+            if !ids.contains(&g) {
+                ids.push(g);
+            }
+        };
+        for ev in &self.events {
+            match ev {
+                Event::Launch(e) => push(e.gpu),
+                Event::Transfer(e) => push(e.gpu()),
+                Event::Comm(e) => {
+                    push(e.src);
+                    push(e.dst);
+                }
+                Event::Loader(e) => push(e.gpu),
+                Event::Miss(e) => {
+                    push(e.src);
+                    push(e.dst);
+                }
+                Event::Reduction(e) => {
+                    push(e.src);
+                    push(e.dst);
+                }
+                Event::Phase(_) => {}
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The occupancy spans of one GPU's timeline — its kernel executions
+    /// and the transfers holding its PCIe link — sorted by start time.
+    /// These are the spans guaranteed never to overlap: the simulated bus
+    /// serializes each GPU's link and the BSP phases are sequential.
+    pub fn gpu_timeline(&self, gpu: usize) -> Vec<(SimTime, SimTime, String)> {
+        let mut spans: Vec<(SimTime, SimTime, String)> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                Event::Launch(e) if e.gpu == gpu => {
+                    spans.push((e.start, e.end, format!("kernel {}", e.kernel)));
+                }
+                Event::Transfer(e) if e.gpu() == gpu => {
+                    spans.push((
+                        e.start,
+                        e.end,
+                        format!("{} {} ({})", e.kind.name(), e.array, e.why),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        spans
+    }
+
+    /// Export as Chrome trace-event JSON (see [`chrome`]).
+    pub fn chrome_trace(&self) -> String {
+        chrome::export(self)
+    }
+
+    /// Render the plain-text summary table (see [`summary`]).
+    pub fn summary_table(&self) -> String {
+        summary::table(self)
+    }
+
+    /// Render the legacy line-per-event textual trace (see [`summary`]).
+    pub fn render_text(&self) -> Vec<String> {
+        summary::render_text(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recorder(level: TraceLevel) -> Recorder {
+        let mut rec = Recorder::new(level);
+        let launch = rec.launch_begin();
+        rec.phase(Some(launch), PhaseKind::Loader, 0.0, 1.0);
+        rec.transfer(TransferSpan {
+            kind: TransferKind::H2D,
+            array: "a".into(),
+            bytes: 4096,
+            src: None,
+            dst: Some(0),
+            why: "window",
+            start: 0.0,
+            end: 1.0,
+        });
+        rec.loader_decision(LoaderDecision {
+            launch,
+            array: "a".into(),
+            gpu: 0,
+            reused: false,
+            bytes_moved: 4096,
+            at: 1.0,
+        });
+        rec.phase(Some(launch), PhaseKind::Kernel, 1.0, 3.0);
+        rec.launch_span(LaunchSpan {
+            launch,
+            kernel: "k".into(),
+            gpu: 0,
+            rows: (0, 128),
+            start: 1.0,
+            end: 3.0,
+        });
+        rec.phase(Some(launch), PhaseKind::Comm, 3.0, 3.5);
+        rec.comm_round(CommRound {
+            launch,
+            array: "a".into(),
+            src: 0,
+            dst: 1,
+            chunks: 2,
+            bytes: 512,
+            start: 3.0,
+            end: 3.25,
+        });
+        rec.phase(None, PhaseKind::Host, 3.5, 4.0);
+        rec
+    }
+
+    #[test]
+    fn totals_accumulate_at_every_level() {
+        for level in [TraceLevel::Off, TraceLevel::Summary, TraceLevel::Spans] {
+            let t = sample_recorder(level).finish();
+            let totals = t.totals();
+            assert_eq!(totals.kernels, 2.0);
+            assert_eq!(totals.cpu_gpu, 1.0);
+            assert_eq!(totals.gpu_gpu, 0.5);
+            assert_eq!(totals.host, 0.5);
+            assert_eq!(totals.total(), 4.0);
+            let c = t.counters();
+            assert_eq!(c.kernel_launches, 1);
+            assert_eq!(c.h2d_bytes, 4096);
+            assert_eq!(c.dirty_chunks_sent, 2);
+            assert_eq!(c.loader_loads, 1);
+        }
+    }
+
+    #[test]
+    fn level_controls_event_retention() {
+        assert!(sample_recorder(TraceLevel::Off).finish().events().is_empty());
+        let summary = sample_recorder(TraceLevel::Summary).finish();
+        assert!(summary
+            .events()
+            .iter()
+            .all(|e| !matches!(e, Event::Transfer(_))));
+        assert!(summary.events().iter().any(|e| matches!(e, Event::Launch(_))));
+        let spans = sample_recorder(TraceLevel::Spans).finish();
+        assert!(spans.events().iter().any(|e| matches!(e, Event::Transfer(_))));
+        assert!(spans.events().len() > summary.events().len());
+    }
+
+    #[test]
+    fn timeline_lists_gpu_occupancy_sorted() {
+        let t = sample_recorder(TraceLevel::Spans).finish();
+        let tl = t.gpu_timeline(0);
+        assert_eq!(tl.len(), 2, "one transfer + one kernel span on GPU 0");
+        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(t.gpus(), vec![0, 1]);
+    }
+}

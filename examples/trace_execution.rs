@@ -9,7 +9,7 @@
 use acc_apps::kmeans;
 use acc_compiler::{compile_source, CompileOptions};
 use acc_gpusim::Machine;
-use acc_runtime::{run_program, ExecConfig};
+use acc_runtime::prelude::*;
 
 fn main() {
     let cfg = kmeans::KmeansConfig {
@@ -23,8 +23,7 @@ fn main() {
         compile_source(kmeans::SOURCE, kmeans::FUNCTION, &CompileOptions::proposal()).unwrap();
 
     let mut machine = Machine::supercomputer_node();
-    let mut ec = ExecConfig::gpus(3);
-    ec.trace = true;
+    let ec = ExecConfig::gpus(3).tracing(TraceLevel::Spans);
     let (scalars, arrays) = kmeans::inputs(&input);
     let report = run_program(&mut machine, &ec, &prog, scalars, arrays).expect("run");
 
@@ -32,15 +31,9 @@ fn main() {
         "KMEANS {} points x {} features, k={}, {} iterations on 3 GPUs\n",
         cfg.npoints, cfg.nfeatures, cfg.nclusters, cfg.iters
     );
-    for line in &report.profile.trace {
+    for line in report.trace.render_text() {
         println!("{line}");
     }
-    let t = report.profile.time;
-    println!(
-        "\ntotals: kernels {:.3} ms | cpu-gpu {:.3} ms | gpu-gpu {:.3} ms | host {:.3} ms",
-        t.kernels * 1e3,
-        t.cpu_gpu * 1e3,
-        t.gpu_gpu * 1e3,
-        t.host * 1e3
-    );
+    println!();
+    print!("{}", report.trace.summary_table());
 }

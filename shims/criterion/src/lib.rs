@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the real `criterion`
+//! cannot be fetched. This shim keeps the workspace's benches compiling
+//! and runnable with `cargo bench`: each benchmark is timed with a plain
+//! wall-clock loop and the mean per-iteration time is printed. There is
+//! no warm-up modeling, outlier analysis, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark named after a parameter value (e.g. a size).
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Benchmark with a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units processed per iteration; printed alongside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations to time per benchmark (criterion's "samples").
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Record work-per-iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time `f` under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Time `f` under `id`, handing it `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.3e} elem/s)", n as f64 / per_iter.max(1e-12))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.3e} B/s)", n as f64 / per_iter.max(1e-12))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: {:>12.3} µs/iter over {} iters{}",
+            self.name,
+            label,
+            per_iter * 1e6,
+            b.iters,
+            rate
+        );
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u64, |b, &x| {
+            b.iter(|| {
+                total += x;
+            })
+        });
+        g.finish();
+        assert_eq!(total, 21);
+    }
+}

@@ -1,0 +1,140 @@
+//! String-pattern strategies.
+//!
+//! The real proptest compiles arbitrary regexes into generators. This shim
+//! supports exactly the shape the workspace's tests use:
+//!
+//! ```text
+//! [class]{lo,hi}
+//! ```
+//!
+//! where `class` is a character class with literal characters, `a-z`
+//! ranges, and backslash escapes (`\n`, `\t`, `\\`, `\-`, `\[`, `\]`),
+//! and the string length is uniform in `lo..=hi`. Anything else panics
+//! with a clear message at generation time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+    }
+}
+
+/// Parse `[class]{lo,hi}` into (alphabet, lo, hi-inclusive).
+fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let bad = |why: &str| -> ! {
+        panic!("proptest shim: unsupported string pattern {pat:?} ({why}; only `[class]{{lo,hi}}` is implemented)")
+    };
+
+    let rest = pat.strip_prefix('[').unwrap_or_else(|| bad("must start with `[`"));
+    let close = find_class_end(rest).unwrap_or_else(|| bad("unterminated `[`"));
+    let (class, tail) = rest.split_at(close);
+    let tail = &tail[1..]; // drop `]`
+
+    let tail = tail
+        .strip_prefix('{')
+        .unwrap_or_else(|| bad("expected `{lo,hi}` after class"));
+    let tail = tail.strip_suffix('}').unwrap_or_else(|| bad("expected closing `}`"));
+    let (lo, hi) = tail.split_once(',').unwrap_or_else(|| bad("expected `lo,hi`"));
+    let lo: usize = lo.trim().parse().unwrap_or_else(|_| bad("bad lower bound"));
+    let hi: usize = hi.trim().parse().unwrap_or_else(|_| bad("bad upper bound"));
+    if lo > hi {
+        bad("lo > hi");
+    }
+
+    let mut alphabet: Vec<char> = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        let c = if c == '\\' {
+            match chars.next().unwrap_or_else(|| bad("dangling `\\`")) {
+                'n' => '\n',
+                't' => '\t',
+                other => other, // \\  \-  \[  \] → the literal character
+            }
+        } else {
+            c
+        };
+        // A `-` between two characters is a range; elsewhere it's literal.
+        if chars.peek() == Some(&'-') && {
+            let mut ahead = chars.clone();
+            ahead.next();
+            matches!(ahead.peek(), Some(&e) if e != '\\')
+        } {
+            chars.next(); // the `-`
+            let end = chars.next().unwrap();
+            if (end as u32) < (c as u32) {
+                bad("descending range");
+            }
+            for u in c as u32..=end as u32 {
+                alphabet.push(char::from_u32(u).unwrap_or_else(|| bad("bad range")));
+            }
+        } else {
+            alphabet.push(c);
+        }
+    }
+    if alphabet.is_empty() {
+        bad("empty class");
+    }
+    (alphabet, lo, hi)
+}
+
+/// Index of the unescaped `]` that closes the class.
+fn find_class_end(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_pattern;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn simple_class() {
+        let (alpha, lo, hi) = parse_pattern("[a-c]{0,5}");
+        assert_eq!(alpha, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (0, 5));
+    }
+
+    #[test]
+    fn escapes_and_literals() {
+        let (alpha, _, _) = parse_pattern(r"[ -~\n\t]{0,200}");
+        assert!(alpha.contains(&' '));
+        assert!(alpha.contains(&'~'));
+        assert!(alpha.contains(&'\n'));
+        assert!(alpha.contains(&'\t'));
+        // " -~" is the printable-ASCII range.
+        assert!(alpha.contains(&'Q'));
+    }
+
+    #[test]
+    fn class_with_punctuation() {
+        let (alpha, _, _) = parse_pattern(r"[a-z0-9 =+\-*/;(){}\[\]<>!&|,.]{0,160}");
+        for c in ['a', 'z', '0', '9', ' ', '=', '+', '-', '*', '/', '[', ']', '{', '}'] {
+            assert!(alpha.contains(&c), "missing {c:?}");
+        }
+    }
+
+    #[test]
+    fn generates_within_bounds() {
+        let mut rng = TestRng::for_test("generates_within_bounds");
+        for _ in 0..200 {
+            let s = "[ab]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+}

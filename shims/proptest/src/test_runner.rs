@@ -1,0 +1,63 @@
+//! The case runner's RNG and error type.
+
+use rand::{Rng as _, SeedableRng};
+
+/// Deterministic per-test RNG. Seeded from the test name (FNV-1a) so each
+/// test sees a stable sequence across runs; `PROPTEST_SEED` perturbs it
+/// for exploratory fuzzing.
+pub struct TestRng {
+    pub(crate) inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = extra.parse::<u64>() {
+                h ^= n.rotate_left(17);
+            }
+        }
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.raw_u64()
+    }
+
+    /// Uniform index below `n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A failed case (what `prop_assert*` produce).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

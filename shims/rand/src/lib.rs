@@ -1,0 +1,185 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real `rand` cannot be fetched. This shim provides the exact API subset
+//! the workspace uses with a deterministic xoshiro256++ generator seeded
+//! via SplitMix64. Sequences differ from upstream `StdRng` (ChaCha12);
+//! all workloads verify against oracles computed from the same generated
+//! inputs, so only determinism matters, not the particular stream.
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard generator: xoshiro256++.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Xoshiro256 {
+        // SplitMix64 expansion of the seed, as xoshiro recommends.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Range types `gen_range` accepts (subset of `rand::distributions`'
+/// sampling machinery).
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut Xoshiro256) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+/// Random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    fn raw_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized;
+}
+
+impl Rng for Xoshiro256 {
+    fn raw_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+pub mod rngs {
+    /// Drop-in name for `rand::rngs::StdRng`.
+    pub type StdRng = super::Xoshiro256;
+}
+
+pub mod seq {
+    use super::{Rng, Xoshiro256};
+
+    /// Slice helpers (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        fn shuffle(&mut self, rng: &mut Xoshiro256);
+    }
+
+    impl<T> SliceRandom for [T] {
+        /// Fisher–Yates.
+        fn shuffle(&mut self, rng: &mut Xoshiro256) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.raw_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u = r.gen_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+            let f = r.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let d = r.gen_range(100.0f64..1000.0);
+            assert!((100.0..1000.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+}
