@@ -13,15 +13,100 @@
 //! 3. **reduction-private arrays** — the per-GPU private copies are
 //!    combined pairwise in a binary tree (the inter-GPU level of the
 //!    §IV-B4 hierarchical reduction); GPU 0 ends up with the result.
+//!
+//! Each reconciliation has two independent halves:
+//!
+//! * the **functional half** mutates simulated device buffers. With
+//!   [`ExecConfig::parallel_comm`](crate::ExecConfig) set (the default)
+//!   it runs on one host thread per destination GPU — destinations touch
+//!   disjoint buffers, so this is safe — and moves data as typed byte
+//!   windows (`copy_from_slice` / [`acc_kernel_ir::rmw_apply_slice`])
+//!   rather than
+//!   element-at-a-time `get`/`set`. The serial per-element path is kept
+//!   as the reference implementation and equivalence tests hold the two
+//!   bit-identical;
+//! * the **pricing half** walks the per-link PCIe bus timelines and
+//!   emits [`TransferSpan`]/[`CommRound`]/…​ events. Bus timelines are
+//!   order-dependent, so this half always runs serially, in a fixed
+//!   order, on the coordinating thread — which is why *simulated* times
+//!   never depend on the host-parallelism switch.
 
 use acc_compiler::{CompiledKernel, Placement};
-use acc_gpusim::Endpoint;
-use acc_kernel_ir::interp::rmw_apply;
+use acc_gpusim::{BufferHandle, Endpoint, Gpu};
+use acc_kernel_ir::interp::{rmw_apply, rmw_apply_slice};
 use acc_kernel_ir::{MissRecord, RmwOp, Value};
 use acc_obs::{CommRound, MissReplay, ReductionMerge, TransferKind, TransferSpan};
 
 use crate::exec::{ArrLaunch, Engine};
 use crate::RunError;
+
+/// O(1) owner lookup over a per-GPU `own` partition.
+///
+/// `resolve_bindings` derives the owned ranges of a distributed array
+/// from the equal static division of the iteration space: the non-empty
+/// ranges form an ascending, gap-free partition occupying a prefix of
+/// the GPU list. That structure lets a write-miss destination index be
+/// routed by partition arithmetic — guess `idx * k / span`, then walk at
+/// most a step or two to correct for the clamp-induced size wobble —
+/// instead of the linear scan the manager previously did per record.
+///
+/// If the ranges ever violate that shape (a custom binding, a future
+/// placement policy), the router detects it at construction and falls
+/// back to the scan, so routing results never depend on the fast path.
+pub(crate) struct OwnerRouter<'o> {
+    own: &'o [(i64, i64)],
+    /// Number of leading non-empty ranges when `contiguous`.
+    k: usize,
+    /// Covered span `[own[0].0, own[k-1].1)` when `contiguous`.
+    lo: i64,
+    hi: i64,
+    contiguous: bool,
+}
+
+impl<'o> OwnerRouter<'o> {
+    pub fn new(own: &'o [(i64, i64)]) -> OwnerRouter<'o> {
+        let k = own.iter().take_while(|r| r.1 > r.0).count();
+        let contiguous = k > 0
+            && own[..k].windows(2).all(|w| w[0].1 == w[1].0)
+            && own[k..].iter().all(|r| r.1 <= r.0);
+        let (lo, hi) = if contiguous {
+            (own[0].0, own[k - 1].1)
+        } else {
+            (0, 0)
+        };
+        OwnerRouter {
+            own,
+            k,
+            lo,
+            hi,
+            contiguous,
+        }
+    }
+
+    /// The GPU owning `idx`, or `None` if no owned range covers it.
+    pub fn route(&self, idx: i64) -> Option<usize> {
+        if !self.contiguous {
+            return (0..self.own.len()).find(|&h| self.own[h].0 <= idx && idx < self.own[h].1);
+        }
+        if idx < self.lo || idx >= self.hi {
+            return None;
+        }
+        let span = (self.hi - self.lo) as u128;
+        let mut j =
+            (((idx - self.lo) as u128 * self.k as u128) / span) as usize;
+        j = j.min(self.k - 1);
+        // The guess is off by at most the clamp wobble; each step moves
+        // monotonically toward the owner and the range checks above
+        // guarantee termination inside [0, k).
+        while idx < self.own[j].0 {
+            j -= 1;
+        }
+        while idx >= self.own[j].1 {
+            j += 1;
+        }
+        Some(j)
+    }
+}
 
 impl<'a> Engine<'a> {
     /// Run the communication phase; transfers are scheduled from `t2`.
@@ -106,11 +191,38 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Ship and apply. Each dirty chunk is its own asynchronous
+        // Functional half: land every dirty run on every other replica.
+        // Conflicting writes (a program-level race under BSP) resolve
+        // deterministically: the lowest-indexed dirty GPU wins, exactly
+        // as under the serial pairwise schedule.
+        if per_gpu_runs.iter().any(|r| !r.is_empty()) {
+            if self.cfg.parallel_comm {
+                self.apply_replica_runs_parallel(bi, elem, &per_gpu_runs)?;
+            } else {
+                // Reference path: pairwise current-value copies in
+                // (src, dst) order.
+                #[allow(clippy::needless_range_loop)] // g names a GPU, not a slice position
+                for g in 0..ngpus {
+                    if per_gpu_runs[g].is_empty() {
+                        continue;
+                    }
+                    for h in 0..ngpus {
+                        if h == g {
+                            continue;
+                        }
+                        for &(lo, hi) in &per_gpu_runs[g] {
+                            self.copy_elements_between_gpus(bi.arr, g, h, lo as i64, hi as i64)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pricing half: each dirty chunk is its own asynchronous
         // transfer (per-chunk latency is the cost of choosing small
-        // chunks — the other side of the §IV-D1 trade-off). Applying in
-        // GPU order makes conflicting writes (a program-level race under
-        // BSP) deterministic.
+        // chunks — the other side of the §IV-D1 trade-off). Serial, in
+        // fixed (src, dst) order: the per-link bus timelines are
+        // order-dependent.
         for g in 0..ngpus {
             if per_gpu_runs[g].is_empty() {
                 continue;
@@ -119,11 +231,10 @@ impl<'a> Engine<'a> {
                 if h == g {
                     continue;
                 }
-                // Functional application of the dirty runs; the priced
-                // bytes are the whole dirty chunks (the mechanism cannot
-                // know the exact runs without reading the bits remotely).
-                for &(lo, hi) in &per_gpu_runs[g] {
-                    self.copy_elements_between_gpus(bi.arr, g, h, lo as i64, hi as i64)?;
+                if per_gpu_chunk_sizes[g].is_empty() {
+                    // A dirty source always has at least one chunk; never
+                    // emit an empty round even if that invariant breaks.
+                    continue;
                 }
                 let mut pair_start = f64::INFINITY;
                 let mut pair_end = t2;
@@ -148,6 +259,14 @@ impl<'a> Engine<'a> {
                     pair_bytes += bytes;
                 }
                 end = end.max(pair_end);
+                // `pair_start` is the true start of the round's first
+                // transfer; it used to be clamped with `min(pair_end)`,
+                // which would silently mask an uninitialised INFINITY as
+                // a plausible-looking timestamp.
+                debug_assert!(
+                    pair_start.is_finite(),
+                    "comm round {g}->{h} priced no transfers"
+                );
                 self.rec.comm_round(CommRound {
                     launch: self.cur_launch,
                     array: self.prog.array_params[bi.arr].0.clone(),
@@ -155,7 +274,7 @@ impl<'a> Engine<'a> {
                     dst: h,
                     chunks: per_gpu_chunk_sizes[g].len() as u64,
                     bytes: pair_bytes,
-                    start: pair_start.min(pair_end),
+                    start: pair_start,
                     end: pair_end,
                 });
             }
@@ -170,6 +289,90 @@ impl<'a> Engine<'a> {
         Ok(end)
     }
 
+    /// The host-parallel functional half of [`Engine::sync_replicas`]:
+    /// stage every dirty source's run bytes (pre-sync values), then let
+    /// one thread per destination apply all sources' runs to its own
+    /// replica, in *descending* source order.
+    ///
+    /// Element-wise this reproduces the serial pairwise schedule: there
+    /// the lowest-indexed dirty GPU's value reaches every replica —
+    /// intermediate sources forward it because their own copy has
+    /// already been overwritten by the time they ship. Applying staged
+    /// pre-sync runs from source `ngpus-1` down to `0` (a destination's
+    /// own runs included, restoring its values at its turn) leaves the
+    /// lowest dirty source's value last everywhere.
+    fn apply_replica_runs_parallel(
+        &mut self,
+        bi: &ArrLaunch,
+        elem: usize,
+        runs: &[Vec<(usize, usize)>],
+    ) -> Result<(), RunError> {
+        let ngpus = self.cfg.ngpus;
+        let mut staged: Vec<Vec<u8>> = vec![Vec::new(); ngpus];
+        for g in 0..ngpus {
+            if runs[g].is_empty() {
+                continue;
+            }
+            let ga = &self.arrays[bi.arr].gpu[g];
+            let wlo = ga.window.0;
+            let sb = self.machine.gpus[g]
+                .memory
+                .get(ga.handle.expect("dirty source window"))?;
+            let bytes = sb.bytes();
+            let total: usize = runs[g].iter().map(|&(lo, hi)| (hi - lo) * elem).sum();
+            let mut buf = Vec::with_capacity(total);
+            for &(lo, hi) in &runs[g] {
+                let off = (lo as i64 - wlo) as usize * elem;
+                buf.extend_from_slice(&bytes[off..off + (hi - lo) * elem]);
+            }
+            staged[g] = buf;
+        }
+
+        let views: Vec<(i64, Option<BufferHandle>)> = (0..ngpus)
+            .map(|h| {
+                let ga = &self.arrays[bi.arr].gpu[h];
+                (ga.window.0, ga.handle)
+            })
+            .collect();
+        let staged = &staged;
+        let gpus = &mut self.machine.gpus[..ngpus];
+        let results: Vec<Result<(), RunError>> = std::thread::scope(|s| {
+            let workers: Vec<_> = gpus
+                .iter_mut()
+                .enumerate()
+                .map(|(h, gpu)| {
+                    let (wlo, handle) = views[h];
+                    s.spawn(move || -> Result<(), RunError> {
+                        let db = gpu.memory.get_mut(handle.expect("replica window"))?;
+                        let dbytes = db.bytes_mut();
+                        for g in (0..staged.len()).rev() {
+                            if runs[g].is_empty() {
+                                continue;
+                            }
+                            let mut cursor = 0usize;
+                            for &(lo, hi) in &runs[g] {
+                                let nb = (hi - lo) * elem;
+                                let off = (lo as i64 - wlo) as usize * elem;
+                                dbytes[off..off + nb]
+                                    .copy_from_slice(&staged[g][cursor..cursor + nb]);
+                                cursor += nb;
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("replica-sync worker panicked"))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
     /// §IV-D2: route buffered write-miss records to their owners and
     /// replay them there.
     fn replay_misses(
@@ -182,44 +385,37 @@ impl<'a> Engine<'a> {
     ) -> Result<f64, RunError> {
         let ngpus = self.cfg.ngpus;
         let elem = self.arrays[bi.arr].elem();
+        let router = OwnerRouter::new(&bi.own[..ngpus]);
         let mut end = t2;
         for g in 0..ngpus {
-            // Records for this buffer from GPU g, grouped by owner.
+            // Records for this buffer from GPU g, batched by owner.
             let mut by_owner: Vec<Vec<&MissRecord>> = vec![Vec::new(); ngpus];
+            let mut any = false;
             for r in misses.get(g).map(|v| v.as_slice()).unwrap_or(&[]) {
                 if r.buf as usize != kbuf {
                     continue;
                 }
-                let owner = (0..ngpus)
-                    .find(|&h| bi.own[h].0 <= r.idx && r.idx < bi.own[h].1)
-                    .ok_or_else(|| RunError::MissOutsideCoverage {
-                        array: ck.configs[kbuf].name.clone(),
-                        idx: r.idx,
-                    })?;
+                let owner =
+                    router
+                        .route(r.idx)
+                        .ok_or_else(|| RunError::MissOutsideCoverage {
+                            array: ck.configs[kbuf].name.clone(),
+                            idx: r.idx,
+                        })?;
                 by_owner[owner].push(r);
+                any = true;
             }
+            if !any {
+                continue;
+            }
+
+            // Functional half: replay each owner's batch on its GPU.
+            self.apply_miss_batches(&ck.configs[kbuf].name, bi, &by_owner)?;
+
+            // Pricing half, per owner in ascending order.
             for (owner, recs) in by_owner.iter().enumerate() {
                 if recs.is_empty() {
                     continue;
-                }
-                // Apply on the owner.
-                let (wlo, handle) = {
-                    let ga = &self.arrays[bi.arr].gpu[owner];
-                    (ga.window.0, ga.handle.expect("owner window"))
-                };
-                {
-                    let buf = self.machine.gpus[owner].memory.get_mut(handle)?;
-                    for r in recs {
-                        let local = r.idx - wlo;
-                        if local < 0 || local as usize >= buf.len() {
-                            return Err(RunError::MissOutsideCoverage {
-                                array: ck.configs[kbuf].name.clone(),
-                                idx: r.idx,
-                            });
-                        }
-                        let v: Value = r.value.cast(buf.ty());
-                        buf.set(local as usize, v);
-                    }
                 }
                 if owner == g {
                     // Shouldn't happen (local writes don't miss), but be
@@ -271,6 +467,82 @@ impl<'a> Engine<'a> {
         Ok(end)
     }
 
+    /// Apply per-owner miss batches to their owning GPUs — in parallel
+    /// (owners are distinct GPUs, so their buffers are disjoint) or
+    /// serially on the reference path. Within an owner, records apply in
+    /// arrival order either way.
+    fn apply_miss_batches(
+        &mut self,
+        array_name: &str,
+        bi: &ArrLaunch,
+        by_owner: &[Vec<&MissRecord>],
+    ) -> Result<(), RunError> {
+        let ngpus = self.cfg.ngpus;
+        let views: Vec<(i64, Option<BufferHandle>)> = (0..ngpus)
+            .map(|h| {
+                let ga = &self.arrays[bi.arr].gpu[h];
+                (ga.window.0, ga.handle)
+            })
+            .collect();
+
+        let replay_one = |gpu: &mut Gpu,
+                          wlo: i64,
+                          handle: Option<BufferHandle>,
+                          recs: &[&MissRecord]|
+         -> Result<(), RunError> {
+            let buf = gpu.memory.get_mut(handle.expect("owner window"))?;
+            for r in recs {
+                let local = r.idx - wlo;
+                if local < 0 || local as usize >= buf.len() {
+                    return Err(RunError::MissOutsideCoverage {
+                        array: array_name.to_string(),
+                        idx: r.idx,
+                    });
+                }
+                let v: Value = r.value.cast(buf.ty());
+                buf.set(local as usize, v);
+            }
+            Ok(())
+        };
+
+        if self.cfg.parallel_comm {
+            let gpus = &mut self.machine.gpus[..ngpus];
+            let results: Vec<Result<(), RunError>> = std::thread::scope(|s| {
+                let workers: Vec<_> = gpus
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(owner, gpu)| {
+                        let (wlo, handle) = views[owner];
+                        let recs = &by_owner[owner];
+                        (!recs.is_empty())
+                            .then(|| s.spawn(move || replay_one(gpu, wlo, handle, recs)))
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| match w {
+                        Some(w) => w.join().expect("miss-replay worker panicked"),
+                        None => Ok(()),
+                    })
+                    .collect()
+            });
+            // First failing owner in ascending order, as the serial
+            // schedule would report.
+            for r in results {
+                r?;
+            }
+        } else {
+            for (owner, recs) in by_owner.iter().enumerate() {
+                if recs.is_empty() {
+                    continue;
+                }
+                let (wlo, handle) = views[owner];
+                replay_one(&mut self.machine.gpus[owner], wlo, handle, recs)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Inter-GPU level of the hierarchical reduction: binary-tree merge of
     /// the private copies into GPU 0.
     fn merge_reduction_copies(
@@ -285,17 +557,21 @@ impl<'a> Engine<'a> {
         let mut round_start = t2;
         let mut stride = 1usize;
         while stride < ngpus {
-            let mut round_end = round_start;
-            let mut g = 0;
-            while g + stride < ngpus {
-                let src = g + stride;
-                // Pull src's private copy into g and combine.
-                let staged: Vec<Value> = {
-                    let ga = &self.arrays[bi.arr].gpu[src];
-                    let sb = self.machine.gpus[src].memory.get(ga.handle.expect("src"))?;
-                    sb.iter().collect()
-                };
-                {
+            // Functional half: this round's (dst, src) = (g, g+stride)
+            // pairs touch disjoint GPUs, so they can merge concurrently,
+            // each as one typed slice pass over the private copies.
+            if self.cfg.parallel_comm {
+                self.merge_round_parallel(bi, op, stride)?;
+            } else {
+                // Reference path: staged per-element merge.
+                let mut g = 0;
+                while g + stride < ngpus {
+                    let src = g + stride;
+                    let staged: Vec<Value> = {
+                        let ga = &self.arrays[bi.arr].gpu[src];
+                        let sb = self.machine.gpus[src].memory.get(ga.handle.expect("src"))?;
+                        sb.iter().collect()
+                    };
                     let ga = &self.arrays[bi.arr].gpu[g];
                     let db = self.machine.gpus[g]
                         .memory
@@ -304,7 +580,15 @@ impl<'a> Engine<'a> {
                         let merged = rmw_apply(op, db.get(i), *v)?;
                         db.set(i, merged);
                     }
+                    g += stride * 2;
                 }
+            }
+
+            // Pricing half, serial in pair order.
+            let mut round_end = round_start;
+            let mut g = 0;
+            while g + stride < ngpus {
+                let src = g + stride;
                 let bytes = (n * elem) as u64;
                 let (s, e) =
                     self.machine
@@ -350,9 +634,61 @@ impl<'a> Engine<'a> {
         Ok(round_start)
     }
 
+    /// One binary-tree round of reduction merges, host-parallel: split
+    /// the GPU slice into `2*stride`-wide chunks; each chunk's leading
+    /// pair merges on its own thread through disjoint `&mut` borrows,
+    /// with `rmw_apply_slice` doing the element math in one typed pass.
+    fn merge_round_parallel(
+        &mut self,
+        bi: &ArrLaunch,
+        op: RmwOp,
+        stride: usize,
+    ) -> Result<(), RunError> {
+        let ngpus = self.cfg.ngpus;
+        let handles: Vec<Option<BufferHandle>> = (0..ngpus)
+            .map(|g| self.arrays[bi.arr].gpu[g].handle)
+            .collect();
+        let handles = &handles;
+        let gpus = &mut self.machine.gpus[..ngpus];
+        let results: Vec<Result<(), RunError>> = std::thread::scope(|s| {
+            let workers: Vec<_> = gpus
+                .chunks_mut(stride * 2)
+                .enumerate()
+                .map(|(chunk_idx, chunk)| {
+                    if chunk.len() <= stride {
+                        return None; // no partner in this round
+                    }
+                    let g = chunk_idx * stride * 2;
+                    let (dhandle, shandle) = (handles[g], handles[g + stride]);
+                    Some(s.spawn(move || -> Result<(), RunError> {
+                        let (dst_half, src_half) = chunk.split_at_mut(stride);
+                        let sb = src_half[0].memory.get(shandle.expect("src"))?;
+                        let db = dst_half[0].memory.get_mut(dhandle.expect("dst"))?;
+                        let ty = db.ty();
+                        debug_assert_eq!(ty, sb.ty(), "private copies disagree on type");
+                        rmw_apply_slice(op, ty, db.bytes_mut(), sb.bytes());
+                        Ok(())
+                    }))
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| match w {
+                    Some(w) => w.join().expect("reduction-merge worker panicked"),
+                    None => Ok(()),
+                })
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
     /// Copy elements `[lo, hi)` (global) of an array from GPU `src`'s
     /// buffer into GPU `dst`'s buffer — the functional half of a replica
-    /// update (bytes are priced separately at chunk granularity).
+    /// update on the serial reference path (bytes are priced separately
+    /// at chunk granularity).
     fn copy_elements_between_gpus(
         &mut self,
         arr: usize,
@@ -375,5 +711,52 @@ impl<'a> Engine<'a> {
         let off = (lo - ga.window.0) as usize * elem;
         db.bytes_mut()[off..off + staged.len()].copy_from_slice(&staged);
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::OwnerRouter;
+
+    #[test]
+    fn router_routes_contiguous_partitions() {
+        // Uneven but contiguous: the resolve_bindings shape.
+        let own = [(0i64, 34), (34, 67), (67, 100)];
+        let r = OwnerRouter::new(&own);
+        assert!(r.contiguous);
+        for idx in 0..100 {
+            let want = own.iter().position(|w| w.0 <= idx && idx < w.1);
+            assert_eq!(r.route(idx), want, "idx {idx}");
+        }
+        assert_eq!(r.route(-1), None);
+        assert_eq!(r.route(100), None);
+    }
+
+    #[test]
+    fn router_handles_empty_suffix() {
+        // ngpus > iterations: trailing GPUs own nothing.
+        let own = [(0i64, 2), (2, 3), (0, 0), (0, 0)];
+        let r = OwnerRouter::new(&own);
+        assert!(r.contiguous);
+        assert_eq!(r.route(0), Some(0));
+        assert_eq!(r.route(2), Some(1));
+        assert_eq!(r.route(3), None);
+    }
+
+    #[test]
+    fn router_falls_back_on_gaps() {
+        let own = [(0i64, 2), (5, 9)];
+        let r = OwnerRouter::new(&own);
+        assert!(!r.contiguous);
+        assert_eq!(r.route(1), Some(0));
+        assert_eq!(r.route(3), None);
+        assert_eq!(r.route(6), Some(1));
+    }
+
+    #[test]
+    fn router_handles_all_empty() {
+        let own = [(0i64, 0), (0, 0)];
+        let r = OwnerRouter::new(&own);
+        assert_eq!(r.route(0), None);
     }
 }

@@ -704,7 +704,6 @@ impl<'a> Engine<'a> {
         }
         Ok(out)
     }
-
 }
 
 /// Execute one GPU's portion of a kernel. Runs on a worker thread with

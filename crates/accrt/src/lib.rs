@@ -92,6 +92,13 @@ pub struct ExecConfig {
     /// [`RunReport::trace`]. Phase totals and counters are accumulated
     /// regardless.
     pub tracing: TraceLevel,
+    /// Run the functional half of the communication phase (replica-run
+    /// application, miss replay, reduction merge) on one host thread per
+    /// destination GPU instead of serially. Simulated times, transfer
+    /// events and array contents are identical either way — the serial
+    /// path exists as the reference for equivalence tests and as an
+    /// ablation switch.
+    pub parallel_comm: bool,
 }
 
 impl ExecConfig {
@@ -104,6 +111,7 @@ impl ExecConfig {
             miss_capacity: 1 << 22,
             loader_reuse: true,
             tracing: TraceLevel::Off,
+            parallel_comm: true,
         }
     }
 
@@ -137,6 +145,13 @@ impl ExecConfig {
     /// Set the event-retention level for [`RunReport::trace`].
     pub fn tracing(mut self, level: TraceLevel) -> ExecConfig {
         self.tracing = level;
+        self
+    }
+
+    /// Enable or disable host-parallel execution of the communication
+    /// phase's functional work (simulated results are unaffected).
+    pub fn parallel_comm(mut self, parallel: bool) -> ExecConfig {
+        self.parallel_comm = parallel;
         self
     }
 }

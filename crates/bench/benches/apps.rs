@@ -48,5 +48,32 @@ fn bench_compile_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_apps, bench_compile_pipeline);
+fn bench_comm_paths(c: &mut Criterion) {
+    // Host-parallel vs serial communication phase on the comm-heaviest
+    // app (BFS dirties scattered chunks on all 3 GPUs every launch).
+    // Simulated results are identical by construction; this measures the
+    // wall-clock of the functional work alone.
+    use acc_apps::runner::compile_app;
+    use acc_runtime::{run_program, ExecConfig};
+
+    let prog = compile_app(App::Bfs, Version::Proposal(3)).expect("compile bfs");
+    let (scalars, arrays) = acc_bench::app_inputs(App::Bfs, Scale::Small, 42);
+    let mut g = c.benchmark_group("e2e/comm_path");
+    g.sample_size(10);
+    for parallel in [true, false] {
+        let label = if parallel { "parallel" } else { "serial" };
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut m = Machine::supercomputer_node();
+                let cfg = ExecConfig::gpus(3).parallel_comm(parallel);
+                let r = run_program(&mut m, &cfg, &prog, scalars.clone(), arrays.clone())
+                    .expect("run");
+                black_box(r.profile.time.gpu_gpu)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_compile_pipeline, bench_comm_paths);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //!
 //! Targets: `table1`, `table2`, `fig7`, `fig8`, `fig9`, `ablation-chunk`,
 //! `ablation-layout`, `ablation-placement`, `ablation-loader-reuse`,
-//! `extension-stencil`, `trace`, `all`.
+//! `extension-stencil`, `trace`, `bench`, `all`.
 //! Scales: `small` (seconds), `scaled` (default; structure-preserving
 //! reductions of the paper inputs), `paper` (full published sizes).
 //!
@@ -17,6 +17,11 @@
 //! full span tracing and writes a Chrome trace-event file (open it in
 //! `chrome://tracing` or <https://ui.perfetto.dev>) next to the phase
 //! summary table.
+//!
+//! The `bench` target measures the simulator's own wall-clock (not
+//! simulated time) for every app × GPU count and writes
+//! `BENCH_runtime.json` (see `docs/benchmarks.md`); `--reps N` controls
+//! repetitions per configuration.
 
 use acc_apps::Scale;
 use acc_bench::*;
@@ -28,6 +33,7 @@ struct Args {
     scale: Scale,
     json: Option<String>,
     seed: u64,
+    reps: usize,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +42,7 @@ fn parse_args() -> Args {
         scale: Scale::Scaled,
         json: None,
         seed: 42,
+        reps: 3,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,12 +60,13 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = it.next(),
             "--seed" => args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42),
+            "--reps" => args.reps = it.next().and_then(|s| s.parse().ok()).unwrap_or(3),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [table1|table2|fig7|fig8|fig9|ablation-chunk|\
                      ablation-layout|ablation-placement|ablation-loader-reuse|\
-                     extension-stencil|trace|all] [--scale small|scaled|paper] \
-                     [--json FILE] [--seed N]"
+                     extension-stencil|trace|bench|all] [--scale small|scaled|paper] \
+                     [--json FILE] [--seed N] [--reps N]"
                 );
                 std::process::exit(0);
             }
@@ -99,10 +107,68 @@ fn run_trace_target(args: &Args) {
     eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
 }
 
+/// The `bench` target: the simulator's own wall-clock per app × GPU
+/// count, written as `BENCH_runtime.json` so the host-side cost of the
+/// runtime can be tracked across commits (simulated times are recorded
+/// alongside and must not move).
+fn run_bench_target(args: &Args) {
+    let scale_name = match args.scale {
+        Scale::Small => "small",
+        Scale::Scaled => "scaled",
+        Scale::Paper => "paper",
+    };
+    eprintln!("measuring wall-clock at scale `{scale_name}`, {} reps each", args.reps);
+    let points = bench_runtime(args.scale, args.seed, args.reps, true);
+    println!(
+        "  {:<8} {:>5} {:>12} {:>12} {:>12} {:>8}",
+        "App", "GPUs", "wall best", "wall mean", "sim time", "correct"
+    );
+    for p in &points {
+        println!(
+            "  {:<8} {:>5} {:>11.3}s {:>11.3}s {:>11.6}s {:>8}",
+            p.app, p.ngpus, p.wall_best_s, p.wall_mean_s, p.sim_s, p.correct
+        );
+    }
+    let json = Value::obj([
+        ("scale", Value::str(scale_name)),
+        ("seed", Value::num(args.seed as f64)),
+        (
+            "points",
+            Value::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Value::obj([
+                            ("app", Value::str(&p.app)),
+                            ("ngpus", Value::num(p.ngpus as f64)),
+                            ("wall_best_s", Value::num(p.wall_best_s)),
+                            ("wall_mean_s", Value::num(p.wall_mean_s)),
+                            ("sim_s", Value::num(p.sim_s)),
+                            ("correct", Value::Bool(p.correct)),
+                            ("reps", Value::num(p.reps as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string_pretty();
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    std::fs::write(&path, json).expect("write bench json");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args = parse_args();
     if args.target == "trace" {
         run_trace_target(&args);
+        return;
+    }
+    if args.target == "bench" {
+        run_bench_target(&args);
         return;
     }
     let mut out: Vec<(&'static str, Value)> = Vec::new();

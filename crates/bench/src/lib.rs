@@ -607,6 +607,67 @@ pub fn extension_stencil(scale: Scale, seed: u64) -> Vec<StencilPoint> {
     out
 }
 
+/// One wall-clock measurement for the `bench` target: how long the
+/// simulator itself takes to run an app on N GPUs, as opposed to the
+/// simulated time it reports. This is the number the runtime's host-side
+/// optimisations (interpreter fast path, parallel communication phase)
+/// move, and the one `BENCH_runtime.json` tracks across commits.
+#[derive(Debug, Clone)]
+pub struct RuntimePoint {
+    pub app: String,
+    pub ngpus: usize,
+    /// Best wall-clock over `reps` runs, seconds. Minimum, not mean: the
+    /// minimum of repeated identical runs is the least noisy estimator
+    /// of intrinsic cost on a shared machine.
+    pub wall_best_s: f64,
+    /// Mean wall-clock over `reps` runs, seconds.
+    pub wall_mean_s: f64,
+    /// Simulated parallel-region time, seconds. Must not change when
+    /// host-side optimisations do (the equivalence tests enforce this;
+    /// the field is recorded so a regression is visible in the artifact).
+    pub sim_s: f64,
+    pub correct: bool,
+    pub reps: usize,
+}
+
+/// Measure end-to-end wall-clock for every app × GPU count on the
+/// supercomputer node. Each configuration runs `reps` times.
+pub fn bench_runtime(scale: Scale, seed: u64, reps: usize, progress: bool) -> Vec<RuntimePoint> {
+    let reps = reps.max(1);
+    let mut out = Vec::new();
+    for &app in &App::ALL {
+        for ngpus in 1..=3 {
+            let v = Version::Proposal(ngpus);
+            if progress {
+                eprintln!("  bench: {} x{} ({} reps)", app.name(), ngpus, reps);
+            }
+            let mut walls = Vec::with_capacity(reps);
+            let mut sim_s = 0.0;
+            let mut correct = true;
+            for _ in 0..reps {
+                let mut m = Machine::supercomputer_node();
+                let t0 = std::time::Instant::now();
+                let r = acc_apps::run_app(app, v, &mut m, scale, seed).expect("app run");
+                walls.push(t0.elapsed().as_secs_f64());
+                sim_s = r.time.parallel_region();
+                correct &= r.correct;
+            }
+            let best = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+            out.push(RuntimePoint {
+                app: app.name().to_string(),
+                ngpus,
+                wall_best_s: best,
+                wall_mean_s: mean,
+                sim_s,
+                correct,
+                reps,
+            });
+        }
+    }
+    out
+}
+
 /// Generate inputs for an app at a scale (shared by the ablations).
 pub fn app_inputs(
     app: App,

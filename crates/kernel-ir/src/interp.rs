@@ -190,6 +190,67 @@ pub fn rmw_apply(op: RmwOp, a: Value, b: Value) -> Result<Value, ExecError> {
     })
 }
 
+/// Apply a reduction operator element-wise over raw little-endian byte
+/// windows of type `ty`: `dst[i] = op(dst[i], src[i])`.
+///
+/// This is the slice form of [`rmw_apply`] used by the communication
+/// manager's reduction merge: one typed pass over contiguous bytes
+/// instead of a `get`/`rmw_apply`/`set` round trip per element. Each
+/// lane computes exactly what `rmw_apply` computes for two values of
+/// the same type (same wrapping integer ops, same IEEE `min`/`max`
+/// semantics), so results are bit-identical to the per-element path.
+///
+/// # Panics
+/// Panics if the slice lengths differ, are not a multiple of the
+/// element size, or `ty` is not storable.
+pub fn rmw_apply_slice(op: RmwOp, ty: Ty, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "rmw_apply_slice length mismatch");
+    let sz = ty.size_bytes();
+    assert!(ty.is_storable() && dst.len().is_multiple_of(sz), "bad rmw_apply_slice window");
+    match ty {
+        Ty::I32 => {
+            for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
+                let x = i32::from_le_bytes(d.try_into().unwrap());
+                let y = i32::from_le_bytes(s.try_into().unwrap());
+                let r = match op {
+                    RmwOp::Add => x.wrapping_add(y),
+                    RmwOp::Mul => x.wrapping_mul(y),
+                    RmwOp::Min => x.min(y),
+                    RmwOp::Max => x.max(y),
+                };
+                d.copy_from_slice(&r.to_le_bytes());
+            }
+        }
+        Ty::F32 => {
+            for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
+                let x = f32::from_le_bytes(d.try_into().unwrap());
+                let y = f32::from_le_bytes(s.try_into().unwrap());
+                let r = match op {
+                    RmwOp::Add => x + y,
+                    RmwOp::Mul => x * y,
+                    RmwOp::Min => x.min(y),
+                    RmwOp::Max => x.max(y),
+                };
+                d.copy_from_slice(&r.to_le_bytes());
+            }
+        }
+        Ty::F64 => {
+            for (d, s) in dst.chunks_exact_mut(8).zip(src.chunks_exact(8)) {
+                let x = f64::from_le_bytes(d.try_into().unwrap());
+                let y = f64::from_le_bytes(s.try_into().unwrap());
+                let r = match op {
+                    RmwOp::Add => x + y,
+                    RmwOp::Mul => x * y,
+                    RmwOp::Min => x.min(y),
+                    RmwOp::Max => x.max(y),
+                };
+                d.copy_from_slice(&r.to_le_bytes());
+            }
+        }
+        Ty::Bool => unreachable!("buffers of Bool are rejected at allocation"),
+    }
+}
+
 /// Control-flow signal from statement execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Flow {
@@ -483,7 +544,36 @@ impl<'a, 'b> Machine<'a, 'b> {
 /// Execute kernel `k` for every global iteration index in `[lo, hi)`,
 /// accumulating into `ctx`. This is what one simulated GPU runs for its
 /// assigned task range in a BSP superstep.
+///
+/// The body is compiled once into the flat bytecode of
+/// [`crate::bytecode`] and executed per iteration by its stack machine —
+/// results, counters and errors are identical to the AST walker
+/// ([`run_kernel_range_ast`]), which is kept as the reference
+/// implementation and held equal by differential tests.
 pub fn run_kernel_range(
+    k: &Kernel,
+    ctx: &mut ExecCtx<'_>,
+    lo: i64,
+    hi: i64,
+) -> Result<(), ExecError> {
+    let code = crate::bytecode::compile(&k.body);
+    let mut scratch = crate::bytecode::Scratch::default();
+    let mut locals: Vec<Value> = k.locals.iter().map(|t| t.zero()).collect();
+    for tid in lo..hi {
+        // Fresh locals per thread (cheap memset for the usual small count).
+        for (slot, ty) in locals.iter_mut().zip(&k.locals) {
+            *slot = ty.zero();
+        }
+        crate::bytecode::run_iteration(&code, ctx, &mut locals, tid, &mut scratch)?;
+        ctx.counters.threads += 1;
+    }
+    Ok(())
+}
+
+/// The reference AST-walking implementation of [`run_kernel_range`].
+/// Slower but structurally obvious; the bytecode path must match it
+/// bit-for-bit (buffers, counters, misses, errors).
+pub fn run_kernel_range_ast(
     k: &Kernel,
     ctx: &mut ExecCtx<'_>,
     lo: i64,
@@ -491,7 +581,6 @@ pub fn run_kernel_range(
 ) -> Result<(), ExecError> {
     let mut locals: Vec<Value> = k.locals.iter().map(|t| t.zero()).collect();
     for tid in lo..hi {
-        // Fresh locals per thread (cheap memset for the usual small count).
         for (slot, ty) in locals.iter_mut().zip(&k.locals) {
             *slot = ty.zero();
         }
@@ -537,7 +626,7 @@ pub fn eval_host_expr(
     m.eval(e)
 }
 
-fn eval_unary(op: UnOp, a: Value) -> Result<Value, ExecError> {
+pub(crate) fn eval_unary(op: UnOp, a: Value) -> Result<Value, ExecError> {
     let err = || ExecError::TypeError(format!("unary {op:?} on {a:?}"));
     Ok(match (op, a) {
         (UnOp::Neg, Value::I32(v)) => Value::I32(v.wrapping_neg()),
@@ -549,7 +638,7 @@ fn eval_unary(op: UnOp, a: Value) -> Result<Value, ExecError> {
     })
 }
 
-fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+pub(crate) fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
     use BinOp::*;
     let err = || ExecError::TypeError(format!("binary {op:?} on {a:?}, {b:?}"));
     if op.is_comparison() {
@@ -625,7 +714,7 @@ fn float_compare(op: BinOp, ord: Option<std::cmp::Ordering>) -> bool {
     }
 }
 
-fn eval_builtin(f: Builtin, args: &[Value]) -> Result<Value, ExecError> {
+pub(crate) fn eval_builtin(f: Builtin, args: &[Value]) -> Result<Value, ExecError> {
     let err = || ExecError::TypeError(format!("builtin {f:?} on {args:?}"));
     // Unary float builtins promote per argument type; integer args are
     // promoted to f64 like C's math.h.

@@ -30,6 +30,7 @@
 //! parts of a translated program (see `acc-compiler`).
 
 pub mod buffer;
+pub mod bytecode;
 pub mod counters;
 pub mod dirty;
 pub mod display;
@@ -44,7 +45,10 @@ pub use buffer::Buffer;
 pub use counters::OpCounters;
 pub use dirty::DirtyMap;
 pub use expr::{BinOp, Builtin, Expr, UnOp};
-pub use interp::{run_kernel_range, BufSlot, ExecCtx, ExecError, MissRecord};
+pub use interp::{
+    rmw_apply_slice, run_kernel_range, run_kernel_range_ast, BufSlot, ExecCtx, ExecError,
+    MissRecord,
+};
 pub use kernel::{BufAccess, BufParam, Kernel, ScalarParam, ScalarReduction};
 pub use stmt::{RmwOp, Stmt};
 pub use ty::{Ty, Value};

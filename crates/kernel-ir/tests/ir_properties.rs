@@ -1,7 +1,7 @@
 //! Property tests on the kernel IR's data plane: reduction-operator
 //! algebra, buffer range copies, and interpreter determinism.
 
-use acc_kernel_ir::interp::{rmw_apply, rmw_identity};
+use acc_kernel_ir::interp::{rmw_apply, rmw_apply_slice, rmw_identity};
 use acc_kernel_ir::{
     run_kernel_range, BufAccess, BufId, BufParam, Buffer, BufSlot, ExecCtx, Expr, Kernel,
     RmwOp, Stmt, Ty, Value,
@@ -64,6 +64,37 @@ proptest! {
             } else {
                 prop_assert_eq!(out[i], 7);
             }
+        }
+    }
+
+    /// The typed-slice reduction merge computes exactly what the
+    /// per-element scalar path computes, for every operator, including
+    /// non-associative float corner values carried through bit-exactly.
+    #[test]
+    fn rmw_slice_equals_per_element(
+        op in arb_op(),
+        ints in prop::collection::vec((-1000i32..1000, -1000i32..1000), 1..64),
+        floats in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..64),
+    ) {
+        // I32 lanes.
+        let mut dst = Buffer::from_i32(&ints.iter().map(|p| p.0).collect::<Vec<_>>());
+        let src = Buffer::from_i32(&ints.iter().map(|p| p.1).collect::<Vec<_>>());
+        let expect: Vec<Value> = (0..dst.len())
+            .map(|i| rmw_apply(op, dst.get(i), src.get(i)).unwrap())
+            .collect();
+        rmw_apply_slice(op, Ty::I32, dst.bytes_mut(), src.bytes());
+        for (i, e) in expect.iter().enumerate() {
+            prop_assert_eq!(dst.get(i), *e);
+        }
+        // F64 lanes.
+        let mut dst = Buffer::from_f64(&floats.iter().map(|p| p.0).collect::<Vec<_>>());
+        let src = Buffer::from_f64(&floats.iter().map(|p| p.1).collect::<Vec<_>>());
+        let expect: Vec<Value> = (0..dst.len())
+            .map(|i| rmw_apply(op, dst.get(i), src.get(i)).unwrap())
+            .collect();
+        rmw_apply_slice(op, Ty::F64, dst.bytes_mut(), src.bytes());
+        for (i, e) in expect.iter().enumerate() {
+            prop_assert_eq!(dst.get(i), *e);
         }
     }
 
