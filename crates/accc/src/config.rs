@@ -38,6 +38,57 @@ pub struct LocalAccessParams {
     pub right: ir::Expr,
 }
 
+/// Outcome of the §IV-D2 write-locality proof for one array in one
+/// kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElisionProof {
+    /// The array is not distributed: no per-store miss check exists.
+    NotApplicable,
+    /// Distributed but never stored to by this kernel.
+    NoStores,
+    /// Proved by the strict constant-stride prover (`s*tid + c`,
+    /// `0 <= c < s`).
+    ConstStride,
+    /// Proved by the interval/symbolic prover (runtime stride and/or
+    /// loop-bounded offsets, [`crate::range`]).
+    Interval,
+    /// Not provable: the runtime miss check stays on every store.
+    Unproven,
+}
+
+/// Static linter verdicts recorded per array per kernel; materialized
+/// into `ACC-W00x` diagnostics by [`crate::lint`] and audited at runtime
+/// by the sanitizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayLint {
+    /// How (whether) the write-miss check was elided.
+    pub elision: ElisionProof,
+    /// Load sites whose index was comparable against the declared
+    /// `localaccess` window.
+    pub window_checked: usize,
+    /// Load sites provably outside the declared window for every
+    /// admissible stride (`ACC-W003`).
+    pub window_violations: usize,
+    /// Stores with thread-variant values at overlapping (broadcast or
+    /// irregular) indices (`ACC-W001`).
+    pub overlap_stores: usize,
+    /// Read-modify-write stores at overlapping indices missing a
+    /// `reductiontoarray` annotation (`ACC-W002`).
+    pub unannotated_rmw: usize,
+}
+
+impl Default for ArrayLint {
+    fn default() -> ArrayLint {
+        ArrayLint {
+            elision: ElisionProof::NotApplicable,
+            window_checked: 0,
+            window_violations: 0,
+            overlap_stores: 0,
+            unannotated_rmw: 0,
+        }
+    }
+}
+
 /// Per-kernel, per-array configuration record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrayConfig {
@@ -63,6 +114,8 @@ pub struct ArrayConfig {
     pub read_pattern: AccessPattern,
     /// Worst write-site pattern. `Coalesced` when not written.
     pub write_pattern: AccessPattern,
+    /// Static linter verdicts for this array in this kernel.
+    pub lint: ArrayLint,
 }
 
 impl ArrayConfig {

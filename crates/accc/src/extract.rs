@@ -21,8 +21,8 @@ use acc_kernel_ir as ir;
 use acc_minic::hir::{ParallelLoopNode, TypedFunction};
 
 use crate::analysis::{self, depth_weight, pattern_efficiency, AccessMode};
-use crate::config::{ArrayConfig, LocalAccessParams, Placement};
-use crate::{CompileOptions, CompiledKernel, ParamSrc};
+use crate::config::{ArrayConfig, ArrayLint, ElisionProof, LocalAccessParams, Placement};
+use crate::{lint, range, CompileOptions, CompiledKernel, ParamSrc};
 
 /// Extract and instrument the kernel for one parallel loop.
 pub fn extract_kernel(
@@ -116,15 +116,57 @@ pub fn extract_kernel(
             Placement::Replicated
         };
 
-        // Miss-check elision: only when the localaccess stride is a
-        // compile-time constant and every store is provably within the
-        // iteration's own stride window.
-        let miss_check_elided = match (&placement, &la) {
-            (Placement::Distributed, Some(p)) => match const_i32(&p.stride) {
-                Some(s) if s > 0 => u.stores_within_own_stride(s as i64),
-                _ => false,
-            },
-            _ => !u.writes, // nothing to check
+        // Miss-check elision (§IV-D2): first the strict constant-stride
+        // prover, then the broadened interval/symbolic prover, which also
+        // handles runtime strides and nested-loop offsets. The same
+        // decomposition feeds the `localaccess` window check (ACC-W003).
+        let stride_sym = la
+            .as_ref()
+            .and_then(|p| stride_ref(&p.stride, &local_map, &body));
+        let sites = stride_sym
+            .map(|sr| range::collect(&body, local_map.len(), ir::BufId(kbuf as u32), sr));
+        let (miss_check_elided, elision) = match (&placement, &la) {
+            (Placement::Distributed, Some(p)) => {
+                if !u.writes {
+                    (false, ElisionProof::NoStores)
+                } else if matches!(const_i32(&p.stride),
+                    Some(s) if s > 0 && u.stores_within_own_stride(s as i64))
+                {
+                    (true, ElisionProof::ConstStride)
+                } else if matches!((stride_sym, &sites),
+                    (Some(sr), Some(sites)) if range::stores_proved_local(sites, sr))
+                {
+                    (true, ElisionProof::Interval)
+                } else {
+                    (false, ElisionProof::Unproven)
+                }
+            }
+            _ => (!u.writes, ElisionProof::NotApplicable), // nothing to check
+        };
+
+        // Declared-window audit of the loads (ACC-W003) and the
+        // store-hazard scan (ACC-W001 / ACC-W002).
+        let window = match (&la, stride_sym, &sites) {
+            (Some(p), Some(sr), Some(sites)) => range::check_load_windows(
+                sites,
+                sr,
+                range::window_bound(&p.left, &p.stride),
+                range::window_bound(&p.right, &p.stride),
+            ),
+            _ => range::WindowCheck::default(),
+        };
+        let (overlap_stores, unannotated_rmw) =
+            if matches!(placement, Placement::ReductionPrivate(_)) {
+                (0, 0)
+            } else {
+                lint::store_hazards(&body, ir::BufId(kbuf as u32))
+            };
+        let alint = ArrayLint {
+            elision,
+            window_checked: window.checked,
+            window_violations: window.violations,
+            overlap_stores,
+            unannotated_rmw,
         };
 
         // Layout transform: read-only + localaccess + all loads affine.
@@ -176,6 +218,7 @@ pub fn extract_kernel(
             layout_transformed,
             read_pattern,
             write_pattern,
+            lint: alint,
         });
     }
 
@@ -266,6 +309,7 @@ pub fn extract_kernel(
         lo: node.lo.clone(),
         hi: node.hi.clone(),
         red_targets,
+        span: node.span,
     }
 }
 
@@ -274,6 +318,31 @@ fn const_i32(e: &ir::Expr) -> Option<i32> {
         ir::Expr::Imm(ir::Value::I32(v)) => Some(v),
         _ => None,
     }
+}
+
+/// Resolve the `localaccess` stride (a host-frame expression) to a stride
+/// reference usable inside the remapped kernel body: a positive constant,
+/// or a kernel local that is never assigned in the body (so its symbolic
+/// identity is stable).
+fn stride_ref(
+    stride: &ir::Expr,
+    local_map: &BTreeMap<u32, u32>,
+    body: &[ir::Stmt],
+) -> Option<range::StrideRef> {
+    if let Some(s) = const_i32(stride) {
+        return (s > 0).then_some(range::StrideRef::Const(s as i64));
+    }
+    let mut e = stride;
+    while let ir::Expr::Cast { ty: ir::Ty::I32, a } = e {
+        e = a;
+    }
+    if let ir::Expr::Local(fid) = e {
+        let kid = ir::LocalId(*local_map.get(&fid.0)?);
+        if !range::assigned_locals(body).contains(&kid) {
+            return Some(range::StrideRef::Sym(kid));
+        }
+    }
+    None
 }
 
 fn estimate_mem_efficiency(
@@ -435,7 +504,7 @@ fn remap_stmt(
 }
 
 /// Set the instrumentation flags on every store to kernel buffer `kbuf`.
-fn set_store_flags(stmts: &mut [ir::Stmt], kbuf: u32, dirty: bool, checked: bool) {
+pub(crate) fn set_store_flags(stmts: &mut [ir::Stmt], kbuf: u32, dirty: bool, checked: bool) {
     for s in stmts {
         match s {
             ir::Stmt::Store {

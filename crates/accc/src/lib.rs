@@ -26,13 +26,16 @@ pub mod analysis;
 pub mod config;
 pub mod extract;
 pub mod hostgen;
+pub mod lint;
+pub mod range;
 
 use acc_kernel_ir as ir;
 use acc_minic::hir;
 
 pub use analysis::AccessMode;
-pub use config::{ArrayConfig, LocalAccessParams, Placement};
+pub use config::{ArrayConfig, ArrayLint, ElisionProof, LocalAccessParams, Placement};
 pub use hostgen::HostOp;
+pub use lint::{lint_function, lint_source};
 
 /// Compiler options selecting which paper features are active. The
 /// evaluation's program versions map to:
@@ -131,6 +134,8 @@ pub struct CompiledKernel {
     /// Host locals each scalar-reduction result merges back into
     /// (parallel to `kernel.reductions`).
     pub red_targets: Vec<ir::LocalId>,
+    /// Source span of the originating parallel loop (diagnostics).
+    pub span: acc_minic::diag::Span,
 }
 
 /// A fully translated function: kernels + host program.
@@ -199,6 +204,45 @@ pub fn compile(
         host,
         options: options.clone(),
     })
+}
+
+/// Re-arm the runtime write-miss check on every distributed array whose
+/// check the prover elided. Used by audit tooling and the property tests
+/// to cross-check static elision verdicts against observed miss records:
+/// a correct proof implies a forced-checked run records zero misses and
+/// identical results.
+pub fn force_miss_checks(p: &mut CompiledProgram) {
+    for k in &mut p.kernels {
+        for (kbuf, cfg) in k.configs.iter_mut().enumerate() {
+            if cfg.placement == Placement::Distributed
+                && cfg.mode.writes()
+                && cfg.miss_check_elided
+            {
+                cfg.miss_check_elided = false;
+                extract::set_store_flags(&mut k.kernel.body, kbuf as u32, false, true);
+            }
+        }
+    }
+}
+
+/// Fault injection — the dual of [`force_miss_checks`]: drop the runtime
+/// write-miss check from every distributed array, as if the prover had
+/// (wrongly) elided it. Stores that leave the owner partition then land
+/// in the local replica and are silently lost at flush time. Exists to
+/// audit the runtime sanitizer: a `SanitizeLevel::Stores` run must catch
+/// exactly the programs this function breaks.
+pub fn force_elide_checks(p: &mut CompiledProgram) {
+    for k in &mut p.kernels {
+        for (kbuf, cfg) in k.configs.iter_mut().enumerate() {
+            if cfg.placement == Placement::Distributed
+                && cfg.mode.writes()
+                && !cfg.miss_check_elided
+            {
+                cfg.miss_check_elided = true;
+                extract::set_store_flags(&mut k.kernel.body, kbuf as u32, false, false);
+            }
+        }
+    }
 }
 
 /// Convenience: frontend + translate in one call.

@@ -8,13 +8,16 @@ use acc_compiler::affine::AccessPattern;
 use acc_compiler::hostgen::CompiledClause;
 use acc_gpusim::{Gpu, Machine};
 use acc_kernel_ir as ir;
-use acc_obs::{LaunchSpan, PhaseKind, Recorder};
+use acc_obs::{LaunchSpan, PhaseKind, Recorder, SanitizeEvent};
 use ir::interp::{eval_host_expr, rmw_apply, run_host_block, run_kernel_range};
-use ir::{Buffer, BufSlot, DirtyMap, ExecCtx, Kernel, MissRecord, OpCounters, Value};
+use ir::{
+    BufSanitize, Buffer, BufSlot, DirtyMap, ExecCtx, Kernel, MissRecord, OpCounters,
+    SanitizeKind, SanitizeRecord, Value,
+};
 
 use crate::profiler::Profiler;
 use crate::state::{split_tasks, ArrayState};
-use crate::{ExecConfig, ExecMode, GpuMemReport, RunError, RunReport};
+use crate::{ExecConfig, ExecMode, GpuMemReport, RunError, RunReport, SanitizeLevel};
 
 /// Host-level control flow signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +45,8 @@ pub(crate) struct ArrLaunch {
     pub writes: bool,
     /// Whether replica-sync dirty maps are needed.
     pub needs_dirty: bool,
+    /// Runtime-sanitizer checks for this array (same on every GPU).
+    pub sanitize: BufSanitize,
 }
 
 /// What one GPU returns from its kernel job.
@@ -52,6 +57,8 @@ struct JobOut {
     partials: Vec<Value>,
     misses: Vec<MissRecord>,
     dirty_back: Vec<Option<DirtyMap>>,
+    sanitize_log: Vec<SanitizeRecord>,
+    sanitize_hits: u64,
     ran: bool,
 }
 
@@ -63,6 +70,8 @@ struct Job {
     params: Vec<Value>,
     binds: Vec<JobBind>,
     miss_capacity: usize,
+    /// Per-buffer sanitizer config; empty disables sanitizing.
+    sanitize: Vec<BufSanitize>,
 }
 
 struct JobBind {
@@ -176,6 +185,9 @@ impl<'a> Engine<'a> {
             miss_capacity: usize::MAX,
             counters: OpCounters::default(),
             per_buf_bytes: vec![(0, 0); n],
+            sanitize: Vec::new(),
+            sanitize_log: Vec::new(),
+            sanitize_hits: 0,
         }
     }
 
@@ -406,6 +418,9 @@ impl<'a> Engine<'a> {
             miss_capacity: self.cfg.miss_capacity,
             counters: OpCounters::default(),
             per_buf_bytes: vec![(0, 0); n],
+            sanitize: Vec::new(),
+            sanitize_log: Vec::new(),
+            sanitize_hits: 0,
         };
         run_kernel_range(&ck.kernel, &mut ctx, lo, hi)?;
         let counters = ctx.counters;
@@ -486,6 +501,11 @@ impl<'a> Engine<'a> {
                 params: params.clone(),
                 binds,
                 miss_capacity: self.cfg.miss_capacity,
+                sanitize: if self.cfg.sanitize == SanitizeLevel::Off {
+                    Vec::new()
+                } else {
+                    binfo.iter().map(|bi| bi.sanitize).collect()
+                },
             }));
         }
 
@@ -518,6 +538,43 @@ impl<'a> Engine<'a> {
                 self.arrays[bi.arr].gpu[g].dirty = dm;
             }
             job_outs.push(out);
+        }
+
+        // Sanitizer verdicts: every retained violation becomes a typed
+        // observability event, then the run fails on the first one (the
+        // results would be silently wrong without the audit).
+        let mut first_violation: Option<(usize, SanitizeRecord)> = None;
+        let mut total_hits = 0u64;
+        for (g, out) in job_outs.iter().enumerate() {
+            total_hits += out.sanitize_hits;
+            for r in &out.sanitize_log {
+                self.rec.sanitize(SanitizeEvent {
+                    launch: self.cur_launch,
+                    array: self.prog.array_params[binfo[r.buf as usize].arr].0.clone(),
+                    gpu: g,
+                    kind: match r.kind {
+                        SanitizeKind::LoadOutsideWindow => "load-outside-window",
+                        SanitizeKind::StoreOutsideOwn => "store-outside-own",
+                    },
+                    tid: r.tid,
+                    idx: r.idx,
+                    window: r.window,
+                    at: t1,
+                });
+            }
+            if first_violation.is_none() {
+                if let Some(r) = out.sanitize_log.first() {
+                    first_violation = Some((g, *r));
+                }
+            }
+        }
+        if let Some((g, r)) = first_violation {
+            return Err(RunError::SanitizeViolation {
+                array: self.prog.array_params[binfo[r.buf as usize].arr].0.clone(),
+                gpu: g,
+                record: r,
+                hits: total_hits,
+            });
         }
 
         // Kernel-phase duration = slowest GPU; every GPU that ran gets a
@@ -637,11 +694,13 @@ impl<'a> Engine<'a> {
         for cfg in &ck.configs {
             let n = self.arrays[cfg.array].len as i64;
             let clamp = |x: i64| x.clamp(0, n);
+            let mut la_params = None;
             let (required, own, window) = match (&cfg.placement, &cfg.localaccess) {
                 (Placement::Distributed, Some(la)) => {
                     let stride = self.eval_host_i64(&la.stride)?;
                     let left = self.eval_host_i64(&la.left)?;
                     let right = self.eval_host_i64(&la.right)?;
+                    la_params = Some((stride, left, right));
                     if stride < 1 || left < 0 || right < 0 {
                         return Err(RunError::BadLocalAccess(format!(
                             "`{}`: stride({stride}) left({left}) right({right})",
@@ -692,6 +751,16 @@ impl<'a> Engine<'a> {
                 && ngpus > 1
                 && writes
                 && matches!(cfg.placement, Placement::Replicated);
+            // The audits only make sense on distributed arrays: checked
+            // stores handle their own misses, and replicated arrays own
+            // (and keep resident) the whole window.
+            let sanitize = BufSanitize {
+                load_window: la_params.filter(|_| self.cfg.sanitize.checks_loads()),
+                check_stores: self.cfg.sanitize.checks_stores()
+                    && writes
+                    && cfg.miss_check_elided
+                    && matches!(cfg.placement, Placement::Distributed),
+            };
             out.push(ArrLaunch {
                 arr: cfg.array,
                 placement: cfg.placement.clone(),
@@ -700,6 +769,7 @@ impl<'a> Engine<'a> {
                 window,
                 writes,
                 needs_dirty,
+                sanitize,
             });
         }
         Ok(out)
@@ -736,6 +806,9 @@ fn run_gpu_job(gpu: &mut Gpu, kernel: &Kernel, mut job: Job) -> Result<JobOut, i
         miss_capacity: job.miss_capacity,
         counters: OpCounters::default(),
         per_buf_bytes: vec![(0, 0); n],
+        sanitize: std::mem::take(&mut job.sanitize),
+        sanitize_log: Vec::new(),
+        sanitize_hits: 0,
     };
     run_kernel_range(kernel, &mut ctx, job.tasks.0, job.tasks.1)?;
     let out = JobOut {
@@ -744,6 +817,8 @@ fn run_gpu_job(gpu: &mut Gpu, kernel: &Kernel, mut job: Job) -> Result<JobOut, i
         partials: std::mem::take(&mut ctx.reduction_partials),
         misses: std::mem::take(&mut ctx.miss_buf),
         dirty_back: Vec::new(),
+        sanitize_log: std::mem::take(&mut ctx.sanitize_log),
+        sanitize_hits: ctx.sanitize_hits,
         ran: true,
     };
     drop(ctx);

@@ -43,7 +43,7 @@ pub use ranges::RangeSet;
 /// `use acc_runtime::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        run_program, ExecConfig, ExecMode, RunError, RunReport, Trace, TraceLevel,
+        run_program, ExecConfig, ExecMode, RunError, RunReport, SanitizeLevel, Trace, TraceLevel,
     };
 }
 
@@ -56,6 +56,42 @@ pub enum ExecMode {
     /// Run parallel loops as OpenMP-style CPU parallel regions (the
     /// paper's baseline). Data directives become no-ops.
     CpuParallel,
+}
+
+/// How much runtime auditing of the compiler's multi-GPU consistency
+/// verdicts to perform during GPU-mode interpretation.
+///
+/// The sanitizer is a pure observer: it never changes buffers, simulated
+/// times or work counters. Violations surface as
+/// [`RunError::SanitizeViolation`] and as typed `acc-obs` events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SanitizeLevel {
+    /// No runtime auditing (the default).
+    #[default]
+    Off,
+    /// Audit elided-miss-check stores: every unchecked store to a
+    /// distributed array must land in the executing GPU's owned
+    /// partition, or the static write-locality proof was unsound.
+    Stores,
+    /// `Stores` plus load auditing: every read of a distributed array
+    /// must stay inside the thread's declared `localaccess` window
+    /// `[stride*i - left, stride*(i+1) + right)`. Catches annotations
+    /// that under-declare the true read footprint — which run silently
+    /// (but wrong on >1 GPU) because small GPU counts keep the whole
+    /// array resident.
+    Full,
+}
+
+impl SanitizeLevel {
+    /// Whether elided-store auditing is on.
+    pub fn checks_stores(self) -> bool {
+        !matches!(self, SanitizeLevel::Off)
+    }
+
+    /// Whether `localaccess`-window load auditing is on.
+    pub fn checks_loads(self) -> bool {
+        matches!(self, SanitizeLevel::Full)
+    }
 }
 
 /// Runtime configuration.
@@ -99,6 +135,10 @@ pub struct ExecConfig {
     /// path exists as the reference for equivalence tests and as an
     /// ablation switch.
     pub parallel_comm: bool,
+    /// Runtime auditing of static elision verdicts and `localaccess`
+    /// windows (GPU mode only; the OpenMP baseline has no partitions to
+    /// audit against).
+    pub sanitize: SanitizeLevel,
 }
 
 impl ExecConfig {
@@ -112,6 +152,7 @@ impl ExecConfig {
             loader_reuse: true,
             tracing: TraceLevel::Off,
             parallel_comm: true,
+            sanitize: SanitizeLevel::Off,
         }
     }
 
@@ -154,6 +195,12 @@ impl ExecConfig {
         self.parallel_comm = parallel;
         self
     }
+
+    /// Set the runtime-sanitizer level.
+    pub fn sanitize(mut self, level: SanitizeLevel) -> ExecConfig {
+        self.sanitize = level;
+        self
+    }
 }
 
 /// Runtime errors.
@@ -178,6 +225,16 @@ pub enum RunError {
     NotPresent(String),
     /// More GPUs requested than the machine has.
     TooManyGpus { requested: usize, available: usize },
+    /// The runtime sanitizer observed an access that contradicts the
+    /// static analysis (an elided store left its owner partition) or the
+    /// program's annotations (a load left its `localaccess` window).
+    /// Carries the first violation; `hits` counts all of them.
+    SanitizeViolation {
+        array: String,
+        gpu: usize,
+        record: acc_kernel_ir::SanitizeRecord,
+        hits: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -196,6 +253,30 @@ impl std::fmt::Display for RunError {
                 requested,
                 available,
             } => write!(f, "requested {requested} GPUs, machine has {available}"),
+            RunError::SanitizeViolation {
+                array,
+                gpu,
+                record,
+                hits,
+            } => {
+                let what = match record.kind {
+                    acc_kernel_ir::SanitizeKind::LoadOutsideWindow => {
+                        "read outside its declared localaccess window"
+                    }
+                    acc_kernel_ir::SanitizeKind::StoreOutsideOwn => {
+                        "unchecked store outside the owner partition"
+                    }
+                };
+                write!(
+                    f,
+                    "sanitizer: {what}: `{array}`[{}] by thread {} on gpu {gpu}, allowed [{}, {}) ({hits} violation{} total)",
+                    record.idx,
+                    record.tid,
+                    record.window.0,
+                    record.window.1,
+                    if *hits == 1 { "" } else { "s" }
+                )
+            }
         }
     }
 }

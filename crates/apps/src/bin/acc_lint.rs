@@ -1,0 +1,197 @@
+//! `acc-lint` — the multi-GPU consistency linter CLI.
+//!
+//! ```text
+//! # Lint the built-in applications (CI runs this warnings-as-errors):
+//! cargo run -p acc-apps --bin acc-lint -- --deny-warnings
+//!
+//! # Lint OpenACC sources, or .rs files with embedded `r#"..."#` sources:
+//! cargo run -p acc-apps --bin acc-lint -- examples/quickstart.rs mykernel.c
+//!
+//! # Dynamically audit one app's static verdicts with the sanitizer:
+//! cargo run --release -p acc-apps --bin acc-lint -- --audit bfs --gpus 3
+//! ```
+//!
+//! Static mode prints every `ACC-W00x` diagnostic (see `docs/analysis.md`)
+//! and exits 1 under `--deny-warnings` if any fired, 2 if a source failed
+//! to compile. Audit mode runs the app under `SanitizeLevel::Full`, which
+//! turns any store outside the owner partition or load outside the
+//! declared `localaccess` window into a hard error.
+
+use acc_apps::{run_app_with_config, App, Scale, Version};
+use acc_compiler::lint_source;
+use acc_gpusim::Machine;
+use acc_runtime::SanitizeLevel;
+
+struct Args {
+    deny_warnings: bool,
+    audit: Option<String>,
+    gpus: usize,
+    scale: Scale,
+    seed: u64,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        deny_warnings: false,
+        audit: None,
+        gpus: 3,
+        scale: Scale::Small,
+        seed: 42,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny-warnings" => args.deny_warnings = true,
+            "--audit" => args.audit = it.next(),
+            "--gpus" => args.gpus = it.next().and_then(|s| s.parse().ok()).unwrap_or(3),
+            "--seed" => args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42),
+            "--scale" => {
+                args.scale = match it.next().as_deref() {
+                    Some("small") => Scale::Small,
+                    Some("scaled") => Scale::Scaled,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: acc-lint [--deny-warnings] [FILE.c|FILE.rs ...]\n\
+                     \x20      acc-lint --audit APP [--gpus N] [--scale small|scaled|paper] [--seed N]\n\
+                     With no files, lints every built-in application kernel."
+                );
+                std::process::exit(0);
+            }
+            f => args.files.push(f.to_string()),
+        }
+    }
+    args
+}
+
+/// Extract `r#"..."#` raw-string literals that contain OpenACC pragmas
+/// from a Rust source file (the examples and app modules embed their
+/// kernels this way).
+fn embedded_sources(rs: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = rs;
+    while let Some(start) = rest.find("r#\"") {
+        let body = &rest[start + 3..];
+        let Some(end) = body.find("\"#") else { break };
+        let src = &body[..end];
+        if src.contains("#pragma acc") {
+            out.push(src.to_string());
+        }
+        rest = &body[end + 2..];
+    }
+    out
+}
+
+/// Lint one OpenACC source; returns the number of warnings, or `None` if
+/// it failed to compile (diagnostics printed either way).
+fn lint_one(label: &str, src: &str) -> Option<usize> {
+    match lint_source(src) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{label}: {}", d.render(src));
+            }
+            Some(diags.len())
+        }
+        Err(diags) => {
+            for d in &diags {
+                eprintln!("{label}: {}", d.render_verbose(src));
+            }
+            None
+        }
+    }
+}
+
+fn run_static(args: &Args) -> ! {
+    let mut warnings = 0usize;
+    let mut broken = 0usize;
+    let mut targets = 0usize;
+    let mut lint = |label: &str, src: &str| {
+        targets += 1;
+        match lint_one(label, src) {
+            Some(n) => warnings += n,
+            None => broken += 1,
+        }
+    };
+    if args.files.is_empty() {
+        for app in App::ALL {
+            lint(app.name(), app.source());
+        }
+    } else {
+        for f in &args.files {
+            let content = match std::fs::read_to_string(f) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("acc-lint: cannot read {f}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if f.ends_with(".rs") {
+                for (i, src) in embedded_sources(&content).iter().enumerate() {
+                    lint(&format!("{f}#{i}"), src);
+                }
+            } else {
+                lint(f, &content);
+            }
+        }
+    }
+    eprintln!(
+        "acc-lint: {targets} kernel source(s), {warnings} warning(s), {broken} compile failure(s)"
+    );
+    if broken > 0 {
+        std::process::exit(2);
+    }
+    if args.deny_warnings && warnings > 0 {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+fn run_audit(args: &Args, name: &str) -> ! {
+    let Some(app) = App::ALL.into_iter().find(|a| a.name() == name) else {
+        eprintln!(
+            "acc-lint: unknown app `{name}` (have: {})",
+            App::ALL.map(|a| a.name()).join(", ")
+        );
+        std::process::exit(2);
+    };
+    let version = Version::Proposal(args.gpus);
+    let cfg = version.exec_config().sanitize(SanitizeLevel::Full);
+    let mut m = Machine::supercomputer_node();
+    eprintln!(
+        "acc-lint: auditing {name} on {} GPU(s), fully sanitized...",
+        args.gpus
+    );
+    match run_app_with_config(app, version, &mut m, args.scale, args.seed, &cfg) {
+        Ok(r) if r.correct => {
+            eprintln!(
+                "acc-lint: clean — no sanitize violations, result correct (max err {:.3e})",
+                r.max_err
+            );
+            std::process::exit(0);
+        }
+        Ok(r) => {
+            eprintln!("acc-lint: WRONG RESULT (max err {:.3e})", r.max_err);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("acc-lint: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(name) = args.audit.clone() {
+        run_audit(&args, &name);
+    }
+    run_static(&args);
+}

@@ -27,4 +27,4 @@ pub mod md;
 pub mod runner;
 pub mod spmv;
 
-pub use runner::{run_app, App, AppResult, Scale, Version};
+pub use runner::{run_app, run_app_with_config, App, AppResult, Scale, Version};

@@ -17,7 +17,9 @@
 //! SPMV where BFS's shrinks. This is the measurable face of the paper's
 //! §VI applicability limitation.
 //!
-//! Not part of the paper's Table II; kept out of `App::ALL`.
+//! Not part of the paper's published Table II, but promoted into
+//! `App::ALL` (with [`crate::heat2d`]) for workload breadth: the linter,
+//! sanitizer and bench matrix cover it in CI.
 
 use acc_kernel_ir::{Buffer, Value};
 use rand::rngs::StdRng;

@@ -9,7 +9,7 @@
 //!
 //! Targets: `table1`, `table2`, `fig7`, `fig8`, `fig9`, `ablation-chunk`,
 //! `ablation-layout`, `ablation-placement`, `ablation-loader-reuse`,
-//! `extension-stencil`, `trace`, `bench`, `all`.
+//! `extension-stencil`, `trace`, `bench`, `bench-diff`, `all`.
 //! Scales: `small` (seconds), `scaled` (default; structure-preserving
 //! reductions of the paper inputs), `paper` (full published sizes).
 //!
@@ -21,7 +21,9 @@
 //! The `bench` target measures the simulator's own wall-clock (not
 //! simulated time) for every app × GPU count and writes
 //! `BENCH_runtime.json` (see `docs/benchmarks.md`); `--reps N` controls
-//! repetitions per configuration.
+//! repetitions per configuration. `bench-diff <old.json> <new.json>`
+//! compares two such artifacts and exits non-zero on a >15% wall-clock
+//! regression at fixed scale/seed or any simulated-time drift.
 
 use acc_apps::Scale;
 use acc_bench::*;
@@ -34,6 +36,8 @@ struct Args {
     json: Option<String>,
     seed: u64,
     reps: usize,
+    /// Positional arguments after the target (`bench-diff` file paths).
+    free: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -43,7 +47,9 @@ fn parse_args() -> Args {
         json: None,
         seed: 42,
         reps: 3,
+        free: Vec::new(),
     };
+    let mut have_target = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -66,14 +72,47 @@ fn parse_args() -> Args {
                     "usage: figures [table1|table2|fig7|fig8|fig9|ablation-chunk|\
                      ablation-layout|ablation-placement|ablation-loader-reuse|\
                      extension-stencil|trace|bench|all] [--scale small|scaled|paper] \
-                     [--json FILE] [--seed N] [--reps N]"
+                     [--json FILE] [--seed N] [--reps N]\n\
+                     \x20      figures bench-diff <old.json> <new.json>"
                 );
                 std::process::exit(0);
             }
-            t => args.target = t.to_string(),
+            t if !have_target => {
+                args.target = t.to_string();
+                have_target = true;
+            }
+            t => args.free.push(t.to_string()),
         }
     }
     args
+}
+
+/// The `bench-diff` target: compare two `BENCH_runtime.json` artifacts.
+/// Exit 0 when clean, 1 on a regression (wall-clock over tolerance,
+/// simulated-time drift, missing point, scale/seed mismatch, wrong
+/// result), 2 on malformed input.
+fn run_bench_diff_target(args: &Args) -> ! {
+    let [old_path, new_path] = args.free.as_slice() else {
+        eprintln!("usage: figures bench-diff <old.json> <new.json>");
+        std::process::exit(2);
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench-diff: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old_doc, new_doc) = (read(old_path), read(new_path));
+    match bench_diff(&old_doc, &new_doc, DEFAULT_WALL_TOLERANCE) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(if report.failed() { 1 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The `trace` target: heat2d on 3 simulated GPUs with span-level
@@ -170,6 +209,9 @@ fn main() {
     if args.target == "bench" {
         run_bench_target(&args);
         return;
+    }
+    if args.target == "bench-diff" {
+        run_bench_diff_target(&args);
     }
     let mut out: Vec<(&'static str, Value)> = Vec::new();
     let all = args.target == "all";

@@ -1,0 +1,427 @@
+//! `bench-diff` — compare two `BENCH_runtime.json` artifacts (see
+//! [`crate::bench_runtime`]) and decide whether the newer one represents
+//! a host-side performance regression or, worse, a simulated-semantics
+//! change.
+//!
+//! The contract it enforces across commits:
+//!
+//! * both artifacts must come from the same configuration (`scale` and
+//!   `seed` equal) — wall-clock numbers at different scales are not
+//!   comparable;
+//! * every point (app × GPU count) of the old artifact must still exist;
+//! * `sim_s` must match *exactly* per point: simulated time is
+//!   deterministic, so any drift means the runtime changed observable
+//!   semantics, not just host speed;
+//! * `wall_best_s` may regress by at most the tolerance (15% by
+//!   default), with a small absolute floor so microsecond-scale jitter
+//!   on near-instant configurations cannot trip it;
+//! * every point of the new artifact must be `correct`.
+//!
+//! [`bench_diff`] returns `Err` only for malformed input; comparison
+//! failures are collected in [`DiffReport::problems`] so the CLI can
+//! print the full table before exiting non-zero.
+
+use acc_obs::json::{self, Value};
+
+/// Default allowed relative wall-clock regression (`0.15` = +15%).
+pub const DEFAULT_WALL_TOLERANCE: f64 = 0.15;
+
+/// Absolute slack (seconds) under which a relative wall regression is
+/// ignored: a 0.3 ms → 0.4 ms move is +33% but pure scheduler noise.
+const WALL_ABS_FLOOR_S: f64 = 1e-3;
+
+/// Relative slack for the `sim_s` equality check — covers only decimal
+/// round-tripping through the JSON writer, not real drift.
+const SIM_REL_EPS: f64 = 1e-9;
+
+/// One parsed measurement point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    pub app: String,
+    pub ngpus: usize,
+    pub wall_best_s: f64,
+    pub wall_mean_s: f64,
+    pub sim_s: f64,
+    pub correct: bool,
+}
+
+/// One parsed `BENCH_runtime.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    pub scale: String,
+    pub seed: u64,
+    pub points: Vec<BenchPoint>,
+}
+
+/// Parse a `BENCH_runtime.json` document.
+pub fn parse_bench_file(src: &str, which: &str) -> Result<BenchFile, String> {
+    let doc = json::parse(src).map_err(|e| format!("{which}: {e}"))?;
+    let field = |v: &Value, key: &str| -> Result<Value, String> {
+        v.get(key)
+            .cloned()
+            .ok_or_else(|| format!("{which}: missing field `{key}`"))
+    };
+    let scale = field(&doc, "scale")?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{which}: `scale` is not a string"))?;
+    let seed = field(&doc, "seed")?
+        .as_f64()
+        .ok_or_else(|| format!("{which}: `seed` is not a number"))? as u64;
+    let raw = field(&doc, "points")?;
+    let arr = raw
+        .as_arr()
+        .ok_or_else(|| format!("{which}: `points` is not an array"))?;
+    let mut points = Vec::with_capacity(arr.len());
+    for (i, p) in arr.iter().enumerate() {
+        let num = |key: &str| -> Result<f64, String> {
+            p.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{which}: points[{i}]: bad `{key}`"))
+        };
+        let correct = match p.get("correct") {
+            Some(Value::Bool(b)) => *b,
+            _ => return Err(format!("{which}: points[{i}]: bad `correct`")),
+        };
+        points.push(BenchPoint {
+            app: p
+                .get("app")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{which}: points[{i}]: bad `app`"))?
+                .to_string(),
+            ngpus: num("ngpus")? as usize,
+            wall_best_s: num("wall_best_s")?,
+            wall_mean_s: num("wall_mean_s")?,
+            sim_s: num("sim_s")?,
+            correct,
+        });
+    }
+    Ok(BenchFile { scale, seed, points })
+}
+
+/// One old-vs-new point comparison.
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    pub app: String,
+    pub ngpus: usize,
+    pub old_wall_s: f64,
+    pub new_wall_s: f64,
+    /// `new / old`; > 1 is slower.
+    pub ratio: f64,
+    pub sim_matches: bool,
+    pub regressed: bool,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    pub lines: Vec<DiffLine>,
+    /// Human-readable failures; non-empty means the diff should fail.
+    pub problems: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when the new artifact must be rejected.
+    pub fn failed(&self) -> bool {
+        !self.problems.is_empty()
+    }
+
+    /// Render the per-point table plus any problems.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>5} {:>12} {:>12} {:>8}  verdict",
+            "App", "GPUs", "old wall", "new wall", "ratio"
+        );
+        for l in &self.lines {
+            let verdict = if !l.sim_matches {
+                "SIM MISMATCH"
+            } else if l.regressed {
+                "REGRESSED"
+            } else if l.ratio < 1.0 {
+                "faster"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>5} {:>11.3}s {:>11.3}s {:>7.2}x  {}",
+                l.app, l.ngpus, l.old_wall_s, l.new_wall_s, l.ratio, verdict
+            );
+        }
+        for p in &self.problems {
+            let _ = writeln!(out, "FAIL: {p}");
+        }
+        if !self.failed() {
+            let _ = writeln!(out, "OK: no wall-clock regression, simulated times unchanged");
+        }
+        out
+    }
+}
+
+/// Compare two parsed artifacts. `wall_tolerance` is the allowed
+/// relative `wall_best_s` regression (e.g. `0.15`).
+pub fn diff_bench(old: &BenchFile, new: &BenchFile, wall_tolerance: f64) -> DiffReport {
+    let mut r = DiffReport::default();
+    if old.scale != new.scale {
+        r.problems.push(format!(
+            "scale mismatch: old `{}` vs new `{}` (wall times are only comparable at a fixed scale)",
+            old.scale, new.scale
+        ));
+    }
+    if old.seed != new.seed {
+        r.problems.push(format!(
+            "seed mismatch: old {} vs new {}",
+            old.seed, new.seed
+        ));
+    }
+    for op in &old.points {
+        let Some(np) = new
+            .points
+            .iter()
+            .find(|p| p.app == op.app && p.ngpus == op.ngpus)
+        else {
+            r.problems.push(format!(
+                "point {} x{} present in old but missing from new",
+                op.app, op.ngpus
+            ));
+            continue;
+        };
+        let sim_matches = (np.sim_s - op.sim_s).abs()
+            <= SIM_REL_EPS * op.sim_s.abs().max(np.sim_s.abs());
+        if !sim_matches {
+            r.problems.push(format!(
+                "simulated time moved for {} x{}: {} -> {} (host-side changes must not alter simulated semantics)",
+                op.app, op.ngpus, op.sim_s, np.sim_s
+            ));
+        }
+        let ratio = if op.wall_best_s > 0.0 {
+            np.wall_best_s / op.wall_best_s
+        } else {
+            1.0
+        };
+        let regressed = ratio > 1.0 + wall_tolerance
+            && np.wall_best_s - op.wall_best_s > WALL_ABS_FLOOR_S;
+        if regressed {
+            r.problems.push(format!(
+                "wall-clock regression for {} x{}: {:.3}s -> {:.3}s ({:+.1}%, tolerance {:.0}%)",
+                op.app,
+                op.ngpus,
+                op.wall_best_s,
+                np.wall_best_s,
+                (ratio - 1.0) * 100.0,
+                wall_tolerance * 100.0
+            ));
+        }
+        if !np.correct {
+            r.problems
+                .push(format!("new point {} x{} reports correct=false", np.app, np.ngpus));
+        }
+        r.lines.push(DiffLine {
+            app: op.app.clone(),
+            ngpus: op.ngpus,
+            old_wall_s: op.wall_best_s,
+            new_wall_s: np.wall_best_s,
+            ratio,
+            sim_matches,
+            regressed,
+        });
+    }
+    r
+}
+
+/// End-to-end entry used by `figures -- bench-diff`: parse both
+/// documents and compare. `Err` means malformed input (exit 2 in the
+/// CLI); a returned report with [`DiffReport::failed`] means a
+/// regression (exit 1).
+pub fn bench_diff(old_src: &str, new_src: &str, wall_tolerance: f64) -> Result<DiffReport, String> {
+    let old = parse_bench_file(old_src, "old")?;
+    let new = parse_bench_file(new_src, "new")?;
+    Ok(diff_bench(&old, &new, wall_tolerance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(scale: &str, seed: u64, points: &[(&str, usize, f64, f64, bool)]) -> String {
+        let pts: Vec<Value> = points
+            .iter()
+            .map(|(app, ngpus, wall, sim, correct)| {
+                Value::obj([
+                    ("app", Value::str(*app)),
+                    ("ngpus", Value::num(*ngpus as f64)),
+                    ("wall_best_s", Value::num(*wall)),
+                    ("wall_mean_s", Value::num(*wall * 1.1)),
+                    ("sim_s", Value::num(*sim)),
+                    ("correct", Value::Bool(*correct)),
+                    ("reps", Value::num(3.0)),
+                ])
+            })
+            .collect();
+        Value::obj([
+            ("scale", Value::str(scale)),
+            ("seed", Value::num(seed as f64)),
+            ("points", Value::Arr(pts)),
+        ])
+        .to_string_pretty()
+    }
+
+    const BASE: &[(&str, usize, f64, f64, bool)] = &[
+        ("md", 1, 1.0, 0.5, true),
+        ("md", 2, 0.6, 0.3, true),
+        ("bfs", 3, 0.4, 0.2, true),
+    ];
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let doc = artifact("scaled", 42, BASE);
+        let r = bench_diff(&doc, &doc, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(!r.failed(), "{:?}", r.problems);
+        assert_eq!(r.lines.len(), 3);
+        assert!(r.render().contains("OK:"));
+    }
+
+    #[test]
+    fn improvement_and_small_jitter_pass() {
+        let old = artifact("scaled", 42, BASE);
+        // md x1 40% faster, md x2 10% slower (inside tolerance).
+        let new = artifact(
+            "scaled",
+            42,
+            &[
+                ("md", 1, 0.6, 0.5, true),
+                ("md", 2, 0.66, 0.3, true),
+                ("bfs", 3, 0.4, 0.2, true),
+            ],
+        );
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(!r.failed(), "{:?}", r.problems);
+        assert!(r.render().contains("faster"));
+    }
+
+    #[test]
+    fn wall_regression_over_tolerance_fails() {
+        let old = artifact("scaled", 42, BASE);
+        let new = artifact(
+            "scaled",
+            42,
+            &[
+                ("md", 1, 1.3, 0.5, true), // +30% > 15%
+                ("md", 2, 0.6, 0.3, true),
+                ("bfs", 3, 0.4, 0.2, true),
+            ],
+        );
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.failed());
+        assert_eq!(r.problems.len(), 1);
+        assert!(r.problems[0].contains("wall-clock regression for md x1"));
+        assert!(r.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn micro_scale_jitter_is_ignored() {
+        // +33% relative but only 0.1 ms absolute: noise, not a regression.
+        let old = artifact("small", 1, &[("md", 1, 0.0003, 0.5, true)]);
+        let new = artifact("small", 1, &[("md", 1, 0.0004, 0.5, true)]);
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(!r.failed(), "{:?}", r.problems);
+    }
+
+    #[test]
+    fn sim_time_drift_fails_even_when_faster() {
+        let old = artifact("scaled", 42, BASE);
+        let new = artifact(
+            "scaled",
+            42,
+            &[
+                ("md", 1, 0.5, 0.500001, true), // faster, but sim moved
+                ("md", 2, 0.6, 0.3, true),
+                ("bfs", 3, 0.4, 0.2, true),
+            ],
+        );
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.failed());
+        assert!(r.problems[0].contains("simulated time moved for md x1"));
+        assert!(r.render().contains("SIM MISMATCH"));
+    }
+
+    #[test]
+    fn missing_point_and_wrong_result_fail() {
+        let old = artifact("scaled", 42, BASE);
+        let new = artifact(
+            "scaled",
+            42,
+            &[("md", 1, 1.0, 0.5, true), ("md", 2, 0.6, 0.3, false)],
+        );
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.failed());
+        assert!(r.problems.iter().any(|p| p.contains("bfs x3") && p.contains("missing")));
+        assert!(r.problems.iter().any(|p| p.contains("correct=false")));
+    }
+
+    #[test]
+    fn scale_and_seed_mismatch_fail() {
+        let old = artifact("scaled", 42, BASE);
+        let new = artifact("small", 7, BASE);
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.failed());
+        assert!(r.problems.iter().any(|p| p.contains("scale mismatch")));
+        assert!(r.problems.iter().any(|p| p.contains("seed mismatch")));
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_report() {
+        assert!(bench_diff("{", "{}", DEFAULT_WALL_TOLERANCE).is_err());
+        assert!(bench_diff("{\"scale\": \"s\"}", "{}", DEFAULT_WALL_TOLERANCE)
+            .unwrap_err()
+            .contains("missing field `seed`"));
+    }
+
+    #[test]
+    fn real_bench_runtime_artifact_round_trips() {
+        // The writer in `figures` serialises `bench_runtime` points with
+        // exactly these fields; keep the parser in sync with it.
+        let points = [crate::RuntimePoint {
+            app: "md".to_string(),
+            ngpus: 2,
+            wall_best_s: 0.25,
+            wall_mean_s: 0.3,
+            sim_s: 0.125,
+            correct: true,
+            reps: 3,
+        }];
+        let doc = Value::obj([
+            ("scale", Value::str("scaled")),
+            ("seed", Value::num(42.0)),
+            (
+                "points",
+                Value::Arr(
+                    points
+                        .iter()
+                        .map(|p| {
+                            Value::obj([
+                                ("app", Value::str(&p.app)),
+                                ("ngpus", Value::num(p.ngpus as f64)),
+                                ("wall_best_s", Value::num(p.wall_best_s)),
+                                ("wall_mean_s", Value::num(p.wall_mean_s)),
+                                ("sim_s", Value::num(p.sim_s)),
+                                ("correct", Value::Bool(p.correct)),
+                                ("reps", Value::num(p.reps as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string_pretty();
+        let parsed = parse_bench_file(&doc, "artifact").unwrap();
+        assert_eq!(parsed.scale, "scaled");
+        assert_eq!(parsed.seed, 42);
+        assert_eq!(parsed.points.len(), 1);
+        assert_eq!(parsed.points[0].app, "md");
+        assert_eq!(parsed.points[0].sim_s, 0.125);
+    }
+}

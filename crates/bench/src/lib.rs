@@ -21,10 +21,14 @@
 //! All entry points return plain data; the `figures` binary renders them
 //! as text tables and optionally JSON (via `acc_obs::json`).
 
+pub mod diff;
+
 use acc_apps::{run_app, App, Scale, Version};
 use acc_compiler::CompileOptions;
 use acc_gpusim::{Machine, MachineKind};
 use acc_runtime::{run_program, ExecConfig};
+
+pub use diff::{bench_diff, BenchFile, DiffReport, DEFAULT_WALL_TOLERANCE};
 
 /// Compile-checks (and runs) the code examples embedded in the README.
 #[doc = include_str!("../../../README.md")]
@@ -106,6 +110,8 @@ pub fn table2(scale: Scale) -> Vec<AppRow> {
                 App::Md => "Simulation",
                 App::Kmeans => "Clustering",
                 App::Bfs => "Graph Traversal",
+                App::Spmv => "Sparse Linear Algebra",
+                App::Heat2d => "Stencil",
             };
             AppRow {
                 app: app.name().to_uppercase(),
@@ -134,6 +140,14 @@ fn input_label(app: App, scale: Scale) -> String {
         App::Bfs => {
             let c = bfs_config(scale);
             format!("{} node / {} edge", c.nnodes(), c.nedges())
+        }
+        App::Spmv => {
+            let c = spmv_config(scale);
+            format!("{} row / ~{} nnz/row", c.nrows, c.nnz_per_row)
+        }
+        App::Heat2d => {
+            let c = heat2d_config(scale);
+            format!("{}x{} plate / {} iter", c.rows, c.cols, c.iters)
         }
     }
 }
@@ -171,6 +185,24 @@ pub fn bfs_config(scale: Scale) -> acc_apps::bfs::BfsConfig {
         Scale::Small => acc_apps::bfs::BfsConfig::small(),
         Scale::Scaled => acc_apps::bfs::BfsConfig::scaled(),
         Scale::Paper => acc_apps::bfs::BfsConfig::paper(),
+    }
+}
+
+/// SPMV workload config for a scale (no published paper size: Paper maps
+/// to Scaled).
+pub fn spmv_config(scale: Scale) -> acc_apps::spmv::SpmvConfig {
+    match scale {
+        Scale::Small => acc_apps::spmv::SpmvConfig::small(),
+        Scale::Scaled | Scale::Paper => acc_apps::spmv::SpmvConfig::scaled(),
+    }
+}
+
+/// HEAT2D workload config for a scale (no published paper size: Paper
+/// maps to Scaled).
+pub fn heat2d_config(scale: Scale) -> acc_apps::heat2d::Heat2dConfig {
+    match scale {
+        Scale::Small => acc_apps::heat2d::Heat2dConfig::small(),
+        Scale::Scaled | Scale::Paper => acc_apps::heat2d::Heat2dConfig::scaled(),
     }
 }
 
@@ -680,6 +712,10 @@ pub fn app_inputs(
             acc_apps::kmeans::inputs(&acc_apps::kmeans::generate(&kmeans_config(scale), seed))
         }
         App::Bfs => acc_apps::bfs::inputs(&acc_apps::bfs::generate(&bfs_config(scale), seed)),
+        App::Spmv => acc_apps::spmv::inputs(&acc_apps::spmv::generate(&spmv_config(scale), seed)),
+        App::Heat2d => {
+            acc_apps::heat2d::inputs(&acc_apps::heat2d::generate(&heat2d_config(scale), seed))
+        }
     }
 }
 
@@ -731,13 +767,17 @@ mod tests {
     #[test]
     fn table2_small_scale_runs() {
         let rows = table2(Scale::Small);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 5);
         assert!(rows.iter().all(|r| r.correct));
         assert_eq!(rows[0].parallel_loops, 1); // MD
         assert_eq!(rows[1].parallel_loops, 2); // KMEANS
         assert_eq!(rows[2].parallel_loops, 1); // BFS
+        assert_eq!(rows[3].parallel_loops, 1); // SPMV
+        assert_eq!(rows[4].parallel_loops, 2); // HEAT2D
         assert_eq!(rows[0].localaccess, "2/3");
         assert_eq!(rows[1].localaccess, "2/5");
         assert_eq!(rows[2].localaccess, "2/3");
+        assert_eq!(rows[3].localaccess, "2/5");
+        assert_eq!(rows[4].localaccess, "2/2");
     }
 }

@@ -614,9 +614,10 @@ fn index_of(v: Value) -> Result<i64, ExecError> {
 }
 
 /// The `BufLoad` body (bounds check, then counters, then the value),
-/// shared by the fused load ops.
+/// shared by the fused load ops. `tid` only feeds the sanitizer, which
+/// never touches counters — the VM stays bit-identical to the walker.
 #[inline(always)]
-fn load(ctx: &mut ExecCtx<'_>, buf: u32, gidx: i64) -> Result<Value, ExecError> {
+fn load(ctx: &mut ExecCtx<'_>, buf: u32, tid: i64, gidx: i64) -> Result<Value, ExecError> {
     let slot = &mut ctx.bufs[buf as usize];
     let local = gidx - slot.window_lo;
     if local < 0 || local as usize >= slot.data.len() {
@@ -629,6 +630,7 @@ fn load(ctx: &mut ExecCtx<'_>, buf: u32, gidx: i64) -> Result<Value, ExecError> 
     c.load_bytes += nbytes;
     c.int_ops += 1; // index translation
     ctx.per_buf_bytes[buf as usize].0 += nbytes;
+    crate::interp::sanitize_load(ctx, buf, tid, gidx);
     Ok(v)
 }
 
@@ -693,7 +695,7 @@ pub fn run_iteration(
             }
             Op::BufLoad(buf) => {
                 let gidx = istack.pop().expect("index stack underflow");
-                let v = load(ctx, *buf, gidx)?;
+                let v = load(ctx, *buf, tid, gidx)?;
                 stack.push(v);
             }
             Op::BufStore {
@@ -725,6 +727,10 @@ pub fn run_iteration(
                         pc += 1;
                         continue;
                     }
+                } else {
+                    // Mirror the walker: audit unchecked stores before
+                    // the write (the record must survive a later OOB).
+                    crate::interp::sanitize_store(ctx, *buf, tid, gidx);
                 }
                 let slot = &mut ctx.bufs[bslot];
                 let local = gidx - slot.window_lo;
@@ -849,38 +855,38 @@ pub fn run_iteration(
             Op::ImmIndex(i) => istack.push(*i),
             Op::LoadTid(buf) => {
                 debug_assert!(tid <= i32::MAX as i64);
-                let v = load(ctx, *buf, tid)?;
+                let v = load(ctx, *buf, tid, tid)?;
                 stack.push(v);
             }
             Op::LoadAtLocal { buf, l } => {
                 let gidx = index_of(locals[*l as usize])?;
-                let v = load(ctx, *buf, gidx)?;
+                let v = load(ctx, *buf, tid, gidx)?;
                 stack.push(v);
             }
             Op::LoadAtParam { buf, p } => {
                 let gidx = index_of(ctx.params[*p as usize])?;
-                let v = load(ctx, *buf, gidx)?;
+                let v = load(ctx, *buf, tid, gidx)?;
                 stack.push(v);
             }
             Op::LoadAtImm { buf, idx } => {
-                let v = load(ctx, *buf, *idx)?;
+                let v = load(ctx, *buf, tid, *idx)?;
                 stack.push(v);
             }
             Op::LoadToLocal { buf, dst } => {
                 let gidx = istack.pop().expect("index stack underflow");
-                let v = load(ctx, *buf, gidx)?;
+                let v = load(ctx, *buf, tid, gidx)?;
                 ctx.counters.int_ops += 1;
                 locals[*dst as usize] = v;
             }
             Op::LoadTidToLocal { buf, dst } => {
                 debug_assert!(tid <= i32::MAX as i64);
-                let v = load(ctx, *buf, tid)?;
+                let v = load(ctx, *buf, tid, tid)?;
                 ctx.counters.int_ops += 1;
                 locals[*dst as usize] = v;
             }
             Op::LoadAtLocalToLocal { buf, l, dst } => {
                 let gidx = index_of(locals[*l as usize])?;
-                let v = load(ctx, *buf, gidx)?;
+                let v = load(ctx, *buf, tid, gidx)?;
                 ctx.counters.int_ops += 1;
                 locals[*dst as usize] = v;
             }
@@ -980,7 +986,7 @@ pub fn run_iteration(
                 ctx: bc,
             } => {
                 let gidx = index_of(locals[*il as usize])?;
-                let a = load(ctx, *buf, gidx)?;
+                let a = load(ctx, *buf, tid, gidx)?;
                 let b = locals[*rl as usize];
                 let v = binary(ctx, *op, a, b)?;
                 if !branch_cond(ctx, v, *bc)? {
@@ -997,7 +1003,7 @@ pub fn run_iteration(
                 ctx: bc,
             } => {
                 let gidx = index_of(locals[*il as usize])?;
-                let a = load(ctx, *buf, gidx)?;
+                let a = load(ctx, *buf, tid, gidx)?;
                 let r = binary(ctx, *op, a, *v)?;
                 if !branch_cond(ctx, r, *bc)? {
                     pc = *target as usize;

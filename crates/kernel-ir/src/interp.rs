@@ -27,6 +27,50 @@ pub struct MissRecord {
     pub value: Value,
 }
 
+/// What a sanitizer check observed going wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanitizeKind {
+    /// A load read outside the thread's declared `localaccess` window
+    /// `[stride*tid - left, stride*(tid+1) + right)`: the annotation
+    /// under-declares the kernel's true read footprint.
+    LoadOutsideWindow,
+    /// An unchecked (miss-check-elided) store landed outside the owned
+    /// partition: the static write-locality proof was unsound for this
+    /// input.
+    StoreOutsideOwn,
+}
+
+/// One sanitizer violation, recorded during interpretation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SanitizeRecord {
+    /// Buffer parameter index within the kernel.
+    pub buf: u32,
+    /// Global iteration index of the offending thread.
+    pub tid: i64,
+    /// The global element index accessed.
+    pub idx: i64,
+    /// The window the access had to stay inside (exclusive upper bound).
+    pub window: (i64, i64),
+    /// Which check fired.
+    pub kind: SanitizeKind,
+}
+
+/// Per-buffer sanitizer configuration. An empty `ExecCtx::sanitize`
+/// vector disables sanitizing entirely (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BufSanitize {
+    /// `(stride, left, right)` of the declared `localaccess` window; a
+    /// load by thread `t` must hit `[stride*t - left, stride*(t+1) + right)`.
+    /// `None` leaves loads unchecked.
+    pub load_window: Option<(i64, i64, i64)>,
+    /// Audit unchecked stores against the slot's owned range.
+    pub check_stores: bool,
+}
+
+/// Cap on retained [`SanitizeRecord`]s per launch; `sanitize_hits` keeps
+/// counting past it.
+pub const SANITIZE_LOG_CAP: usize = 64;
+
 /// Runtime execution error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
@@ -123,6 +167,15 @@ pub struct ExecCtx<'a> {
     /// price memory time per array (gathers from cache-resident arrays
     /// are much cheaper than cold gathers).
     pub per_buf_bytes: Vec<(u64, u64)>,
+    /// Sanitizer configuration, parallel to `bufs`; empty disables all
+    /// sanitizer checks. Sanitizing never touches `counters` — a
+    /// sanitized run is bit-identical (buffers, counters, misses) to an
+    /// unsanitized one, it only *observes*.
+    pub sanitize: Vec<BufSanitize>,
+    /// Violations observed, capped at [`SANITIZE_LOG_CAP`] records.
+    pub sanitize_log: Vec<SanitizeRecord>,
+    /// Total violations observed (uncapped).
+    pub sanitize_hits: u64,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -143,6 +196,60 @@ impl<'a> ExecCtx<'a> {
             miss_capacity: usize::MAX,
             counters: OpCounters::default(),
             per_buf_bytes: vec![(0, 0); n_bufs],
+            sanitize: Vec::new(),
+            sanitize_log: Vec::new(),
+            sanitize_hits: 0,
+        }
+    }
+}
+
+/// Audit a load against the buffer's declared `localaccess` window for
+/// thread `tid`. Shared by the AST walker and the bytecode VM; never
+/// touches counters or buffers.
+pub(crate) fn sanitize_load(ctx: &mut ExecCtx<'_>, buf: u32, tid: i64, gidx: i64) {
+    let Some(cfg) = ctx.sanitize.get(buf as usize) else {
+        return;
+    };
+    let Some((stride, left, right)) = cfg.load_window else {
+        return;
+    };
+    let lo = stride * tid - left;
+    let hi = stride * (tid + 1) + right;
+    if gidx < lo || gidx >= hi {
+        ctx.sanitize_hits += 1;
+        if ctx.sanitize_log.len() < SANITIZE_LOG_CAP {
+            ctx.sanitize_log.push(SanitizeRecord {
+                buf,
+                tid,
+                idx: gidx,
+                window: (lo, hi),
+                kind: SanitizeKind::LoadOutsideWindow,
+            });
+        }
+    }
+}
+
+/// Audit an unchecked store against the buffer's owned partition. Shared
+/// by the AST walker and the bytecode VM; never touches counters or
+/// buffers.
+pub(crate) fn sanitize_store(ctx: &mut ExecCtx<'_>, buf: u32, tid: i64, gidx: i64) {
+    let Some(cfg) = ctx.sanitize.get(buf as usize) else {
+        return;
+    };
+    if !cfg.check_stores {
+        return;
+    }
+    let own = ctx.bufs[buf as usize].own;
+    if gidx < own.0 || gidx >= own.1 {
+        ctx.sanitize_hits += 1;
+        if ctx.sanitize_log.len() < SANITIZE_LOG_CAP {
+            ctx.sanitize_log.push(SanitizeRecord {
+                buf,
+                tid,
+                idx: gidx,
+                window: own,
+                kind: SanitizeKind::StoreOutsideOwn,
+            });
         }
     }
 }
@@ -299,6 +406,9 @@ impl<'a, 'b> Machine<'a, 'b> {
                 c.load_bytes += nbytes;
                 c.int_ops += 1; // index translation
                 self.ctx.per_buf_bytes[buf.0 as usize].0 += nbytes;
+                if let Some(t) = self.tid {
+                    sanitize_load(self.ctx, buf.0, t, gidx);
+                }
                 Ok(v)
             }
             Expr::Unary { op, a } => {
@@ -431,6 +541,11 @@ impl<'a, 'b> Machine<'a, 'b> {
                         });
                         return Ok(Flow::Normal);
                     }
+                } else if let Some(t) = self.tid {
+                    // Only unchecked stores are audited: a checked store
+                    // that misses is *handled* (staged and replayed), an
+                    // unchecked one that misses silently corrupts.
+                    sanitize_store(self.ctx, buf.0, t, gidx);
                 }
                 self.raw_store(bslot, gidx, v)?;
                 if *dirty {
@@ -1223,5 +1338,190 @@ mod tests {
         assert_eq!(eval_binary(BinOp::Lt, nan, one).unwrap(), Value::Bool(false));
         assert_eq!(eval_binary(BinOp::Eq, nan, nan).unwrap(), Value::Bool(false));
         assert_eq!(eval_binary(BinOp::Ne, nan, nan).unwrap(), Value::Bool(true));
+    }
+
+    /// `out[t] = a[t + 1]` — a shifted read that needs `right(1)`.
+    fn shift_load_kernel() -> Kernel {
+        Kernel {
+            name: "shift_load".into(),
+            params: vec![],
+            bufs: vec![
+                BufParam {
+                    name: "a".into(),
+                    ty: Ty::F64,
+                    access: BufAccess::Read,
+                },
+                BufParam {
+                    name: "out".into(),
+                    ty: Ty::F64,
+                    access: BufAccess::Write,
+                },
+            ],
+            locals: vec![],
+            reductions: vec![],
+            body: vec![Stmt::Store {
+                buf: BufId(1),
+                idx: Expr::ThreadIdx,
+                value: Expr::load(
+                    BufId(0),
+                    Expr::add(Expr::ThreadIdx, Expr::Imm(Value::I32(1))),
+                ),
+                dirty: false,
+                checked: false,
+            }],
+        }
+    }
+
+    /// `out[t + 1] = a[t]` — an unchecked scatter that breaks ownership.
+    fn shift_store_kernel() -> Kernel {
+        Kernel {
+            name: "shift_store".into(),
+            params: vec![],
+            bufs: vec![
+                BufParam {
+                    name: "a".into(),
+                    ty: Ty::F64,
+                    access: BufAccess::Read,
+                },
+                BufParam {
+                    name: "out".into(),
+                    ty: Ty::F64,
+                    access: BufAccess::Write,
+                },
+            ],
+            locals: vec![],
+            reductions: vec![],
+            body: vec![Stmt::Store {
+                buf: BufId(1),
+                idx: Expr::add(Expr::ThreadIdx, Expr::Imm(Value::I32(1))),
+                value: Expr::load(BufId(0), Expr::ThreadIdx),
+                dirty: false,
+                checked: false,
+            }],
+        }
+    }
+
+    fn shift_ctx<'a>(
+        k: &Kernel,
+        a: &'a mut Buffer,
+        out: &'a mut Buffer,
+        sanitize: Vec<BufSanitize>,
+    ) -> ExecCtx<'a> {
+        let mut ctx = ExecCtx::new(k, vec![], vec![BufSlot::whole(a), BufSlot::whole(out)]);
+        ctx.sanitize = sanitize;
+        ctx
+    }
+
+    #[test]
+    fn sanitize_load_flags_out_of_window_reads() {
+        let k = shift_load_kernel();
+        let too_narrow = BufSanitize {
+            load_window: Some((1, 0, 0)),
+            check_stores: false,
+        };
+        let mut a = Buffer::from_f64(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let mut out = Buffer::zeroed(Ty::F64, 4);
+        let mut ctx = shift_ctx(&k, &mut a, &mut out, vec![too_narrow, BufSanitize::default()]);
+        run_kernel_range(&k, &mut ctx, 0, 4).unwrap();
+        // Every thread reads a[t+1], one past its declared [t, t+1) window.
+        assert_eq!(ctx.sanitize_hits, 4);
+        assert_eq!(ctx.sanitize_log.len(), 4);
+        let r = ctx.sanitize_log[0];
+        assert_eq!(r.kind, SanitizeKind::LoadOutsideWindow);
+        assert_eq!((r.buf, r.tid, r.idx, r.window), (0, 0, 1, (0, 1)));
+
+        // The correct annotation — right(1) — is violation-free.
+        let declared = BufSanitize {
+            load_window: Some((1, 0, 1)),
+            check_stores: false,
+        };
+        let mut a = Buffer::from_f64(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let mut out = Buffer::zeroed(Ty::F64, 4);
+        let mut ctx = shift_ctx(&k, &mut a, &mut out, vec![declared, BufSanitize::default()]);
+        run_kernel_range(&k, &mut ctx, 0, 4).unwrap();
+        assert_eq!(ctx.sanitize_hits, 0);
+        assert!(ctx.sanitize_log.is_empty());
+    }
+
+    #[test]
+    fn sanitize_store_flags_out_of_own_writes() {
+        let k = shift_store_kernel();
+        let audit = BufSanitize {
+            load_window: None,
+            check_stores: true,
+        };
+        let mut a = Buffer::from_f64(&[1.0, 2.0, 3.0, 4.0]);
+        let mut out = Buffer::zeroed(Ty::F64, 5);
+        let mut ctx = ExecCtx::new(
+            &k,
+            vec![],
+            vec![
+                BufSlot::whole(&mut a),
+                // Whole window resident, but this GPU only *owns* [0, 2).
+                BufSlot {
+                    data: &mut out,
+                    window_lo: 0,
+                    own: (0, 2),
+                    dirty: None,
+                },
+            ],
+        );
+        ctx.sanitize = vec![BufSanitize::default(), audit];
+        run_kernel_range(&k, &mut ctx, 0, 4).unwrap();
+        // Threads 1..4 store to indices 2..5, outside own = [0, 2).
+        assert_eq!(ctx.sanitize_hits, 3);
+        let r = ctx.sanitize_log[0];
+        assert_eq!(r.kind, SanitizeKind::StoreOutsideOwn);
+        assert_eq!((r.buf, r.tid, r.idx, r.window), (1, 1, 2, (0, 2)));
+    }
+
+    #[test]
+    fn sanitizing_never_perturbs_execution_and_paths_agree() {
+        let k = shift_load_kernel();
+        let cfg = BufSanitize {
+            load_window: Some((1, 0, 0)),
+            check_stores: true,
+        };
+        let run = |sanitize: Vec<BufSanitize>, ast: bool| {
+            let mut a = Buffer::from_f64(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+            let mut out = Buffer::zeroed(Ty::F64, 4);
+            let mut ctx = shift_ctx(&k, &mut a, &mut out, sanitize);
+            if ast {
+                run_kernel_range_ast(&k, &mut ctx, 0, 4).unwrap();
+            } else {
+                run_kernel_range(&k, &mut ctx, 0, 4).unwrap();
+            }
+            let (c, log, hits) = (ctx.counters, ctx.sanitize_log.clone(), ctx.sanitize_hits);
+            drop(ctx);
+            (out.to_f64_vec(), c, log, hits)
+        };
+        let plain = run(vec![], false);
+        let vm = run(vec![cfg, cfg], false);
+        let walker = run(vec![cfg, cfg], true);
+        // Same results and same counters with or without the sanitizer...
+        assert_eq!(plain.0, vm.0);
+        assert_eq!(plain.1, vm.1);
+        // ...and the bytecode VM and AST walker observe identical logs.
+        assert_eq!(vm.0, walker.0);
+        assert_eq!(vm.1, walker.1);
+        assert_eq!(vm.2, walker.2);
+        assert_eq!(vm.3, walker.3);
+        assert_eq!(vm.3, 4);
+    }
+
+    #[test]
+    fn sanitize_log_caps_but_hits_keep_counting() {
+        let k = shift_load_kernel();
+        let cfg = BufSanitize {
+            load_window: Some((1, 0, 0)),
+            check_stores: false,
+        };
+        let n = SANITIZE_LOG_CAP + 36;
+        let mut a = Buffer::zeroed(Ty::F64, n + 1);
+        let mut out = Buffer::zeroed(Ty::F64, n);
+        let mut ctx = shift_ctx(&k, &mut a, &mut out, vec![cfg, BufSanitize::default()]);
+        run_kernel_range(&k, &mut ctx, 0, n as i64).unwrap();
+        assert_eq!(ctx.sanitize_log.len(), SANITIZE_LOG_CAP);
+        assert_eq!(ctx.sanitize_hits, n as u64);
     }
 }

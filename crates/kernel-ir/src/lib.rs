@@ -46,8 +46,8 @@ pub use counters::OpCounters;
 pub use dirty::DirtyMap;
 pub use expr::{BinOp, Builtin, Expr, UnOp};
 pub use interp::{
-    rmw_apply_slice, run_kernel_range, run_kernel_range_ast, BufSlot, ExecCtx, ExecError,
-    MissRecord,
+    rmw_apply_slice, run_kernel_range, run_kernel_range_ast, BufSanitize, BufSlot, ExecCtx,
+    ExecError, MissRecord, SanitizeKind, SanitizeRecord, SANITIZE_LOG_CAP,
 };
 pub use kernel::{BufAccess, BufParam, Kernel, ScalarParam, ScalarReduction};
 pub use stmt::{RmwOp, Stmt};

@@ -55,11 +55,16 @@ pub enum Severity {
 }
 
 /// A frontend diagnostic.
+///
+/// Diagnostics from well-defined analyses carry a stable machine-readable
+/// code (e.g. `ACC-W001`); ad-hoc parse/type errors leave it `None`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
     pub severity: Severity,
     pub span: Span,
     pub message: String,
+    /// Stable code, e.g. `ACC-W001`. Rendered as `warning[ACC-W001]: ...`.
+    pub code: Option<&'static str>,
 }
 
 impl Diagnostic {
@@ -69,6 +74,7 @@ impl Diagnostic {
             severity: Severity::Error,
             span,
             message: message.into(),
+            code: None,
         }
     }
 
@@ -78,17 +84,33 @@ impl Diagnostic {
             severity: Severity::Warning,
             span,
             message: message.into(),
+            code: None,
+        }
+    }
+
+    /// Attach a stable diagnostic code.
+    pub fn with_code(mut self, code: &'static str) -> Diagnostic {
+        self.code = Some(code);
+        self
+    }
+
+    /// `"error"` / `"warning"`, with the code suffixed when present:
+    /// `warning[ACC-W001]`.
+    fn sev_label(&self) -> String {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        match self.code {
+            Some(c) => format!("{sev}[{c}]"),
+            None => sev.to_string(),
         }
     }
 
     /// Render with line/column resolved against the source.
     pub fn render(&self, src: &str) -> String {
         let (line, col) = self.span.line_col(src);
-        let sev = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
-        format!("{sev} at {line}:{col}: {}", self.message)
+        format!("{} at {line}:{col}: {}", self.sev_label(), self.message)
     }
 
     /// Render compiler-style with the offending source line and a caret
@@ -103,10 +125,7 @@ impl Diagnostic {
     /// ```
     pub fn render_verbose(&self, src: &str) -> String {
         let (line, col) = self.span.line_col(src);
-        let sev = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
+        let sev = self.sev_label();
         let src_line = src.lines().nth(line - 1).unwrap_or("");
         let width = line.to_string().len().max(2);
         let carets = (self.span.end - self.span.start)
@@ -127,11 +146,7 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let sev = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
-        write!(f, "{sev}: {}", self.message)
+        write!(f, "{}: {}", self.sev_label(), self.message)
     }
 }
 impl std::error::Error for Diagnostic {}
@@ -173,6 +188,17 @@ mod tests {
         assert!(out.contains("2 |   x = 1;"), "{out}");
         let caret_line = out.lines().last().unwrap();
         assert_eq!(caret_line.trim_end(), "    |   ^", "{out}");
+    }
+
+    #[test]
+    fn code_appears_in_all_render_forms() {
+        let d = Diagnostic::warning(Span::point(0), "stores overlap").with_code("ACC-W001");
+        assert_eq!(d.render("x"), "warning[ACC-W001] at 1:1: stores overlap");
+        assert_eq!(d.to_string(), "warning[ACC-W001]: stores overlap");
+        assert!(d.render_verbose("x").starts_with("warning[ACC-W001]: "));
+        // Codeless diagnostics render exactly as before.
+        let plain = Diagnostic::error(Span::point(0), "oops");
+        assert_eq!(plain.render("x"), "error at 1:1: oops");
     }
 
     #[test]

@@ -277,6 +277,7 @@ pub fn parse_directive(text: &str, span: Span) -> Result<Option<Directive>, Diag
                     None => break,
                 }
             }
+            validate_localaccess(&la)?;
             Directive::LocalAccess(la)
         }
         "reductiontoarray" => {
@@ -347,6 +348,62 @@ fn parse_paren_expr(p: &mut Parser<'_>, span: Span) -> Result<Expr, Diagnostic> 
     let e = p.parse_expr_public(span)?;
     p.expect(&TokenKind::RParen, span)?;
     Ok(e)
+}
+
+/// Fold an integer-constant clause argument. `None` for runtime
+/// expressions (idents etc.), which are validated at launch time instead.
+fn const_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::IntLit(v, _) => Some(*v),
+        Expr::Unary {
+            op: crate::ast::UnaryOp::Neg,
+            expr,
+            ..
+        } => const_int(expr).map(|v| -v),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let (a, b) = (const_int(lhs)?, const_int(rhs)?);
+            match op {
+                crate::ast::BinaryOp::Add => Some(a + b),
+                crate::ast::BinaryOp::Sub => Some(a - b),
+                crate::ast::BinaryOp::Mul => Some(a * b),
+                crate::ast::BinaryOp::Div if b != 0 => Some(a / b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Reject `localaccess` clause values that are provably meaningless:
+/// `stride` must be positive, `left`/`right` non-negative (the declared
+/// read window `[stride*i - left, stride*(i+1) - 1 + right]` degenerates
+/// otherwise). Runtime-valued clauses are re-checked at launch.
+fn validate_localaccess(la: &LocalAccess) -> Result<(), Diagnostic> {
+    if let Some(s) = &la.stride {
+        if let Some(v) = const_int(s) {
+            if v < 1 {
+                return Err(Diagnostic::error(
+                    s.span(),
+                    format!("localaccess stride must be positive, got {v}"),
+                )
+                .with_code("ACC-E001"));
+            }
+        }
+    }
+    for (name, e) in [("left", &la.left), ("right", &la.right)] {
+        if let Some(e) = e {
+            if let Some(v) = const_int(e) {
+                if v < 0 {
+                    return Err(Diagnostic::error(
+                        e.span(),
+                        format!("localaccess {name} must be non-negative, got {v}"),
+                    )
+                    .with_code("ACC-E002"));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn parse_parallel_clauses(
@@ -565,6 +622,33 @@ mod tests {
             d.stride,
             Some(crate::ast::Expr::Ident(ref n, _)) if n == "nfeatures"
         ));
+    }
+
+    #[test]
+    fn localaccess_rejects_nonpositive_stride() {
+        let err = parse_directive("acc localaccess(x) stride(0)", Span::default())
+            .unwrap_err();
+        assert_eq!(err.code, Some("ACC-E001"));
+        assert!(err.message.contains("stride must be positive"), "{err}");
+        let err = parse_directive("acc localaccess(x) stride(-2)", Span::default())
+            .unwrap_err();
+        assert_eq!(err.code, Some("ACC-E001"));
+    }
+
+    #[test]
+    fn localaccess_rejects_negative_halo() {
+        for text in [
+            "acc localaccess(x) stride(1) left(-1)",
+            "acc localaccess(x) stride(1) right(-3)",
+            "acc localaccess(x) right(1-2)",
+        ] {
+            let err = parse_directive(text, Span::default()).unwrap_err();
+            assert_eq!(err.code, Some("ACC-E002"), "{text}");
+            assert!(err.message.contains("non-negative"), "{err}");
+        }
+        // Non-negative constants and runtime expressions still parse.
+        parse("acc localaccess(x) stride(1) left(0) right(2)");
+        parse("acc localaccess(x) stride(cols) left(cols)");
     }
 
     #[test]

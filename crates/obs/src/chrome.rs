@@ -208,6 +208,23 @@ pub fn export(trace: &Trace) -> String {
                     ],
                 ));
             }
+            Event::Sanitize(e) => {
+                events.push(instant(
+                    &format!("SANITIZE {} {}", e.kind, e.array),
+                    "sanitize",
+                    e.gpu,
+                    e.at,
+                    vec![
+                        ("launch", Value::num(e.launch as f64)),
+                        ("array", Value::str(&e.array)),
+                        ("kind", Value::str(e.kind)),
+                        ("tid", Value::num(e.tid as f64)),
+                        ("idx", Value::num(e.idx as f64)),
+                        ("window_lo", Value::num(e.window.0 as f64)),
+                        ("window_hi", Value::num(e.window.1 as f64)),
+                    ],
+                ));
+            }
         }
     }
 

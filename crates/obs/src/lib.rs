@@ -213,6 +213,27 @@ pub struct ReductionMerge {
     pub end: SimTime,
 }
 
+/// One runtime-sanitizer violation: an access the static analysis (or
+/// the user's `localaccess` annotation) promised could not happen. Point
+/// event on the offending GPU's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizeEvent {
+    pub launch: u64,
+    pub array: String,
+    /// GPU whose kernel slice performed the access.
+    pub gpu: usize,
+    /// `"load-outside-window"` or `"store-outside-own"`.
+    pub kind: &'static str,
+    /// Global iteration index of the offending thread.
+    pub tid: i64,
+    /// Global element index accessed.
+    pub idx: i64,
+    /// The window the access had to stay inside (exclusive upper bound).
+    pub window: (i64, i64),
+    /// Simulated instant (the start of the kernel phase that ran it).
+    pub at: SimTime,
+}
+
 /// One phase interval of a parallel region (or a host/data interval).
 /// Phase spans are the accounting source for the time breakdown.
 #[derive(Debug, Clone, PartialEq)]
@@ -235,6 +256,7 @@ pub enum Event {
     Loader(LoaderDecision),
     Miss(MissReplay),
     Reduction(ReductionMerge),
+    Sanitize(SanitizeEvent),
 }
 
 impl Event {
@@ -248,6 +270,7 @@ impl Event {
             Event::Loader(e) => e.at,
             Event::Miss(e) => e.start,
             Event::Reduction(e) => e.start,
+            Event::Sanitize(e) => e.at,
         }
     }
 
@@ -261,6 +284,7 @@ impl Event {
             Event::Loader(e) => e.at,
             Event::Miss(e) => e.end,
             Event::Reduction(e) => e.end,
+            Event::Sanitize(e) => e.at,
         }
     }
 }
@@ -299,6 +323,9 @@ pub struct Counters {
     pub loader_reuses: u64,
     /// Loader decisions that (re)loaded data.
     pub loader_loads: u64,
+    /// Runtime-sanitizer violations observed (0 when sanitizing is off
+    /// — or when every static verdict held).
+    pub sanitize_violations: u64,
 }
 
 /// Collects events during a run. Totals and counters are accumulated at
@@ -419,6 +446,14 @@ impl Recorder {
         }
     }
 
+    /// Record a runtime-sanitizer violation (also counts it).
+    pub fn sanitize(&mut self, e: SanitizeEvent) {
+        self.counters.sanitize_violations += 1;
+        if self.level.keeps_summary() {
+            self.events.push(Event::Sanitize(e));
+        }
+    }
+
     /// Finish recording.
     pub fn finish(self) -> Trace {
         Trace {
@@ -485,6 +520,7 @@ impl Trace {
                     push(e.src);
                     push(e.dst);
                 }
+                Event::Sanitize(e) => push(e.gpu),
                 Event::Phase(_) => {}
             }
         }
@@ -613,6 +649,35 @@ mod tests {
         let spans = sample_recorder(TraceLevel::Spans).finish();
         assert!(spans.events().iter().any(|e| matches!(e, Event::Transfer(_))));
         assert!(spans.events().len() > summary.events().len());
+    }
+
+    #[test]
+    fn sanitize_events_count_at_every_level_and_export() {
+        let mk = |level| {
+            let mut rec = Recorder::new(level);
+            let launch = rec.launch_begin();
+            rec.sanitize(SanitizeEvent {
+                launch,
+                array: "a".into(),
+                gpu: 2,
+                kind: "load-outside-window",
+                tid: 7,
+                idx: 9,
+                window: (6, 8),
+                at: 1.5,
+            });
+            rec.finish()
+        };
+        for level in [TraceLevel::Off, TraceLevel::Summary, TraceLevel::Spans] {
+            assert_eq!(mk(level).counters().sanitize_violations, 1);
+        }
+        assert!(mk(TraceLevel::Off).events().is_empty());
+        let t = mk(TraceLevel::Summary);
+        assert!(matches!(t.events()[0], Event::Sanitize(_)));
+        assert_eq!(t.gpus(), vec![2]);
+        assert!(t.chrome_trace().contains("load-outside-window"));
+        assert!(t.summary_table().contains("sanitize violations"));
+        assert!(t.render_text()[0].contains("SANITIZE"));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub fn table(trace: &Trace) -> String {
         ("dirty chunks sent", c.dirty_chunks_sent),
         ("loader reuses", c.loader_reuses),
         ("loader loads", c.loader_loads),
+        ("sanitize violations", c.sanitize_violations),
     ] {
         out.push_str(&format!("  {name:<18} {v}\n"));
     }
@@ -180,6 +181,10 @@ pub fn render_text(trace: &Trace) -> Vec<String> {
                 e.dst,
                 e.bytes,
                 e.end - e.start
+            ),
+            Event::Sanitize(e) => format!(
+                "[{:.6}s] SANITIZE {} {} gpu={} tid={} idx={} window=[{}, {})",
+                e.at, e.kind, e.array, e.gpu, e.tid, e.idx, e.window.0, e.window.1
             ),
         };
         lines.push(line);

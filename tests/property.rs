@@ -7,7 +7,11 @@
 //!   and 3 simulated GPUs (the system's headline transparency property),
 //!   for any `localaccess` halo parameters;
 //! * scattered writes through the write-miss machinery match a sequential
-//!   model for arbitrary index patterns.
+//!   model for arbitrary index patterns;
+//! * the broadened §IV-D2 elision prover is sound: whenever it removes a
+//!   write-miss check, re-arming the check (the serial reference comm
+//!   path) observes zero misses and identical results for randomized
+//!   shift/scatter store kernels.
 
 use std::collections::BTreeSet;
 
@@ -129,6 +133,9 @@ fn eval_const(e: &Expr) -> Option<Value> {
         miss_capacity: usize::MAX,
         counters: OpCounters::default(),
         per_buf_bytes: vec![],
+        sanitize: vec![],
+        sanitize_log: vec![],
+        sanitize_hits: 0,
     };
     eval_host_expr(e, &mut [], &mut ctx).ok()
 }
@@ -282,6 +289,170 @@ fn gcd(a: i64, b: i64) -> i64 {
         a
     } else {
         gcd(b, a % b)
+    }
+}
+
+// ---------------- §IV-D2 elision-prover soundness ----------------
+
+/// Affine store kernel `out[i*s + off]`, with the store guarded to stay
+/// in bounds when the offset can leave the thread's slot.
+fn affine_store_program(s: i64, off: i64, guarded: bool) -> String {
+    if guarded {
+        format!(
+            "void f(int n, int len, double *a, double *out) {{\n\
+#pragma acc data copyin(a[0:n]) copy(out[0:len])\n\
+{{\n\
+#pragma acc localaccess(a) stride(1)\n\
+#pragma acc localaccess(out) stride({s})\n\
+#pragma acc parallel loop\n\
+for (int i = 0; i < n; i++) {{\n\
+int k = i*{s} + {off};\n\
+if (k >= 0) {{ if (k < len) out[k] = a[i] * 2.0 + (double)i; }}\n\
+}}\n\
+}}\n\
+}}"
+        )
+    } else {
+        format!(
+            "void f(int n, int len, double *a, double *out) {{\n\
+#pragma acc data copyin(a[0:n]) copy(out[0:len])\n\
+{{\n\
+#pragma acc localaccess(a) stride(1)\n\
+#pragma acc localaccess(out) stride({s})\n\
+#pragma acc parallel loop\n\
+for (int i = 0; i < n; i++) out[i*{s} + {off}] = a[i] * 2.0 + (double)i;\n\
+}}\n\
+}}"
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For randomized shift/affine store kernels: whenever the prover
+    /// elides the write-miss check, re-arming it must observe zero misses
+    /// and bit-identical arrays on 1–3 GPUs — the proof claimed exactly
+    /// that no store ever leaves its owner partition. In-slot offsets
+    /// (`0 <= off < s`) must additionally *be* elided: the broadened
+    /// prover covers every such shape.
+    #[test]
+    fn prover_never_elides_a_needed_miss_check(
+        s in 1i64..5,
+        off in -3i64..8,
+        n in 2i64..40,
+        seed in 0u64..1000,
+    ) {
+        let len = (n * s) as usize;
+        let in_slot = (0..s).contains(&off);
+        let src = affine_store_program(s, off, !in_slot);
+        let prog = compile_source(&src, "f", &CompileOptions::proposal()).expect("compile");
+        let out_cfg = prog.kernels[0]
+            .configs
+            .iter()
+            .find(|c| c.name == "out")
+            .unwrap();
+        prop_assert!(out_cfg.mode.writes());
+        if in_slot {
+            prop_assert!(
+                out_cfg.miss_check_elided,
+                "in-slot affine store (s={} off={}) must be proven local", s, off
+            );
+        }
+        let elided = out_cfg.miss_check_elided;
+        let mut forced = prog.clone();
+        acc_compiler::force_miss_checks(&mut forced);
+
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 101) as f64)
+            .collect();
+        let mut expect = vec![0.0f64; len];
+        for i in 0..n {
+            let k = i * s + off;
+            if k >= 0 && (k as usize) < len {
+                expect[k as usize] = a[i as usize] * 2.0 + i as f64;
+            }
+        }
+
+        for ngpus in 1..=3usize {
+            let run = |p: &acc_compiler::CompiledProgram| {
+                let mut m = Machine::supercomputer_node();
+                run_program(
+                    &mut m,
+                    &ExecConfig::gpus(ngpus),
+                    p,
+                    vec![Value::I32(n as i32), Value::I32(len as i32)],
+                    vec![Buffer::from_f64(&a), Buffer::zeroed(Ty::F64, len)],
+                )
+                .expect("run")
+            };
+            let re = run(&prog);
+            let rf = run(&forced);
+            prop_assert_eq!(re.arrays[1].to_f64_vec(), expect.clone(), "ngpus={}", ngpus);
+            prop_assert_eq!(re.arrays[1].to_f64_vec(), rf.arrays[1].to_f64_vec());
+            if elided {
+                prop_assert_eq!(
+                    rf.profile.miss_records, 0,
+                    "elided kernel missed under re-armed checks (s={} off={} ngpus={})",
+                    s, off, ngpus
+                );
+            }
+        }
+    }
+
+    /// The contrapositive: a rotation store `out[(i+c) % n]` genuinely
+    /// needs its miss check (some store always leaves the owner partition
+    /// on >= 2 GPUs), so the prover must keep it — and the reference comm
+    /// path must observe those misses and still produce the right answer.
+    #[test]
+    fn rotation_stores_keep_their_needed_check(
+        n in 4i32..120,
+        c_raw in 1i32..1000,
+        seed in 0u64..1000,
+    ) {
+        let c = 1 + c_raw % (n - 1);
+        let src = "void f(int n, int c, double *a, double *out) {\n\
+#pragma acc data copyin(a[0:n]) copy(out[0:n])\n\
+{\n\
+#pragma acc localaccess(a) stride(1)\n\
+#pragma acc localaccess(out) stride(1)\n\
+#pragma acc parallel loop\n\
+for (int i = 0; i < n; i++) out[(i + c) % n] = a[i] + 1.0;\n\
+}\n\
+}";
+        let prog = compile_source(src, "f", &CompileOptions::proposal()).unwrap();
+        let out_cfg = prog.kernels[0]
+            .configs
+            .iter()
+            .find(|c| c.name == "out")
+            .unwrap();
+        prop_assert!(!out_cfg.miss_check_elided, "rotation store must keep its check");
+
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(40503).wrapping_add(seed) % 89) as f64)
+            .collect();
+        let mut expect = vec![0.0f64; n as usize];
+        for i in 0..n as usize {
+            expect[(i + c as usize) % n as usize] = a[i] + 1.0;
+        }
+        for ngpus in 2..=3usize {
+            let mut m = Machine::supercomputer_node();
+            let rep = run_program(
+                &mut m,
+                &ExecConfig::gpus(ngpus),
+                &prog,
+                vec![Value::I32(n), Value::I32(c)],
+                vec![Buffer::from_f64(&a), Buffer::zeroed(Ty::F64, n as usize)],
+            )
+            .expect("run");
+            prop_assert_eq!(rep.arrays[1].to_f64_vec(), expect.clone(), "ngpus={}", ngpus);
+            // A nonzero rotation always pushes part of the first
+            // partition's writes outside it: the check was needed.
+            prop_assert!(
+                rep.profile.miss_records > 0,
+                "ngpus={} c={} recorded no misses", ngpus, c
+            );
+        }
     }
 }
 
