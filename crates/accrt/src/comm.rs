@@ -162,6 +162,15 @@ impl<'a> Engine<'a> {
         let elem = self.arrays[bi.arr].elem();
         let mut end = t2;
 
+        // A GPU idle for this launch (empty partition) that never held a
+        // replica has nothing to reconcile: it must receive no transfers
+        // and appear in no comm rounds. A GPU that *does* still hold a
+        // replica from an earlier launch stays a destination — its valid
+        // set claims the data, so it has to keep tracking updates.
+        let has_replica: Vec<bool> = (0..ngpus)
+            .map(|h| self.arrays[bi.arr].gpu[h].handle.is_some())
+            .collect();
+
         // Collect each GPU's dirty runs and per-chunk payloads first
         // (immutable pass).
         let mut per_gpu_runs: Vec<Vec<(usize, usize)>> = Vec::with_capacity(ngpus);
@@ -207,7 +216,7 @@ impl<'a> Engine<'a> {
                         continue;
                     }
                     for h in 0..ngpus {
-                        if h == g {
+                        if h == g || !has_replica[h] {
                             continue;
                         }
                         for &(lo, hi) in &per_gpu_runs[g] {
@@ -227,8 +236,8 @@ impl<'a> Engine<'a> {
             if per_gpu_runs[g].is_empty() {
                 continue;
             }
-            for h in 0..ngpus {
-                if h == g {
+            for (h, &replicated) in has_replica.iter().enumerate().take(ngpus) {
+                if h == g || !replicated {
                     continue;
                 }
                 if per_gpu_chunk_sizes[g].is_empty() {
@@ -342,29 +351,35 @@ impl<'a> Engine<'a> {
                 .enumerate()
                 .map(|(h, gpu)| {
                     let (wlo, handle) = views[h];
-                    s.spawn(move || -> Result<(), RunError> {
-                        let db = gpu.memory.get_mut(handle.expect("replica window"))?;
-                        let dbytes = db.bytes_mut();
-                        for g in (0..staged.len()).rev() {
-                            if runs[g].is_empty() {
-                                continue;
+                    // Idle GPUs without a replica spawn no worker.
+                    handle.map(|handle| {
+                        s.spawn(move || -> Result<(), RunError> {
+                            let db = gpu.memory.get_mut(handle)?;
+                            let dbytes = db.bytes_mut();
+                            for g in (0..staged.len()).rev() {
+                                if runs[g].is_empty() {
+                                    continue;
+                                }
+                                let mut cursor = 0usize;
+                                for &(lo, hi) in &runs[g] {
+                                    let nb = (hi - lo) * elem;
+                                    let off = (lo as i64 - wlo) as usize * elem;
+                                    dbytes[off..off + nb]
+                                        .copy_from_slice(&staged[g][cursor..cursor + nb]);
+                                    cursor += nb;
+                                }
                             }
-                            let mut cursor = 0usize;
-                            for &(lo, hi) in &runs[g] {
-                                let nb = (hi - lo) * elem;
-                                let off = (lo as i64 - wlo) as usize * elem;
-                                dbytes[off..off + nb]
-                                    .copy_from_slice(&staged[g][cursor..cursor + nb]);
-                                cursor += nb;
-                            }
-                        }
-                        Ok(())
+                            Ok(())
+                        })
                     })
                 })
                 .collect();
             workers
                 .into_iter()
-                .map(|w| w.join().expect("replica-sync worker panicked"))
+                .map(|w| match w {
+                    Some(w) => w.join().expect("replica-sync worker panicked"),
+                    None => Ok(()),
+                })
                 .collect()
         });
         for r in results {
@@ -554,18 +569,31 @@ impl<'a> Engine<'a> {
         let ngpus = self.cfg.ngpus;
         let n = self.arrays[bi.arr].len;
         let elem = self.arrays[bi.arr].elem();
+        // Only GPUs that actually ran iterations hold a private copy
+        // (GPU 0's live value or an identity fill). When the launch has
+        // fewer iterations than GPUs the idle tail has neither — merging
+        // it would fold never-initialised buffers into the result and
+        // price transfers that never happen. Both splitters compact
+        // empty ranges to the tail, so the active GPUs are a prefix.
+        let k = bi.required[..ngpus]
+            .iter()
+            .take_while(|r| r.0 < r.1)
+            .count();
+        if k == 0 {
+            return Ok(t2);
+        }
         let mut round_start = t2;
         let mut stride = 1usize;
-        while stride < ngpus {
+        while stride < k {
             // Functional half: this round's (dst, src) = (g, g+stride)
             // pairs touch disjoint GPUs, so they can merge concurrently,
             // each as one typed slice pass over the private copies.
             if self.cfg.parallel_comm {
-                self.merge_round_parallel(bi, op, stride)?;
+                self.merge_round_parallel(bi, op, stride, k)?;
             } else {
                 // Reference path: staged per-element merge.
                 let mut g = 0;
-                while g + stride < ngpus {
+                while g + stride < k {
                     let src = g + stride;
                     let staged: Vec<Value> = {
                         let ga = &self.arrays[bi.arr].gpu[src];
@@ -587,7 +615,7 @@ impl<'a> Engine<'a> {
             // Pricing half, serial in pair order.
             let mut round_end = round_start;
             let mut g = 0;
-            while g + stride < ngpus {
+            while g + stride < k {
                 let src = g + stride;
                 let bytes = (n * elem) as u64;
                 let (s, e) =
@@ -643,13 +671,13 @@ impl<'a> Engine<'a> {
         bi: &ArrLaunch,
         op: RmwOp,
         stride: usize,
+        k: usize,
     ) -> Result<(), RunError> {
-        let ngpus = self.cfg.ngpus;
-        let handles: Vec<Option<BufferHandle>> = (0..ngpus)
+        let handles: Vec<Option<BufferHandle>> = (0..k)
             .map(|g| self.arrays[bi.arr].gpu[g].handle)
             .collect();
         let handles = &handles;
-        let gpus = &mut self.machine.gpus[..ngpus];
+        let gpus = &mut self.machine.gpus[..k];
         let results: Vec<Result<(), RunError>> = std::thread::scope(|s| {
             let workers: Vec<_> = gpus
                 .chunks_mut(stride * 2)

@@ -8,16 +8,17 @@ use acc_compiler::affine::AccessPattern;
 use acc_compiler::hostgen::CompiledClause;
 use acc_gpusim::{Gpu, Machine};
 use acc_kernel_ir as ir;
-use acc_obs::{LaunchSpan, PhaseKind, Recorder, SanitizeEvent};
+use acc_obs::{LaunchSpan, MapperDecision, PhaseKind, Recorder, SanitizeEvent};
 use ir::interp::{eval_host_expr, rmw_apply, run_host_block, run_kernel_range};
 use ir::{
     BufSanitize, Buffer, BufSlot, DirtyMap, ExecCtx, Kernel, MissRecord, OpCounters,
     SanitizeKind, SanitizeRecord, Value,
 };
 
+use crate::mapper::TaskMapper;
 use crate::profiler::Profiler;
 use crate::state::{split_tasks, ArrayState};
-use crate::{ExecConfig, ExecMode, GpuMemReport, RunError, RunReport, SanitizeLevel};
+use crate::{ExecConfig, ExecMode, GpuMemReport, RunError, RunReport, SanitizeLevel, Schedule};
 
 /// Host-level control flow signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,9 @@ pub(crate) struct Engine<'a> {
     /// Id of the launch currently executing (valid inside `launch`).
     pub cur_launch: u64,
     pub now: f64,
+    /// Per-kernel split history for [`Schedule::CostModel`]; unused (and
+    /// never consulted) under [`Schedule::Equal`].
+    mapper: TaskMapper,
 }
 
 impl<'a> Engine<'a> {
@@ -132,6 +136,7 @@ impl<'a> Engine<'a> {
             host_counters: OpCounters::default(),
             cur_launch: 0,
             now: 0.0,
+            mapper: TaskMapper::new(prog.kernels.len()),
         }
     }
 
@@ -371,7 +376,7 @@ impl<'a> Engine<'a> {
         self.cur_launch = self.rec.launch_begin();
         match self.cfg.mode {
             ExecMode::CpuParallel => self.launch_cpu(ck),
-            ExecMode::Gpu => self.launch_gpu(ck),
+            ExecMode::Gpu => self.launch_gpu(kidx, ck),
         }
     }
 
@@ -449,11 +454,21 @@ impl<'a> Engine<'a> {
 
     /// Multi-GPU BSP launch: loader phase, parallel kernel phase,
     /// communication phase, barrier.
-    fn launch_gpu(&mut self, ck: &CompiledKernel) -> Result<(), RunError> {
+    fn launch_gpu(&mut self, kidx: usize, ck: &CompiledKernel) -> Result<(), RunError> {
         let ngpus = self.cfg.ngpus;
         let lo = self.eval_host_i64(&ck.lo)?;
         let hi = self.eval_host_i64(&ck.hi)?;
-        let tasks = split_tasks(lo, hi, ngpus);
+        // Task mapping. `Schedule::Equal` takes the paper's static
+        // division directly — the mapper is never consulted and no
+        // mapper events are emitted, keeping the default bit-identical
+        // to a runtime without the cost model.
+        let use_mapper = self.cfg.schedule == Schedule::CostModel;
+        let (tasks, predicted_s, from_history) = if use_mapper {
+            let plan = self.mapper.plan(kidx, lo, hi, ngpus);
+            (plan.tasks, plan.predicted_s, plan.from_history)
+        } else {
+            (split_tasks(lo, hi, ngpus), Vec::new(), false)
+        };
         let params = self.gather_params(ck)?;
 
         // Arrays used by this kernel but not inside any data region get an
@@ -580,6 +595,7 @@ impl<'a> Engine<'a> {
         // Kernel-phase duration = slowest GPU; every GPU that ran gets a
         // launch span on its own timeline starting at the barrier `t1`.
         let mut tk = 0.0f64;
+        let mut measured_s = vec![0.0f64; ngpus];
         for (g, out) in job_outs.iter().enumerate() {
             if !out.ran {
                 continue;
@@ -595,6 +611,7 @@ impl<'a> Engine<'a> {
             }
             let tg = spec.kernel_time_split(&out.counters, &terms);
             tk = tk.max(tg);
+            measured_s[g] = tg;
             self.kernel_counters.merge(&out.counters);
             self.rec.launch_span(LaunchSpan {
                 launch: self.cur_launch,
@@ -608,6 +625,22 @@ impl<'a> Engine<'a> {
         if job_outs.iter().all(|o| !o.ran) {
             // Degenerate empty launch still pays one launch overhead.
             tk = self.machine.gpus[0].spec.launch_overhead_s;
+        }
+        if use_mapper {
+            // One decision per launch: the ranges this launch actually
+            // used, the history's prediction, and the measured cost the
+            // next launch of this kernel will be cut from.
+            self.rec.mapper_decision(MapperDecision {
+                launch: self.cur_launch,
+                kernel: ck.kernel.name.clone(),
+                ranges: tasks.clone(),
+                predicted_s,
+                measured_s: measured_s.clone(),
+                from_history,
+                at: t1,
+            });
+            let overhead = self.machine.gpus[0].spec.launch_overhead_s;
+            self.mapper.record(kidx, &tasks, &measured_s, overhead);
         }
         self.rec
             .phase(Some(self.cur_launch), PhaseKind::Kernel, t1, t1 + tk);
@@ -712,6 +745,30 @@ impl<'a> Engine<'a> {
                     let mut window = Vec::with_capacity(ngpus);
                     // Covering partition boundaries: the first owner
                     // reaches down to 0, the last up to n.
+                    // Under the cost model the cut points move between
+                    // launches, so a tight window would pay one
+                    // transfer-latency round for every few-element
+                    // boundary shift. Padding the read range by a slice
+                    // of its own length keeps small shifts inside
+                    // already-valid data; the extra bytes are cheap next
+                    // to the per-transfer latency they avoid.
+                    let cost_model = self.cfg.schedule == crate::Schedule::CostModel;
+                    let slack = |len: i64| {
+                        if cost_model {
+                            (len / 8).max(left.max(right)).max(1)
+                        } else {
+                            0
+                        }
+                    };
+                    // A distributed array whose whole footprint is below
+                    // the bus's bandwidth·latency product is
+                    // latency-dominated: re-slicing it every launch costs
+                    // more in transfer rounds than replicating it once.
+                    // Under the cost model, read such arrays in full.
+                    let bus = &self.machine.bus;
+                    let whole_read = cost_model
+                        && (n as u64) * self.arrays[cfg.array].elem() as u64
+                            <= (bus.h2d_bw * bus.latency) as u64;
                     for (g, &(tlo, thi)) in tasks.iter().enumerate() {
                         if tlo >= thi {
                             required.push((0, 0));
@@ -719,7 +776,15 @@ impl<'a> Engine<'a> {
                             window.push((0, 0));
                             continue;
                         }
-                        let req = (clamp(stride * tlo - left), clamp(stride * thi + right));
+                        let req = if whole_read {
+                            (0, n)
+                        } else {
+                            let pad = slack(stride * (thi - tlo));
+                            (
+                                clamp(stride * tlo - left - pad),
+                                clamp(stride * thi + right + pad),
+                            )
+                        };
                         let own_lo = if g == 0 { 0 } else { clamp(stride * tlo) };
                         // Find the next non-empty task to bound ownership.
                         let own_hi = match tasks[g + 1..].iter().find(|(a, b)| a < b) {
@@ -735,14 +800,17 @@ impl<'a> Engine<'a> {
                 }
                 (Placement::Distributed, None) => unreachable!("distribution requires localaccess"),
                 _ => {
+                    // Replicated / reduction-private: active GPUs hold
+                    // the whole array. GPUs with an empty partition get
+                    // empty windows too — they run no kernel, so
+                    // materialising (or syncing) a replica there would
+                    // only fabricate allocations and comm traffic.
                     let whole = (0i64, n);
+                    let active = |&(a, b): &(i64, i64)| if a < b { whole } else { (0, 0) };
                     (
-                        tasks
-                            .iter()
-                            .map(|&(a, b)| if a < b { whole } else { (0, 0) })
-                            .collect::<Vec<_>>(),
-                        vec![whole; ngpus],
-                        vec![whole; ngpus],
+                        tasks.iter().map(active).collect::<Vec<_>>(),
+                        tasks.iter().map(active).collect::<Vec<_>>(),
+                        tasks.iter().map(active).collect::<Vec<_>>(),
                     )
                 }
             };

@@ -27,6 +27,7 @@
 pub mod comm;
 pub mod exec;
 pub mod loader;
+pub mod mapper;
 pub mod profiler;
 pub mod ranges;
 pub mod state;
@@ -43,7 +44,8 @@ pub use ranges::RangeSet;
 /// `use acc_runtime::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        run_program, ExecConfig, ExecMode, RunError, RunReport, SanitizeLevel, Trace, TraceLevel,
+        run_program, ExecConfig, ExecMode, RunError, RunReport, SanitizeLevel, Schedule, Trace,
+        TraceLevel,
     };
 }
 
@@ -94,12 +96,31 @@ impl SanitizeLevel {
     }
 }
 
+/// How the task mapper divides each parallel loop's iteration space
+/// among the GPUs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// The paper's equal static division (§IV-B2). The default; runs are
+    /// bit-identical to a runtime without the mapper.
+    #[default]
+    Equal,
+    /// Counter-feedback proportional splitting: each kernel's previous
+    /// launch supplies measured per-GPU cost (interpreter work counters
+    /// priced through the device model), and the next launch's ranges
+    /// are cut so every GPU gets an equal share of the predicted cost.
+    /// The first launch of a kernel falls back to the equal division.
+    /// See `docs/scheduling.md`.
+    CostModel,
+}
+
 /// Runtime configuration.
 ///
 /// Construct with [`ExecConfig::gpus`] or [`ExecConfig::openmp`] and
 /// refine with the builder methods:
 ///
-/// ```ignore
+/// ```
+/// use acc_runtime::prelude::*;
+///
 /// let cfg = ExecConfig::gpus(3)
 ///     .chunk_bytes(1 << 20)
 ///     .loader_reuse(false)
@@ -139,6 +160,8 @@ pub struct ExecConfig {
     /// windows (GPU mode only; the OpenMP baseline has no partitions to
     /// audit against).
     pub sanitize: SanitizeLevel,
+    /// How the task mapper divides each parallel loop among the GPUs.
+    pub schedule: Schedule,
 }
 
 impl ExecConfig {
@@ -153,6 +176,7 @@ impl ExecConfig {
             tracing: TraceLevel::Off,
             parallel_comm: true,
             sanitize: SanitizeLevel::Off,
+            schedule: Schedule::Equal,
         }
     }
 
@@ -199,6 +223,12 @@ impl ExecConfig {
     /// Set the runtime-sanitizer level.
     pub fn sanitize(mut self, level: SanitizeLevel) -> ExecConfig {
         self.sanitize = level;
+        self
+    }
+
+    /// Set the task-mapper schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> ExecConfig {
+        self.schedule = schedule;
         self
     }
 }

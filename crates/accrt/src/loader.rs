@@ -55,13 +55,17 @@ impl<'a> Engine<'a> {
                 let e = self.ensure_window(bi.arr, g, bi.window[g], class, t0)?;
                 end = end.max(e);
             }
-            // Replica-sync dirty maps (System memory, Fig. 9).
+            // Replica-sync dirty maps (System memory, Fig. 9). GPUs with
+            // an empty partition run no kernel, write nothing, and so
+            // need no write-tracking metadata.
             if bi.needs_dirty {
                 for g in 0..ngpus {
-                    self.ensure_dirty_map(bi.arr, g)?;
+                    if bi.window[g].0 < bi.window[g].1 {
+                        self.ensure_dirty_map(bi.arr, g)?;
+                    }
                 }
             }
-            // Write-miss system buffers.
+            // Write-miss system buffers (idle GPUs buffer no misses).
             let cfg = &ck.configs[kbuf];
             let needs_miss_buf = self.prog.options.instrument
                 && ngpus > 1
@@ -70,7 +74,9 @@ impl<'a> Engine<'a> {
                 && !cfg.miss_check_elided;
             if needs_miss_buf {
                 for g in 0..ngpus {
-                    self.ensure_miss_acct(bi.arr, g)?;
+                    if bi.window[g].0 < bi.window[g].1 {
+                        self.ensure_miss_acct(bi.arr, g)?;
+                    }
                 }
             }
         }
@@ -80,8 +86,10 @@ impl<'a> Engine<'a> {
             match bi.placement {
                 Placement::ReductionPrivate(op) => {
                     // GPU 0 carries the live value; the rest are identity.
-                    let e = self.fill_required(bi.arr, 0, bi.required[0], t0)?;
-                    end = end.max(e);
+                    if bi.required[0].0 < bi.required[0].1 {
+                        let e = self.fill_required(bi.arr, 0, bi.required[0], t0)?;
+                        end = end.max(e);
+                    }
                     let ty = self.arrays[bi.arr].ty;
                     for g in 1..ngpus {
                         if bi.required[g].0 >= bi.required[g].1 {
@@ -124,6 +132,39 @@ impl<'a> Engine<'a> {
             let ga = &self.arrays[arr].gpu[g];
             if ga.handle.is_some() && ga.window.0 <= want.0 && ga.window.1 >= want.1 {
                 return Ok(end);
+            }
+        }
+        // Under the cost-model mapper the per-GPU iteration ranges (and
+        // with them the distributed windows) shift between launches.
+        // Reallocating fresh would drop everything already resident and
+        // reload it over PCIe every launch — so instead grow the window
+        // to the union, move the resident bytes with one device-local
+        // copy, and keep the valid set. The equal schedule never takes
+        // this path: its windows are launch-invariant per kernel, and
+        // skipping it keeps that schedule's behavior bit-identical.
+        if self.cfg.schedule == crate::Schedule::CostModel {
+            if let Some(old_handle) = self.arrays[arr].gpu[g].handle {
+                let owin = self.arrays[arr].gpu[g].window;
+                let elem = self.arrays[arr].elem();
+                let ty = self.arrays[arr].ty;
+                let union = (owin.0.min(want.0), owin.1.max(want.1));
+                let staged = self.machine.gpus[g].memory.get(old_handle)?.bytes().to_vec();
+                let new_handle = self.machine.gpus[g].memory.alloc(
+                    ty,
+                    (union.1 - union.0) as usize,
+                    class,
+                )?;
+                let db = self.machine.gpus[g].memory.get_mut(new_handle)?;
+                let off = (owin.0 - union.0) as usize * elem;
+                db.bytes_mut()[off..off + staged.len()].copy_from_slice(&staged);
+                self.machine.gpus[g].memory.free(old_handle)?;
+                let cost = self.machine.gpus[g]
+                    .spec
+                    .local_copy_time(staged.len() as u64);
+                let ga = &mut self.arrays[arr].gpu[g];
+                ga.handle = Some(new_handle);
+                ga.window = union;
+                return Ok(t0 + cost);
             }
         }
         // Flush data that exists only on this GPU.
@@ -286,7 +327,11 @@ impl<'a> Engine<'a> {
         Ok(end)
     }
 
-    /// Fill a reduction-private copy with the operator identity.
+    /// Fill a reduction-private copy with the operator identity. Emits
+    /// the GPU's `LoaderDecision` for this launch×array — the identity
+    /// fill is a device-local materialisation, so it moves zero bus
+    /// bytes, but skipping the event would leave reduction-private GPUs
+    /// unaccounted in the per-launch decision stream.
     fn fill_identity(
         &mut self,
         arr: usize,
@@ -304,6 +349,14 @@ impl<'a> Engine<'a> {
         let ga = &mut self.arrays[arr].gpu[g];
         ga.valid.clear();
         ga.red_private = true;
+        self.rec.loader_decision(LoaderDecision {
+            launch: self.cur_launch,
+            array: self.prog.array_params[arr].0.clone(),
+            gpu: g,
+            reused: false,
+            bytes_moved: 0,
+            at: t0 + cost,
+        });
         Ok(t0 + cost)
     }
 

@@ -81,7 +81,7 @@ impl ArrayState {
 /// Equal static division of the iteration space `[lo, hi)` over `n` GPUs
 /// (paper §IV-B2: "the tasks in the parallel loop are equally divided
 /// among the GPUs"). Returns per-GPU `[lo_g, hi_g)`.
-pub(crate) fn split_tasks(lo: i64, hi: i64, n: usize) -> Vec<(i64, i64)> {
+pub fn split_tasks(lo: i64, hi: i64, n: usize) -> Vec<(i64, i64)> {
     let total = (hi - lo).max(0);
     let n_i = n as i64;
     let chunk = total / n_i;
@@ -93,6 +93,127 @@ pub(crate) fn split_tasks(lo: i64, hi: i64, n: usize) -> Vec<(i64, i64)> {
         out.push((cur, cur + sz));
         cur += sz;
     }
+    out
+}
+
+/// Piecewise-constant per-iteration cost density over `[lo, hi)` built
+/// from a previous launch's `(range, measured seconds)` history. Returns
+/// `(seg_lo, seg_hi, seconds-per-iteration)` segments exactly covering
+/// `[lo, hi)`; iterations no history range covers are priced at the
+/// average density, so a moved or grown iteration space stays covered.
+///
+/// Returns `None` when the history is unusable — empty, zero or
+/// non-finite total cost, no overlap with `[lo, hi)`, or overlapping
+/// ranges — in which case callers fall back to [`split_tasks`].
+pub fn cost_segments(lo: i64, hi: i64, hist: &[((i64, i64), f64)]) -> Option<Vec<(i64, i64, f64)>> {
+    if hi <= lo {
+        return None;
+    }
+    let mut segs: Vec<(i64, i64, f64)> = Vec::new();
+    let mut covered = 0i64;
+    let mut cost_sum = 0.0f64;
+    for &((a, b), c) in hist {
+        if !c.is_finite() || c < 0.0 {
+            return None;
+        }
+        let (a, b) = (a.max(lo), b.min(hi));
+        if a >= b {
+            continue;
+        }
+        segs.push((a, b, c / (b - a) as f64));
+        covered += b - a;
+        cost_sum += c;
+    }
+    if covered == 0 || cost_sum <= 0.0 || !cost_sum.is_finite() {
+        return None;
+    }
+    segs.sort_by_key(|s| s.0);
+    if segs.windows(2).any(|w| w[0].1 > w[1].0) {
+        return None;
+    }
+    let avg = cost_sum / covered as f64;
+    let mut full = Vec::with_capacity(segs.len() * 2 + 1);
+    let mut cur = lo;
+    for (a, b, d) in segs {
+        if cur < a {
+            full.push((cur, a, avg));
+        }
+        full.push((a, b, d));
+        cur = b;
+    }
+    if cur < hi {
+        full.push((cur, hi, avg));
+    }
+    Some(full)
+}
+
+/// Predicted cost of `[rlo, rhi)` under a density from [`cost_segments`].
+pub fn integrate_cost(segs: &[(i64, i64, f64)], rlo: i64, rhi: i64) -> f64 {
+    let mut acc = 0.0;
+    for &(a, b, d) in segs {
+        let (a, b) = (a.max(rlo), b.min(rhi));
+        if a < b {
+            acc += (b - a) as f64 * d;
+        }
+    }
+    acc
+}
+
+/// Cost-proportional division of `[lo, hi)` over `n` GPUs: boundaries
+/// sit at the cost quantiles of the density [`cost_segments`] builds
+/// from `hist`, each rounded up to a whole iteration. Like
+/// [`split_tasks`], the result is a contiguous covering partition whose
+/// empty ranges (more GPUs than distinguishable work) occupy the tail —
+/// under a uniform density the two splitters agree exactly.
+///
+/// Falls back to [`split_tasks`] when the history is unusable.
+pub fn split_tasks_weighted(lo: i64, hi: i64, n: usize, hist: &[((i64, i64), f64)]) -> Vec<(i64, i64)> {
+    let Some(segs) = cost_segments(lo, hi, hist) else {
+        return split_tasks(lo, hi, n);
+    };
+    let w_total = integrate_cost(&segs, lo, hi);
+    if w_total <= 0.0 || !w_total.is_finite() {
+        return split_tasks(lo, hi, n);
+    }
+    let mut bounds = Vec::with_capacity(n + 1);
+    bounds.push(lo);
+    let mut seg_idx = 0usize;
+    let mut cum = 0.0f64; // cost integral up to segs[seg_idx].0
+    for g in 0..n.saturating_sub(1) {
+        let target = w_total * (g + 1) as f64 / n as f64;
+        loop {
+            let (a, b, d) = segs[seg_idx];
+            let seg_cost = (b - a) as f64 * d;
+            if cum + seg_cost < target && seg_idx + 1 < segs.len() {
+                cum += seg_cost;
+                seg_idx += 1;
+            } else {
+                break;
+            }
+        }
+        let (a, b, d) = segs[seg_idx];
+        let x = if d > 0.0 {
+            // Shave a relative epsilon before rounding up so a quantile
+            // that is mathematically a whole iteration count does not
+            // ceil past it on accumulated float error.
+            let v = (target - cum) / d;
+            a + ((v - v.abs() * 1e-12 - 1e-12).ceil() as i64).max(0)
+        } else {
+            b
+        };
+        let prev = *bounds.last().unwrap();
+        bounds.push(x.clamp(prev, hi));
+    }
+    bounds.push(hi);
+    // Compact empty ranges to the tail so the partition keeps the
+    // non-empty-prefix shape `split_tasks` guarantees (ownership routing
+    // and the reduction-merge tree rely on it).
+    let mut out: Vec<(i64, i64)> = bounds
+        .windows(2)
+        .filter(|w| w[0] < w[1])
+        .map(|w| (w[0], w[1]))
+        .collect();
+    out.resize(n, (hi, hi));
     out
 }
 
@@ -120,5 +241,74 @@ mod tests {
     #[test]
     fn split_empty() {
         assert_eq!(split_tasks(3, 3, 2), vec![(3, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn weighted_matches_equal_on_uniform_history() {
+        for (lo, hi, n) in [(0, 12, 3), (0, 10, 3), (5, 12, 2), (0, 2, 4), (0, 100, 3)] {
+            let hist: Vec<((i64, i64), f64)> = split_tasks(lo, hi, n)
+                .into_iter()
+                .filter(|r| r.0 < r.1)
+                .map(|r| (r, (r.1 - r.0) as f64 * 1e-6))
+                .collect();
+            assert_eq!(
+                split_tasks_weighted(lo, hi, n, &hist),
+                split_tasks(lo, hi, n),
+                "lo={lo} hi={hi} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_shifts_work_toward_cheap_iterations() {
+        // First half of the space cost 4x the second half: the first GPU
+        // should take far fewer iterations than the equal split's 50.
+        let hist = [((0i64, 50i64), 4.0), ((50, 100), 1.0)];
+        let s = split_tasks_weighted(0, 100, 2, &hist);
+        assert_eq!(s[0].0, 0);
+        assert_eq!(s[1].1, 100);
+        assert_eq!(s[0].1, s[1].0, "contiguous");
+        // Half the total cost (2.5) sits at iteration 31.25 → ceil 32.
+        assert_eq!(s[0].1, 32);
+    }
+
+    #[test]
+    fn weighted_falls_back_without_usable_history() {
+        assert_eq!(split_tasks_weighted(0, 10, 3, &[]), split_tasks(0, 10, 3));
+        // Zero-cost history is unusable.
+        let zero = [((0i64, 10i64), 0.0)];
+        assert_eq!(split_tasks_weighted(0, 10, 3, &zero), split_tasks(0, 10, 3));
+        // History from a disjoint iteration space is unusable.
+        let off = [((100i64, 200i64), 1.0)];
+        assert_eq!(split_tasks_weighted(0, 10, 3, &off), split_tasks(0, 10, 3));
+    }
+
+    #[test]
+    fn weighted_covers_gaps_at_average_density() {
+        // History covers only the middle; the gaps get the average
+        // density, and the result still exactly covers [0, 90).
+        let hist = [((30i64, 60i64), 3.0)];
+        let s = split_tasks_weighted(0, 90, 3, &hist);
+        assert_eq!(s.first().unwrap().0, 0);
+        assert_eq!(s.last().unwrap().1, 90);
+        for w in s.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        // Uniform average everywhere → equal thirds.
+        assert_eq!(s, vec![(0, 30), (30, 60), (60, 90)]);
+    }
+
+    #[test]
+    fn weighted_pushes_empty_ranges_to_the_tail() {
+        // One iteration holds nearly all the cost: GPUs beyond the
+        // distinguishable work get empty tail ranges at `hi`.
+        let hist = [((0i64, 1i64), 100.0), ((1, 4), 0.003)];
+        let s = split_tasks_weighted(0, 4, 4, &hist);
+        assert_eq!(s.iter().map(|r| (r.1 - r.0).max(0)).sum::<i64>(), 4);
+        let first_empty = s.iter().position(|r| r.0 >= r.1);
+        if let Some(k) = first_empty {
+            assert!(s[k..].iter().all(|r| r.0 >= r.1), "empties form the tail");
+            assert!(s[k..].iter().all(|&r| r == (4, 4)));
+        }
     }
 }

@@ -21,6 +21,7 @@
 //! runtime configurations.
 
 pub mod bfs;
+pub mod bfs_skew;
 pub mod heat2d;
 pub mod kmeans;
 pub mod md;

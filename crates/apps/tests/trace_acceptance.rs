@@ -81,3 +81,66 @@ fn heat2d_chrome_trace_is_valid_and_covers_every_gpu() {
         .count();
     assert!(thread_names >= 4, "host lane plus one lane per GPU");
 }
+
+/// The cost-model mapper's decisions must be visible end-to-end: one
+/// typed `MapperDecision` per launch in the event stream, exported as
+/// `mapper`-category instant events in the Chrome trace.
+#[test]
+fn bfs_skew_cost_model_mapper_decisions_reach_the_chrome_trace() {
+    use acc_apps::bfs_skew;
+    let input = bfs_skew::generate(&bfs_skew::BfsSkewConfig::small(), 7);
+    let prog = compile_source(
+        bfs_skew::SOURCE,
+        bfs_skew::FUNCTION,
+        &CompileOptions::proposal(),
+    )
+    .unwrap();
+    let mut m = Machine::supercomputer_node();
+    let (scalars, arrays) = bfs_skew::inputs(&input);
+    let r = run_program(
+        &mut m,
+        &ExecConfig::gpus(3)
+            .schedule(Schedule::CostModel)
+            .tracing(TraceLevel::Spans),
+        &prog,
+        scalars,
+        arrays,
+    )
+    .unwrap();
+
+    let launches = r
+        .trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::Launch(l) if l.gpu == 0))
+        .count();
+    let decisions: Vec<_> = r
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Mapper(d) => Some(d),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(decisions.len(), launches, "one mapper decision per launch");
+    assert!(
+        decisions.iter().skip(1).all(|d| d.from_history),
+        "every launch after the first cuts from history"
+    );
+
+    let v = json::parse(&r.trace.chrome_trace()).expect("valid JSON");
+    let events = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+    let mapper_instants = events
+        .iter()
+        .filter(|e| {
+            e.get("cat").and_then(|c| c.as_str()) == Some("mapper")
+                && e.get("ph").and_then(|p| p.as_str()) == Some("i")
+        })
+        .count();
+    assert_eq!(
+        mapper_instants,
+        decisions.len(),
+        "every mapper decision is an instant event in the Chrome trace"
+    );
+}

@@ -197,9 +197,17 @@ pub fn diff_bench(old: &BenchFile, new: &BenchFile, wall_tolerance: f64) -> Diff
                 op.app, op.ngpus, op.sim_s, np.sim_s
             ));
         }
-        let ratio = if op.wall_best_s > 0.0 {
+        // A zero, negative or non-finite baseline wall time cannot
+        // anchor a ratio — dividing by it yields inf/NaN, and silently
+        // substituting 1.0 would wave any regression through. Reject the
+        // baseline loudly instead.
+        let ratio = if op.wall_best_s.is_finite() && op.wall_best_s > 0.0 {
             np.wall_best_s / op.wall_best_s
         } else {
+            r.problems.push(format!(
+                "unusable baseline for {} x{}: old wall_best_s = {} (must be finite and > 0; re-record the baseline artifact)",
+                op.app, op.ngpus, op.wall_best_s
+            ));
             1.0
         };
         let regressed = ratio > 1.0 + wall_tolerance
@@ -370,6 +378,21 @@ mod tests {
         assert!(r.failed());
         assert!(r.problems.iter().any(|p| p.contains("scale mismatch")));
         assert!(r.problems.iter().any(|p| p.contains("seed mismatch")));
+    }
+
+    #[test]
+    fn zero_wall_baseline_is_an_unusable_baseline() {
+        // A baseline recorded as 0.0s (e.g. a truncated artifact) must
+        // not silently pass as ratio 1.0.
+        let old = artifact("scaled", 42, &[("md", 1, 0.0, 0.5, true)]);
+        let new = artifact("scaled", 42, &[("md", 1, 1.0, 0.5, true)]);
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.failed());
+        assert!(
+            r.problems.iter().any(|p| p.contains("unusable baseline for md x1")),
+            "{:?}",
+            r.problems
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod diff;
 use acc_apps::{run_app, App, Scale, Version};
 use acc_compiler::CompileOptions;
 use acc_gpusim::{Machine, MachineKind};
-use acc_runtime::{run_program, ExecConfig};
+use acc_runtime::{run_program, ExecConfig, Schedule};
 
 pub use diff::{bench_diff, BenchFile, DiffReport, DEFAULT_WALL_TOLERANCE};
 
@@ -697,7 +697,68 @@ pub fn bench_runtime(scale: Scale, seed: u64, reps: usize, progress: bool) -> Ve
             });
         }
     }
+    // The skewed power-law BFS rides along as two extra points at the
+    // full GPU count — the equal static division vs the cost-model
+    // mapper on the same input. It is not part of `App::ALL` (that list
+    // reproduces the paper's Table II); these rows exist so the
+    // artifact records the mapper's simulated-time margin, and CI's
+    // bench-diff notices if the win erodes.
+    for (label, sched) in [
+        ("bfs-skew", Schedule::Equal),
+        ("bfs-skew-cm", Schedule::CostModel),
+    ] {
+        if progress {
+            eprintln!("  bench: {label} x3 ({reps} reps)");
+        }
+        let cfg = bfs_skew_config(scale);
+        let input = acc_apps::bfs_skew::generate(&cfg, seed);
+        let expect = acc_apps::bfs_skew::reference(&input);
+        let prog = acc_compiler::compile_source(
+            acc_apps::bfs_skew::SOURCE,
+            acc_apps::bfs_skew::FUNCTION,
+            &acc_compiler::CompileOptions::proposal(),
+        )
+        .expect("bfs_skew compiles");
+        let mut walls = Vec::with_capacity(reps);
+        let mut sim_s = 0.0;
+        let mut correct = true;
+        for _ in 0..reps {
+            let mut m = Machine::supercomputer_node();
+            let (scalars, arrays) = acc_apps::bfs_skew::inputs(&input);
+            let t0 = std::time::Instant::now();
+            let r = acc_runtime::run_program(
+                &mut m,
+                &acc_runtime::ExecConfig::gpus(3).schedule(sched),
+                &prog,
+                scalars,
+                arrays,
+            )
+            .expect("bfs_skew run");
+            walls.push(t0.elapsed().as_secs_f64());
+            sim_s = r.profile.time.parallel_region();
+            correct &= r.arrays[acc_apps::bfs_skew::LEVELS_ARRAY].to_i32_vec() == expect;
+        }
+        let best = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+        out.push(RuntimePoint {
+            app: label.to_string(),
+            ngpus: 3,
+            wall_best_s: best,
+            wall_mean_s: mean,
+            sim_s,
+            correct,
+            reps,
+        });
+    }
     out
+}
+
+/// The skewed-BFS input behind the `bfs-skew` bench rows.
+pub fn bfs_skew_config(scale: Scale) -> acc_apps::bfs_skew::BfsSkewConfig {
+    match scale {
+        Scale::Small => acc_apps::bfs_skew::BfsSkewConfig::stress(),
+        _ => acc_apps::bfs_skew::BfsSkewConfig::scaled(),
+    }
 }
 
 /// Generate inputs for an app at a scale (shared by the ablations).

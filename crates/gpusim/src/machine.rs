@@ -98,6 +98,27 @@ impl Machine {
         }
     }
 
+    /// Build a supercomputer-node variant with `n` GPUs instead of the
+    /// installed 3 — the same Tesla M2050s on the same PCIe fabric. The
+    /// paper's platforms stop at 3 GPUs; this widened node exists to
+    /// exercise runtime edge cases (e.g. more GPUs than loop
+    /// iterations) that the presets cannot reach.
+    pub fn supercomputer_node_with_gpus(n: usize) -> Machine {
+        let spec = GpuSpec::tesla_m2050();
+        Machine {
+            kind: MachineKind::SupercomputerNode,
+            cpu: CpuSpec::dual_xeon_node(),
+            gpus: (0..n)
+                .map(|id| Gpu {
+                    id,
+                    memory: DeviceMemory::new(spec.mem_bytes),
+                    spec: spec.clone(),
+                })
+                .collect(),
+            bus: PcieBus::supercomputer_node(),
+        }
+    }
+
     /// Number of GPUs installed.
     pub fn n_gpus(&self) -> usize {
         self.gpus.len()

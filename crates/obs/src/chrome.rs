@@ -175,6 +175,35 @@ pub fn export(trace: &Trace) -> String {
                     ],
                 ));
             }
+            Event::Mapper(e) => {
+                let pair = |&(a, b): &(i64, i64)| {
+                    Value::Arr(vec![Value::num(a as f64), Value::num(b as f64)])
+                };
+                events.push(instant(
+                    &format!(
+                        "mapper {} {}",
+                        if e.from_history { "cost-model" } else { "equal" },
+                        e.kernel
+                    ),
+                    "mapper",
+                    HOST_TID,
+                    e.at,
+                    vec![
+                        ("launch", Value::num(e.launch as f64)),
+                        ("kernel", Value::str(&e.kernel)),
+                        ("from_history", Value::Bool(e.from_history)),
+                        ("ranges", Value::Arr(e.ranges.iter().map(pair).collect())),
+                        (
+                            "predicted_s",
+                            Value::Arr(e.predicted_s.iter().map(|&t| Value::Num(t)).collect()),
+                        ),
+                        (
+                            "measured_s",
+                            Value::Arr(e.measured_s.iter().map(|&t| Value::Num(t)).collect()),
+                        ),
+                    ],
+                ));
+            }
             Event::Miss(e) => {
                 events.push(span(
                     &format!("miss-replay {} g{}→g{}", e.array, e.src, e.dst),

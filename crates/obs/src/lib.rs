@@ -213,6 +213,31 @@ pub struct ReductionMerge {
     pub end: SimTime,
 }
 
+/// The task mapper's split of one launch's iteration space: the per-GPU
+/// ranges it chose, the per-iteration cost model's prediction for each,
+/// and (filled in after the kernel phase) the measured per-GPU kernel
+/// seconds the next launch's split will be fed back from. Point event on
+/// the host track at the end of the loader phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapperDecision {
+    pub launch: u64,
+    /// Kernel (function) name.
+    pub kernel: String,
+    /// Per-GPU `[begin, end)` iteration ranges (one entry per GPU; idle
+    /// GPUs carry an empty range).
+    pub ranges: Vec<(i64, i64)>,
+    /// Predicted kernel seconds per GPU under the cost model used to cut
+    /// the ranges (all zeros on the equal-split fallback).
+    pub predicted_s: Vec<f64>,
+    /// Measured kernel seconds per GPU for this launch (0 for idle GPUs).
+    pub measured_s: Vec<f64>,
+    /// False when no history existed and the mapper fell back to the
+    /// equal static division.
+    pub from_history: bool,
+    /// Simulated instant the split was committed.
+    pub at: SimTime,
+}
+
 /// One runtime-sanitizer violation: an access the static analysis (or
 /// the user's `localaccess` annotation) promised could not happen. Point
 /// event on the offending GPU's timeline.
@@ -254,6 +279,7 @@ pub enum Event {
     Transfer(TransferSpan),
     Comm(CommRound),
     Loader(LoaderDecision),
+    Mapper(MapperDecision),
     Miss(MissReplay),
     Reduction(ReductionMerge),
     Sanitize(SanitizeEvent),
@@ -268,6 +294,7 @@ impl Event {
             Event::Transfer(e) => e.start,
             Event::Comm(e) => e.start,
             Event::Loader(e) => e.at,
+            Event::Mapper(e) => e.at,
             Event::Miss(e) => e.start,
             Event::Reduction(e) => e.start,
             Event::Sanitize(e) => e.at,
@@ -282,6 +309,7 @@ impl Event {
             Event::Transfer(e) => e.end,
             Event::Comm(e) => e.end,
             Event::Loader(e) => e.at,
+            Event::Mapper(e) => e.at,
             Event::Miss(e) => e.end,
             Event::Reduction(e) => e.end,
             Event::Sanitize(e) => e.at,
@@ -323,6 +351,9 @@ pub struct Counters {
     pub loader_reuses: u64,
     /// Loader decisions that (re)loaded data.
     pub loader_loads: u64,
+    /// Task-mapper splits cut from measured per-iteration cost (the
+    /// equal-split fallback on a first launch does not count).
+    pub mapper_model_splits: u64,
     /// Runtime-sanitizer violations observed (0 when sanitizing is off
     /// — or when every static verdict held).
     pub sanitize_violations: u64,
@@ -431,6 +462,17 @@ impl Recorder {
         }
     }
 
+    /// Record a task-mapper split decision (cost-model splits are also
+    /// counted).
+    pub fn mapper_decision(&mut self, d: MapperDecision) {
+        if d.from_history {
+            self.counters.mapper_model_splits += 1;
+        }
+        if self.level.keeps_summary() {
+            self.events.push(Event::Mapper(d));
+        }
+    }
+
     /// Record a miss replay (also counts its records).
     pub fn miss_replay(&mut self, m: MissReplay) {
         self.counters.miss_records += m.records;
@@ -512,6 +554,7 @@ impl Trace {
                     push(e.dst);
                 }
                 Event::Loader(e) => push(e.gpu),
+                Event::Mapper(_) => {}
                 Event::Miss(e) => {
                     push(e.src);
                     push(e.dst);
@@ -678,6 +721,35 @@ mod tests {
         assert!(t.chrome_trace().contains("load-outside-window"));
         assert!(t.summary_table().contains("sanitize violations"));
         assert!(t.render_text()[0].contains("SANITIZE"));
+    }
+
+    #[test]
+    fn mapper_decisions_count_and_export() {
+        let mk = |level, from_history| {
+            let mut rec = Recorder::new(level);
+            let launch = rec.launch_begin();
+            rec.mapper_decision(MapperDecision {
+                launch,
+                kernel: "bfs".into(),
+                ranges: vec![(0, 700), (700, 900), (900, 1000)],
+                predicted_s: vec![1e-3, 1e-3, 1e-3],
+                measured_s: vec![1.1e-3, 0.9e-3, 1.0e-3],
+                from_history,
+                at: 0.5,
+            });
+            rec.finish()
+        };
+        for level in [TraceLevel::Off, TraceLevel::Summary, TraceLevel::Spans] {
+            assert_eq!(mk(level, true).counters().mapper_model_splits, 1);
+            assert_eq!(mk(level, false).counters().mapper_model_splits, 0);
+        }
+        assert!(mk(TraceLevel::Off, true).events().is_empty());
+        let t = mk(TraceLevel::Summary, true);
+        assert!(matches!(t.events()[0], Event::Mapper(_)));
+        assert_eq!(t.gpus(), Vec::<usize>::new(), "mapper events live on the host track");
+        assert!(t.chrome_trace().contains("mapper cost-model bfs"));
+        assert!(t.summary_table().contains("mapper model splits"));
+        assert!(t.render_text()[0].contains("mapper cost-model"));
     }
 
     #[test]

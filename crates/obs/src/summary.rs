@@ -51,6 +51,7 @@ pub fn table(trace: &Trace) -> String {
         ("dirty chunks sent", c.dirty_chunks_sent),
         ("loader reuses", c.loader_reuses),
         ("loader loads", c.loader_loads),
+        ("mapper model splits", c.mapper_model_splits),
         ("sanitize violations", c.sanitize_violations),
     ] {
         out.push_str(&format!("  {name:<18} {v}\n"));
@@ -162,6 +163,13 @@ pub fn render_text(trace: &Trace) -> Vec<String> {
                 e.array,
                 e.gpu,
                 e.bytes_moved
+            ),
+            Event::Mapper(e) => format!(
+                "[{:.6}s] mapper {} kernel={} ranges={:?}",
+                e.at,
+                if e.from_history { "cost-model" } else { "equal" },
+                e.kernel,
+                e.ranges
             ),
             Event::Miss(e) => format!(
                 "[{:.6}s] miss-replay {} gpu{}→gpu{} records={} {}B dur={:.6}s",
