@@ -100,8 +100,23 @@ pub struct ArrayConfig {
     pub mode: AccessMode,
     /// Placement policy chosen by the translator.
     pub placement: Placement,
-    /// The `localaccess` annotation, when present and honored.
+    /// The `localaccess` annotation, when present and honored. With
+    /// `CompileOptions::infer_localaccess` this may be an inferred
+    /// annotation (then `inferred_used` is set).
     pub localaccess: Option<LocalAccessParams>,
+    /// The annotation the whole-program analysis *inferred* for this
+    /// array (computed whenever extensions are honored, independent of
+    /// whether a hand-written annotation exists). Basis of the
+    /// `ACC-I001` diagnostic and the `--infer` golden checks.
+    pub inferred: Option<LocalAccessParams>,
+    /// True when `localaccess` was filled in from `inferred` because the
+    /// source had no annotation and inference was enabled.
+    pub inferred_used: bool,
+    /// Host-frame stride expressions under which *every* access of this
+    /// array provably stays inside the iteration's own partition
+    /// `[S*i, S*(i+1) - 1]` — the partition keys the inter-launch
+    /// comm-elision analysis may rely on.
+    pub own_strides: Vec<ir::Expr>,
     /// True when every store to this (distributed) array was statically
     /// proven to land in the local partition, so the generated code
     /// carries no miss checks (paper §IV-D2).

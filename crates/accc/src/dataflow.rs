@@ -1,0 +1,406 @@
+//! Inter-launch communication elision (the whole-program half of the
+//! dataflow analysis).
+//!
+//! After every kernel wave the runtime reconciles the replicas of each
+//! replicated, written array (the comm phase). That sync is *observable*
+//! only if some GPU later reads bytes another GPU wrote. This module
+//! proves, per array, that no GPU can ever observe a peer's write
+//! before the next host-visible synchronization point, and records the
+//! proof as a per-launch [`ElideFact`] the runtime uses to skip the
+//! replica sync and dirty-bit scan.
+//!
+//! The predicate is whole-program and per-array. Array `a` is elidable
+//! when:
+//!
+//! 1. every kernel accessing `a` keeps it **replicated** (distributed
+//!    arrays have no replica sync to elide);
+//! 2. some kernel writes it (otherwise there is nothing to skip);
+//! 3. every accessing launch has **syntactically identical** iteration
+//!    bounds, built only from host locals that are never reassigned —
+//!    so with the default equal-split schedule every launch partitions
+//!    the iteration space identically;
+//! 4. a **common partition stride** `S` exists (from
+//!    [`crate::config::ArrayConfig::own_strides`]) under which *every*
+//!    access of `a`, in *every* accessing kernel, provably stays inside
+//!    the iteration's own partition `[S*i, S*(i+1) - 1]` — so GPU `g`
+//!    only ever touches `[S*lo_g, S*hi_g)`, which holds its own writes
+//!    and otherwise the initial load;
+//! 5. `a` is never the target of an `update device` and is never stored
+//!    by host code while device-present (either would make the host the
+//!    writer of record mid-region, invalidating the replica-divergence
+//!    bookkeeping the runtime's deferred-sync paths rely on).
+//!
+//! Host-visible sync points (region exit copy-out, `update host`) are
+//! *not* analyzed away: the runtime keeps per-GPU dirty runs armed and
+//! materializes the merged image lazily there (see `acc-runtime`).
+//! Under `SanitizeLevel::Full` the runtime re-arms the skipped sync and
+//! audits every dirty run against the static claim `[S*lo_g, S*hi_g)`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use acc_kernel_ir as ir;
+
+use crate::config::Placement;
+use crate::hostgen::HostOp;
+use crate::CompiledKernel;
+
+/// The static proof that one launch's replica sync for one buffer may
+/// be skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElideFact {
+    /// Host-frame partition stride: GPU `g` running iterations
+    /// `[lo_g, hi_g)` claims exactly elements `[S*lo_g, S*hi_g)`.
+    pub stride: ir::Expr,
+    /// Human-readable proof summary (reports, `--explain`).
+    pub reason: String,
+}
+
+/// Per-launch, per-buffer comm-elision facts for one compiled program;
+/// `kernels[k][kbuf]` is `Some` when the replica sync of kernel `k`'s
+/// buffer `kbuf` is statically proven unobservable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommPlan {
+    pub kernels: Vec<Vec<Option<ElideFact>>>,
+}
+
+impl CommPlan {
+    /// An all-`None` plan shaped like `kernels`.
+    pub fn empty(kernels: &[CompiledKernel]) -> CommPlan {
+        CommPlan {
+            kernels: kernels.iter().map(|k| vec![None; k.configs.len()]).collect(),
+        }
+    }
+
+    /// The fact for one launch × kernel-buffer, if any.
+    pub fn fact(&self, kernel: usize, kbuf: usize) -> Option<&ElideFact> {
+        self.kernels.get(kernel)?.get(kbuf)?.as_ref()
+    }
+
+    /// Total number of elision facts in the plan.
+    pub fn n_facts(&self) -> usize {
+        self.kernels
+            .iter()
+            .map(|k| k.iter().filter(|f| f.is_some()).count())
+            .sum()
+    }
+}
+
+/// Run the whole-program analysis over the launch sequence.
+pub fn comm_plan(kernels: &[CompiledKernel], host: &[HostOp]) -> CommPlan {
+    let mut plan = CommPlan::empty(kernels);
+    if kernels.is_empty() {
+        return plan;
+    }
+    let assigned = host_assigned_locals(host, kernels);
+    let mut walk = HostWalk {
+        present: Vec::new(),
+        update_device: BTreeSet::new(),
+        host_stored_present: BTreeSet::new(),
+    };
+    walk.walk(host);
+
+    // Program array -> accessing (kernel, kbuf) sites.
+    let mut by_array: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    for (ki, k) in kernels.iter().enumerate() {
+        for (kbuf, &arr) in k.buf_map.iter().enumerate() {
+            by_array.entry(arr).or_default().push((ki, kbuf));
+        }
+    }
+
+    'arrays: for (arr, uses) in &by_array {
+        if walk.update_device.contains(arr) || walk.host_stored_present.contains(arr) {
+            continue;
+        }
+        let mut any_writer = false;
+        for &(ki, kbuf) in uses {
+            let cfg = &kernels[ki].configs[kbuf];
+            if cfg.placement != Placement::Replicated {
+                continue 'arrays;
+            }
+            any_writer |= cfg.mode.writes();
+        }
+        if !any_writer {
+            continue;
+        }
+        // Identical, stable iteration bounds across every accessing launch.
+        let (lo0, hi0) = (&kernels[uses[0].0].lo, &kernels[uses[0].0].hi);
+        if !expr_stable(lo0, &assigned) || !expr_stable(hi0, &assigned) {
+            continue;
+        }
+        for &(ki, _) in uses {
+            if kernels[ki].lo != *lo0 || kernels[ki].hi != *hi0 {
+                continue 'arrays;
+            }
+        }
+        // A common, stable own-partition stride across every accessing kernel.
+        let mut common: Option<Vec<ir::Expr>> = None;
+        for &(ki, kbuf) in uses {
+            let own = &kernels[ki].configs[kbuf].own_strides;
+            common = Some(match common {
+                None => own.clone(),
+                Some(c) => c.into_iter().filter(|e| own.contains(e)).collect(),
+            });
+        }
+        let Some(stride) = common
+            .unwrap_or_default()
+            .into_iter()
+            .find(|e| expr_stable(e, &assigned))
+        else {
+            continue;
+        };
+        let name = &kernels[uses[0].0].configs[uses[0].1].name;
+        let reason = format!(
+            "every access of `{name}` stays in the owner partition in all \
+             {} accessing launch(es) (common stride, identical bounds); \
+             no update-device or device-present host store"
+        , uses.len());
+        for &(ki, kbuf) in uses {
+            if kernels[ki].configs[kbuf].needs_replica_sync() {
+                plan.kernels[ki][kbuf] = Some(ElideFact {
+                    stride: stride.clone(),
+                    reason: reason.clone(),
+                });
+            }
+        }
+    }
+    plan
+}
+
+/// Every host local that can change between launches: targets of host
+/// `Assign` statements plus scalar-reduction merge targets.
+fn host_assigned_locals(host: &[HostOp], kernels: &[CompiledKernel]) -> BTreeSet<ir::LocalId> {
+    let mut out = BTreeSet::new();
+    fn walk(ops: &[HostOp], out: &mut BTreeSet<ir::LocalId>) {
+        for op in ops {
+            match op {
+                HostOp::Plain(stmt) => {
+                    stmt.visit(&mut |s| {
+                        if let ir::Stmt::Assign { local, .. } = s {
+                            out.insert(*local);
+                        }
+                    });
+                }
+                HostOp::If { then_, else_, .. } => {
+                    walk(then_, out);
+                    walk(else_, out);
+                }
+                HostOp::While { body, .. } => walk(body, out),
+                _ => {}
+            }
+        }
+    }
+    walk(host, &mut out);
+    for k in kernels {
+        out.extend(k.red_targets.iter().copied());
+    }
+    out
+}
+
+/// True when `e` evaluates to the same value at every launch: no memory
+/// reads, no thread index, and only never-reassigned locals.
+fn expr_stable(e: &ir::Expr, assigned: &BTreeSet<ir::LocalId>) -> bool {
+    let mut ok = true;
+    e.visit(&mut |e| match e {
+        ir::Expr::Load { .. } | ir::Expr::ThreadIdx => ok = false,
+        ir::Expr::Local(l) if assigned.contains(l) => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+/// Linear walk collecting `update device` targets and arrays stored by
+/// host code while device-present. `DataEnter`/`DataExit` are balanced
+/// flat ops, so a region stack over the op sequence is exact.
+struct HostWalk {
+    /// Stack of `(region id, arrays)` for open data regions.
+    present: Vec<(usize, BTreeSet<usize>)>,
+    update_device: BTreeSet<usize>,
+    host_stored_present: BTreeSet<usize>,
+}
+
+impl HostWalk {
+    fn walk(&mut self, ops: &[HostOp]) {
+        for op in ops {
+            match op {
+                HostOp::DataEnter { region, clauses } => {
+                    let arrays = clauses
+                        .iter()
+                        .flat_map(|c| c.sections.iter().map(|s| s.array))
+                        .collect();
+                    self.present.push((*region, arrays));
+                }
+                HostOp::DataExit { region } => {
+                    self.present.retain(|(r, _)| r != region);
+                }
+                HostOp::Update { to_device, .. } => {
+                    self.update_device.extend(to_device.iter().map(|s| s.array));
+                }
+                HostOp::Plain(stmt) => {
+                    stmt.visit(&mut |s| {
+                        if let ir::Stmt::Store { buf, .. } | ir::Stmt::AtomicRmw { buf, .. } = s {
+                            let arr = buf.0 as usize;
+                            if self.present.iter().any(|(_, a)| a.contains(&arr)) {
+                                self.host_stored_present.insert(arr);
+                            }
+                        }
+                    });
+                }
+                HostOp::If { then_, else_, .. } => {
+                    self.walk(then_);
+                    self.walk(else_);
+                }
+                HostOp::While { body, .. } => self.walk(body),
+                HostOp::Launch { .. } | HostOp::Return => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_source, CompileOptions};
+
+    fn plan_of(src: &str) -> (crate::CompiledProgram, CommPlan) {
+        let p = compile_source(src, "f", &CompileOptions::proposal()).unwrap();
+        let plan = p.comm_plan.clone();
+        (p, plan)
+    }
+
+    #[test]
+    fn own_partition_writes_and_reads_are_elided() {
+        // Two launches; `y` is written then read, both strictly at `[i]`.
+        let (p, plan) = plan_of(
+            "void f(int n, int iters, double *x, double *y, double *z) {\n\
+             int t;\n\
+             t = 0;\n\
+             #pragma acc data copyin(x[0:n]) copy(y[0:n], z[0:n])\n\
+             {\n\
+             while (t < iters) {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = x[i] + 1.0;\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) z[i] = y[i] * 2.0;\n\
+             t = t + 1;\n\
+             }\n\
+             }\n\
+             }",
+        );
+        let y = p.array_index("y").unwrap();
+        let z = p.array_index("z").unwrap();
+        // y written by kernel 0 (kbuf of y in kernel 0).
+        let ky = p.kernels[0].buf_map.iter().position(|&a| a == y).unwrap();
+        let kz = p.kernels[1].buf_map.iter().position(|&a| a == z).unwrap();
+        assert!(plan.fact(0, ky).is_some(), "{plan:?}");
+        assert!(plan.fact(1, kz).is_some(), "{plan:?}");
+        assert_eq!(
+            plan.fact(0, ky).unwrap().stride,
+            acc_kernel_ir::Expr::imm_i32(1)
+        );
+        assert_eq!(plan.n_facts(), 2);
+    }
+
+    #[test]
+    fn halo_read_defeats_elision() {
+        // The second launch reads y[i+1]: GPU g observes GPU g+1's write.
+        let (_, plan) = plan_of(
+            "void f(int n, double *x, double *y) {\n\
+             #pragma acc data copyin(x[0:n]) copy(y[0:n])\n\
+             {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n - 1; i++) y[i] = x[i];\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n - 1; i++) y[i] = y[i] + y[i + 1];\n\
+             }\n\
+             }",
+        );
+        assert_eq!(plan.n_facts(), 0, "{plan:?}");
+    }
+
+    #[test]
+    fn differing_bounds_defeat_elision() {
+        let (_, plan) = plan_of(
+            "void f(int n, double *y) {\n\
+             #pragma acc data copy(y[0:n])\n\
+             {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = 1.0;\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n - 1; i++) y[i] = y[i] * 2.0;\n\
+             }\n\
+             }",
+        );
+        assert_eq!(plan.n_facts(), 0, "{plan:?}");
+    }
+
+    #[test]
+    fn update_device_defeats_elision() {
+        let (_, plan) = plan_of(
+            "void f(int n, double *y) {\n\
+             #pragma acc data copy(y[0:n])\n\
+             {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = 1.0;\n\
+             #pragma acc update device(y[0:n])\n\
+             }\n\
+             }",
+        );
+        assert_eq!(plan.n_facts(), 0, "{plan:?}");
+    }
+
+    #[test]
+    fn device_present_host_store_defeats_elision() {
+        let (_, plan) = plan_of(
+            "void f(int n, double *y) {\n\
+             #pragma acc data copy(y[0:n])\n\
+             {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = 1.0;\n\
+             y[0] = 7.0;\n\
+             }\n\
+             }",
+        );
+        assert_eq!(plan.n_facts(), 0, "{plan:?}");
+    }
+
+    #[test]
+    fn scatter_write_defeats_elision() {
+        let (_, plan) = plan_of(
+            "void f(int n, int *m, int *y) {\n\
+             #pragma acc parallel loop copyin(m[0:n]) copy(y[0:n])\n\
+             for (int i = 0; i < n; i++) y[m[i]] = 1;\n\
+             }",
+        );
+        assert_eq!(plan.n_facts(), 0, "{plan:?}");
+    }
+
+    #[test]
+    fn unstable_bound_defeats_elision() {
+        // `n` is reassigned between launches: partitions may differ.
+        let (_, plan) = plan_of(
+            "void f(int n, double *y) {\n\
+             #pragma acc data copy(y[0:n])\n\
+             {\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = 1.0;\n\
+             n = n - 1;\n\
+             #pragma acc parallel loop\n\
+             for (int i = 0; i < n; i++) y[i] = y[i] + 1.0;\n\
+             }\n\
+             }",
+        );
+        assert_eq!(plan.n_facts(), 0, "{plan:?}");
+    }
+
+    #[test]
+    fn distributed_arrays_have_no_facts() {
+        let (_, plan) = plan_of(
+            "void f(int n, double *y) {\n\
+             #pragma acc localaccess(y) stride(1)\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 0; i < n; i++) y[i] = 1.0;\n\
+             }",
+        );
+        assert_eq!(plan.n_facts(), 0, "{plan:?}");
+    }
+}

@@ -22,7 +22,7 @@ use acc_minic::hir::{ParallelLoopNode, TypedFunction};
 
 use crate::analysis::{self, depth_weight, pattern_efficiency, AccessMode};
 use crate::config::{ArrayConfig, ArrayLint, ElisionProof, LocalAccessParams, Placement};
-use crate::{lint, range, CompileOptions, CompiledKernel, ParamSrc};
+use crate::{infer, lint, range, CompileOptions, CompiledKernel, ParamSrc};
 
 /// Extract and instrument the kernel for one parallel loop.
 pub fn extract_kernel(
@@ -102,6 +102,28 @@ pub fn extract_kernel(
                 .array_reductions
                 .iter()
                 .any(|r| r.buf.0 as usize == arr);
+        // Whole-program dataflow, static half: always derive what the
+        // analysis *would* annotate (feeds ACC-I001 and the `--infer`
+        // golden checks), and the partition-key strides the comm-elision
+        // analysis may rely on. Consume the inferred annotation only
+        // when asked and the source has none.
+        let inferred = if honor && !is_reduction {
+            infer::infer_for_buf(&body, local_map.len(), ir::BufId(kbuf as u32), &local_map)
+        } else {
+            None
+        };
+        let own_strides = if honor && !is_reduction {
+            infer::own_partition_strides(
+                &body,
+                local_map.len(),
+                ir::BufId(kbuf as u32),
+                &local_map,
+            )
+        } else {
+            Vec::new()
+        };
+        let inferred_used = options.infer_localaccess && la.is_none() && inferred.is_some();
+        let la = if inferred_used { inferred.clone() } else { la };
         let placement = if is_reduction {
             let op = node
                 .array_reductions
@@ -214,6 +236,9 @@ pub fn extract_kernel(
             mode,
             placement,
             localaccess: la,
+            inferred,
+            inferred_used,
+            own_strides,
             miss_check_elided,
             layout_transformed,
             read_pattern,

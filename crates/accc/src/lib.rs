@@ -24,8 +24,10 @@
 pub mod affine;
 pub mod analysis;
 pub mod config;
+pub mod dataflow;
 pub mod extract;
 pub mod hostgen;
+pub mod infer;
 pub mod lint;
 pub mod range;
 
@@ -34,8 +36,10 @@ use acc_minic::hir;
 
 pub use analysis::AccessMode;
 pub use config::{ArrayConfig, ArrayLint, ElisionProof, LocalAccessParams, Placement};
+pub use dataflow::{CommPlan, ElideFact};
 pub use hostgen::HostOp;
-pub use lint::{lint_function, lint_source};
+pub use infer::render_annotation;
+pub use lint::{lint_function, lint_source, lint_source_with};
 
 /// Compiler options selecting which paper features are active. The
 /// evaluation's program versions map to:
@@ -57,6 +61,11 @@ pub struct CompileOptions {
     /// Insert dirty-bit marks and write-miss checks. Off for the expert
     /// single-GPU CUDA baseline.
     pub instrument: bool,
+    /// Consume *inferred* `localaccess` annotations for arrays the
+    /// source does not annotate (the whole-program dataflow analysis of
+    /// [`infer`]). Off by default so unannotated sources keep the
+    /// paper's replica semantics unless explicitly opted in.
+    pub infer_localaccess: bool,
 }
 
 impl CompileOptions {
@@ -66,6 +75,7 @@ impl CompileOptions {
             honor_extensions: true,
             layout_transform: true,
             instrument: true,
+            infer_localaccess: false,
         }
     }
 
@@ -76,6 +86,7 @@ impl CompileOptions {
             honor_extensions: false,
             layout_transform: false,
             instrument: false,
+            infer_localaccess: false,
         }
     }
 
@@ -85,6 +96,7 @@ impl CompileOptions {
             honor_extensions: true,
             layout_transform: true,
             instrument: false,
+            infer_localaccess: false,
         }
     }
 }
@@ -150,6 +162,11 @@ pub struct CompiledProgram {
     pub locals: Vec<(String, ir::Ty)>,
     pub kernels: Vec<CompiledKernel>,
     pub host: Vec<HostOp>,
+    /// Per-launch comm-elision facts from the whole-program dataflow
+    /// analysis ([`dataflow`]). The runtime consults it (when its
+    /// `comm_elision` knob is on) to skip provably unobservable replica
+    /// syncs.
+    pub comm_plan: CommPlan,
     /// Options the program was compiled with.
     pub options: CompileOptions,
 }
@@ -194,6 +211,7 @@ pub fn compile(
 
     let mut kernels = Vec::new();
     let host = hostgen::lower_host(&f.body, f, options, &mut kernels);
+    let comm_plan = dataflow::comm_plan(&kernels, &host);
 
     Ok(CompiledProgram {
         name: f.name.clone(),
@@ -202,6 +220,7 @@ pub fn compile(
         locals: f.locals.clone(),
         kernels,
         host,
+        comm_plan,
         options: options.clone(),
     })
 }
@@ -240,6 +259,24 @@ pub fn force_elide_checks(p: &mut CompiledProgram) {
             {
                 cfg.miss_check_elided = true;
                 extract::set_store_flags(&mut k.kernel.body, kbuf as u32, false, false);
+            }
+        }
+    }
+}
+
+/// Fault injection for the comm-elision audit: claim a unit-stride
+/// elision fact for every replicated written buffer the analysis did
+/// *not* prove safe. GPUs then keep mutually stale replicas whose dirty
+/// runs escape the claimed partitions; a `SanitizeLevel::Full` run must
+/// reject exactly the programs this function breaks.
+pub fn force_comm_elision(p: &mut CompiledProgram) {
+    for (ki, k) in p.kernels.iter().enumerate() {
+        for (kbuf, cfg) in k.configs.iter().enumerate() {
+            if cfg.needs_replica_sync() && p.comm_plan.kernels[ki][kbuf].is_none() {
+                p.comm_plan.kernels[ki][kbuf] = Some(dataflow::ElideFact {
+                    stride: ir::Expr::imm_i32(1),
+                    reason: "forced (fault injection)".to_string(),
+                });
             }
         }
     }

@@ -17,6 +17,10 @@
 //! * **ACC-W004 stale-replica-read** — host code reads an array a prior
 //!   kernel wrote on the device, with no intervening `update host` or
 //!   flushing region exit; the host silently sees pre-kernel data.
+//! * **ACC-I001 inferable-annotation** — (only with
+//!   `CompileOptions::infer_localaccess`) the whole-program analysis
+//!   derived a sound `localaccess` window for an unannotated array; the
+//!   diagnostic carries the machine-applyable pragma line.
 //!
 //! Parse-time `localaccess` validation (`ACC-E001`/`ACC-E002`) lives in
 //! the frontend (`acc_minic::directive`); the runtime sanitizer
@@ -100,12 +104,21 @@ pub fn lint_function(f: &hir::TypedFunction, options: &CompileOptions) -> Vec<Di
 /// Lint every function of a source file with the full proposal options.
 /// `Err` carries frontend diagnostics (the program did not compile).
 pub fn lint_source(src: &str) -> Result<Vec<Diagnostic>, Vec<Diagnostic>> {
+    lint_source_with(src, &CompileOptions::proposal())
+}
+
+/// Like [`lint_source`] but with explicit compile options; the `--infer`
+/// mode of `acc-lint` enables `infer_localaccess` here to surface
+/// `ACC-I001` inferable-annotation diagnostics.
+pub fn lint_source_with(
+    src: &str,
+    options: &CompileOptions,
+) -> Result<Vec<Diagnostic>, Vec<Diagnostic>> {
     let typed = acc_minic::frontend(src)?;
-    let options = CompileOptions::proposal();
     Ok(typed
         .functions
         .iter()
-        .flat_map(|f| lint_function(f, &options))
+        .flat_map(|f| lint_function(f, options))
         .collect())
 }
 
@@ -220,6 +233,21 @@ impl HostLint<'_> {
                         ),
                     )
                     .with_code("ACC-W003"),
+                );
+            }
+            if self.options.infer_localaccess && cfg.inferred_used {
+                let la = cfg.localaccess.as_ref().unwrap();
+                let pragma = crate::infer::render_annotation(aname, la, &self.f.locals);
+                self.diags.push(
+                    Diagnostic::warning(
+                        node.span,
+                        format!(
+                            "kernel `{kname}`: every access of `{aname}` fits a \
+                             provable localaccess window; add `{pragma}` to \
+                             distribute the array instead of replicating it"
+                        ),
+                    )
+                    .with_code("ACC-I001"),
                 );
             }
             if cfg.mode.writes() {
@@ -457,6 +485,46 @@ mod tests {
              t = y[0];\n\
              }",
         );
+        assert!(codes(&d).is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn i001_fires_only_with_inference_enabled() {
+        let src = "void f(int n, double *x, double *y) {\n\
+             #pragma acc parallel loop copyin(x[0:n]) copy(y[0:n])\n\
+             for (int i = 0; i < n; i++) y[i] = x[i] + x[i + 1];\n\
+             }";
+        // Default options: inference is not consumed, no I001.
+        assert!(codes(&lint(src)).is_empty());
+        let opts = CompileOptions {
+            infer_localaccess: true,
+            ..CompileOptions::proposal()
+        };
+        let d = lint_source_with(src, &opts).unwrap();
+        assert_eq!(codes(&d), vec!["ACC-I001", "ACC-I001"], "{d:?}");
+        let msg_x = d.iter().find(|d| d.message.contains("`x`")).unwrap();
+        assert!(
+            msg_x
+                .message
+                .contains("#pragma acc localaccess(x) stride(1) right(1)"),
+            "{}",
+            msg_x.message
+        );
+    }
+
+    #[test]
+    fn i001_quiet_when_annotation_present() {
+        let src = "void f(int n, double *x, double *y) {\n\
+             #pragma acc localaccess(x) stride(1) right(1)\n\
+             #pragma acc localaccess(y) stride(1)\n\
+             #pragma acc parallel loop copyin(x[0:n]) copy(y[0:n])\n\
+             for (int i = 0; i < n; i++) y[i] = x[i] + x[i + 1];\n\
+             }";
+        let opts = CompileOptions {
+            infer_localaccess: true,
+            ..CompileOptions::proposal()
+        };
+        let d = lint_source_with(src, &opts).unwrap();
         assert!(codes(&d).is_empty(), "{d:?}");
     }
 

@@ -187,7 +187,7 @@ impl IndexForm {
     /// The effective thread coefficient equals the stride: the access
     /// walks one partition per iteration, so offsets are comparable
     /// against partition-relative windows.
-    fn coeff_is_stride(&self, stride: StrideRef) -> bool {
+    pub(crate) fn coeff_is_stride(&self, stride: StrideRef) -> bool {
         match stride {
             StrideRef::Const(s) => self.tid_s * s + self.tid_c == s,
             StrideRef::Sym(_) => self.tid_s == 1 && self.tid_c == 0,
@@ -470,7 +470,7 @@ fn is_stride_local(l: &ir::LocalId, stride: StrideRef) -> bool {
     matches!(stride, StrideRef::Sym(sl) if sl == *l)
 }
 
-fn strip_cast(mut e: &Expr) -> &Expr {
+pub(crate) fn strip_cast(mut e: &Expr) -> &Expr {
     while let Expr::Cast { ty: Ty::I32, a } = e {
         e = a;
     }
@@ -592,7 +592,7 @@ fn is_stride_expr(e: &Expr, stride: StrideRef) -> bool {
     }
 }
 
-fn flatten<'a>(e: &'a Expr, sign: i64, out: &mut Vec<(i64, &'a Expr)>) {
+pub(crate) fn flatten<'a>(e: &'a Expr, sign: i64, out: &mut Vec<(i64, &'a Expr)>) {
     match e {
         Expr::Binary { op: BinOp::Add, a, b } => {
             flatten(a, sign, out);

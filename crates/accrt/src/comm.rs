@@ -35,10 +35,41 @@ use acc_compiler::{CompiledKernel, Placement};
 use acc_gpusim::{BufferHandle, Endpoint, Gpu};
 use acc_kernel_ir::interp::{rmw_apply, rmw_apply_slice};
 use acc_kernel_ir::{MissRecord, RmwOp, Value};
-use acc_obs::{CommRound, MissReplay, ReductionMerge, TransferKind, TransferSpan};
+use acc_obs::{CommElided, CommRound, MissReplay, ReductionMerge, TransferKind, TransferSpan};
 
 use crate::exec::{ArrLaunch, Engine};
-use crate::RunError;
+use crate::{RunError, SanitizeLevel};
+
+/// Reusable staging buffers for [`Engine::apply_replica_runs_parallel`].
+///
+/// Every sync round used to allocate one fresh `Vec<u8>` per dirty
+/// source; iterative programs re-stage nearly identical footprints each
+/// launch, so the pool hands back the previous round's buffers instead.
+/// `allocs` counts the times a buffer actually had to be created or
+/// grown — for a steady-state iterative run it stays near the GPU count.
+#[derive(Debug, Default)]
+pub(crate) struct StagingPool {
+    bufs: Vec<Vec<u8>>,
+    pub allocs: u64,
+}
+
+impl StagingPool {
+    /// Hand out a cleared buffer with at least `cap` bytes of capacity.
+    fn take(&mut self, cap: usize) -> Vec<u8> {
+        let mut b = self.bufs.pop().unwrap_or_default();
+        b.clear();
+        if b.capacity() < cap {
+            self.allocs += 1;
+            b.reserve_exact(cap);
+        }
+        b
+    }
+
+    /// Return used buffers to the pool (empty placeholders are dropped).
+    fn put_back(&mut self, bufs: impl IntoIterator<Item = Vec<u8>>) {
+        self.bufs.extend(bufs.into_iter().filter(|b| b.capacity() > 0));
+    }
+}
 
 /// O(1) owner lookup over a per-GPU `own` partition.
 ///
@@ -124,8 +155,34 @@ impl<'a> Engine<'a> {
         for (kbuf, bi) in binfo.iter().enumerate() {
             match &bi.placement {
                 Placement::Replicated if bi.writes && ngpus > 1 => {
-                    let e = self.sync_replicas(bi, t2)?;
-                    end = end.max(e);
+                    if let Some(claims) = &bi.elide {
+                        if self.cfg.sanitize == SanitizeLevel::Full {
+                            // Audit path: the accumulated dirty runs must
+                            // stay inside the fact's claimed partitions;
+                            // then the skipped sync is re-armed, so a
+                            // Full-sanitize run is bit-identical (arrays
+                            // *and* simulated times) to elision off.
+                            self.audit_elision(bi.arr, claims)?;
+                            let e = self.sync_replicas(bi.arr, t2)?;
+                            end = end.max(e);
+                        } else {
+                            // Skip the sync: keep the dirty maps armed
+                            // and accumulating, and defer reconciliation
+                            // to the first operation that can observe
+                            // another GPU's partition (ensure_synced).
+                            let skipped = self.pending_sync_bytes(bi.arr);
+                            self.arrays[bi.arr].sync_pending = true;
+                            self.rec.comm_elided(CommElided {
+                                launch: self.cur_launch,
+                                array: self.prog.array_params[bi.arr].0.clone(),
+                                skipped_bytes: skipped,
+                                at: t2,
+                            });
+                        }
+                    } else {
+                        let e = self.sync_replicas(bi.arr, t2)?;
+                        end = end.max(e);
+                    }
                 }
                 Placement::Replicated | Placement::Distributed
                     if bi.writes && ngpus == 1 =>
@@ -156,10 +213,81 @@ impl<'a> Engine<'a> {
         Ok(end)
     }
 
-    /// §IV-D1: replica reconciliation via two-level dirty bits.
-    fn sync_replicas(&mut self, bi: &ArrLaunch, t2: f64) -> Result<f64, RunError> {
+    /// Reconcile an array whose replica sync was elided earlier: run the
+    /// deferred sync over the accumulated dirty runs, charging its cost
+    /// to the caller's phase (the operation that forced the observation).
+    /// Cheap no-op when nothing is pending. Returns the time the caller
+    /// should continue from.
+    pub(crate) fn ensure_synced(&mut self, arr: usize, t: f64) -> Result<f64, RunError> {
+        if !self.arrays[arr].sync_pending {
+            return Ok(t);
+        }
+        self.arrays[arr].sync_pending = false;
+        let wall = std::time::Instant::now();
+        let e = self.sync_replicas(arr, t)?;
+        self.comm_wall_s += wall.elapsed().as_secs_f64();
+        Ok(e)
+    }
+
+    /// `SanitizeLevel::Full` audit of a comm-elision fact: every GPU's
+    /// accumulated dirty runs must lie inside the per-GPU partition the
+    /// fact claimed; an escaping run proves the static analysis (or a
+    /// fault-injected fact) unsound.
+    fn audit_elision(&self, arr: usize, claims: &[(i64, i64)]) -> Result<(), RunError> {
+        for (g, &claim) in claims.iter().enumerate() {
+            let Some(dm) = self.arrays[arr].gpu[g].dirty.as_ref() else {
+                continue;
+            };
+            if dm.is_clean() {
+                continue;
+            }
+            for c in dm.dirty_chunks() {
+                for (lo, hi) in dm.dirty_runs_in_chunk(c) {
+                    if (lo as i64) < claim.0 || (hi as i64) > claim.1 {
+                        return Err(RunError::ElisionUnsound {
+                            array: self.prog.array_params[arr].0.clone(),
+                            gpu: g,
+                            run: (lo as i64, hi as i64),
+                            claim,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Estimated bytes a replica sync of `arr` would ship right now: the
+    /// accumulated dirty-chunk payloads of every dirty GPU to every other
+    /// replica holder (the `CommElided` event's saving estimate).
+    fn pending_sync_bytes(&self, arr: usize) -> u64 {
         let ngpus = self.cfg.ngpus;
-        let elem = self.arrays[bi.arr].elem();
+        let elem = self.arrays[arr].elem();
+        let holders = (0..ngpus)
+            .filter(|&h| self.arrays[arr].gpu[h].handle.is_some())
+            .count() as u64;
+        let mut total = 0u64;
+        for g in 0..ngpus {
+            let Some(dm) = self.arrays[arr].gpu[g].dirty.as_ref() else {
+                continue;
+            };
+            if dm.is_clean() {
+                continue;
+            }
+            let mut bytes = 0u64;
+            for c in dm.dirty_chunks() {
+                let (clo, chi) = dm.chunk_range(c);
+                bytes += ((chi - clo) * elem) as u64 + ((chi - clo) as u64).div_ceil(8);
+            }
+            total += bytes * holders.saturating_sub(1);
+        }
+        total
+    }
+
+    /// §IV-D1: replica reconciliation via two-level dirty bits.
+    fn sync_replicas(&mut self, arr: usize, t2: f64) -> Result<f64, RunError> {
+        let ngpus = self.cfg.ngpus;
+        let elem = self.arrays[arr].elem();
         let mut end = t2;
 
         // A GPU idle for this launch (empty partition) that never held a
@@ -168,7 +296,7 @@ impl<'a> Engine<'a> {
         // replica from an earlier launch stays a destination — its valid
         // set claims the data, so it has to keep tracking updates.
         let has_replica: Vec<bool> = (0..ngpus)
-            .map(|h| self.arrays[bi.arr].gpu[h].handle.is_some())
+            .map(|h| self.arrays[arr].gpu[h].handle.is_some())
             .collect();
 
         // Collect each GPU's dirty runs and per-chunk payloads first
@@ -176,7 +304,7 @@ impl<'a> Engine<'a> {
         let mut per_gpu_runs: Vec<Vec<(usize, usize)>> = Vec::with_capacity(ngpus);
         let mut per_gpu_chunk_sizes: Vec<Vec<u64>> = Vec::with_capacity(ngpus);
         for g in 0..ngpus {
-            let ga = &self.arrays[bi.arr].gpu[g];
+            let ga = &self.arrays[arr].gpu[g];
             match ga.dirty.as_ref() {
                 Some(dm) if !dm.is_clean() => {
                     let mut runs = Vec::new();
@@ -206,7 +334,7 @@ impl<'a> Engine<'a> {
         // as under the serial pairwise schedule.
         if per_gpu_runs.iter().any(|r| !r.is_empty()) {
             if self.cfg.parallel_comm {
-                self.apply_replica_runs_parallel(bi, elem, &per_gpu_runs)?;
+                self.apply_replica_runs_parallel(arr, elem, &per_gpu_runs)?;
             } else {
                 // Reference path: pairwise current-value copies in
                 // (src, dst) order.
@@ -220,7 +348,7 @@ impl<'a> Engine<'a> {
                             continue;
                         }
                         for &(lo, hi) in &per_gpu_runs[g] {
-                            self.copy_elements_between_gpus(bi.arr, g, h, lo as i64, hi as i64)?;
+                            self.copy_elements_between_gpus(arr, g, h, lo as i64, hi as i64)?;
                         }
                     }
                 }
@@ -255,7 +383,7 @@ impl<'a> Engine<'a> {
                             .transfer(Endpoint::Gpu(g), Endpoint::Gpu(h), bytes, t2);
                     self.rec.transfer(TransferSpan {
                         kind: TransferKind::P2P,
-                        array: self.prog.array_params[bi.arr].0.clone(),
+                        array: self.prog.array_params[arr].0.clone(),
                         bytes,
                         src: Some(g),
                         dst: Some(h),
@@ -278,7 +406,7 @@ impl<'a> Engine<'a> {
                 );
                 self.rec.comm_round(CommRound {
                     launch: self.cur_launch,
-                    array: self.prog.array_params[bi.arr].0.clone(),
+                    array: self.prog.array_params[arr].0.clone(),
                     src: g,
                     dst: h,
                     chunks: per_gpu_chunk_sizes[g].len() as u64,
@@ -291,7 +419,7 @@ impl<'a> Engine<'a> {
 
         // All replicas are consistent again; clear the bits.
         for g in 0..ngpus {
-            if let Some(dm) = self.arrays[bi.arr].gpu[g].dirty.as_mut() {
+            if let Some(dm) = self.arrays[arr].gpu[g].dirty.as_mut() {
                 dm.clear();
             }
         }
@@ -312,24 +440,28 @@ impl<'a> Engine<'a> {
     /// lowest dirty source's value last everywhere.
     fn apply_replica_runs_parallel(
         &mut self,
-        bi: &ArrLaunch,
+        arr: usize,
         elem: usize,
         runs: &[Vec<(usize, usize)>],
     ) -> Result<(), RunError> {
         let ngpus = self.cfg.ngpus;
+        // Staging buffers come from the engine-lifetime pool: iterative
+        // programs reconcile the same arrays every superstep, and reusing
+        // capacity keeps the per-launch allocation count flat.
+        let mut pool = std::mem::take(&mut self.staging);
         let mut staged: Vec<Vec<u8>> = vec![Vec::new(); ngpus];
         for g in 0..ngpus {
             if runs[g].is_empty() {
                 continue;
             }
-            let ga = &self.arrays[bi.arr].gpu[g];
+            let ga = &self.arrays[arr].gpu[g];
             let wlo = ga.window.0;
             let sb = self.machine.gpus[g]
                 .memory
                 .get(ga.handle.expect("dirty source window"))?;
             let bytes = sb.bytes();
             let total: usize = runs[g].iter().map(|&(lo, hi)| (hi - lo) * elem).sum();
-            let mut buf = Vec::with_capacity(total);
+            let mut buf = pool.take(total);
             for &(lo, hi) in &runs[g] {
                 let off = (lo as i64 - wlo) as usize * elem;
                 buf.extend_from_slice(&bytes[off..off + (hi - lo) * elem]);
@@ -339,11 +471,11 @@ impl<'a> Engine<'a> {
 
         let views: Vec<(i64, Option<BufferHandle>)> = (0..ngpus)
             .map(|h| {
-                let ga = &self.arrays[bi.arr].gpu[h];
+                let ga = &self.arrays[arr].gpu[h];
                 (ga.window.0, ga.handle)
             })
             .collect();
-        let staged = &staged;
+        let staged_ref = &staged;
         let gpus = &mut self.machine.gpus[..ngpus];
         let results: Vec<Result<(), RunError>> = std::thread::scope(|s| {
             let workers: Vec<_> = gpus
@@ -356,7 +488,7 @@ impl<'a> Engine<'a> {
                         s.spawn(move || -> Result<(), RunError> {
                             let db = gpu.memory.get_mut(handle)?;
                             let dbytes = db.bytes_mut();
-                            for g in (0..staged.len()).rev() {
+                            for g in (0..staged_ref.len()).rev() {
                                 if runs[g].is_empty() {
                                     continue;
                                 }
@@ -365,7 +497,7 @@ impl<'a> Engine<'a> {
                                     let nb = (hi - lo) * elem;
                                     let off = (lo as i64 - wlo) as usize * elem;
                                     dbytes[off..off + nb]
-                                        .copy_from_slice(&staged[g][cursor..cursor + nb]);
+                                        .copy_from_slice(&staged_ref[g][cursor..cursor + nb]);
                                     cursor += nb;
                                 }
                             }
@@ -382,6 +514,8 @@ impl<'a> Engine<'a> {
                 })
                 .collect()
         });
+        pool.put_back(staged);
+        self.staging = pool;
         for r in results {
             r?;
         }

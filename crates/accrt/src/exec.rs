@@ -8,7 +8,9 @@ use acc_compiler::affine::AccessPattern;
 use acc_compiler::hostgen::CompiledClause;
 use acc_gpusim::{Gpu, Machine};
 use acc_kernel_ir as ir;
-use acc_obs::{LaunchSpan, MapperDecision, PhaseKind, Recorder, SanitizeEvent};
+use acc_obs::{
+    InferredAnnotation, LaunchSpan, MapperDecision, PhaseKind, Recorder, SanitizeEvent,
+};
 use ir::interp::{eval_host_expr, rmw_apply, run_host_block, run_kernel_range};
 use ir::{
     BufSanitize, Buffer, BufSlot, DirtyMap, ExecCtx, Kernel, MissRecord, OpCounters,
@@ -48,6 +50,10 @@ pub(crate) struct ArrLaunch {
     pub needs_dirty: bool,
     /// Runtime-sanitizer checks for this array (same on every GPU).
     pub sanitize: BufSanitize,
+    /// Per-GPU element partitions a static comm-elision fact claims all
+    /// of this launch's writes stay inside (`None`: no applicable fact —
+    /// the replica sync runs normally).
+    pub elide: Option<Vec<(i64, i64)>>,
 }
 
 /// What one GPU returns from its kernel job.
@@ -101,6 +107,12 @@ pub(crate) struct Engine<'a> {
     /// Per-kernel split history for [`Schedule::CostModel`]; unused (and
     /// never consulted) under [`Schedule::Equal`].
     mapper: TaskMapper,
+    /// Reusable staging buffers for the replica-sync functional half
+    /// (its allocation count surfaces as `Profiler::staging_allocs`).
+    pub(crate) staging: crate::comm::StagingPool,
+    /// Host wall-clock seconds spent inside communication phases
+    /// (including deferred elided syncs).
+    pub(crate) comm_wall_s: f64,
 }
 
 impl<'a> Engine<'a> {
@@ -137,11 +149,31 @@ impl<'a> Engine<'a> {
             cur_launch: 0,
             now: 0.0,
             mapper: TaskMapper::new(prog.kernels.len()),
+            staging: crate::comm::StagingPool::default(),
+            comm_wall_s: 0.0,
         }
     }
 
     pub fn run(mut self) -> Result<RunReport, RunError> {
         let prog = self.prog;
+        // Surface every inferred-and-consumed `localaccess` annotation as
+        // a typed event up front: placement is a compile-time fact.
+        for ck in &prog.kernels {
+            for cfg in &ck.configs {
+                if cfg.inferred_used {
+                    let la = cfg
+                        .localaccess
+                        .as_ref()
+                        .expect("inferred_used implies a localaccess");
+                    self.rec.inferred_annotation(InferredAnnotation {
+                        kernel: ck.kernel.name.clone(),
+                        array: cfg.name.clone(),
+                        pragma: acc_compiler::render_annotation(&cfg.name, la, &prog.locals),
+                        at: 0.0,
+                    });
+                }
+            }
+        }
         self.exec_ops(&prog.host)?;
         // Sequential host time from the aggregate host counters, appended
         // to the timeline as one phase span (host statements interleave
@@ -153,6 +185,8 @@ impl<'a> Engine<'a> {
         let mut profile = Profiler::from_trace(&trace);
         profile.kernel_counters = self.kernel_counters;
         profile.host_counters = self.host_counters;
+        profile.staging_allocs = self.staging.allocs;
+        profile.comm_wall_s = self.comm_wall_s;
         debug_assert_eq!(profile.h2d_bytes, self.machine.bus.h2d_bytes);
         debug_assert_eq!(profile.d2h_bytes, self.machine.bus.d2h_bytes);
         debug_assert_eq!(profile.p2p_bytes, self.machine.bus.p2p_bytes);
@@ -485,7 +519,7 @@ impl<'a> Engine<'a> {
         }
 
         // Resolve per-array launch placement.
-        let binfo = self.resolve_bindings(ck, &tasks)?;
+        let binfo = self.resolve_bindings(kidx, ck, &tasks)?;
 
         // ---- loader phase ----
         let t0 = self.now;
@@ -663,7 +697,9 @@ impl<'a> Engine<'a> {
 
         // ---- communication phase ----
         let misses: Vec<Vec<MissRecord>> = job_outs.into_iter().map(|o| o.misses).collect();
+        let wall = std::time::Instant::now();
         let t3 = self.comm_phase(ck, &binfo, misses, t2)?;
+        self.comm_wall_s += wall.elapsed().as_secs_f64();
         self.rec
             .phase(Some(self.cur_launch), PhaseKind::Comm, t2, t3);
         self.now = t3;
@@ -718,13 +754,14 @@ impl<'a> Engine<'a> {
     /// Resolve per-array placement, windows and ownership for a launch.
     fn resolve_bindings(
         &mut self,
+        kidx: usize,
         ck: &CompiledKernel,
         tasks: &[(i64, i64)],
     ) -> Result<Vec<ArrLaunch>, RunError> {
         let ngpus = tasks.len();
         let instrument = self.prog.options.instrument;
         let mut out = Vec::with_capacity(ck.configs.len());
-        for cfg in &ck.configs {
+        for (kbuf, cfg) in ck.configs.iter().enumerate() {
             let n = self.arrays[cfg.array].len as i64;
             let clamp = |x: i64| x.clamp(0, n);
             let mut la_params = None;
@@ -829,6 +866,40 @@ impl<'a> Engine<'a> {
                     && cfg.miss_check_elided
                     && matches!(cfg.placement, Placement::Distributed),
             };
+            // Static comm-elision claim: the per-GPU element partitions
+            // the fact asserts every write of this launch stays inside.
+            // Only materialised when the runtime could act on it — the
+            // facts assume the equal static schedule's launch-invariant
+            // partitions, and without dirty maps there is no sync to
+            // skip.
+            let elide = if self.cfg.comm_elision
+                && needs_dirty
+                && self.cfg.schedule == Schedule::Equal
+            {
+                let stride = self
+                    .prog
+                    .comm_plan
+                    .fact(kidx, kbuf)
+                    .map(|fact| fact.stride.clone());
+                match stride {
+                    Some(stride) => {
+                        let s = self.eval_host_i64(&stride)?;
+                        if s >= 1 {
+                            Some(
+                                tasks
+                                    .iter()
+                                    .map(|&(a, b)| (clamp(s * a), clamp(s * b.max(a))))
+                                    .collect::<Vec<_>>(),
+                            )
+                        } else {
+                            None
+                        }
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            };
             out.push(ArrLaunch {
                 arr: cfg.array,
                 placement: cfg.placement.clone(),
@@ -838,6 +909,7 @@ impl<'a> Engine<'a> {
                 writes,
                 needs_dirty,
                 sanitize,
+                elide,
             });
         }
         Ok(out)

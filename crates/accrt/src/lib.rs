@@ -162,6 +162,18 @@ pub struct ExecConfig {
     pub sanitize: SanitizeLevel,
     /// How the task mapper divides each parallel loop among the GPUs.
     pub schedule: Schedule,
+    /// Consume the compiler's static inter-launch comm-elision facts
+    /// ([`acc_compiler::CommPlan`]): replica syncs the whole-program
+    /// dataflow analysis proved unobservable are skipped, their dirty
+    /// bits kept accumulating, and the reconciliation deferred to the
+    /// next operation that can actually observe the array (a host flush,
+    /// an `update`, or a loader fill). Off by default. Under
+    /// [`SanitizeLevel::Full`] elision is re-armed: the sync runs
+    /// normally and the accumulated dirty runs are first audited against
+    /// the fact's claimed per-GPU partitions
+    /// ([`RunError::ElisionUnsound`] on escape), so a Full-sanitize run
+    /// is bit-identical to one with elision off.
+    pub comm_elision: bool,
 }
 
 impl ExecConfig {
@@ -177,6 +189,7 @@ impl ExecConfig {
             parallel_comm: true,
             sanitize: SanitizeLevel::Off,
             schedule: Schedule::Equal,
+            comm_elision: false,
         }
     }
 
@@ -231,6 +244,12 @@ impl ExecConfig {
         self.schedule = schedule;
         self
     }
+
+    /// Enable or disable static inter-launch communication elision.
+    pub fn comm_elision(mut self, on: bool) -> ExecConfig {
+        self.comm_elision = on;
+        self
+    }
 }
 
 /// Runtime errors.
@@ -264,6 +283,19 @@ pub enum RunError {
         gpu: usize,
         record: acc_kernel_ir::SanitizeRecord,
         hits: u64,
+    },
+    /// The `SanitizeLevel::Full` comm-elision audit caught a dirty run
+    /// outside the partition the elision fact claimed for its GPU — the
+    /// static inter-launch dataflow proof was unsound (or a fact was
+    /// fault-injected), and skipping the sync would have left observably
+    /// stale replicas.
+    ElisionUnsound {
+        array: String,
+        gpu: usize,
+        /// The escaping dirty element run `[lo, hi)`.
+        run: (i64, i64),
+        /// The per-GPU partition the fact claimed all writes stay in.
+        claim: (i64, i64),
     },
 }
 
@@ -307,6 +339,16 @@ impl std::fmt::Display for RunError {
                     if *hits == 1 { "" } else { "s" }
                 )
             }
+            RunError::ElisionUnsound {
+                array,
+                gpu,
+                run,
+                claim,
+            } => write!(
+                f,
+                "comm-elision audit: `{array}` gpu {gpu} dirtied [{}, {}) outside its claimed partition [{}, {})",
+                run.0, run.1, claim.0, claim.1
+            ),
         }
     }
 }

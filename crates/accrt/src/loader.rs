@@ -242,10 +242,10 @@ impl<'a> Engine<'a> {
         req: (i64, i64),
         t0: f64,
     ) -> Result<f64, RunError> {
-        let mut end = t0;
         if req.0 >= req.1 {
-            return Ok(end);
+            return Ok(t0);
         }
+        let mut end = t0;
         let elem = self.arrays[arr].elem() as u64;
         let mut missing = if self.cfg.loader_reuse {
             let ga = &self.arrays[arr].gpu[g];
@@ -274,6 +274,14 @@ impl<'a> Engine<'a> {
             });
             return Ok(end);
         }
+        // Data is about to move: a pending (elided) replica sync must
+        // land before any peer or host copy of this array is treated as
+        // a fill source. The missing set is recomputed afterwards — the
+        // sync itself does not change any GPU's valid set, but keeping
+        // the ordering explicit costs nothing. The clean-reuse fast path
+        // above never observes another GPU's data, so it stays elided.
+        let t0 = self.ensure_synced(arr, t0)?;
+        end = end.max(t0);
         let mut bytes_moved = 0u64;
         // While the host copy is current, the loader always loads from CPU
         // memory (paper §IV-C). Once device writes have made it stale,
@@ -500,6 +508,9 @@ impl<'a> Engine<'a> {
         hi: i64,
         t0: f64,
     ) -> Result<f64, RunError> {
+        // Flush takes ranges from the first GPU whose valid set covers
+        // them, so an elided replica sync must be reconciled first.
+        let t0 = self.ensure_synced(arr, t0)?;
         let mut end = t0;
         let mut remaining = RangeSet::of(lo.max(0), hi.min(self.arrays[arr].len as i64));
         let ngpus = self.arrays[arr].gpu.len();
@@ -537,6 +548,9 @@ impl<'a> Engine<'a> {
         hi: i64,
         t0: f64,
     ) -> Result<f64, RunError> {
+        // Host data overwrites device replicas below; reconcile any
+        // deferred sync first so dirty bits don't survive the overwrite.
+        let t0 = self.ensure_synced(arr, t0)?;
         let mut end = t0;
         let ngpus = self.arrays[arr].gpu.len();
         for g in 0..ngpus {
@@ -561,6 +575,7 @@ impl<'a> Engine<'a> {
     pub(crate) fn free_array_devices(&mut self, arr: usize) -> Result<(), RunError> {
         // With no device copies left, the host copy is authoritative again.
         self.arrays[arr].host_stale = false;
+        self.arrays[arr].sync_pending = false;
         let ngpus = self.arrays[arr].gpu.len();
         for g in 0..ngpus {
             let ga = &mut self.arrays[arr].gpu[g];

@@ -60,6 +60,20 @@ pub struct Profiler {
     pub miss_records: u64,
     /// Dirty chunks shipped by the replica-sync path.
     pub dirty_chunks_sent: u64,
+    /// Replica syncs skipped on static comm-elision facts.
+    pub comm_elisions: u64,
+    /// Estimated bytes those skipped syncs would have shipped.
+    pub comm_elided_bytes: u64,
+    /// `localaccess` annotations the compiler inferred and this run
+    /// consumed in place of missing source annotations.
+    pub inferred_annotations: u64,
+    /// Staging buffers the replica-sync pool actually allocated (or
+    /// grew); reuse keeps this near the GPU count for iterative programs.
+    pub staging_allocs: u64,
+    /// Host wall-clock seconds spent inside the communication phase
+    /// (functional work + pricing), as opposed to the *simulated*
+    /// `time.gpu_gpu`. Filled by the engine, not derived from the trace.
+    pub comm_wall_s: f64,
 }
 
 impl Profiler {
@@ -89,6 +103,11 @@ impl Profiler {
             p2p_bytes: c.p2p_bytes,
             miss_records: c.miss_records,
             dirty_chunks_sent: c.dirty_chunks_sent,
+            comm_elisions: c.comm_elisions,
+            comm_elided_bytes: c.comm_elided_bytes,
+            inferred_annotations: c.inferred_annotations,
+            staging_allocs: 0,
+            comm_wall_s: 0.0,
         }
     }
 }

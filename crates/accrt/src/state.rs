@@ -55,6 +55,12 @@ pub(crate) struct ArrayState {
     /// `DataExit`, the section (or the whole array for `None`) is flushed
     /// to the host copy.
     pub exit_stack: Vec<(usize, Option<(i64, i64)>)>,
+    /// Set when a replica sync was elided on a static comm-elision fact:
+    /// the replicas are mutually stale outside each GPU's own partition
+    /// and the accumulated dirty bits are still armed. Any operation that
+    /// could observe the divergence (host flush, `update`, loader fill
+    /// from peers) must reconcile first (`Engine::ensure_synced`).
+    pub sync_pending: bool,
     pub gpu: Vec<GpuArr>,
 }
 
@@ -67,6 +73,7 @@ impl ArrayState {
             init_from_host: true,
             host_stale: false,
             exit_stack: Vec::new(),
+            sync_pending: false,
             gpu: (0..ngpus).map(|_| GpuArr::default()).collect(),
         }
     }

@@ -102,6 +102,7 @@ fn distributed_arrays_move_less_data_than_replicated() {
         honor_extensions: false,
         layout_transform: false,
         instrument: true,
+        infer_localaccess: false,
     };
     let prog = compile_source(SAXPY, "saxpy", &no_ext).unwrap();
     let mut m = machine();

@@ -7,6 +7,13 @@
 //! # Lint OpenACC sources, or .rs files with embedded `r#"..."#` sources:
 //! cargo run -p acc-apps --bin acc-lint -- examples/quickstart.rs mykernel.c
 //!
+//! # Surface inferable localaccess annotations (ACC-I001) and fail if the
+//! # inference diverges from any hand-written annotation:
+//! cargo run -p acc-apps --bin acc-lint -- --infer --deny-divergence
+//!
+//! # Explain a diagnostic code:
+//! cargo run -p acc-apps --bin acc-lint -- --explain ACC-I001
+//!
 //! # Dynamically audit one app's static verdicts with the sanitizer:
 //! cargo run --release -p acc-apps --bin acc-lint -- --audit bfs --gpus 3
 //! ```
@@ -18,13 +25,16 @@
 //! declared `localaccess` window into a hard error.
 
 use acc_apps::{run_app_with_config, App, Scale, Version};
-use acc_compiler::lint_source;
+use acc_compiler::{lint_source_with, CompileOptions};
 use acc_gpusim::Machine;
 use acc_runtime::SanitizeLevel;
 
 struct Args {
     deny_warnings: bool,
+    infer: bool,
+    deny_divergence: bool,
     audit: Option<String>,
+    elide: bool,
     gpus: usize,
     scale: Scale,
     seed: u64,
@@ -34,7 +44,10 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         deny_warnings: false,
+        infer: false,
+        deny_divergence: false,
         audit: None,
+        elide: false,
         gpus: 3,
         scale: Scale::Small,
         seed: 42,
@@ -44,7 +57,17 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--deny-warnings" => args.deny_warnings = true,
+            "--infer" => args.infer = true,
+            "--deny-divergence" => args.deny_divergence = true,
+            "--explain" => match it.next() {
+                Some(code) => run_explain(&code),
+                None => {
+                    eprintln!("acc-lint: --explain needs a code (e.g. ACC-W001)");
+                    std::process::exit(2);
+                }
+            },
             "--audit" => args.audit = it.next(),
+            "--elide" => args.elide = true,
             "--gpus" => args.gpus = it.next().and_then(|s| s.parse().ok()).unwrap_or(3),
             "--seed" => args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42),
             "--scale" => {
@@ -60,8 +83,9 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: acc-lint [--deny-warnings] [FILE.c|FILE.rs ...]\n\
-                     \x20      acc-lint --audit APP [--gpus N] [--scale small|scaled|paper] [--seed N]\n\
+                    "usage: acc-lint [--deny-warnings] [--infer] [--deny-divergence] [FILE.c|FILE.rs ...]\n\
+                     \x20      acc-lint --explain ACC-XNNN\n\
+                     \x20      acc-lint --audit APP [--elide] [--gpus N] [--scale small|scaled|paper] [--seed N]\n\
                      With no files, lints every built-in application kernel."
                 );
                 std::process::exit(0);
@@ -70,6 +94,136 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// `--explain ACC-XNNN`: the long-form description, an example that
+/// triggers the diagnostic, and how to fix it.
+fn run_explain(code: &str) -> ! {
+    let text = match code.to_ascii_uppercase().as_str() {
+        "ACC-E001" => {
+            "ACC-E001: non-positive localaccess stride\n\
+             \n\
+             The declared per-iteration read window of `localaccess(a) stride(s)\n\
+             left(l) right(r)` is [s*i - l, s*(i+1) - 1 + r]. A stride below 1\n\
+             makes the window degenerate: the data loader would allocate nothing\n\
+             (or walk backwards) for every GPU partition.\n\
+             \n\
+             Example:\n\
+             \x20   #pragma acc localaccess(x) stride(0)     // error\n\
+             \n\
+             Fix: declare the true per-iteration advance of the densest access,\n\
+             e.g. `stride(1)` for x[i] or `stride(3)` for x[3*i+2]. Runtime-\n\
+             valued strides are re-validated at launch time instead."
+        }
+        "ACC-E002" => {
+            "ACC-E002: negative localaccess left/right extent\n\
+             \n\
+             `left` and `right` widen the per-iteration window by a constant\n\
+             halo on each side; negative values would shrink it below the\n\
+             stride span and cannot describe any real access pattern.\n\
+             \n\
+             Example:\n\
+             \x20   #pragma acc localaccess(h) stride(1) left(-1)   // error\n\
+             \n\
+             Fix: use non-negative halo extents, e.g. `left(1) right(1)` for a\n\
+             3-point stencil reading h[i-1], h[i], h[i+1]."
+        }
+        "ACC-W001" => {
+            "ACC-W001: overlapping stores to a replicated array\n\
+             \n\
+             A kernel stores thread-dependent values at indices that several\n\
+             threads (and therefore several GPUs) can overlap — a broadcast\n\
+             like a[0] = v or an irregular a[idx[i]] = v. With the array\n\
+             replicated on multiple GPUs, replica reconciliation order decides\n\
+             which GPU's value survives; results can differ from single-GPU\n\
+             execution.\n\
+             \n\
+             Example:\n\
+             \x20   for (i...) { y[idx[i]] = f(i); }   // two i may share idx[i]\n\
+             \n\
+             Fix: make the written index injective in i (then `localaccess`\n\
+             distributes the array), or express the update as a reduction with\n\
+             `reductiontoarray`."
+        }
+        "ACC-W002" => {
+            "ACC-W002: read-modify-write without reductiontoarray\n\
+             \n\
+             The kernel accumulates into an array element at an overlapping\n\
+             index (a[k] = a[k] + v, a[k] += v, ...). Each GPU updates its own\n\
+             replica, and plain replica reconciliation then *overwrites* rather\n\
+             than *merges* — every GPU's partial sums but one are lost.\n\
+             \n\
+             Example:\n\
+             \x20   for (i...) { bins[keys[i]] += w[i]; }\n\
+             \n\
+             Fix: annotate the accumulation site:\n\
+             \x20   #pragma acc reductiontoarray(+: bins[k])\n\
+             so the runtime gives each GPU a private identity-filled copy and\n\
+             merges them with the declared operator after the launch."
+        }
+        "ACC-W003" => {
+            "ACC-W003: declared localaccess window narrower than the access\n\
+             \n\
+             The interval analysis bounded the kernel's actual per-iteration\n\
+             read range of the array, and the declared `localaccess` window is\n\
+             provably narrower. The data loader sizes each GPU's partition from\n\
+             the declaration, so it will under-allocate and the kernel will\n\
+             fault (or the sanitizer will reject the loads).\n\
+             \n\
+             Example:\n\
+             \x20   #pragma acc localaccess(h) stride(1)        // no halo...\n\
+             \x20   for (i...) out[i] = h[i-1] + h[i] + h[i+1]; // ...but reads one\n\
+             \n\
+             Fix: widen the annotation to cover the true range, here\n\
+             `stride(1) left(1) right(1)` — or delete it and let `--infer`\n\
+             derive the exact window (see ACC-I001)."
+        }
+        "ACC-W004" => {
+            "ACC-W004: host reads a stale replica\n\
+             \n\
+             Host code reads an array that a prior kernel wrote on the device,\n\
+             with no intervening `update host(...)` and no flushing data-region\n\
+             exit. The host silently observes pre-kernel data.\n\
+             \n\
+             Example:\n\
+             \x20   #pragma acc parallel loop  // writes x on the GPUs\n\
+             \x20   ...\n\
+             \x20   s = x[0];                  // host read inside the region\n\
+             \n\
+             Fix: insert `#pragma acc update host(x[0:n])` before the host\n\
+             read, or move the read past the data-region exit that copies the\n\
+             array out."
+        }
+        "ACC-I001" => {
+            "ACC-I001: localaccess annotation is inferable\n\
+             \n\
+             (Reported only under --infer.) The whole-program dataflow analysis\n\
+             bounded every access of this unannotated array by an affine window\n\
+             stride*i + [-left, stride-1+right], so a sound `localaccess`\n\
+             annotation exists. Without it the array is *replicated* on every\n\
+             GPU: full-size allocations, full loads, and dirty-bit replica\n\
+             syncs after every writing launch. The diagnostic message carries\n\
+             the exact machine-applyable pragma.\n\
+             \n\
+             Example:\n\
+             \x20   for (i...) y[i] = a*x[i] + y[i];  // unannotated x, y\n\
+             \x20   → add `#pragma acc localaccess(x) stride(1)` (and for y)\n\
+             \n\
+             Fix: paste the suggested pragma above the loop, or compile with\n\
+             inference enabled (`CompileOptions::infer_localaccess`) to have\n\
+             the compiler consume the derived annotation automatically; the\n\
+             run is bit-identical to the hand-annotated program."
+        }
+        other => {
+            eprintln!(
+                "acc-lint: unknown diagnostic code `{other}` (have: ACC-E001, ACC-E002, \
+                 ACC-W001, ACC-W002, ACC-W003, ACC-W004, ACC-I001)"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{text}");
+    std::process::exit(0);
 }
 
 /// Extract `r#"..."#` raw-string literals that contain OpenACC pragmas
@@ -92,8 +246,8 @@ fn embedded_sources(rs: &str) -> Vec<String> {
 
 /// Lint one OpenACC source; returns the number of warnings, or `None` if
 /// it failed to compile (diagnostics printed either way).
-fn lint_one(label: &str, src: &str) -> Option<usize> {
-    match lint_source(src) {
+fn lint_one(label: &str, src: &str, opts: &CompileOptions) -> Option<usize> {
+    match lint_source_with(src, opts) {
         Ok(diags) => {
             for d in &diags {
                 println!("{label}: {}", d.render(src));
@@ -109,15 +263,75 @@ fn lint_one(label: &str, src: &str) -> Option<usize> {
     }
 }
 
+/// `--deny-divergence`: compile every function of the source with
+/// inference enabled and cross-check each hand-written `localaccess`
+/// annotation against what the analysis derives. A hand annotation the
+/// inference cannot reproduce exactly (differs, or derives nothing) is a
+/// divergence — either the annotation is wrong or the analysis lost
+/// precision; both deserve a failing CI signal. Returns the number of
+/// divergent kernel×array sites.
+fn check_divergence(label: &str, src: &str) -> usize {
+    let opts = CompileOptions {
+        infer_localaccess: true,
+        ..CompileOptions::proposal()
+    };
+    let Ok(typed) = acc_minic::frontend(src) else {
+        return 0; // compile failures are reported by the lint pass
+    };
+    let mut n = 0;
+    for f in &typed.functions {
+        let Ok(p) = acc_compiler::compile(&typed, &f.name, &opts) else {
+            continue;
+        };
+        for k in &p.kernels {
+            for cfg in &k.configs {
+                // `inferred_used` means there was no hand annotation.
+                let Some(hand) = (!cfg.inferred_used).then_some(cfg.localaccess.as_ref()).flatten()
+                else {
+                    continue;
+                };
+                match &cfg.inferred {
+                    Some(inf) if inf == hand => {}
+                    Some(inf) => {
+                        println!(
+                            "{label}: divergence: kernel `{}` array `{}`: \
+                             hand-written {:?} but inference derives {:?}",
+                            k.kernel.name, cfg.name, hand, inf
+                        );
+                        n += 1;
+                    }
+                    None => {
+                        println!(
+                            "{label}: divergence: kernel `{}` array `{}`: \
+                             hand-written {:?} but inference derives nothing",
+                            k.kernel.name, cfg.name, hand
+                        );
+                        n += 1;
+                    }
+                }
+            }
+        }
+    }
+    n
+}
+
 fn run_static(args: &Args) -> ! {
+    let opts = CompileOptions {
+        infer_localaccess: args.infer,
+        ..CompileOptions::proposal()
+    };
     let mut warnings = 0usize;
+    let mut divergences = 0usize;
     let mut broken = 0usize;
     let mut targets = 0usize;
     let mut lint = |label: &str, src: &str| {
         targets += 1;
-        match lint_one(label, src) {
+        match lint_one(label, src, &opts) {
             Some(n) => warnings += n,
             None => broken += 1,
+        }
+        if args.deny_divergence {
+            divergences += check_divergence(label, src);
         }
     };
     if args.files.is_empty() {
@@ -146,12 +360,17 @@ fn run_static(args: &Args) -> ! {
         }
     }
     eprintln!(
-        "acc-lint: {targets} kernel source(s), {warnings} warning(s), {broken} compile failure(s)"
+        "acc-lint: {targets} kernel source(s), {warnings} warning(s), {broken} compile failure(s){}",
+        if args.deny_divergence {
+            format!(", {divergences} annotation divergence(s)")
+        } else {
+            String::new()
+        }
     );
     if broken > 0 {
         std::process::exit(2);
     }
-    if args.deny_warnings && warnings > 0 {
+    if divergences > 0 || (args.deny_warnings && warnings > 0) {
         std::process::exit(1);
     }
     std::process::exit(0);
@@ -166,11 +385,18 @@ fn run_audit(args: &Args, name: &str) -> ! {
         std::process::exit(2);
     };
     let version = Version::Proposal(args.gpus);
-    let cfg = version.exec_config().sanitize(SanitizeLevel::Full);
+    let mut cfg = version.exec_config().sanitize(SanitizeLevel::Full);
+    if args.elide {
+        // Full sanitize re-arms every statically elided sync and audits
+        // the claimed partitions first — the combination is exactly the
+        // comm-elision soundness check, on a real app.
+        cfg = cfg.comm_elision(true);
+    }
     let mut m = Machine::supercomputer_node();
     eprintln!(
-        "acc-lint: auditing {name} on {} GPU(s), fully sanitized...",
-        args.gpus
+        "acc-lint: auditing {name} on {} GPU(s), fully sanitized{}...",
+        args.gpus,
+        if args.elide { ", comm elision armed" } else { "" }
     );
     match run_app_with_config(app, version, &mut m, args.scale, args.seed, &cfg) {
         Ok(r) if r.correct => {

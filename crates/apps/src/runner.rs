@@ -154,6 +154,11 @@ pub struct AppResult {
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
     pub p2p_bytes: u64,
+    /// Host wall-clock seconds the runtime spent inside the
+    /// communication phase (replica syncs, including deferred
+    /// reconciliation after comm elision). Complements `time.gpu_gpu`,
+    /// which is the *simulated* cost of the same phase.
+    pub comm_wall_s: f64,
     /// Oracle check.
     pub correct: bool,
     /// Maximum absolute error vs the oracle (0 for exact matches).
@@ -317,6 +322,7 @@ fn result_from(
         h2d_bytes: report.profile.h2d_bytes,
         d2h_bytes: report.profile.d2h_bytes,
         p2p_bytes: report.profile.p2p_bytes,
+        comm_wall_s: report.profile.comm_wall_s,
         correct,
         max_err,
     }

@@ -174,13 +174,32 @@ fn run_bench_target(args: &Args) {
     eprintln!("measuring wall-clock at scale `{scale_name}`, {} reps each", args.reps);
     let points = bench_runtime(args.scale, args.seed, args.reps, true);
     println!(
-        "  {:<8} {:>5} {:>12} {:>12} {:>12} {:>8}",
-        "App", "GPUs", "wall best", "wall mean", "sim time", "correct"
+        "  {:<8} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "App", "GPUs", "wall best", "wall mean", "sim time", "comm sim", "comm wall", "correct"
     );
     for p in &points {
         println!(
-            "  {:<8} {:>5} {:>11.3}s {:>11.3}s {:>11.6}s {:>8}",
-            p.app, p.ngpus, p.wall_best_s, p.wall_mean_s, p.sim_s, p.correct
+            "  {:<8} {:>5} {:>11.3}s {:>11.3}s {:>11.6}s {:>11.6}s {:>11.4}s {:>8}",
+            p.app, p.ngpus, p.wall_best_s, p.wall_mean_s, p.sim_s, p.comm_sim_s, p.comm_wall_s,
+            p.correct
+        );
+    }
+    let comm = bench_comm(args.scale, args.seed, true);
+    println!(
+        "  {:<8} {:<15} {:>5} {:>12} {:>12} {:>10} {:>8} {:>8}",
+        "App", "Mode", "GPUs", "comm sim", "comm wall", "p2p MB", "elided", "matches"
+    );
+    for c in &comm {
+        println!(
+            "  {:<8} {:<15} {:>5} {:>11.6}s {:>11.4}s {:>10.2} {:>8} {:>8}",
+            c.app,
+            c.mode,
+            c.ngpus,
+            c.comm_sim_s,
+            c.comm_wall_s,
+            c.p2p_bytes as f64 / 1e6,
+            c.comm_elisions,
+            c.matches_annotated
         );
     }
     let json = Value::obj([
@@ -198,8 +217,29 @@ fn run_bench_target(args: &Args) {
                             ("wall_best_s", Value::num(p.wall_best_s)),
                             ("wall_mean_s", Value::num(p.wall_mean_s)),
                             ("sim_s", Value::num(p.sim_s)),
+                            ("comm_sim_s", Value::num(p.comm_sim_s)),
+                            ("comm_wall_s", Value::num(p.comm_wall_s)),
                             ("correct", Value::Bool(p.correct)),
                             ("reps", Value::num(p.reps as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "comm_experiments",
+            Value::Arr(
+                comm.iter()
+                    .map(|c| {
+                        Value::obj([
+                            ("app", Value::str(&c.app)),
+                            ("mode", Value::str(&c.mode)),
+                            ("ngpus", Value::num(c.ngpus as f64)),
+                            ("comm_sim_s", Value::num(c.comm_sim_s)),
+                            ("comm_wall_s", Value::num(c.comm_wall_s)),
+                            ("p2p_bytes", Value::num(c.p2p_bytes as f64)),
+                            ("comm_elisions", Value::num(c.comm_elisions as f64)),
+                            ("matches_annotated", Value::Bool(c.matches_annotated)),
                         ])
                     })
                     .collect(),

@@ -42,7 +42,21 @@ pub struct BenchPoint {
     pub wall_best_s: f64,
     pub wall_mean_s: f64,
     pub sim_s: f64,
+    /// Simulated comm-phase seconds. `None` for artifacts written before
+    /// the column existed; present on both sides it is held to the same
+    /// exact-match contract as `sim_s`.
+    pub comm_sim_s: Option<f64>,
     pub correct: bool,
+}
+
+/// One parsed `comm_experiments` entry (app × compile/run mode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommExpPoint {
+    pub app: String,
+    pub mode: String,
+    pub comm_sim_s: f64,
+    pub comm_elisions: u64,
+    pub matches_annotated: bool,
 }
 
 /// One parsed `BENCH_runtime.json` artifact.
@@ -51,6 +65,8 @@ pub struct BenchFile {
     pub scale: String,
     pub seed: u64,
     pub points: Vec<BenchPoint>,
+    /// Empty for artifacts written before the section existed.
+    pub comm_experiments: Vec<CommExpPoint>,
 }
 
 /// Parse a `BENCH_runtime.json` document.
@@ -93,10 +109,48 @@ pub fn parse_bench_file(src: &str, which: &str) -> Result<BenchFile, String> {
             wall_best_s: num("wall_best_s")?,
             wall_mean_s: num("wall_mean_s")?,
             sim_s: num("sim_s")?,
+            comm_sim_s: p.get("comm_sim_s").and_then(Value::as_f64),
             correct,
         });
     }
-    Ok(BenchFile { scale, seed, points })
+    // `comm_experiments` appeared after the first artifacts were
+    // committed: absent means "old format", not malformed — but a
+    // present section must parse fully.
+    let mut comm_experiments = Vec::new();
+    if let Some(raw) = doc.get("comm_experiments") {
+        let arr = raw
+            .as_arr()
+            .ok_or_else(|| format!("{which}: `comm_experiments` is not an array"))?;
+        for (i, c) in arr.iter().enumerate() {
+            let sfield = |key: &str| -> Result<String, String> {
+                c.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{which}: comm_experiments[{i}]: bad `{key}`"))
+            };
+            let num = |key: &str| -> Result<f64, String> {
+                c.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{which}: comm_experiments[{i}]: bad `{key}`"))
+            };
+            let matches_annotated = match c.get("matches_annotated") {
+                Some(Value::Bool(b)) => *b,
+                _ => {
+                    return Err(format!(
+                        "{which}: comm_experiments[{i}]: bad `matches_annotated`"
+                    ))
+                }
+            };
+            comm_experiments.push(CommExpPoint {
+                app: sfield("app")?,
+                mode: sfield("mode")?,
+                comm_sim_s: num("comm_sim_s")?,
+                comm_elisions: num("comm_elisions")? as u64,
+                matches_annotated,
+            });
+        }
+    }
+    Ok(BenchFile { scale, seed, points, comm_experiments })
 }
 
 /// One old-vs-new point comparison.
@@ -197,6 +251,16 @@ pub fn diff_bench(old: &BenchFile, new: &BenchFile, wall_tolerance: f64) -> Diff
                 op.app, op.ngpus, op.sim_s, np.sim_s
             ));
         }
+        // The comm-phase column is a component of `sim_s` and equally
+        // deterministic; compare only when both artifacts carry it.
+        if let (Some(oc), Some(nc)) = (op.comm_sim_s, np.comm_sim_s) {
+            if (nc - oc).abs() > SIM_REL_EPS * oc.abs().max(nc.abs()) {
+                r.problems.push(format!(
+                    "simulated comm-phase time moved for {} x{}: {oc} -> {nc}",
+                    op.app, op.ngpus
+                ));
+            }
+        }
         // A zero, negative or non-finite baseline wall time cannot
         // anchor a ratio — dividing by it yields inf/NaN, and silently
         // substituting 1.0 would wave any regression through. Reject the
@@ -236,6 +300,44 @@ pub fn diff_bench(old: &BenchFile, new: &BenchFile, wall_tolerance: f64) -> Diff
             sim_matches,
             regressed,
         });
+    }
+    // The comm-experiments section guards the inference/elision wins:
+    // a recorded mode must not vanish, its simulated comm time is
+    // deterministic, an elision count that drops means facts were lost,
+    // and a run that used to match the annotated baseline bit-for-bit
+    // must keep matching.
+    for oc in &old.comm_experiments {
+        let Some(nc) = new
+            .comm_experiments
+            .iter()
+            .find(|c| c.app == oc.app && c.mode == oc.mode)
+        else {
+            r.problems.push(format!(
+                "comm experiment {}/{} present in old but missing from new",
+                oc.app, oc.mode
+            ));
+            continue;
+        };
+        if (nc.comm_sim_s - oc.comm_sim_s).abs()
+            > SIM_REL_EPS * oc.comm_sim_s.abs().max(nc.comm_sim_s.abs())
+        {
+            r.problems.push(format!(
+                "comm experiment {}/{}: simulated comm time moved: {} -> {}",
+                oc.app, oc.mode, oc.comm_sim_s, nc.comm_sim_s
+            ));
+        }
+        if nc.comm_elisions < oc.comm_elisions {
+            r.problems.push(format!(
+                "comm experiment {}/{}: elided syncs dropped {} -> {} (static facts lost)",
+                oc.app, oc.mode, oc.comm_elisions, nc.comm_elisions
+            ));
+        }
+        if oc.matches_annotated && !nc.matches_annotated {
+            r.problems.push(format!(
+                "comm experiment {}/{}: no longer bit-identical to the annotated baseline",
+                oc.app, oc.mode
+            ));
+        }
     }
     r
 }
@@ -413,8 +515,20 @@ mod tests {
             wall_best_s: 0.25,
             wall_mean_s: 0.3,
             sim_s: 0.125,
+            comm_sim_s: 0.0625,
+            comm_wall_s: 0.001,
             correct: true,
             reps: 3,
+        }];
+        let comm = [crate::CommPoint {
+            app: "heat2d".to_string(),
+            mode: "inferred".to_string(),
+            ngpus: 3,
+            comm_sim_s: 0.01,
+            comm_wall_s: 0.002,
+            p2p_bytes: 1024,
+            comm_elisions: 0,
+            matches_annotated: true,
         }];
         let doc = Value::obj([
             ("scale", Value::str("scaled")),
@@ -431,8 +545,29 @@ mod tests {
                                 ("wall_best_s", Value::num(p.wall_best_s)),
                                 ("wall_mean_s", Value::num(p.wall_mean_s)),
                                 ("sim_s", Value::num(p.sim_s)),
+                                ("comm_sim_s", Value::num(p.comm_sim_s)),
+                                ("comm_wall_s", Value::num(p.comm_wall_s)),
                                 ("correct", Value::Bool(p.correct)),
                                 ("reps", Value::num(p.reps as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "comm_experiments",
+                Value::Arr(
+                    comm.iter()
+                        .map(|c| {
+                            Value::obj([
+                                ("app", Value::str(&c.app)),
+                                ("mode", Value::str(&c.mode)),
+                                ("ngpus", Value::num(c.ngpus as f64)),
+                                ("comm_sim_s", Value::num(c.comm_sim_s)),
+                                ("comm_wall_s", Value::num(c.comm_wall_s)),
+                                ("p2p_bytes", Value::num(c.p2p_bytes as f64)),
+                                ("comm_elisions", Value::num(c.comm_elisions as f64)),
+                                ("matches_annotated", Value::Bool(c.matches_annotated)),
                             ])
                         })
                         .collect(),
@@ -446,5 +581,54 @@ mod tests {
         assert_eq!(parsed.points.len(), 1);
         assert_eq!(parsed.points[0].app, "md");
         assert_eq!(parsed.points[0].sim_s, 0.125);
+        assert_eq!(parsed.points[0].comm_sim_s, Some(0.0625));
+        assert_eq!(parsed.comm_experiments.len(), 1);
+        assert_eq!(parsed.comm_experiments[0].mode, "inferred");
+        assert!(parsed.comm_experiments[0].matches_annotated);
+        // Identical artifacts with the comm section still diff clean.
+        let r = bench_diff(&doc, &doc, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(!r.failed(), "{:?}", r.problems);
+    }
+
+    #[test]
+    fn comm_experiment_regressions_fail() {
+        let mk = |comm_sim: f64, elisions: f64, matches: bool, modes: &[&str]| {
+            Value::obj([
+                ("scale", Value::str("scaled")),
+                ("seed", Value::num(42.0)),
+                ("points", Value::Arr(vec![])),
+                (
+                    "comm_experiments",
+                    Value::Arr(
+                        modes
+                            .iter()
+                            .map(|m| {
+                                Value::obj([
+                                    ("app", Value::str("spmv")),
+                                    ("mode", Value::str(*m)),
+                                    ("ngpus", Value::num(3.0)),
+                                    ("comm_sim_s", Value::num(comm_sim)),
+                                    ("comm_wall_s", Value::num(0.001)),
+                                    ("p2p_bytes", Value::num(4096.0)),
+                                    ("comm_elisions", Value::num(elisions)),
+                                    ("matches_annotated", Value::Bool(matches)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+            .to_string_pretty()
+        };
+        let old = mk(0.5, 10.0, true, &["stripped", "stripped-elide"]);
+        // Sim drift + lost elisions + lost bit-identity, and one mode gone.
+        let new = mk(0.6, 4.0, false, &["stripped"]);
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.failed());
+        let all = r.problems.join("\n");
+        assert!(all.contains("simulated comm time moved"), "{all}");
+        assert!(all.contains("elided syncs dropped"), "{all}");
+        assert!(all.contains("no longer bit-identical"), "{all}");
+        assert!(all.contains("missing from new"), "{all}");
     }
 }

@@ -254,6 +254,32 @@ pub fn export(trace: &Trace) -> String {
                     ],
                 ));
             }
+            Event::Elided(e) => {
+                events.push(instant(
+                    &format!("comm-elided {}", e.array),
+                    "comm",
+                    HOST_TID,
+                    e.at,
+                    vec![
+                        ("launch", Value::num(e.launch as f64)),
+                        ("array", Value::str(&e.array)),
+                        ("skipped_bytes", Value::num(e.skipped_bytes as f64)),
+                    ],
+                ));
+            }
+            Event::Inferred(e) => {
+                events.push(instant(
+                    &format!("inferred localaccess {}", e.array),
+                    "infer",
+                    HOST_TID,
+                    e.at,
+                    vec![
+                        ("kernel", Value::str(&e.kernel)),
+                        ("array", Value::str(&e.array)),
+                        ("pragma", Value::str(&e.pragma)),
+                    ],
+                ));
+            }
         }
     }
 

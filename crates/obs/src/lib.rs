@@ -259,6 +259,35 @@ pub struct SanitizeEvent {
     pub at: SimTime,
 }
 
+/// One replica sync the communication manager *skipped* because the
+/// compiler's inter-launch dataflow analysis proved no other GPU can
+/// observe the written range before the next full synchronisation point.
+/// Point event on the host track at the start of the (empty) comm phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommElided {
+    pub launch: u64,
+    pub array: String,
+    /// Estimated bytes the skipped sync would have shipped (the currently
+    /// accumulated dirty-chunk payload to every other replica holder).
+    pub skipped_bytes: u64,
+    /// Simulated instant of the skip (start of the comm phase).
+    pub at: SimTime,
+}
+
+/// One `localaccess` annotation the compiler *inferred* and consumed in
+/// place of a missing source annotation (`CompileOptions::infer_localaccess`).
+/// Point event on the host track at run start — placement is a
+/// compile-time fact, not a timed action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferredAnnotation {
+    /// Kernel (function) name the configuration belongs to.
+    pub kernel: String,
+    pub array: String,
+    /// The annotation as renderable pragma text.
+    pub pragma: String,
+    pub at: SimTime,
+}
+
 /// One phase interval of a parallel region (or a host/data interval).
 /// Phase spans are the accounting source for the time breakdown.
 #[derive(Debug, Clone, PartialEq)]
@@ -283,6 +312,8 @@ pub enum Event {
     Miss(MissReplay),
     Reduction(ReductionMerge),
     Sanitize(SanitizeEvent),
+    Elided(CommElided),
+    Inferred(InferredAnnotation),
 }
 
 impl Event {
@@ -298,6 +329,8 @@ impl Event {
             Event::Miss(e) => e.start,
             Event::Reduction(e) => e.start,
             Event::Sanitize(e) => e.at,
+            Event::Elided(e) => e.at,
+            Event::Inferred(e) => e.at,
         }
     }
 
@@ -313,6 +346,8 @@ impl Event {
             Event::Miss(e) => e.end,
             Event::Reduction(e) => e.end,
             Event::Sanitize(e) => e.at,
+            Event::Elided(e) => e.at,
+            Event::Inferred(e) => e.at,
         }
     }
 }
@@ -357,6 +392,14 @@ pub struct Counters {
     /// Runtime-sanitizer violations observed (0 when sanitizing is off
     /// — or when every static verdict held).
     pub sanitize_violations: u64,
+    /// Replica syncs the communication manager skipped on a static
+    /// comm-elision fact.
+    pub comm_elisions: u64,
+    /// Bytes the skipped syncs would have shipped (estimate).
+    pub comm_elided_bytes: u64,
+    /// `localaccess` annotations inferred by the compiler and consumed in
+    /// place of missing source annotations.
+    pub inferred_annotations: u64,
 }
 
 /// Collects events during a run. Totals and counters are accumulated at
@@ -496,6 +539,24 @@ impl Recorder {
         }
     }
 
+    /// Record a skipped replica sync (also counts it and its bytes).
+    pub fn comm_elided(&mut self, e: CommElided) {
+        self.counters.comm_elisions += 1;
+        self.counters.comm_elided_bytes += e.skipped_bytes;
+        if self.level.keeps_summary() {
+            self.events.push(Event::Elided(e));
+        }
+    }
+
+    /// Record an inferred-and-consumed `localaccess` annotation (also
+    /// counts it).
+    pub fn inferred_annotation(&mut self, e: InferredAnnotation) {
+        self.counters.inferred_annotations += 1;
+        if self.level.keeps_summary() {
+            self.events.push(Event::Inferred(e));
+        }
+    }
+
     /// Finish recording.
     pub fn finish(self) -> Trace {
         Trace {
@@ -564,7 +625,7 @@ impl Trace {
                     push(e.dst);
                 }
                 Event::Sanitize(e) => push(e.gpu),
-                Event::Phase(_) => {}
+                Event::Phase(_) | Event::Elided(_) | Event::Inferred(_) => {}
             }
         }
         ids.sort_unstable();
@@ -750,6 +811,56 @@ mod tests {
         assert!(t.chrome_trace().contains("mapper cost-model bfs"));
         assert!(t.summary_table().contains("mapper model splits"));
         assert!(t.render_text()[0].contains("mapper cost-model"));
+    }
+
+    #[test]
+    fn comm_elisions_count_and_export() {
+        let mk = |level| {
+            let mut rec = Recorder::new(level);
+            let launch = rec.launch_begin();
+            rec.comm_elided(CommElided {
+                launch,
+                array: "t".into(),
+                skipped_bytes: 2048,
+                at: 3.0,
+            });
+            rec.finish()
+        };
+        for level in [TraceLevel::Off, TraceLevel::Summary, TraceLevel::Spans] {
+            let c = mk(level).counters();
+            assert_eq!(c.comm_elisions, 1);
+            assert_eq!(c.comm_elided_bytes, 2048);
+        }
+        assert!(mk(TraceLevel::Off).events().is_empty());
+        let t = mk(TraceLevel::Summary);
+        assert!(matches!(t.events()[0], Event::Elided(_)));
+        assert_eq!(t.gpus(), Vec::<usize>::new(), "elision events live on the host track");
+        assert!(t.chrome_trace().contains("comm-elided t"));
+        assert!(t.summary_table().contains("comm elisions"));
+        assert!(t.render_text()[0].contains("comm-elided"));
+    }
+
+    #[test]
+    fn inferred_annotations_count_and_export() {
+        let mk = |level| {
+            let mut rec = Recorder::new(level);
+            rec.inferred_annotation(InferredAnnotation {
+                kernel: "heat".into(),
+                array: "src".into(),
+                pragma: "#pragma acc localaccess(src) stride(cols)".into(),
+                at: 0.0,
+            });
+            rec.finish()
+        };
+        for level in [TraceLevel::Off, TraceLevel::Summary, TraceLevel::Spans] {
+            assert_eq!(mk(level).counters().inferred_annotations, 1);
+        }
+        assert!(mk(TraceLevel::Off).events().is_empty());
+        let t = mk(TraceLevel::Summary);
+        assert!(matches!(t.events()[0], Event::Inferred(_)));
+        assert!(t.chrome_trace().contains("inferred localaccess src"));
+        assert!(t.summary_table().contains("inferred localaccess"));
+        assert!(t.render_text()[0].contains("stride(cols)"));
     }
 
     #[test]

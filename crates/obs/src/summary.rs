@@ -53,6 +53,9 @@ pub fn table(trace: &Trace) -> String {
         ("loader loads", c.loader_loads),
         ("mapper model splits", c.mapper_model_splits),
         ("sanitize violations", c.sanitize_violations),
+        ("comm elisions", c.comm_elisions),
+        ("comm elided bytes", c.comm_elided_bytes),
+        ("inferred localaccess", c.inferred_annotations),
     ] {
         out.push_str(&format!("  {name:<18} {v}\n"));
     }
@@ -193,6 +196,14 @@ pub fn render_text(trace: &Trace) -> Vec<String> {
             Event::Sanitize(e) => format!(
                 "[{:.6}s] SANITIZE {} {} gpu={} tid={} idx={} window=[{}, {})",
                 e.at, e.kind, e.array, e.gpu, e.tid, e.idx, e.window.0, e.window.1
+            ),
+            Event::Elided(e) => format!(
+                "[{:.6}s] comm-elided {} launch={} skipped={}B",
+                e.at, e.array, e.launch, e.skipped_bytes
+            ),
+            Event::Inferred(e) => format!(
+                "[{:.6}s] inferred {} kernel={} `{}`",
+                e.at, e.array, e.kernel, e.pragma
             ),
         };
         lines.push(line);
