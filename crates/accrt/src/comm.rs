@@ -37,25 +37,44 @@ use acc_kernel_ir::interp::{rmw_apply, rmw_apply_slice};
 use acc_kernel_ir::{MissRecord, RmwOp, Value};
 use acc_obs::{CommElided, CommRound, MissReplay, ReductionMerge, TransferKind, TransferSpan};
 
-use crate::exec::{ArrLaunch, Engine};
+use crate::exec::{ArrLaunch, Run};
 use crate::{RunError, SanitizeLevel};
 
-/// Reusable staging buffers for [`Engine::apply_replica_runs_parallel`].
+/// Reusable scratch buffers for the runtime's functional halves.
 ///
 /// Every sync round used to allocate one fresh `Vec<u8>` per dirty
 /// source; iterative programs re-stage nearly identical footprints each
 /// launch, so the pool hands back the previous round's buffers instead.
-/// `allocs` counts the times a buffer actually had to be created or
-/// grown — for a steady-state iterative run it stays near the GPU count.
+/// `allocs` counts the times a replica-sync staging buffer actually had
+/// to be created or grown — for a steady-state iterative run it stays
+/// near the GPU count.
+///
+/// The pool outlives a single run: [`run_program`](crate::run_program)
+/// creates a fresh one per call (the historical behaviour), while a
+/// long-lived [`Engine`](crate::Engine) checks pools out per job and
+/// back in afterwards, so a busy server stops allocating once warm.
+/// Three buffer classes are kept apart so their reuse patterns (and
+/// counters) don't interfere:
+///
+/// * `bufs` — replica-sync staging ([`Run::apply_replica_runs_parallel`]),
+///   counted in `allocs` / `Profiler::staging_allocs`;
+/// * `scratch` — loader window-grow / peer-copy staging, counted in
+///   `scratch_allocs` / `Profiler::scratch_allocs`;
+/// * `miss_bufs` — per-GPU write-miss record buffers, reclaimed after
+///   every communication phase (BFS-style apps fill these every launch).
 #[derive(Debug, Default)]
 pub(crate) struct StagingPool {
     bufs: Vec<Vec<u8>>,
     pub allocs: u64,
+    scratch: Vec<Vec<u8>>,
+    pub scratch_allocs: u64,
+    miss_bufs: Vec<Vec<acc_kernel_ir::MissRecord>>,
 }
 
 impl StagingPool {
-    /// Hand out a cleared buffer with at least `cap` bytes of capacity.
-    fn take(&mut self, cap: usize) -> Vec<u8> {
+    /// Hand out a cleared replica-staging buffer with at least `cap`
+    /// bytes of capacity.
+    pub(crate) fn take(&mut self, cap: usize) -> Vec<u8> {
         let mut b = self.bufs.pop().unwrap_or_default();
         b.clear();
         if b.capacity() < cap {
@@ -65,9 +84,45 @@ impl StagingPool {
         b
     }
 
-    /// Return used buffers to the pool (empty placeholders are dropped).
-    fn put_back(&mut self, bufs: impl IntoIterator<Item = Vec<u8>>) {
+    /// Return used replica-staging buffers to the pool (empty
+    /// placeholders are dropped).
+    pub(crate) fn put_back(&mut self, bufs: impl IntoIterator<Item = Vec<u8>>) {
         self.bufs.extend(bufs.into_iter().filter(|b| b.capacity() > 0));
+    }
+
+    /// Hand out a cleared loader/copy scratch buffer with at least `cap`
+    /// bytes of capacity.
+    pub(crate) fn take_scratch(&mut self, cap: usize) -> Vec<u8> {
+        let mut b = self.scratch.pop().unwrap_or_default();
+        b.clear();
+        if b.capacity() < cap {
+            self.scratch_allocs += 1;
+            b.reserve_exact(cap);
+        }
+        b
+    }
+
+    /// Return a scratch buffer to the pool.
+    pub(crate) fn put_back_scratch(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > 0 {
+            self.scratch.push(buf);
+        }
+    }
+
+    /// Hand out a cleared write-miss record buffer.
+    pub(crate) fn take_misses(&mut self) -> Vec<acc_kernel_ir::MissRecord> {
+        let mut b = self.miss_bufs.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    /// Reclaim per-GPU miss buffers after the communication phase.
+    pub(crate) fn put_back_misses(
+        &mut self,
+        bufs: impl IntoIterator<Item = Vec<acc_kernel_ir::MissRecord>>,
+    ) {
+        self.miss_bufs
+            .extend(bufs.into_iter().filter(|b| b.capacity() > 0));
     }
 }
 
@@ -139,14 +194,14 @@ impl<'o> OwnerRouter<'o> {
     }
 }
 
-impl<'a> Engine<'a> {
+impl<'a> Run<'a> {
     /// Run the communication phase; transfers are scheduled from `t2`.
     /// Returns the phase end time.
     pub(crate) fn comm_phase(
         &mut self,
         ck: &CompiledKernel,
         binfo: &[ArrLaunch],
-        misses: Vec<Vec<MissRecord>>,
+        misses: &[Vec<MissRecord>],
         t2: f64,
     ) -> Result<f64, RunError> {
         let ngpus = self.cfg.ngpus;
@@ -191,7 +246,7 @@ impl<'a> Engine<'a> {
                     // refreshed on demand by update/copy-out.
                 }
                 Placement::Distributed if bi.writes => {
-                    let e = self.replay_misses(ck, kbuf, bi, &misses, t2)?;
+                    let e = self.replay_misses(ck, kbuf, bi, misses, t2)?;
                     end = end.max(e);
                     // Halos are stale now; keep only owned ranges valid.
                     for g in 0..ngpus {
@@ -426,7 +481,7 @@ impl<'a> Engine<'a> {
         Ok(end)
     }
 
-    /// The host-parallel functional half of [`Engine::sync_replicas`]:
+    /// The host-parallel functional half of [`Run::sync_replicas`]:
     /// stage every dirty source's run bytes (pre-sync values), then let
     /// one thread per destination apply all sources' runs to its own
     /// replica, in *descending* source order.
@@ -445,10 +500,11 @@ impl<'a> Engine<'a> {
         runs: &[Vec<(usize, usize)>],
     ) -> Result<(), RunError> {
         let ngpus = self.cfg.ngpus;
-        // Staging buffers come from the engine-lifetime pool: iterative
-        // programs reconcile the same arrays every superstep, and reusing
-        // capacity keeps the per-launch allocation count flat.
-        let mut pool = std::mem::take(&mut self.staging);
+        // Staging buffers come from the pool the caller lent the run
+        // (engine-lifetime under `Engine`): iterative programs reconcile
+        // the same arrays every superstep, and reusing capacity keeps
+        // the per-launch allocation count flat.
+        let mut pool = std::mem::take(self.staging);
         let mut staged: Vec<Vec<u8>> = vec![Vec::new(); ngpus];
         for g in 0..ngpus {
             if runs[g].is_empty() {
@@ -515,7 +571,7 @@ impl<'a> Engine<'a> {
                 .collect()
         });
         pool.put_back(staged);
-        self.staging = pool;
+        *self.staging = pool;
         for r in results {
             r?;
         }
@@ -864,7 +920,10 @@ impl<'a> Engine<'a> {
             let ga = &self.arrays[arr].gpu[src];
             let sb = self.machine.gpus[src].memory.get(ga.handle.expect("src"))?;
             let off = (lo - ga.window.0) as usize * elem;
-            sb.bytes()[off..off + (hi - lo) as usize * elem].to_vec()
+            let bytes = &sb.bytes()[off..off + (hi - lo) as usize * elem];
+            let mut buf = self.staging.take_scratch(bytes.len());
+            buf.extend_from_slice(bytes);
+            buf
         };
         let ga = &self.arrays[arr].gpu[dst];
         let db = self.machine.gpus[dst]
@@ -872,6 +931,7 @@ impl<'a> Engine<'a> {
             .get_mut(ga.handle.expect("dst"))?;
         let off = (lo - ga.window.0) as usize * elem;
         db.bytes_mut()[off..off + staged.len()].copy_from_slice(&staged);
+        self.staging.put_back_scratch(staged);
         Ok(())
     }
 }

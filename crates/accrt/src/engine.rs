@@ -1,0 +1,422 @@
+//! The reusable, `Send`-shareable runtime engine.
+//!
+//! [`run_program`](crate::run_program) is one-shot: compile elsewhere,
+//! run once, throw the runtime state away. A serving workload (the
+//! `acc-serve` daemon) instead wants **compile-once / run-many** across
+//! many concurrent tenants. [`Engine`] is that handle:
+//!
+//! * **compilation cache** — [`Engine::compile`] is keyed first on the
+//!   `(source, function, options)` request and then on the hash of the
+//!   compiled IR, so textually different requests that lower to the same
+//!   program still share one [`CompiledKernel`] (and its mapper
+//!   history). Repeat requests return the same `Arc` without invoking
+//!   the compiler;
+//! * **shared mapper history** — each cached program carries one
+//!   `TaskMapper` behind a lock. Under
+//!   [`Schedule::CostModel`](crate::Schedule) the per-GPU costs one
+//!   job measures feed the split of the next job running the same
+//!   program — StarPU-style history that only pays off when it is
+//!   shared. Under the default [`Schedule::Equal`](crate::Schedule) the
+//!   mapper is never consulted, so sharing cannot change results and
+//!   every launch stays bit-identical to [`run_program`](crate::run_program);
+//! * **allocation pooling** — the per-run scratch
+//!   (`comm::StagingPool`: replica staging, loader scratch, write-miss
+//!   buffers) is checked out per job and back in afterwards, so a warm
+//!   engine stops allocating;
+//! * **machine-per-job** — [`Engine::launch`] builds a fresh simulated
+//!   [`Machine`] for each job, which is what makes `&self` launches
+//!   safe to run from many threads at once.
+//!
+//! `Engine` is `Send + Sync`; wrap it in an `Arc` and launch from as
+//! many threads as you like.
+
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use acc_compiler::{compile_source, CompileOptions, CompiledProgram};
+use acc_gpusim::{Machine, MachineKind};
+
+use crate::comm::StagingPool;
+use crate::mapper::{SharedMapper, TaskMapper};
+use crate::{run_with, ExecConfig, RunError, RunReport};
+
+/// 64-bit FNV-1a — the repo's no-dependency stable hash.
+fn fnv1a64(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so ("ab","c") and ("a","bc") hash apart.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A cached compiled program plus the cross-request state that rides
+/// with it: its IR hash (the cache identity) and its shared mapper
+/// history.
+///
+/// Dereferences to [`CompiledProgram`], so anything that inspects a
+/// program (`localaccess_ratio()`, `kernels`, …) works on a
+/// `CompiledKernel` unchanged.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    prog: CompiledProgram,
+    ir_hash: u64,
+    mapper: SharedMapper,
+}
+
+impl CompiledKernel {
+    /// Wrap an already-compiled program (no engine involved — useful
+    /// for tests and for adopting programs compiled elsewhere).
+    pub fn from_program(prog: CompiledProgram) -> CompiledKernel {
+        let ir_hash = ir_hash_of(&prog);
+        let mapper = TaskMapper::shared(prog.kernels.len());
+        CompiledKernel {
+            prog,
+            ir_hash,
+            mapper,
+        }
+    }
+
+    /// Hash of the compiled IR — the compilation-cache identity. Two
+    /// requests whose sources lower to the same program get the same
+    /// hash (and, through an [`Engine`], the same `Arc`).
+    pub fn ir_hash(&self) -> u64 {
+        self.ir_hash
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.prog
+    }
+
+    pub(crate) fn mapper(&self) -> SharedMapper {
+        Arc::clone(&self.mapper)
+    }
+}
+
+impl Deref for CompiledKernel {
+    type Target = CompiledProgram;
+    fn deref(&self) -> &CompiledProgram {
+        &self.prog
+    }
+}
+
+/// Stable hash of a compiled program's IR. The IR types don't implement
+/// `Hash`, but they all derive `Debug` with full structural detail, and
+/// the `Debug` rendering is deterministic — hash that.
+fn ir_hash_of(prog: &CompiledProgram) -> u64 {
+    fnv1a64(&[format!("{prog:?}").as_bytes()])
+}
+
+/// Cache + pool state behind the engine's lock.
+#[derive(Default)]
+struct EngineInner {
+    /// Request cache: `(source, function, options)` hash → kernel.
+    by_request: HashMap<u64, Arc<CompiledKernel>>,
+    /// IR cache: compiled-IR hash → kernel (dedups textually different
+    /// requests that lower identically).
+    by_ir: HashMap<u64, Arc<CompiledKernel>>,
+    /// Idle scratch pools, checked out one per in-flight launch.
+    pools: Vec<StagingPool>,
+}
+
+/// Counters for cache effectiveness and pool behaviour.
+///
+/// `cache_hit_rate()` is hits over lookups; a serving workload running
+/// repeated jobs should sit well above 0.9.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// `compile` calls that invoked the compiler.
+    pub compiles: u64,
+    /// `compile` calls answered from the request cache.
+    pub cache_hits: u64,
+    /// Compiler invocations whose output deduplicated against an
+    /// already-cached identical IR.
+    pub ir_dedups: u64,
+    /// Completed `launch` calls (success or failure).
+    pub launches: u64,
+    /// Launches that reused a warm scratch pool instead of creating one.
+    pub pool_reuses: u64,
+}
+
+impl EngineStats {
+    /// Fraction of `compile` lookups served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.compiles;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// The long-lived, thread-shareable runtime handle (see the module
+/// docs). Construct once, share behind an `Arc`, and call
+/// [`Engine::compile`] / [`Engine::launch`] from any thread.
+pub struct Engine {
+    kind: MachineKind,
+    cfg: ExecConfig,
+    inner: Mutex<EngineInner>,
+    compiles: AtomicU64,
+    cache_hits: AtomicU64,
+    ir_dedups: AtomicU64,
+    launches: AtomicU64,
+    pool_reuses: AtomicU64,
+}
+
+impl Engine {
+    /// An engine whose jobs run on fresh machines of `kind` with the
+    /// given default configuration (overridable per launch with
+    /// [`Engine::launch_with`]).
+    pub fn new(kind: MachineKind, cfg: ExecConfig) -> Engine {
+        Engine {
+            kind,
+            cfg,
+            inner: Mutex::new(EngineInner::default()),
+            compiles: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            ir_dedups: AtomicU64::new(0),
+            launches: AtomicU64::new(0),
+            pool_reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// The machine kind each [`Engine::launch`] job runs on.
+    pub fn machine_kind(&self) -> MachineKind {
+        self.kind
+    }
+
+    /// The default launch configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    /// Compile `source`, or return the cached kernel if this request
+    /// (or any request lowering to the same IR) was compiled before.
+    /// The hit path returns the same `Arc`, so pointer equality holds
+    /// across tenants.
+    pub fn compile(
+        &self,
+        source: &str,
+        function: &str,
+        options: &CompileOptions,
+    ) -> Result<Arc<CompiledKernel>, RunError> {
+        self.compile_entry(source, function, options).map(|(ck, _)| ck)
+    }
+
+    /// [`Engine::compile`] plus a flag saying whether this exact
+    /// request was served from the cache (`true`) or had to run the
+    /// compiler (`false`, including the IR-dedup case). `acc-serve`
+    /// uses the flag for per-job cache-hit accounting.
+    pub fn compile_entry(
+        &self,
+        source: &str,
+        function: &str,
+        options: &CompileOptions,
+    ) -> Result<(Arc<CompiledKernel>, bool), RunError> {
+        let key = fnv1a64(&[
+            source.as_bytes(),
+            function.as_bytes(),
+            format!("{options:?}").as_bytes(),
+        ]);
+        {
+            let inner = self.inner.lock().expect("engine lock poisoned");
+            if let Some(ck) = inner.by_request.get(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(ck), true));
+            }
+        }
+        // Compile outside the lock: concurrent misses on different
+        // sources shouldn't serialise on the compiler.
+        let prog = compile_source(source, function, options).map_err(RunError::Compile)?;
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let ir_hash = ir_hash_of(&prog);
+        let mut inner = self.inner.lock().expect("engine lock poisoned");
+        // A racing thread may have finished the same compile first; the
+        // IR map keeps exactly one kernel per distinct program either
+        // way.
+        let ck = match inner.by_ir.get(&ir_hash) {
+            Some(existing) => {
+                self.ir_dedups.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(existing)
+            }
+            None => {
+                let ck = Arc::new(CompiledKernel {
+                    mapper: TaskMapper::shared(prog.kernels.len()),
+                    ir_hash,
+                    prog,
+                });
+                inner.by_ir.insert(ir_hash, Arc::clone(&ck));
+                ck
+            }
+        };
+        inner.by_request.insert(key, Arc::clone(&ck));
+        Ok((ck, false))
+    }
+
+    /// Adopt an already-compiled program into the cache (deduplicated
+    /// by IR hash) — the path for callers that drive the compiler
+    /// themselves but still want shared launches.
+    pub fn insert(&self, prog: CompiledProgram) -> Arc<CompiledKernel> {
+        let ir_hash = ir_hash_of(&prog);
+        let mut inner = self.inner.lock().expect("engine lock poisoned");
+        match inner.by_ir.get(&ir_hash) {
+            Some(existing) => {
+                self.ir_dedups.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(existing)
+            }
+            None => {
+                let ck = Arc::new(CompiledKernel {
+                    mapper: TaskMapper::shared(prog.kernels.len()),
+                    ir_hash,
+                    prog,
+                });
+                inner.by_ir.insert(ir_hash, Arc::clone(&ck));
+                ck
+            }
+        }
+    }
+
+    /// Run one job on a fresh machine with the engine's default
+    /// configuration. Takes `&self`: any number of launches may be in
+    /// flight concurrently.
+    pub fn launch(
+        &self,
+        kernel: &CompiledKernel,
+        scalars: Vec<acc_kernel_ir::Value>,
+        arrays: Vec<acc_kernel_ir::Buffer>,
+    ) -> Result<RunReport, RunError> {
+        let cfg = self.cfg.clone();
+        self.launch_with(kernel, &cfg, scalars, arrays)
+    }
+
+    /// [`Engine::launch`] with a per-job configuration override (GPU
+    /// count, schedule, tracing, …).
+    pub fn launch_with(
+        &self,
+        kernel: &CompiledKernel,
+        cfg: &ExecConfig,
+        scalars: Vec<acc_kernel_ir::Value>,
+        arrays: Vec<acc_kernel_ir::Buffer>,
+    ) -> Result<RunReport, RunError> {
+        let mut machine = Machine::with_kind(self.kind);
+        self.launch_on(kernel, &mut machine, cfg, scalars, arrays)
+    }
+
+    /// [`Engine::launch`] on a caller-provided machine (reset first).
+    /// Still draws scratch from the engine's pools and feeds the
+    /// kernel's shared mapper history.
+    pub fn launch_on(
+        &self,
+        kernel: &CompiledKernel,
+        machine: &mut Machine,
+        cfg: &ExecConfig,
+        scalars: Vec<acc_kernel_ir::Value>,
+        arrays: Vec<acc_kernel_ir::Buffer>,
+    ) -> Result<RunReport, RunError> {
+        let mut pool = {
+            let mut inner = self.inner.lock().expect("engine lock poisoned");
+            inner.pools.pop()
+        }
+        .inspect(|_| {
+            self.pool_reuses.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap_or_default();
+        let result = run_with(
+            machine,
+            cfg,
+            &kernel.prog,
+            scalars,
+            arrays,
+            kernel.mapper(),
+            &mut pool,
+        );
+        self.inner
+            .lock()
+            .expect("engine lock poisoned")
+            .pools
+            .push(pool);
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Snapshot the cache/pool counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            ir_dedups: self.ir_dedups.load(Ordering::Relaxed),
+            launches: self.launches.load(Ordering::Relaxed),
+            pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+void scale(int n, double *a) {
+    #pragma acc data copy(a[0:n])
+    {
+        #pragma acc parallel loop
+        for (int i = 0; i < n; i++) {
+            a[i] = a[i] * 2.0;
+        }
+    }
+}
+"#;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        assert_send_sync::<Engine>();
+        assert_send_sync::<CompiledKernel>();
+    }
+
+    #[test]
+    fn compile_cache_returns_the_same_arc() {
+        let eng = Engine::new(MachineKind::Desktop, ExecConfig::gpus(2));
+        let opts = CompileOptions::proposal();
+        let a = eng.compile(SRC, "scale", &opts).unwrap();
+        let b = eng.compile(SRC, "scale", &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.ir_hash(), b.ir_hash());
+        let s = eng.stats();
+        assert_eq!(s.compiles, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textually_different_requests_dedup_on_ir() {
+        let eng = Engine::new(MachineKind::Desktop, ExecConfig::gpus(2));
+        let opts = CompileOptions::proposal();
+        let a = eng.compile(SRC, "scale", &opts).unwrap();
+        // A trailing comment changes the request key but not the IR.
+        let src2 = format!("{SRC}\n// cosmetic change\n");
+        let b = eng.compile(&src2, "scale", &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same IR must share one kernel");
+        assert_eq!(eng.stats().ir_dedups, 1);
+    }
+
+    #[test]
+    fn compile_errors_are_typed() {
+        let eng = Engine::new(MachineKind::Desktop, ExecConfig::gpus(1));
+        let err = eng
+            .compile("void broken(", "broken", &CompileOptions::proposal())
+            .unwrap_err();
+        assert!(matches!(err, RunError::Compile(_)));
+        assert_eq!(err.code(), "ACC-R010");
+    }
+}

@@ -17,7 +17,7 @@ use ir::{
     SanitizeKind, SanitizeRecord, Value,
 };
 
-use crate::mapper::TaskMapper;
+use crate::mapper::SharedMapper;
 use crate::profiler::Profiler;
 use crate::state::{split_tasks, ArrayState};
 use crate::{ExecConfig, ExecMode, GpuMemReport, RunError, RunReport, SanitizeLevel, Schedule};
@@ -77,6 +77,8 @@ struct Job {
     params: Vec<Value>,
     binds: Vec<JobBind>,
     miss_capacity: usize,
+    /// Pooled write-miss buffer (capacity recycled across launches).
+    miss_buf: Vec<MissRecord>,
     /// Per-buffer sanitizer config; empty disables sanitizing.
     sanitize: Vec<BufSanitize>,
 }
@@ -88,7 +90,12 @@ struct JobBind {
     dirty: Option<DirtyMap>,
 }
 
-pub(crate) struct Engine<'a> {
+/// One program execution in flight. Short-lived: borrows the machine,
+/// the config and (since the [`Engine`](crate::Engine) redesign) the
+/// scratch pool and the per-program mapper history from its caller —
+/// [`run_program`](crate::run_program) lends fresh ones per call, a
+/// long-lived `Engine` lends pooled/shared ones across jobs.
+pub(crate) struct Run<'a> {
     pub machine: &'a mut Machine,
     pub cfg: &'a ExecConfig,
     pub prog: &'a CompiledProgram,
@@ -105,24 +112,32 @@ pub(crate) struct Engine<'a> {
     pub cur_launch: u64,
     pub now: f64,
     /// Per-kernel split history for [`Schedule::CostModel`]; unused (and
-    /// never consulted) under [`Schedule::Equal`].
-    mapper: TaskMapper,
-    /// Reusable staging buffers for the replica-sync functional half
-    /// (its allocation count surfaces as `Profiler::staging_allocs`).
-    pub(crate) staging: crate::comm::StagingPool,
+    /// never consulted) under [`Schedule::Equal`]. Shared behind a lock
+    /// so an `Engine` can carry one history across requests.
+    mapper: SharedMapper,
+    /// Reusable staging/scratch/miss buffers, lent by the caller (the
+    /// replica-staging allocation count surfaces as
+    /// `Profiler::staging_allocs`).
+    pub(crate) staging: &'a mut crate::comm::StagingPool,
+    /// Pool counter values at run start, so the profile reports this
+    /// run's allocations even when the pool is warm from earlier jobs.
+    base_staging_allocs: u64,
+    base_scratch_allocs: u64,
     /// Host wall-clock seconds spent inside communication phases
     /// (including deferred elided syncs).
     pub(crate) comm_wall_s: f64,
 }
 
-impl<'a> Engine<'a> {
+impl<'a> Run<'a> {
     pub fn new(
         machine: &'a mut Machine,
         cfg: &'a ExecConfig,
         prog: &'a CompiledProgram,
         scalars: Vec<Value>,
         host_arrays: Vec<Buffer>,
-    ) -> Engine<'a> {
+        mapper: SharedMapper,
+        staging: &'a mut crate::comm::StagingPool,
+    ) -> Run<'a> {
         let ngpus = if cfg.mode == ExecMode::Gpu {
             cfg.ngpus
         } else {
@@ -136,7 +151,8 @@ impl<'a> Engine<'a> {
         for (i, v) in scalars.into_iter().enumerate() {
             locals[i] = v;
         }
-        Engine {
+        let (base_staging_allocs, base_scratch_allocs) = (staging.allocs, staging.scratch_allocs);
+        Run {
             machine,
             cfg,
             prog,
@@ -148,8 +164,10 @@ impl<'a> Engine<'a> {
             host_counters: OpCounters::default(),
             cur_launch: 0,
             now: 0.0,
-            mapper: TaskMapper::new(prog.kernels.len()),
-            staging: crate::comm::StagingPool::default(),
+            mapper,
+            staging,
+            base_staging_allocs,
+            base_scratch_allocs,
             comm_wall_s: 0.0,
         }
     }
@@ -185,7 +203,8 @@ impl<'a> Engine<'a> {
         let mut profile = Profiler::from_trace(&trace);
         profile.kernel_counters = self.kernel_counters;
         profile.host_counters = self.host_counters;
-        profile.staging_allocs = self.staging.allocs;
+        profile.staging_allocs = self.staging.allocs - self.base_staging_allocs;
+        profile.scratch_allocs = self.staging.scratch_allocs - self.base_scratch_allocs;
         profile.comm_wall_s = self.comm_wall_s;
         debug_assert_eq!(profile.h2d_bytes, self.machine.bus.h2d_bytes);
         debug_assert_eq!(profile.d2h_bytes, self.machine.bus.d2h_bytes);
@@ -498,7 +517,11 @@ impl<'a> Engine<'a> {
         // to a runtime without the cost model.
         let use_mapper = self.cfg.schedule == Schedule::CostModel;
         let (tasks, predicted_s, from_history) = if use_mapper {
-            let plan = self.mapper.plan(kidx, lo, hi, ngpus);
+            let plan = self
+                .mapper
+                .lock()
+                .expect("mapper lock poisoned")
+                .plan(kidx, lo, hi, ngpus);
             (plan.tasks, plan.predicted_s, plan.from_history)
         } else {
             (split_tasks(lo, hi, ngpus), Vec::new(), false)
@@ -550,6 +573,7 @@ impl<'a> Engine<'a> {
                 params: params.clone(),
                 binds,
                 miss_capacity: self.cfg.miss_capacity,
+                miss_buf: self.staging.take_misses(),
                 sanitize: if self.cfg.sanitize == SanitizeLevel::Off {
                     Vec::new()
                 } else {
@@ -674,7 +698,10 @@ impl<'a> Engine<'a> {
                 at: t1,
             });
             let overhead = self.machine.gpus[0].spec.launch_overhead_s;
-            self.mapper.record(kidx, &tasks, &measured_s, overhead);
+            self.mapper
+                .lock()
+                .expect("mapper lock poisoned")
+                .record(kidx, &tasks, &measured_s, overhead);
         }
         self.rec
             .phase(Some(self.cur_launch), PhaseKind::Kernel, t1, t1 + tk);
@@ -698,8 +725,11 @@ impl<'a> Engine<'a> {
         // ---- communication phase ----
         let misses: Vec<Vec<MissRecord>> = job_outs.into_iter().map(|o| o.misses).collect();
         let wall = std::time::Instant::now();
-        let t3 = self.comm_phase(ck, &binfo, misses, t2)?;
+        let t3 = self.comm_phase(ck, &binfo, &misses, t2)?;
         self.comm_wall_s += wall.elapsed().as_secs_f64();
+        // The replay only reads the records; reclaim the buffers so the
+        // next launch (or the pool's next job) skips the allocation.
+        self.staging.put_back_misses(misses);
         self.rec
             .phase(Some(self.cur_launch), PhaseKind::Comm, t2, t3);
         self.now = t3;
@@ -942,7 +972,7 @@ fn run_gpu_job(gpu: &mut Gpu, kernel: &Kernel, mut job: Job) -> Result<JobOut, i
             .iter()
             .map(|r| ir::interp::rmw_identity(r.op, r.ty))
             .collect(),
-        miss_buf: Vec::new(),
+        miss_buf: std::mem::take(&mut job.miss_buf),
         miss_capacity: job.miss_capacity,
         counters: OpCounters::default(),
         per_buf_bytes: vec![(0, 0); n],

@@ -25,6 +25,7 @@
 //! CPU-GPU / GPU-GPU categories of the paper's Fig. 8.
 
 pub mod comm;
+pub mod engine;
 pub mod exec;
 pub mod loader;
 pub mod mapper;
@@ -37,6 +38,7 @@ use acc_gpusim::{Machine, MemError};
 use acc_kernel_ir::{Buffer, ExecError, Value};
 
 pub use acc_obs::{Trace, TraceLevel};
+pub use engine::{CompiledKernel, Engine, EngineStats};
 pub use profiler::{Profiler, TimeBreakdown};
 pub use ranges::RangeSet;
 
@@ -44,8 +46,8 @@ pub use ranges::RangeSet;
 /// `use acc_runtime::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        run_program, ExecConfig, ExecMode, RunError, RunReport, SanitizeLevel, Schedule, Trace,
-        TraceLevel,
+        run_program, CompiledKernel, Engine, EngineStats, Exec, ExecConfig, ExecMode, RunError,
+        RunReport, SanitizeLevel, Schedule, Trace, TraceLevel,
     };
 }
 
@@ -256,9 +258,17 @@ impl ExecConfig {
 ///
 /// `#[non_exhaustive]`: downstream matches need a wildcard arm so new
 /// failure modes can be reported without a breaking change.
+///
+/// Every variant carries a stable diagnostic code (`ACC-RNNN`,
+/// [`RunError::code`]) in the same family as `acc-lint`'s `ACC-E/W/I`
+/// scheme and `acc-serve`'s `ACC-SNNN` — tools print `[code] message`
+/// so scripts can match on the code while the prose stays free to
+/// improve.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum RunError {
+    /// Source-to-IR compilation failed ([`Engine::compile`]).
+    Compile(String),
     /// Kernel or host interpretation failed.
     Exec(ExecError),
     /// Device memory error (including out-of-memory).
@@ -299,9 +309,28 @@ pub enum RunError {
     },
 }
 
+impl RunError {
+    /// The stable diagnostic code for this error (`ACC-RNNN`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            RunError::Compile(_) => "ACC-R010",
+            RunError::Exec(_) => "ACC-R001",
+            RunError::Mem(_) => "ACC-R002",
+            RunError::BadInputs(_) => "ACC-R003",
+            RunError::BadLocalAccess(_) => "ACC-R004",
+            RunError::MissOutsideCoverage { .. } => "ACC-R005",
+            RunError::NotPresent(_) => "ACC-R006",
+            RunError::TooManyGpus { .. } => "ACC-R007",
+            RunError::SanitizeViolation { .. } => "ACC-R008",
+            RunError::ElisionUnsound { .. } => "ACC-R009",
+        }
+    }
+}
+
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            RunError::Compile(m) => write!(f, "compile error: {m}"),
             RunError::Exec(e) => write!(f, "execution error: {e}"),
             RunError::Mem(e) => write!(f, "device memory error: {e}"),
             RunError::BadInputs(m) => write!(f, "bad inputs: {m}"),
@@ -407,12 +436,43 @@ impl RunReport {
 /// `scalars` are the by-value inputs (program scalar-parameter order),
 /// `arrays` the host arrays (program array-parameter order; returned,
 /// possibly modified, in the report). The machine is reset first.
+///
+/// This is the historical one-shot entry point: every call gets a fresh
+/// scratch pool and a fresh mapper history, so repeated calls are
+/// independent and bit-identical. A long-running service should hold an
+/// [`Engine`] instead, which shares the compilation cache, the scratch
+/// pools and (under [`Schedule::CostModel`]) the mapper history across
+/// jobs — see [`Engine::launch`].
 pub fn run_program(
     machine: &mut Machine,
     cfg: &ExecConfig,
     prog: &CompiledProgram,
     scalars: Vec<Value>,
     arrays: Vec<Buffer>,
+) -> Result<RunReport, RunError> {
+    let mut pool = comm::StagingPool::default();
+    run_with(
+        machine,
+        cfg,
+        prog,
+        scalars,
+        arrays,
+        mapper::TaskMapper::shared(prog.kernels.len()),
+        &mut pool,
+    )
+}
+
+/// The shared core under [`run_program`] and [`Engine::launch`]: input
+/// validation, machine reset, then one [`exec::Run`] with the mapper
+/// history and scratch pool the caller lends.
+pub(crate) fn run_with(
+    machine: &mut Machine,
+    cfg: &ExecConfig,
+    prog: &CompiledProgram,
+    scalars: Vec<Value>,
+    arrays: Vec<Buffer>,
+    mapper: mapper::SharedMapper,
+    pool: &mut comm::StagingPool,
 ) -> Result<RunReport, RunError> {
     if cfg.mode == ExecMode::Gpu && (cfg.ngpus == 0 || cfg.ngpus > machine.n_gpus()) {
         return Err(RunError::TooManyGpus {
@@ -456,6 +516,35 @@ pub fn run_program(
     // can cross-check the recorder's spans against what the bus actually
     // scheduled.
     machine.bus.set_journal(cfg.tracing.keeps_spans());
-    let engine = exec::Engine::new(machine, cfg, prog, scalars, arrays);
-    engine.run()
+    let run = exec::Run::new(machine, cfg, prog, scalars, arrays, mapper, pool);
+    run.run()
+}
+
+/// Thin compatibility wrapper preserving the consuming one-shot shape
+/// (`Exec::new(...).run(...)`) on top of [`run_program`].
+///
+/// Kept so code written against the pre-[`Engine`] API keeps compiling
+/// and stays bit-identical; new code should hold an [`Engine`] (for
+/// compile-once/run-many and pooling) or call [`run_program`] directly.
+pub struct Exec<'m> {
+    machine: &'m mut Machine,
+    cfg: ExecConfig,
+}
+
+impl<'m> Exec<'m> {
+    /// Bind a machine and a runtime configuration.
+    pub fn new(machine: &'m mut Machine, cfg: ExecConfig) -> Exec<'m> {
+        Exec { machine, cfg }
+    }
+
+    /// Run one program, consuming the executor. Exactly equivalent to
+    /// [`run_program`] with the same arguments.
+    pub fn run(
+        self,
+        prog: &CompiledProgram,
+        scalars: Vec<Value>,
+        arrays: Vec<Buffer>,
+    ) -> Result<RunReport, RunError> {
+        run_program(self.machine, &self.cfg, prog, scalars, arrays)
+    }
 }

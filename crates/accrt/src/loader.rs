@@ -23,11 +23,11 @@ use acc_kernel_ir::interp::rmw_identity;
 use acc_kernel_ir::{DirtyMap, Ty};
 use acc_obs::{LoaderDecision, TransferKind, TransferSpan};
 
-use crate::exec::{ArrLaunch, Engine};
+use crate::exec::{ArrLaunch, Run};
 use crate::ranges::RangeSet;
 use crate::RunError;
 
-impl<'a> Engine<'a> {
+impl<'a> Run<'a> {
     /// Run the loader for one launch. Returns the simulated end time of
     /// the phase (transfers scheduled from `t0`).
     pub(crate) fn loader_phase(
@@ -148,7 +148,12 @@ impl<'a> Engine<'a> {
                 let elem = self.arrays[arr].elem();
                 let ty = self.arrays[arr].ty;
                 let union = (owin.0.min(want.0), owin.1.max(want.1));
-                let staged = self.machine.gpus[g].memory.get(old_handle)?.bytes().to_vec();
+                let staged = {
+                    let bytes = self.machine.gpus[g].memory.get(old_handle)?.bytes();
+                    let mut buf = self.staging.take_scratch(bytes.len());
+                    buf.extend_from_slice(bytes);
+                    buf
+                };
                 let new_handle = self.machine.gpus[g].memory.alloc(
                     ty,
                     (union.1 - union.0) as usize,
@@ -161,6 +166,7 @@ impl<'a> Engine<'a> {
                 let cost = self.machine.gpus[g]
                     .spec
                     .local_copy_time(staged.len() as u64);
+                self.staging.put_back_scratch(staged);
                 let ga = &mut self.arrays[arr].gpu[g];
                 ga.handle = Some(new_handle);
                 ga.window = union;
@@ -469,8 +475,12 @@ impl<'a> Engine<'a> {
             let ga = &self.arrays[arr].gpu[src];
             let sb = self.machine.gpus[src].memory.get(ga.handle.expect("src window"))?;
             let off = (lo - ga.window.0) as usize * elem;
-            sb.bytes()[off..off + (hi - lo) as usize * elem].to_vec()
+            let bytes = &sb.bytes()[off..off + (hi - lo) as usize * elem];
+            let mut buf = self.staging.take_scratch(bytes.len());
+            buf.extend_from_slice(bytes);
+            buf
         };
+        let nbytes = staged.len() as u64;
         {
             let ga = &self.arrays[arr].gpu[dst];
             let db = self.machine.gpus[dst]
@@ -479,16 +489,17 @@ impl<'a> Engine<'a> {
             let off = (lo - ga.window.0) as usize * elem;
             db.bytes_mut()[off..off + staged.len()].copy_from_slice(&staged);
         }
+        self.staging.put_back_scratch(staged);
         let (start, end) = self.machine.bus.transfer(
             Endpoint::Gpu(src),
             Endpoint::Gpu(dst),
-            staged.len() as u64,
+            nbytes,
             ready,
         );
         self.rec.transfer(TransferSpan {
             kind: TransferKind::P2P,
             array: self.prog.array_params[arr].0.clone(),
-            bytes: staged.len() as u64,
+            bytes: nbytes,
             src: Some(src),
             dst: Some(dst),
             why,

@@ -70,6 +70,10 @@ pub struct Profiler {
     /// Staging buffers the replica-sync pool actually allocated (or
     /// grew); reuse keeps this near the GPU count for iterative programs.
     pub staging_allocs: u64,
+    /// Loader/copy scratch buffers the pool actually allocated (or
+    /// grew) during this run — window-grow moves, peer-sourced fills and
+    /// the serial replica-copy reference path all draw from it.
+    pub scratch_allocs: u64,
     /// Host wall-clock seconds spent inside the communication phase
     /// (functional work + pricing), as opposed to the *simulated*
     /// `time.gpu_gpu`. Filled by the engine, not derived from the trace.
@@ -107,6 +111,7 @@ impl Profiler {
             comm_elided_bytes: c.comm_elided_bytes,
             inferred_annotations: c.inferred_annotations,
             staging_allocs: 0,
+            scratch_allocs: 0,
             comm_wall_s: 0.0,
         }
     }

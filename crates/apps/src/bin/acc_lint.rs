@@ -411,7 +411,9 @@ fn run_audit(args: &Args, name: &str) -> ! {
             std::process::exit(1);
         }
         Err(e) => {
-            eprintln!("acc-lint: {e}");
+            // Typed failure: stable `[ACC-XNNN]` code first, prose after,
+            // so scripts match the code and humans read the message.
+            eprintln!("acc-lint: [{}] {e}", e.code());
             std::process::exit(1);
         }
     }

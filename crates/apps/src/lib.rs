@@ -28,4 +28,7 @@ pub mod md;
 pub mod runner;
 pub mod spmv;
 
-pub use runner::{run_app, run_app_with_config, App, AppResult, Scale, Version};
+pub use runner::{
+    compile_app, compile_app_on, run_app, run_app_with_config, run_app_with_engine, run_compiled,
+    App, AppError, AppResult, Scale, Version,
+};

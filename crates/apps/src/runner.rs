@@ -10,9 +10,13 @@
 //!   instrumentation at all;
 //! * **Proposal** — the paper's system on 1, 2 or 3 GPUs.
 
-use acc_compiler::{compile_source, CompileOptions, CompiledProgram};
-use acc_gpusim::Machine;
-use acc_runtime::{run_program, ExecConfig, GpuMemReport, RunReport, TimeBreakdown};
+use std::sync::{Arc, OnceLock};
+
+use acc_compiler::{CompileOptions, CompiledProgram};
+use acc_gpusim::{Machine, MachineKind};
+use acc_runtime::{
+    CompiledKernel, Engine, ExecConfig, GpuMemReport, RunError, RunReport, TimeBreakdown, Trace,
+};
 
 use crate::{bfs, heat2d, kmeans, md, spmv};
 
@@ -163,11 +167,80 @@ pub struct AppResult {
     pub correct: bool,
     /// Maximum absolute error vs the oracle (0 for exact matches).
     pub max_err: f64,
+    /// Event trace of the run. Empty unless the [`ExecConfig`] asked
+    /// for `TraceLevel::Summary`/`Spans` — `acc-serve` uses this to
+    /// stream a Chrome trace back per job.
+    pub trace: Trace,
 }
 
-/// Compile an application for a version.
-pub fn compile_app(app: App, version: Version) -> Result<CompiledProgram, String> {
-    compile_source(app.source(), app.function(), &version.compile_options())
+/// Typed error surface for the application harness: either the compiler
+/// rejected the source or the runtime rejected/failed the run. Both
+/// carry a stable `ACC-XNNN` code ([`AppError::code`]) so bin targets
+/// print machine-matchable diagnostics instead of ad-hoc strings.
+#[derive(Debug)]
+pub enum AppError {
+    /// Source-to-IR compilation failed.
+    Compile(String),
+    /// The runtime rejected or failed the run.
+    Run(RunError),
+}
+
+impl AppError {
+    /// Stable diagnostic code (the `ACC-RNNN` family).
+    pub fn code(&self) -> &'static str {
+        match self {
+            AppError::Compile(_) => "ACC-R010",
+            AppError::Run(e) => e.code(),
+        }
+    }
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Compile(m) => write!(f, "compile error: {m}"),
+            AppError::Run(e) => e.fmt(f),
+        }
+    }
+}
+impl std::error::Error for AppError {}
+
+impl From<RunError> for AppError {
+    fn from(e: RunError) -> AppError {
+        match e {
+            RunError::Compile(m) => AppError::Compile(m),
+            other => AppError::Run(other),
+        }
+    }
+}
+
+/// The process-wide [`Engine`] behind the harness: every
+/// [`compile_app`] across every test/bench/CLI invocation in the
+/// process shares one compilation cache and one scratch-pool set, so a
+/// matrix of runs compiles each (app, version) pair exactly once.
+pub fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    // The kind only matters for `Engine::launch`; the harness always
+    // supplies its own machine via `launch_on`, and the node preset
+    // covers every GPU count the versions use.
+    ENGINE.get_or_init(|| Engine::new(MachineKind::SupercomputerNode, ExecConfig::gpus(1)))
+}
+
+/// Compile an application for a version (cached: repeat calls return
+/// the same [`CompiledKernel`]).
+pub fn compile_app(app: App, version: Version) -> Result<Arc<CompiledKernel>, AppError> {
+    compile_app_on(engine(), app, version)
+}
+
+/// [`compile_app`] against an explicit [`Engine`] instead of the
+/// process-wide one — `acc-serve` gives each server its own engine so
+/// cache statistics are per-daemon.
+pub fn compile_app_on(
+    engine: &Engine,
+    app: App,
+    version: Version,
+) -> Result<Arc<CompiledKernel>, AppError> {
+    Ok(engine.compile(app.source(), app.function(), &version.compile_options())?)
 }
 
 /// Run one application/version on a machine at a workload scale.
@@ -177,7 +250,7 @@ pub fn run_app(
     machine: &mut Machine,
     scale: Scale,
     seed: u64,
-) -> Result<AppResult, String> {
+) -> Result<AppResult, AppError> {
     run_app_with_config(app, version, machine, scale, seed, &version.exec_config())
 }
 
@@ -191,8 +264,42 @@ pub fn run_app_with_config(
     scale: Scale,
     seed: u64,
     cfg: &ExecConfig,
-) -> Result<AppResult, String> {
-    let prog = compile_app(app, version)?;
+) -> Result<AppResult, AppError> {
+    run_app_with_engine(engine(), app, version, machine, scale, seed, cfg)
+}
+
+/// [`run_app_with_config`] against an explicit [`Engine`].
+pub fn run_app_with_engine(
+    engine: &Engine,
+    app: App,
+    version: Version,
+    machine: &mut Machine,
+    scale: Scale,
+    seed: u64,
+    cfg: &ExecConfig,
+) -> Result<AppResult, AppError> {
+    let prog = compile_app_on(engine, app, version)?;
+    run_compiled(engine, &prog, app, version, machine, scale, seed, cfg)
+}
+
+/// Run an already-compiled application: the generate → launch → oracle
+/// pipeline behind [`run_app`]. Callers that need the per-job cache-hit
+/// flag (acc-serve) compile through [`Engine::compile_entry`] first and
+/// hand the kernel in here.
+#[allow(clippy::too_many_arguments)]
+pub fn run_compiled(
+    engine: &Engine,
+    prog: &Arc<CompiledKernel>,
+    app: App,
+    version: Version,
+    machine: &mut Machine,
+    scale: Scale,
+    seed: u64,
+    cfg: &ExecConfig,
+) -> Result<AppResult, AppError> {
+    let run = |machine: &mut Machine, scalars, arrays| -> Result<RunReport, AppError> {
+        Ok(engine.launch_on(prog, machine, cfg, scalars, arrays)?)
+    };
     let (report, correct, max_err) = match app {
         App::Md => {
             let wcfg = match scale {
@@ -208,7 +315,7 @@ pub fn run_app_with_config(
             let input = md::generate(&wcfg, seed);
             let (scalars, arrays) = md::inputs(&input);
             let report =
-                run_program(machine, cfg, &prog, scalars, arrays).map_err(|e| e.to_string())?;
+                run(machine, scalars, arrays)?;
             let expect = md::reference(&input);
             let got = report.arrays[md::FORCE_ARRAY].to_f64_vec();
             let err = md::max_error(&got, &expect);
@@ -227,7 +334,7 @@ pub fn run_app_with_config(
             let input = kmeans::generate(&wcfg, seed);
             let (scalars, arrays) = kmeans::inputs(&input);
             let report =
-                run_program(machine, cfg, &prog, scalars, arrays).map_err(|e| e.to_string())?;
+                run(machine, scalars, arrays)?;
             let expect = kmeans::reference(&input);
             let got_mem = report.arrays[kmeans::MEMBERSHIP_ARRAY].to_i32_vec();
             let got_clu = report.arrays[kmeans::CLUSTERS_ARRAY].to_f32_vec();
@@ -256,7 +363,7 @@ pub fn run_app_with_config(
             let input = bfs::generate(&wcfg, seed);
             let (scalars, arrays) = bfs::inputs(&input);
             let report =
-                run_program(machine, cfg, &prog, scalars, arrays).map_err(|e| e.to_string())?;
+                run(machine, scalars, arrays)?;
             let expect = bfs::reference(&input);
             let got = report.arrays[bfs::LEVELS_ARRAY].to_i32_vec();
             let ok = got == expect;
@@ -270,7 +377,7 @@ pub fn run_app_with_config(
             let input = spmv::generate(&wcfg, seed);
             let (scalars, arrays) = spmv::inputs(&input);
             let report =
-                run_program(machine, cfg, &prog, scalars, arrays).map_err(|e| e.to_string())?;
+                run(machine, scalars, arrays)?;
             let expect = spmv::reference(&input);
             let got = report.arrays[spmv::Y_ARRAY].to_f64_vec();
             // Each row's sum is computed by one thread in program order on
@@ -291,7 +398,7 @@ pub fn run_app_with_config(
             let input = heat2d::generate(&wcfg, seed);
             let (scalars, arrays) = heat2d::inputs(&input);
             let report =
-                run_program(machine, cfg, &prog, scalars, arrays).map_err(|e| e.to_string())?;
+                run(machine, scalars, arrays)?;
             let expect = heat2d::reference(&input);
             let err = heat2d::max_error(
                 &report.arrays[heat2d::PLATE_ARRAY].to_f64_vec(),
@@ -301,7 +408,7 @@ pub fn run_app_with_config(
             (report, ok, err)
         }
     };
-    Ok(result_from(app, version, &prog, report, correct, max_err))
+    Ok(result_from(app, version, prog, report, correct, max_err))
 }
 
 fn result_from(
@@ -325,6 +432,7 @@ fn result_from(
         comm_wall_s: report.profile.comm_wall_s,
         correct,
         max_err,
+        trace: report.trace,
     }
 }
 

@@ -151,7 +151,13 @@ fn run_trace_target(args: &Args) {
     let mut m = Machine::supercomputer_node();
     let (scalars, arrays) = acc_apps::heat2d::inputs(&input);
     let ec = ExecConfig::gpus(3).tracing(TraceLevel::Spans);
-    let r = run_program(&mut m, &ec, &prog, scalars, arrays).expect("run");
+    let r = match run_program(&mut m, &ec, &prog, scalars, arrays) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("figures: trace run failed: [{}] {e}", e.code());
+            std::process::exit(1);
+        }
+    };
     print!("{}", r.trace.summary_table());
     let path = args
         .json
@@ -202,6 +208,18 @@ fn run_bench_target(args: &Args) {
             c.matches_annotated
         );
     }
+    let serve = bench_serve(8, 6, true);
+    println!(
+        "  serve: {} tenants x {} jobs: {:.1} jobs/s, p50 {:.1} ms, p99 {:.1} ms, \
+         cache hit rate {:.1}%, correct {}",
+        serve.tenants,
+        serve.jobs_per_tenant,
+        serve.jobs_per_s,
+        serve.p50_ms,
+        serve.p99_ms,
+        serve.cache_hit_rate * 100.0,
+        serve.all_correct
+    );
     let json = Value::obj([
         ("scale", Value::str(scale_name)),
         ("seed", Value::num(args.seed as f64)),
@@ -244,6 +262,21 @@ fn run_bench_target(args: &Args) {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "serve",
+            Value::obj([
+                ("tenants", Value::num(serve.tenants as f64)),
+                ("jobs_per_tenant", Value::num(serve.jobs_per_tenant as f64)),
+                ("jobs_total", Value::num(serve.jobs_total as f64)),
+                ("jobs_ok", Value::num(serve.jobs_ok as f64)),
+                ("wall_s", Value::num(serve.wall_s)),
+                ("jobs_per_s", Value::num(serve.jobs_per_s)),
+                ("p50_ms", Value::num(serve.p50_ms)),
+                ("p99_ms", Value::num(serve.p99_ms)),
+                ("cache_hit_rate", Value::num(serve.cache_hit_rate)),
+                ("all_correct", Value::Bool(serve.all_correct)),
+            ]),
         ),
     ])
     .to_string_pretty();

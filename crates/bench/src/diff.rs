@@ -59,6 +59,19 @@ pub struct CommExpPoint {
     pub matches_annotated: bool,
 }
 
+/// The parsed `serve` section: one in-process daemon throughput
+/// measurement (see `acc_bench::bench_serve`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSection {
+    pub tenants: usize,
+    pub jobs_total: usize,
+    pub jobs_per_s: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub cache_hit_rate: f64,
+    pub all_correct: bool,
+}
+
 /// One parsed `BENCH_runtime.json` artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchFile {
@@ -67,6 +80,8 @@ pub struct BenchFile {
     pub points: Vec<BenchPoint>,
     /// Empty for artifacts written before the section existed.
     pub comm_experiments: Vec<CommExpPoint>,
+    /// `None` for artifacts written before the daemon existed.
+    pub serve: Option<ServeSection>,
 }
 
 /// Parse a `BENCH_runtime.json` document.
@@ -150,7 +165,33 @@ pub fn parse_bench_file(src: &str, which: &str) -> Result<BenchFile, String> {
             });
         }
     }
-    Ok(BenchFile { scale, seed, points, comm_experiments })
+    // Like `comm_experiments`, the `serve` section postdates the first
+    // committed artifacts: an old baseline without it is "section not
+    // yet recorded", never a mismatch. A present section must parse.
+    let serve = match doc.get("serve") {
+        None | Some(Value::Null) => None,
+        Some(s) => {
+            let num = |key: &str| -> Result<f64, String> {
+                s.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{which}: serve: bad `{key}`"))
+            };
+            let all_correct = match s.get("all_correct") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err(format!("{which}: serve: bad `all_correct`")),
+            };
+            Some(ServeSection {
+                tenants: num("tenants")? as usize,
+                jobs_total: num("jobs_total")? as usize,
+                jobs_per_s: num("jobs_per_s")?,
+                p50_ms: num("p50_ms")?,
+                p99_ms: num("p99_ms")?,
+                cache_hit_rate: num("cache_hit_rate")?,
+                all_correct,
+            })
+        }
+    };
+    Ok(BenchFile { scale, seed, points, comm_experiments, serve })
 }
 
 /// One old-vs-new point comparison.
@@ -172,6 +213,9 @@ pub struct DiffReport {
     pub lines: Vec<DiffLine>,
     /// Human-readable failures; non-empty means the diff should fail.
     pub problems: Vec<String>,
+    /// Informational observations (e.g. a section the old baseline
+    /// predates); never fail the diff.
+    pub notes: Vec<String>,
 }
 
 impl DiffReport {
@@ -204,6 +248,9 @@ impl DiffReport {
                 "  {:<8} {:>5} {:>11.3}s {:>11.3}s {:>7.2}x  {}",
                 l.app, l.ngpus, l.old_wall_s, l.new_wall_s, l.ratio, verdict
             );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "NOTE: {n}");
         }
         for p in &self.problems {
             let _ = writeln!(out, "FAIL: {p}");
@@ -339,7 +386,62 @@ pub fn diff_bench(old: &BenchFile, new: &BenchFile, wall_tolerance: f64) -> Diff
             ));
         }
     }
+    diff_serve(old, new, &mut r);
     r
+}
+
+/// Hit rate below which the serve section fails the diff: repeated
+/// mixed jobs over three programs must be nearly all cache hits.
+const SERVE_MIN_HIT_RATE: f64 = 0.90;
+
+/// Compare the `serve` sections. A baseline that predates the section
+/// gets a note, not a failure — the section being *added* is the
+/// expected one-time event, only its *removal* is a regression.
+fn diff_serve(old: &BenchFile, new: &BenchFile, r: &mut DiffReport) {
+    let (os, ns) = match (&old.serve, &new.serve) {
+        (None, None) => return,
+        (None, Some(ns)) => {
+            r.notes.push(format!(
+                "serve section added ({} tenants, {} jobs, {:.1} jobs/s, hit rate {:.1}%)",
+                ns.tenants,
+                ns.jobs_total,
+                ns.jobs_per_s,
+                ns.cache_hit_rate * 100.0
+            ));
+            // No baseline to compare against, but the absolute guards
+            // below still apply to the new section.
+            (None, ns)
+        }
+        (Some(_), None) => {
+            r.problems
+                .push("serve section present in old but missing from new".to_string());
+            return;
+        }
+        (Some(os), Some(ns)) => (Some(os), ns),
+    };
+    if !ns.all_correct {
+        r.problems
+            .push("serve section reports all_correct=false".to_string());
+    }
+    if ns.cache_hit_rate <= SERVE_MIN_HIT_RATE {
+        r.problems.push(format!(
+            "serve cache hit rate {:.1}% is not above {:.0}%",
+            ns.cache_hit_rate * 100.0,
+            SERVE_MIN_HIT_RATE * 100.0
+        ));
+    }
+    if let Some(os) = os {
+        if ns.tenants < os.tenants {
+            r.problems.push(format!(
+                "serve tenants dropped {} -> {}",
+                os.tenants, ns.tenants
+            ));
+        }
+        r.notes.push(format!(
+            "serve throughput {:.1} -> {:.1} jobs/s, p50 {:.1} -> {:.1} ms, p99 {:.1} -> {:.1} ms",
+            os.jobs_per_s, ns.jobs_per_s, os.p50_ms, ns.p50_ms, os.p99_ms, ns.p99_ms
+        ));
+    }
 }
 
 /// End-to-end entry used by `figures -- bench-diff`: parse both
@@ -495,6 +597,95 @@ mod tests {
             "{:?}",
             r.problems
         );
+    }
+
+    fn artifact_with_serve(hit_rate: f64, correct: bool, tenants: f64) -> String {
+        Value::obj([
+            ("scale", Value::str("small")),
+            ("seed", Value::num(42.0)),
+            ("points", Value::Arr(vec![])),
+            (
+                "serve",
+                Value::obj([
+                    ("tenants", Value::num(tenants)),
+                    ("jobs_per_tenant", Value::num(6.0)),
+                    ("jobs_total", Value::num(tenants * 6.0)),
+                    ("jobs_ok", Value::num(tenants * 6.0)),
+                    ("jobs_per_s", Value::num(120.0)),
+                    ("p50_ms", Value::num(8.0)),
+                    ("p99_ms", Value::num(30.0)),
+                    ("cache_hit_rate", Value::num(hit_rate)),
+                    ("all_correct", Value::Bool(correct)),
+                ]),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    #[test]
+    fn serve_section_added_is_a_note_not_a_failure() {
+        // The committed baseline predates the daemon: a new artifact
+        // carrying the section must pass with a note, not fail on a
+        // "missing section" mismatch.
+        let old = artifact("small", 42, &[("md", 1, 1.0, 0.5, true)]);
+        let mut new_doc = artifact_with_serve(0.95, true, 8.0);
+        // Give the new artifact the same points as the old one.
+        new_doc = new_doc.replace("\"points\": []", &format!(
+            "\"points\": {}",
+            Value::Arr(vec![Value::obj([
+                ("app", Value::str("md")),
+                ("ngpus", Value::num(1.0)),
+                ("wall_best_s", Value::num(1.0)),
+                ("wall_mean_s", Value::num(1.1)),
+                ("sim_s", Value::num(0.5)),
+                ("correct", Value::Bool(true)),
+            ])])
+            .to_string_compact()
+        ));
+        let r = bench_diff(&old, &new_doc, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(!r.failed(), "{:?}", r.problems);
+        assert!(
+            r.notes.iter().any(|n| n.contains("serve section added")),
+            "{:?}",
+            r.notes
+        );
+        assert!(r.render().contains("NOTE: serve section added"));
+    }
+
+    #[test]
+    fn serve_section_removal_fails() {
+        let old = artifact_with_serve(0.95, true, 8.0);
+        let new = artifact("small", 42, &[]);
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.failed());
+        assert!(r.problems.iter().any(|p| p.contains("missing from new")));
+    }
+
+    #[test]
+    fn serve_guards_hit_rate_correctness_and_tenants() {
+        let old = artifact_with_serve(0.95, true, 8.0);
+        let bad_rate = artifact_with_serve(0.85, true, 8.0);
+        let r = bench_diff(&old, &bad_rate, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.problems.iter().any(|p| p.contains("hit rate")), "{:?}", r.problems);
+
+        let bad_correct = artifact_with_serve(0.95, false, 8.0);
+        let r = bench_diff(&old, &bad_correct, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.problems.iter().any(|p| p.contains("all_correct=false")));
+
+        let fewer_tenants = artifact_with_serve(0.95, true, 4.0);
+        let r = bench_diff(&old, &fewer_tenants, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.problems.iter().any(|p| p.contains("tenants dropped")));
+
+        // Hit-rate guard also applies when the old baseline lacks the
+        // section entirely.
+        let no_serve = artifact("small", 42, &[]);
+        let r = bench_diff(&no_serve, &bad_rate, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.failed());
+
+        let ok = artifact_with_serve(0.97, true, 8.0);
+        let r = bench_diff(&old, &ok, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(!r.failed(), "{:?}", r.problems);
+        assert!(r.notes.iter().any(|n| n.contains("serve throughput")));
     }
 
     #[test]

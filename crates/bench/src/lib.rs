@@ -899,6 +899,117 @@ pub fn bench_comm(scale: Scale, seed: u64, progress: bool) -> Vec<CommPoint> {
     out
 }
 
+/// One throughput measurement of the `bench` target's `serve` section:
+/// `tenants` concurrent clients each pushing `jobs_per_tenant` mixed
+/// jobs through one in-process [`acc_serve::Server`].
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    pub tenants: usize,
+    pub jobs_per_tenant: usize,
+    /// Jobs submitted (`tenants * jobs_per_tenant`).
+    pub jobs_total: usize,
+    /// Jobs that completed with a summary.
+    pub jobs_ok: usize,
+    /// Every completed job passed its oracle.
+    pub all_correct: bool,
+    /// End-to-end wall-clock for the whole fleet, seconds.
+    pub wall_s: f64,
+    /// Completed jobs per wall-clock second.
+    pub jobs_per_s: f64,
+    /// Median per-job latency (submit → summary), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-job latency, milliseconds.
+    pub p99_ms: f64,
+    /// Fraction of jobs whose compile was a request-cache hit.
+    pub cache_hit_rate: f64,
+}
+
+/// Measure daemon throughput in-process (no socket: the numbers track
+/// queueing + engine cost, not loopback TCP). Tenants cycle through the
+/// cheap communication-diverse apps (HEAT2D, BFS, MD) at `Scale::Small`
+/// and GPU counts 1–3, so a fleet of `tenants * jobs_per_tenant` jobs
+/// needs exactly three compiles — every later job must be a cache hit.
+pub fn bench_serve(tenants: usize, jobs_per_tenant: usize, progress: bool) -> ServePoint {
+    use acc_serve::{JobRequest, Server, ServerConfig};
+
+    let apps = [App::Heat2d, App::Bfs, App::Md];
+    let jobs_total = tenants * jobs_per_tenant;
+    if progress {
+        eprintln!("  bench: serve {tenants} tenants x {jobs_per_tenant} jobs");
+    }
+    let server = Server::new(ServerConfig {
+        workers: tenants,
+        queue_cap: jobs_total.max(1),
+        default_timeout_ms: 600_000,
+        ..ServerConfig::default()
+    });
+    let workers = server.spawn_workers(tenants);
+    let t0 = std::time::Instant::now();
+    let tenant_threads: Vec<_> = (0..tenants)
+        .map(|t| {
+            let srv = std::sync::Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut lat_ms = Vec::with_capacity(jobs_per_tenant);
+                let mut hits = 0usize;
+                let mut ok = 0usize;
+                let mut correct = true;
+                for i in 0..jobs_per_tenant {
+                    let mut req = JobRequest::new(apps[(t + i) % apps.len()], 1 + (t + i) % 3);
+                    req.seed = 42;
+                    let j0 = std::time::Instant::now();
+                    match srv.run_sync(req) {
+                        Ok(summary) => {
+                            lat_ms.push(j0.elapsed().as_secs_f64() * 1e3);
+                            ok += 1;
+                            hits += summary.cache_hit as usize;
+                            correct &= summary.correct;
+                        }
+                        Err(_) => correct = false,
+                    }
+                }
+                (lat_ms, hits, ok, correct)
+            })
+        })
+        .collect();
+    let mut lat_ms = Vec::with_capacity(jobs_total);
+    let mut hits = 0usize;
+    let mut jobs_ok = 0usize;
+    let mut all_correct = true;
+    for t in tenant_threads {
+        let (l, h, o, c) = t.join().expect("tenant thread");
+        lat_ms.extend(l);
+        hits += h;
+        jobs_ok += o;
+        all_correct &= c;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    for w in workers {
+        let _ = w.join();
+    }
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+    // Nearest-rank percentile on the completed-job latencies.
+    let pct = |q: f64| -> f64 {
+        if lat_ms.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * lat_ms.len() as f64).ceil() as usize).clamp(1, lat_ms.len());
+        lat_ms[rank - 1]
+    };
+    ServePoint {
+        tenants,
+        jobs_per_tenant,
+        jobs_total,
+        jobs_ok,
+        all_correct,
+        wall_s,
+        jobs_per_s: if wall_s > 0.0 { jobs_ok as f64 / wall_s } else { 0.0 },
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        cache_hit_rate: if jobs_ok > 0 { hits as f64 / jobs_ok as f64 } else { 0.0 },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,169 @@
+//! `acc-serve` — run the compile-and-run daemon.
+//!
+//! ```text
+//! acc-serve [--addr 127.0.0.1:0] [--workers N] [--queue N]
+//!           [--timeout-ms N] [--mem-budget-bytes N]
+//!           [--machine desktop|node] [--smoke]
+//! ```
+//!
+//! Without `--smoke` the daemon binds, prints one
+//! `acc-serve: listening on ADDR` line (port 0 binds an ephemeral
+//! port), and serves until a client sends `{"cmd":"shutdown"}`.
+//!
+//! `--smoke` is the CI mode: it starts the daemon on an ephemeral
+//! port, drives heat2d and bfs jobs from two concurrent client
+//! threads, checks every summary, prints the daemon stats, shuts the
+//! daemon down cleanly, and exits non-zero on any failure.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use acc_gpusim::MachineKind;
+use acc_obs::json::Value;
+use acc_serve::{Client, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: acc-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--timeout-ms N] [--mem-budget-bytes N] [--machine desktop|node] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (String, ServerConfig, bool) {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("acc-serve: {flag} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => {
+                cfg.workers = value("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue" => cfg.queue_cap = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => {
+                cfg.default_timeout_ms = value("--timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--mem-budget-bytes" => {
+                cfg.default_mem_budget_bytes =
+                    Some(value("--mem-budget-bytes").parse().unwrap_or_else(|_| usage()))
+            }
+            "--machine" => {
+                cfg.kind = match value("--machine").as_str() {
+                    "desktop" => MachineKind::Desktop,
+                    "node" => MachineKind::SupercomputerNode,
+                    other => {
+                        eprintln!("acc-serve: unknown machine {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("acc-serve: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    (addr, cfg, smoke)
+}
+
+fn main() {
+    let (addr, cfg, smoke) = parse_args();
+    if smoke {
+        if let Err(msg) = run_smoke(&addr, cfg) {
+            eprintln!("acc-serve: smoke FAILED: {msg}");
+            std::process::exit(1);
+        }
+        println!("acc-serve: smoke OK");
+        return;
+    }
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("acc-serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener.local_addr().expect("bound listener has an address");
+    println!("acc-serve: listening on {local}");
+    let server = Server::new(cfg);
+    let workers = server.spawn_workers(server.config().workers);
+    if let Err(e) = server.serve_tcp(&listener.try_clone().expect("clone listener")) {
+        eprintln!("acc-serve: accept loop failed: {e}");
+    }
+    drop(listener);
+    for w in workers {
+        let _ = w.join();
+    }
+    println!("acc-serve: shut down cleanly");
+}
+
+/// The CI scenario: daemon + two tenant threads + clean shutdown.
+fn run_smoke(addr: &str, mut cfg: ServerConfig) -> Result<(), String> {
+    cfg.workers = cfg.workers.max(2);
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("acc-serve: smoke daemon on {local}");
+    let server = Server::new(cfg);
+    let workers = server.spawn_workers(server.config().workers);
+    let acceptor = {
+        let srv = Arc::clone(&server);
+        std::thread::spawn(move || srv.serve_tcp(&listener))
+    };
+
+    let tenant = |app: &'static str, ngpus: usize, jobs: usize| {
+        std::thread::spawn(move || -> Result<(), String> {
+            let mut client =
+                Client::connect(local).map_err(|e| format!("{app}: connect: {e}"))?;
+            for i in 0..jobs {
+                let req_json = Value::obj([
+                    ("cmd", Value::str("run")),
+                    ("app", Value::str(app)),
+                    ("ngpus", Value::num(ngpus as f64)),
+                    ("seed", Value::num(42.0 + i as f64)),
+                ]);
+                let resp = client
+                    .request(&req_json)
+                    .map_err(|e| format!("{app} job {i}: [{}] {e}", e.code()))?;
+                match resp.get("correct") {
+                    Some(Value::Bool(true)) => {}
+                    other => return Err(format!("{app} job {i}: not correct: {other:?}")),
+                }
+            }
+            Ok(())
+        })
+    };
+
+    let t1 = tenant("heat2d", 2, 3);
+    let t2 = tenant("bfs", 2, 3);
+    for t in [t1, t2] {
+        t.join().map_err(|_| "tenant thread panicked".to_string())??;
+    }
+
+    let mut client = Client::connect(local).map_err(|e| format!("stats connect: {e}"))?;
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    println!("acc-serve: smoke stats {}", stats.to_string_compact());
+    let jobs_ok = stats.get("jobs_ok").and_then(Value::as_f64).unwrap_or(0.0);
+    if jobs_ok < 6.0 {
+        return Err(format!("expected >= 6 completed jobs, got {jobs_ok}"));
+    }
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+
+    acceptor
+        .join()
+        .map_err(|_| "acceptor thread panicked".to_string())?
+        .map_err(|e| format!("accept loop: {e}"))?;
+    for w in workers {
+        w.join().map_err(|_| "worker thread panicked".to_string())?;
+    }
+    if !server.is_shutting_down() {
+        return Err("server did not record shutdown".into());
+    }
+    Ok(())
+}

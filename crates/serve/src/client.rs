@@ -1,0 +1,71 @@
+//! A small blocking client for the line protocol.
+//!
+//! One [`Client`] is one connection; requests are serialised on it
+//! (send a line, read a line). Tenants wanting parallelism open one
+//! client per thread — the daemon handles each connection on its own
+//! thread.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use acc_obs::json::Value;
+
+use crate::error::ServeError;
+use crate::protocol::{decode_response, JobRequest, JobSummary};
+
+/// A blocking connection to an `acc-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request object and decode the one-line response.
+    /// Server-side failures come back as [`ServeError::Remote`] with
+    /// the original `ACC-XNNN` code.
+    pub fn request(&mut self, req: &Value) -> Result<Value, ServeError> {
+        let mut line = req.to_string_compact();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ServeError::Io("server closed the connection".into()));
+        }
+        decode_response(response.trim())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.request(&Value::obj([("cmd", Value::str("ping"))]))
+            .map(|_| ())
+    }
+
+    /// Submit a job and wait for its summary.
+    pub fn run(&mut self, req: &JobRequest) -> Result<JobSummary, ServeError> {
+        let v = self.request(&req.to_json())?;
+        JobSummary::from_json(&v)
+    }
+
+    /// Snapshot the daemon's counters.
+    pub fn stats(&mut self) -> Result<Value, ServeError> {
+        self.request(&Value::obj([("cmd", Value::str("stats"))]))
+    }
+
+    /// Ask the daemon to stop admitting jobs and exit its accept loop.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.request(&Value::obj([("cmd", Value::str("shutdown"))]))
+            .map(|_| ())
+    }
+}

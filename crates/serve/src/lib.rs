@@ -1,0 +1,34 @@
+//! # acc-serve — multi-tenant compile-and-run daemon
+//!
+//! A long-running service wrapping one [`acc_runtime::Engine`]: clients
+//! submit compile+run jobs over a local TCP socket and get back a
+//! summary (and optionally a Chrome trace) per job. Many tenants share
+//! one compilation cache, one scratch-pool set, and per-kernel mapper
+//! history, so a fleet of repeated jobs compiles each distinct program
+//! once and reuses warm pools for every launch.
+//!
+//! The wire protocol is newline-delimited JSON built on
+//! [`acc_obs::json`] (the repo has no serde); see `docs/serving.md` for
+//! the full request/response schema, the cache-keying rules, and the
+//! memory-budget semantics. Every failure carries a stable `ACC-SNNN`
+//! (server) or `ACC-RNNN` (runtime) code via [`ServeError::code`].
+//!
+//! Layering:
+//!
+//! * [`protocol`] — request/response framing and the [`JobRequest`] /
+//!   [`JobSummary`] types;
+//! * [`server`] — the bounded job queue, worker pool, and TCP accept
+//!   loop;
+//! * [`client`] — a small blocking client used by the CLI, the smoke
+//!   test, and the throughput bench;
+//! * [`error`] — the [`ServeError`] hierarchy.
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use error::ServeError;
+pub use protocol::{JobRequest, JobSummary, Request};
+pub use server::{Server, ServerConfig};
