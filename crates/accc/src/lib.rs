@@ -66,6 +66,13 @@ pub struct CompileOptions {
     /// [`infer`]). Off by default so unannotated sources keep the
     /// paper's replica semantics unless explicitly opted in.
     pub infer_localaccess: bool,
+    /// Execute kernels through the SSA-optimizing register VM
+    /// (`acc_kernel_ir::regvm`) instead of the fused bytecode
+    /// interpreter. `OpCounters` are priced from the pre-optimization IR,
+    /// so simulated times are identical either way; only host wall time
+    /// changes. Off by default; kernels the optimizer cannot statically
+    /// type fall back to bytecode.
+    pub optimize_kernels: bool,
 }
 
 impl CompileOptions {
@@ -76,6 +83,7 @@ impl CompileOptions {
             layout_transform: true,
             instrument: true,
             infer_localaccess: false,
+            optimize_kernels: false,
         }
     }
 
@@ -87,6 +95,7 @@ impl CompileOptions {
             layout_transform: false,
             instrument: false,
             infer_localaccess: false,
+            optimize_kernels: false,
         }
     }
 
@@ -97,6 +106,7 @@ impl CompileOptions {
             layout_transform: true,
             instrument: false,
             infer_localaccess: false,
+            optimize_kernels: false,
         }
     }
 }

@@ -498,6 +498,7 @@ mod tests {
         assert!(codes(&lint(src)).is_empty());
         let opts = CompileOptions {
             infer_localaccess: true,
+            optimize_kernels: false,
             ..CompileOptions::proposal()
         };
         let d = lint_source_with(src, &opts).unwrap();
@@ -522,6 +523,7 @@ mod tests {
              }";
         let opts = CompileOptions {
             infer_localaccess: true,
+            optimize_kernels: false,
             ..CompileOptions::proposal()
         };
         let d = lint_source_with(src, &opts).unwrap();

@@ -115,16 +115,62 @@ fn ir_hash_of(prog: &CompiledProgram) -> u64 {
     fnv1a64(&[format!("{prog:?}").as_bytes()])
 }
 
+/// One cached kernel plus its recency stamp for LRU eviction.
+struct CacheEntry {
+    kernel: Arc<CompiledKernel>,
+    last_used: u64,
+}
+
 /// Cache + pool state behind the engine's lock.
 #[derive(Default)]
 struct EngineInner {
-    /// Request cache: `(source, function, options)` hash → kernel.
-    by_request: HashMap<u64, Arc<CompiledKernel>>,
+    /// Request cache: `(source, function, options)` hash → kernel. The
+    /// options are part of the key, so e.g. an `optimize_kernels`
+    /// recompile of the same source gets its own entry.
+    by_request: HashMap<u64, CacheEntry>,
     /// IR cache: compiled-IR hash → kernel (dedups textually different
     /// requests that lower identically).
-    by_ir: HashMap<u64, Arc<CompiledKernel>>,
+    by_ir: HashMap<u64, CacheEntry>,
+    /// Monotonic recency clock shared by both maps.
+    tick: u64,
     /// Idle scratch pools, checked out one per in-flight launch.
     pools: Vec<StagingPool>,
+}
+
+impl EngineInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Insert into a bounded cache map, evicting the least-recently-used
+/// entry first when at capacity. Eviction only drops the map's `Arc`:
+/// tenants still holding the kernel keep using it, and its shared
+/// mapper history dies only when the last holder lets go.
+fn insert_bounded(
+    map: &mut HashMap<u64, CacheEntry>,
+    key: u64,
+    kernel: Arc<CompiledKernel>,
+    tick: u64,
+    cap: usize,
+    evictions: &AtomicU64,
+) {
+    if !map.contains_key(&key) && map.len() >= cap.max(1) {
+        // O(n) min-scan; the capacity is small (default 256) and
+        // insertions only happen on compile misses.
+        if let Some((&oldest, _)) = map.iter().min_by_key(|(_, e)| e.last_used) {
+            map.remove(&oldest);
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    map.insert(
+        key,
+        CacheEntry {
+            kernel,
+            last_used: tick,
+        },
+    );
 }
 
 /// Counters for cache effectiveness and pool behaviour.
@@ -144,6 +190,11 @@ pub struct EngineStats {
     pub launches: u64,
     /// Launches that reused a warm scratch pool instead of creating one.
     pub pool_reuses: u64,
+    /// Cache entries dropped by the bounded LRU (request and IR maps
+    /// together). A steadily climbing value under a steady tenant set
+    /// means the capacity ([`Engine::with_cache_capacity`]) is too small
+    /// and compiles are being redone.
+    pub evictions: u64,
 }
 
 impl EngineStats {
@@ -164,13 +215,19 @@ impl EngineStats {
 pub struct Engine {
     kind: MachineKind,
     cfg: ExecConfig,
+    cache_capacity: usize,
     inner: Mutex<EngineInner>,
     compiles: AtomicU64,
     cache_hits: AtomicU64,
     ir_dedups: AtomicU64,
     launches: AtomicU64,
     pool_reuses: AtomicU64,
+    evictions: AtomicU64,
 }
+
+/// Default bound on each compilation-cache map (requests and IRs are
+/// capped independently).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
 impl Engine {
     /// An engine whose jobs run on fresh machines of `kind` with the
@@ -180,13 +237,23 @@ impl Engine {
         Engine {
             kind,
             cfg,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
             inner: Mutex::new(EngineInner::default()),
             compiles: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             ir_dedups: AtomicU64::new(0),
             launches: AtomicU64::new(0),
             pool_reuses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Bound each compilation-cache map at `cap` entries (least
+    /// recently used evicted first; clamped to at least 1). The default
+    /// is [`DEFAULT_CACHE_CAPACITY`].
+    pub fn with_cache_capacity(mut self, cap: usize) -> Engine {
+        self.cache_capacity = cap.max(1);
+        self
     }
 
     /// The machine kind each [`Engine::launch`] job runs on.
@@ -228,10 +295,12 @@ impl Engine {
             format!("{options:?}").as_bytes(),
         ]);
         {
-            let inner = self.inner.lock().expect("engine lock poisoned");
-            if let Some(ck) = inner.by_request.get(&key) {
+            let mut inner = self.inner.lock().expect("engine lock poisoned");
+            let tick = inner.next_tick();
+            if let Some(e) = inner.by_request.get_mut(&key) {
+                e.last_used = tick;
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((Arc::clone(ck), true));
+                return Ok((Arc::clone(&e.kernel), true));
             }
         }
         // Compile outside the lock: concurrent misses on different
@@ -240,13 +309,15 @@ impl Engine {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         let ir_hash = ir_hash_of(&prog);
         let mut inner = self.inner.lock().expect("engine lock poisoned");
+        let tick = inner.next_tick();
         // A racing thread may have finished the same compile first; the
         // IR map keeps exactly one kernel per distinct program either
         // way.
-        let ck = match inner.by_ir.get(&ir_hash) {
+        let ck = match inner.by_ir.get_mut(&ir_hash) {
             Some(existing) => {
+                existing.last_used = tick;
                 self.ir_dedups.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(existing)
+                Arc::clone(&existing.kernel)
             }
             None => {
                 let ck = Arc::new(CompiledKernel {
@@ -254,11 +325,25 @@ impl Engine {
                     ir_hash,
                     prog,
                 });
-                inner.by_ir.insert(ir_hash, Arc::clone(&ck));
+                insert_bounded(
+                    &mut inner.by_ir,
+                    ir_hash,
+                    Arc::clone(&ck),
+                    tick,
+                    self.cache_capacity,
+                    &self.evictions,
+                );
                 ck
             }
         };
-        inner.by_request.insert(key, Arc::clone(&ck));
+        insert_bounded(
+            &mut inner.by_request,
+            key,
+            Arc::clone(&ck),
+            tick,
+            self.cache_capacity,
+            &self.evictions,
+        );
         Ok((ck, false))
     }
 
@@ -268,10 +353,12 @@ impl Engine {
     pub fn insert(&self, prog: CompiledProgram) -> Arc<CompiledKernel> {
         let ir_hash = ir_hash_of(&prog);
         let mut inner = self.inner.lock().expect("engine lock poisoned");
-        match inner.by_ir.get(&ir_hash) {
+        let tick = inner.next_tick();
+        match inner.by_ir.get_mut(&ir_hash) {
             Some(existing) => {
+                existing.last_used = tick;
                 self.ir_dedups.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(existing)
+                Arc::clone(&existing.kernel)
             }
             None => {
                 let ck = Arc::new(CompiledKernel {
@@ -279,7 +366,14 @@ impl Engine {
                     ir_hash,
                     prog,
                 });
-                inner.by_ir.insert(ir_hash, Arc::clone(&ck));
+                insert_bounded(
+                    &mut inner.by_ir,
+                    ir_hash,
+                    Arc::clone(&ck),
+                    tick,
+                    self.cache_capacity,
+                    &self.evictions,
+                );
                 ck
             }
         }
@@ -356,6 +450,7 @@ impl Engine {
             ir_dedups: self.ir_dedups.load(Ordering::Relaxed),
             launches: self.launches.load(Ordering::Relaxed),
             pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -408,6 +503,62 @@ void scale(int n, double *a) {
         let b = eng.compile(&src2, "scale", &opts).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same IR must share one kernel");
         assert_eq!(eng.stats().ir_dedups, 1);
+    }
+
+    /// `scale` source specialised per `i` so each request compiles to a
+    /// distinct IR (the constant lands in the kernel body).
+    fn variant(i: usize) -> String {
+        format!(
+            "void scale(int n, double *a) {{\n\
+             #pragma acc data copy(a[0:n])\n\
+             {{\n\
+             #pragma acc parallel loop\n\
+             for (int j = 0; j < n; j++) a[j] = a[j] * {i}.0;\n\
+             }}\n\
+             }}"
+        )
+    }
+
+    #[test]
+    fn lru_evicts_oldest_beyond_capacity() {
+        let eng =
+            Engine::new(MachineKind::Desktop, ExecConfig::gpus(1)).with_cache_capacity(2);
+        let opts = CompileOptions::proposal();
+        let a = eng.compile(&variant(2), "scale", &opts).unwrap();
+        eng.compile(&variant(3), "scale", &opts).unwrap();
+        // Touch the oldest so the middle one becomes LRU.
+        eng.compile(&variant(2), "scale", &opts).unwrap();
+        // Third distinct program: evicts variant(3) from both maps.
+        eng.compile(&variant(4), "scale", &opts).unwrap();
+        let s = eng.stats();
+        assert_eq!(s.compiles, 3);
+        assert_eq!(s.evictions, 2, "one request entry + one IR entry");
+        // The touched program is still cached (same Arc)...
+        let a2 = eng.compile(&variant(2), "scale", &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        // ...and the evicted one recompiles from scratch.
+        let before = eng.stats().compiles;
+        eng.compile(&variant(3), "scale", &opts).unwrap();
+        assert_eq!(eng.stats().compiles, before + 1, "evicted entry must recompile");
+    }
+
+    #[test]
+    fn optimizer_options_split_the_request_cache() {
+        let eng = Engine::new(MachineKind::Desktop, ExecConfig::gpus(1));
+        let plain = CompileOptions::proposal();
+        let opt = CompileOptions {
+            optimize_kernels: true,
+            ..CompileOptions::proposal()
+        };
+        let a = eng.compile(SRC, "scale", &plain).unwrap();
+        let b = eng.compile(SRC, "scale", &opt).unwrap();
+        // Different options → different request entries and different
+        // programs (the option is carried on the compiled program, so
+        // the IRs differ too).
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!a.options.optimize_kernels && b.options.optimize_kernels);
+        assert_eq!(eng.stats().compiles, 2);
+        assert_eq!(eng.stats().ir_dedups, 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use acc_compiler::{compile_source, CompileOptions};
 use acc_gpusim::Machine;
 use acc_kernel_ir::{Buffer, Value};
-use acc_runtime::{run_program, ExecConfig, RunError};
+use acc_runtime::{run_program, ExecConfig, KernelVm, RunError, SanitizeLevel};
 
 fn machine() -> Machine {
     Machine::supercomputer_node() // 3 GPUs
@@ -103,6 +103,7 @@ fn distributed_arrays_move_less_data_than_replicated() {
         layout_transform: false,
         instrument: true,
         infer_localaccess: false,
+        optimize_kernels: false,
     };
     let prog = compile_source(SAXPY, "saxpy", &no_ext).unwrap();
     let mut m = machine();
@@ -625,4 +626,92 @@ fn time_breakdown_is_populated() {
     assert!(t.kernels > 0.0);
     assert!(t.cpu_gpu > 0.0);
     assert!(t.total() >= t.parallel_region());
+}
+
+#[test]
+fn register_vm_is_observationally_identical_end_to_end() {
+    // The SSA-optimizing register VM prices launches from the
+    // pre-optimization IR, so a whole program run must produce the same
+    // arrays, scalar frame, work counters, traffic statistics, and
+    // *simulated time* as the bytecode engine — on every GPU count, with
+    // the sanitizer fully on.
+    let n = 5_000i32;
+    let x: Vec<f64> = (0..n).map(|i| (i % 23) as f64 * 0.5).collect();
+    let y: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64).collect();
+    let out = vec![0.0f64; 1];
+    let prog = compile_source(SCALAR_RED, "dot", &CompileOptions::proposal()).unwrap();
+    for ngpus in 1..=3 {
+        let run = |vm: KernelVm| {
+            let mut m = machine();
+            let cfg = ExecConfig::gpus(ngpus)
+                .sanitize(SanitizeLevel::Full)
+                .kernel_vm(vm);
+            run_program(
+                &mut m,
+                &cfg,
+                &prog,
+                vec![Value::I32(n), Value::F64(0.25)],
+                vec![
+                    Buffer::from_f64(&x),
+                    Buffer::from_f64(&y),
+                    Buffer::from_f64(&out),
+                ],
+            )
+            .unwrap()
+        };
+        let byte = run(KernelVm::Bytecode);
+        let reg = run(KernelVm::Register);
+        for (a, b) in byte.arrays.iter().zip(reg.arrays.iter()) {
+            assert_eq!(a.bytes(), b.bytes(), "array mismatch (ngpus={ngpus})");
+        }
+        assert_eq!(byte.locals, reg.locals, "ngpus={ngpus}");
+        assert_eq!(
+            byte.profile.kernel_counters, reg.profile.kernel_counters,
+            "counter drift (ngpus={ngpus})"
+        );
+        assert_eq!(byte.profile.h2d_bytes, reg.profile.h2d_bytes);
+        assert_eq!(byte.profile.p2p_bytes, reg.profile.p2p_bytes);
+        assert_eq!(byte.profile.miss_records, reg.profile.miss_records);
+        assert_eq!(
+            byte.total_time(),
+            reg.total_time(),
+            "simulated time drift (ngpus={ngpus})"
+        );
+    }
+}
+
+#[test]
+fn optimize_kernels_option_opts_program_into_register_vm() {
+    // The per-program compiler switch routes launches through the
+    // register VM without touching `ExecConfig`; results stay identical
+    // to the default-compiled program, and the option splits the
+    // engine-cache key (same source, different options → distinct entry).
+    let n = 3_000i32;
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+    let opts = CompileOptions {
+        optimize_kernels: true,
+        ..CompileOptions::proposal()
+    };
+    let opt_prog = compile_source(ITERATIVE, "iterate", &opts).unwrap();
+    let ref_prog = compile_source(ITERATIVE, "iterate", &CompileOptions::proposal()).unwrap();
+    assert!(opt_prog.options.optimize_kernels);
+    let run = |prog: &acc_compiler::CompiledProgram| {
+        let mut m = machine();
+        run_program(
+            &mut m,
+            &ExecConfig::gpus(2),
+            prog,
+            vec![Value::I32(n), Value::I32(4)],
+            vec![Buffer::from_f64(&x)],
+        )
+        .unwrap()
+    };
+    let opt = run(&opt_prog);
+    let reference = run(&ref_prog);
+    assert_eq!(opt.arrays[0].bytes(), reference.arrays[0].bytes());
+    assert_eq!(
+        opt.profile.kernel_counters,
+        reference.profile.kernel_counters
+    );
+    assert_eq!(opt.total_time(), reference.total_time());
 }

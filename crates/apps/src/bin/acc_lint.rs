@@ -273,6 +273,7 @@ fn lint_one(label: &str, src: &str, opts: &CompileOptions) -> Option<usize> {
 fn check_divergence(label: &str, src: &str) -> usize {
     let opts = CompileOptions {
         infer_localaccess: true,
+        optimize_kernels: false,
         ..CompileOptions::proposal()
     };
     let Ok(typed) = acc_minic::frontend(src) else {
@@ -318,6 +319,7 @@ fn check_divergence(label: &str, src: &str) -> usize {
 fn run_static(args: &Args) -> ! {
     let opts = CompileOptions {
         infer_localaccess: args.infer,
+        optimize_kernels: false,
         ..CompileOptions::proposal()
     };
     let mut warnings = 0usize;

@@ -19,6 +19,7 @@ use proptest::prelude::*;
 fn infer_opts() -> CompileOptions {
     CompileOptions {
         infer_localaccess: true,
+        optimize_kernels: false,
         ..CompileOptions::proposal()
     }
 }

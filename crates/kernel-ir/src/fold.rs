@@ -30,7 +30,12 @@ fn fold_node(e: Expr) -> Expr {
         Expr::Binary { op, a, b } => fold_binary(op, *a, *b),
         Expr::Cast { ty, a } => match a.as_ref() {
             Expr::Imm(v) => Expr::Imm(v.cast(ty)),
-            _ if expr_static_ty(&a) == Some(ty) => *a,
+            // A same-type cast of a non-constant operand is NOT elided:
+            // the interpreter charges one int op per executed `Cast`, so
+            // dropping the node would change a kernel's priced cost
+            // depending on whether folding ran. Redundant-cast removal
+            // belongs to the SSA optimizer, which prices blocks from the
+            // pre-optimization IR and therefore keeps counters intact.
             _ => Expr::Cast { ty, a },
         },
         Expr::Select { c, t, f } => match c.as_ref() {
@@ -124,7 +129,8 @@ fn int_cmp(op: BinOp, x: i32, y: i32) -> bool {
 }
 
 /// Best-effort static type of an expression when derivable without context
-/// (immediates and casts only). Used to elide redundant casts.
+/// (immediates and casts only). Used to guard the algebraic identities
+/// against mixed-type operands.
 fn expr_static_ty(e: &Expr) -> Option<crate::Ty> {
     match e {
         Expr::Imm(v) => Some(v.ty()),
@@ -178,12 +184,78 @@ mod tests {
     }
 
     #[test]
-    fn elides_redundant_cast() {
+    fn keeps_redundant_cast_for_pricing() {
+        // `(int)threadIdx` is a no-op value-wise, but the interpreter
+        // charges an int op per executed cast; folding must not change
+        // what a kernel is priced at.
         let e = Expr::Cast {
             ty: crate::Ty::I32,
             a: Box::new(Expr::ThreadIdx),
         };
-        assert_eq!(fold_expr(e), Expr::ThreadIdx);
+        assert_eq!(
+            fold_expr(e.clone()),
+            e,
+            "redundant cast of a non-constant operand must survive folding"
+        );
+    }
+
+    #[test]
+    fn folding_preserves_executed_counters() {
+        // Regression test for the cast-elision counter bug: run the same
+        // kernel body folded and unfolded through the walker and require
+        // identical `OpCounters`. (Constant subtrees are excluded — those
+        // fold at translation time in real compilers too.)
+        use crate::interp::run_kernel_range_ast;
+        use crate::kernel::{BufAccess, BufParam, Kernel};
+        use crate::{BufId, Buffer, BufSlot, ExecCtx, Stmt, Ty};
+
+        let body = |value: Expr| {
+            vec![Stmt::Store {
+                buf: BufId(0),
+                idx: Expr::ThreadIdx,
+                value,
+                dirty: false,
+                checked: false,
+            }]
+        };
+        // (int)tid + (double->int of a same-type-cast chain): every cast
+        // here is redundant value-wise but costs one int op when executed.
+        let e = Expr::add(
+            Expr::Cast {
+                ty: Ty::I32,
+                a: Box::new(Expr::ThreadIdx),
+            },
+            Expr::Cast {
+                ty: Ty::I32,
+                a: Box::new(Expr::Cast {
+                    ty: Ty::I32,
+                    a: Box::new(Expr::ThreadIdx),
+                }),
+            },
+        );
+        let run = |value: Expr| {
+            let k = Kernel {
+                name: "cast_price".into(),
+                params: vec![],
+                bufs: vec![BufParam {
+                    name: "o".into(),
+                    ty: Ty::I32,
+                    access: BufAccess::Write,
+                }],
+                locals: vec![],
+                reductions: vec![],
+                body: body(value),
+            };
+            let mut o = Buffer::zeroed(Ty::I32, 8);
+            let mut ctx = ExecCtx::new(&k, vec![], vec![BufSlot::whole(&mut o)]);
+            run_kernel_range_ast(&k, &mut ctx, 0, 8).unwrap();
+            (ctx.counters, o.bytes().to_vec())
+        };
+        let (c_raw, b_raw) = run(e.clone());
+        let (c_folded, b_folded) = run(fold_expr(e));
+        assert_eq!(b_raw, b_folded);
+        assert_eq!(c_raw, c_folded, "folding changed executed counters");
+        assert_eq!(c_raw.int_ops, 8 * (3 + 1 + 1)); // per thread: 3 casts + add + store
     }
 
     #[test]

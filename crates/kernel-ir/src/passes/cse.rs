@@ -1,0 +1,126 @@
+//! Common-subexpression elimination, scoped by the dominator tree.
+//!
+//! Only pure value computations participate: constants, parameter/thread
+//! reads, unary/binary/builtin arithmetic, casts, and bool coercions.
+//! Loads never do (stores invalidate them — the block-local
+//! [`super::forward_loads`] pass handles those), and phis are
+//! position-dependent. `Div`/`Rem` are safe to merge: with identical
+//! operands in a dominating position, a zero divisor faults at the *first*
+//! occurrence with the walker-identical prefix, so the merged use is never
+//! reached. Float constants key on their bit patterns, so `0.0` and
+//! `-0.0` (distinct stored bytes) never merge.
+
+use std::collections::HashMap;
+
+use crate::expr::{BinOp, Builtin, UnOp};
+use crate::ssa::{Func, Id, InstKind};
+use crate::ty::{Ty, Value};
+
+use super::{idoms, rewrite_uses, rpo};
+
+#[derive(Clone, Hash, PartialEq, Eq)]
+enum Key {
+    Const(u8, u64),
+    Tid,
+    Param(u32),
+    Un(UnOp, Id),
+    Bin(BinOp, Id, Id),
+    AsBool(Id),
+    Cast(Ty, Id),
+    Call(Builtin, Vec<Id>),
+}
+
+fn key_of(kind: &InstKind) -> Option<Key> {
+    Some(match kind {
+        InstKind::Const(v) => match v {
+            Value::I32(x) => Key::Const(0, *x as u32 as u64),
+            Value::F32(x) => Key::Const(1, x.to_bits() as u64),
+            Value::F64(x) => Key::Const(2, x.to_bits()),
+            Value::Bool(b) => Key::Const(3, *b as u64),
+        },
+        InstKind::Tid => Key::Tid,
+        InstKind::Param(p) => Key::Param(*p),
+        InstKind::Un(op, a) => Key::Un(*op, *a),
+        InstKind::Bin(op, a, b) => Key::Bin(*op, *a, *b),
+        InstKind::AsBool(a) => Key::AsBool(*a),
+        InstKind::Cast(t, a) => Key::Cast(*t, *a),
+        InstKind::Call(f, args) => Key::Call(*f, args.clone()),
+        _ => return None,
+    })
+}
+
+pub fn cse(f: &mut Func) {
+    let order = rpo(f);
+    let idom = idoms(f, &order);
+    let n = f.blocks.len();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &b in order.iter().skip(1) {
+        let d = idom[b as usize];
+        if d != u32::MAX {
+            children[d as usize].push(b);
+        }
+    }
+
+    let ni = f.insts.len();
+    let mut repl: Vec<Id> = (0..ni as Id).collect();
+    let chase = |repl: &[Id], mut u: Id| -> Id {
+        while repl[u as usize] != u {
+            u = repl[u as usize];
+        }
+        u
+    };
+
+    let mut table: HashMap<Key, Id> = HashMap::new();
+    let mut undo: Vec<(Key, Option<Id>)> = Vec::new();
+    enum Ev {
+        Enter(u32),
+        Exit(usize),
+    }
+    let mut stack = vec![Ev::Enter(0)];
+    let mut dead = vec![false; ni];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(b) => {
+                stack.push(Ev::Exit(undo.len()));
+                let code = f.blocks[b as usize].code.clone();
+                for id in code {
+                    // Canonicalize operands first: an instruction's (non-phi)
+                    // operands are defined in dominators, already final.
+                    let mut kind =
+                        std::mem::replace(&mut f.insts[id as usize].kind, InstKind::Removed);
+                    if !matches!(kind, InstKind::Phi(_)) {
+                        Func::map_uses(&mut kind, |u| chase(&repl, u));
+                    }
+                    if let Some(key) = key_of(&kind) {
+                        if let Some(&prior) = table.get(&key) {
+                            repl[id as usize] = prior;
+                            dead[id as usize] = true;
+                            // kind stays Removed (tombstone)
+                            continue;
+                        }
+                        undo.push((key.clone(), table.insert(key, id)));
+                    }
+                    f.insts[id as usize].kind = kind;
+                }
+                for &c in &children[b as usize] {
+                    stack.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit(mark) => {
+                while undo.len() > mark {
+                    let (k, old) = undo.pop().unwrap();
+                    match old {
+                        Some(v) => table.insert(k, v),
+                        None => table.remove(&k),
+                    };
+                }
+            }
+        }
+    }
+
+    for blk in &mut f.blocks {
+        blk.code.retain(|&id| !dead[id as usize]);
+    }
+    // Phi operands and any cross-dominance uses resolve here.
+    rewrite_uses(f, &|u| chase(&repl, u));
+}

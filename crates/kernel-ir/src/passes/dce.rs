@@ -1,0 +1,79 @@
+//! Dead-code elimination over pure instructions.
+//!
+//! Memory operations (`Load`/`Probe`/`Store`/`Atomic`/`Reduce`) are never
+//! removed — they carry bounds-fault, sanitizer, miss, and dirty-bit side
+//! effects. Integer `Div`/`Rem` can fault on a zero divisor, so they are
+//! only removable when the fault is statically impossible: float operands
+//! (for `Div`) or a constant non-zero divisor. Counters are unaffected by
+//! construction: blocks are priced from the unoptimized IR.
+
+use crate::expr::BinOp;
+use crate::ssa::{Func, Id, InstKind, Term};
+use crate::ty::{Ty, Value};
+
+fn removable(f: &Func, id: Id) -> bool {
+    match &f.insts[id as usize].kind {
+        InstKind::Const(_)
+        | InstKind::Tid
+        | InstKind::Param(_)
+        | InstKind::Copy(_)
+        | InstKind::AsBool(_)
+        | InstKind::Cast(..)
+        | InstKind::Un(..)
+        | InstKind::Phi(_)
+        | InstKind::Call(..) => true,
+        InstKind::Bin(op, a, b) => match op {
+            BinOp::Div => {
+                f.insts[*a as usize].ty.is_some_and(|t: Ty| t.is_float())
+                    || const_nonzero(f, *b)
+            }
+            BinOp::Rem => const_nonzero(f, *b),
+            _ => true,
+        },
+        _ => false,
+    }
+}
+
+fn const_nonzero(f: &Func, id: Id) -> bool {
+    matches!(f.insts[id as usize].kind, InstKind::Const(Value::I32(c)) if c != 0)
+}
+
+pub fn dce(f: &mut Func) {
+    let ni = f.insts.len();
+    let mut uses = vec![0u32; ni];
+    for b in 0..f.blocks.len() {
+        for &id in &f.blocks[b].code {
+            Func::visit_uses(&f.insts[id as usize].kind, &mut |u| {
+                uses[u as usize] += 1;
+            });
+        }
+        if let Term::Br { c, .. } = f.blocks[b].term {
+            uses[c as usize] += 1;
+        }
+    }
+    let mut dead = vec![false; ni];
+    let mut work: Vec<Id> = Vec::new();
+    for b in 0..f.blocks.len() {
+        for &id in &f.blocks[b].code {
+            if uses[id as usize] == 0 && removable(f, id) {
+                work.push(id);
+            }
+        }
+    }
+    while let Some(id) = work.pop() {
+        if dead[id as usize] {
+            continue;
+        }
+        dead[id as usize] = true;
+        let kind = std::mem::replace(&mut f.insts[id as usize].kind, InstKind::Removed);
+        Func::visit_uses(&kind, &mut |u| {
+            uses[u as usize] -= 1;
+            if uses[u as usize] == 0 && !dead[u as usize] && removable(f, u) {
+                work.push(u);
+            }
+        });
+    }
+    for blk in &mut f.blocks {
+        blk.code.retain(|&id| !dead[id as usize]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Block-local load forwarding.
+//!
+//! A `Load {buf, idx}` whose exact `(buf, idx)` was loaded earlier in the
+//! same block — with no intervening store or atomic to that buffer —
+//! yields the same value, so later uses are rewritten to the first load.
+//! The forwarded instruction is *not* deleted: it becomes a `Probe` at
+//! the same position, which performs only the sanitizer-record side
+//! effect (its bounds check is subsumed by the identical dominating
+//! load), keeping the `sanitize_log` stream order- and content-identical
+//! to the walker. The load's counter charges stay in the block delta —
+//! pre-optimization pricing is the contract.
+
+use std::collections::HashMap;
+
+use crate::ssa::{Func, Id, InstKind};
+
+use super::rewrite_uses;
+
+pub fn forward_loads(f: &mut Func) {
+    let ni = f.insts.len();
+    let mut repl: Vec<Id> = (0..ni as Id).collect();
+    let mut changed = false;
+    for b in 0..f.blocks.len() {
+        let mut avail: HashMap<(u32, Id), Id> = HashMap::new();
+        let code = f.blocks[b].code.clone();
+        for id in code {
+            match f.insts[id as usize].kind {
+                InstKind::Load { buf, idx } => match avail.get(&(buf, idx)) {
+                    Some(&prior) => {
+                        repl[id as usize] = prior;
+                        f.insts[id as usize].kind = InstKind::Probe { buf, idx };
+                        changed = true;
+                    }
+                    None => {
+                        avail.insert((buf, idx), id);
+                    }
+                },
+                InstKind::Store { buf, .. } | InstKind::Atomic { buf, .. } => {
+                    avail.retain(|k, _| k.0 != buf);
+                }
+                _ => {}
+            }
+        }
+    }
+    if changed {
+        let chase = |mut u: Id| -> Id {
+            while repl[u as usize] != u {
+                u = repl[u as usize];
+            }
+            u
+        };
+        rewrite_uses(f, &chase);
+    }
+}

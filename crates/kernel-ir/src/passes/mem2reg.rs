@@ -1,0 +1,145 @@
+//! Local-variable promotion: rewrite `LdLocal`/`StLocal` into SSA values
+//! with phi nodes (Braun et al.'s algorithm, applied to the complete CFG).
+//!
+//! The walker zero-initializes every local per iteration, so a read with
+//! no reaching store resolves to a `Const(ty.zero())` hoisted into the
+//! entry block. `StLocal`s are deleted from the instruction stream — their
+//! `int_ops` charge was captured in the block deltas at lowering time and
+//! stays there (the pricing contract prices the *unoptimized* body).
+
+use std::collections::HashMap;
+
+use crate::kernel::Kernel;
+use crate::ssa::{Func, Id, Inst, InstKind, NO_PREFIX};
+
+struct M2R<'a> {
+    f: &'a mut Func,
+    k: &'a Kernel,
+    /// Per-block: last stored value per local (phase A result).
+    out_def: Vec<HashMap<u32, Id>>,
+    /// Value of a local at a block's entry (phi or forwarded def).
+    entry_memo: HashMap<(u32, u32), Id>,
+    /// Zero constant per local, hoisted into the entry block.
+    zero_of: HashMap<u32, Id>,
+}
+
+pub fn mem2reg(f: &mut Func, k: &Kernel) {
+    let nb = f.blocks.len();
+    // Phase A: in-block forwarding. Reads after a store in the same block
+    // become copies of the stored value; reads of the block's live-in
+    // value are deferred to phase B.
+    let mut out_def: Vec<HashMap<u32, Id>> = vec![HashMap::new(); nb];
+    let mut live_in_reads: Vec<(u32, Id, u32)> = Vec::new();
+    for (b, out) in out_def.iter_mut().enumerate() {
+        let code = f.blocks[b].code.clone();
+        for id in code {
+            match f.insts[id as usize].kind {
+                InstKind::LdLocal(v) => match out.get(&v) {
+                    Some(&d) => f.insts[id as usize].kind = InstKind::Copy(d),
+                    None => live_in_reads.push((b as u32, id, v)),
+                },
+                InstKind::StLocal(v, val) => {
+                    out.insert(v, val);
+                }
+                _ => {}
+            }
+        }
+    }
+    // Phase B: resolve live-in reads, inserting phis at merge points.
+    let mut st = M2R {
+        f,
+        k,
+        out_def,
+        entry_memo: HashMap::new(),
+        zero_of: HashMap::new(),
+    };
+    for (b, id, v) in live_in_reads {
+        let val = st.read_entry(v, b);
+        st.f.insts[id as usize].kind = InstKind::Copy(val);
+    }
+    // Drop the StLocals: the values they carried are fully forwarded.
+    for b in 0..nb {
+        let code = std::mem::take(&mut f.blocks[b].code);
+        f.blocks[b].code = code
+            .into_iter()
+            .filter(|&id| {
+                if matches!(f.insts[id as usize].kind, InstKind::StLocal(..)) {
+                    f.insts[id as usize].kind = InstKind::Removed;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+    }
+}
+
+impl<'a> M2R<'a> {
+    /// The value of local `v` at the entry of block `b`.
+    fn read_entry(&mut self, v: u32, b: u32) -> Id {
+        if let Some(&x) = self.entry_memo.get(&(v, b)) {
+            return x;
+        }
+        let preds = self.f.blocks[b as usize].preds.clone();
+        if preds.is_empty() {
+            // The entry block (unreachable blocks were pruned): locals
+            // start zeroed, exactly like the walker's per-iteration reset.
+            let z = self.zero_const(v);
+            self.entry_memo.insert((v, b), z);
+            return z;
+        }
+        // Insert an operandless phi first so loop back edges terminate.
+        let phi = self.push_inst(InstKind::Phi(Vec::new()));
+        self.f.blocks[b as usize].code.insert(0, phi);
+        self.entry_memo.insert((v, b), phi);
+        let mut ops = Vec::with_capacity(preds.len());
+        for p in preds {
+            let val = match self.out_def[p as usize].get(&v) {
+                Some(&d) => d,
+                None => self.read_entry(v, p),
+            };
+            ops.push((p, val));
+        }
+        // Trivial phi: all operands agree (ignoring self-references).
+        let mut same = None;
+        let mut trivial = true;
+        for &(_, val) in &ops {
+            if val == phi {
+                continue;
+            }
+            match same {
+                None => same = Some(val),
+                Some(s) if s == val => {}
+                Some(_) => {
+                    trivial = false;
+                    break;
+                }
+            }
+        }
+        match (trivial, same) {
+            (true, Some(s)) => self.f.insts[phi as usize].kind = InstKind::Copy(s),
+            _ => self.f.insts[phi as usize].kind = InstKind::Phi(ops),
+        }
+        phi
+    }
+
+    fn zero_const(&mut self, v: u32) -> Id {
+        if let Some(&c) = self.zero_of.get(&v) {
+            return c;
+        }
+        let c = self.push_inst(InstKind::Const(self.k.locals[v as usize].zero()));
+        self.f.blocks[0].code.insert(0, c);
+        self.zero_of.insert(v, c);
+        c
+    }
+
+    fn push_inst(&mut self, kind: InstKind) -> Id {
+        let id = self.f.insts.len() as Id;
+        self.f.insts.push(Inst {
+            kind,
+            ty: None,
+            prefix: NO_PREFIX,
+        });
+        id
+    }
+}

@@ -1,0 +1,136 @@
+//! Optimization passes over the SSA kernel IR ([`crate::ssa`]).
+//!
+//! Every pass preserves the pre-optimization pricing contract: block
+//! [`Delta`](crate::ssa::Delta)s and error prefixes are computed at
+//! lowering time and passes may only delete/rewrite *instructions*; the
+//! only pass that touches deltas is CFG simplification, which merges them
+//! when it merges blocks. Passes never reorder memory operations, so the
+//! sanitizer record stream keeps its order (forwarded loads leave a
+//! `Probe` ghost at their original position).
+//!
+//! Pipeline order (driven by [`crate::regvm::compile`]):
+//! `mem2reg` → copy forwarding → type inference → pricing resolution →
+//! `cse` → `forward_loads` → `strength` → `dce` → `simplify`.
+
+mod cse;
+mod dce;
+mod forward;
+mod mem2reg;
+mod simplify;
+mod strength;
+
+pub use cse::cse;
+pub use dce::dce;
+pub use forward::forward_loads;
+pub use mem2reg::mem2reg;
+pub use simplify::simplify;
+pub use strength::strength;
+
+use crate::ssa::{Func, Id, InstKind, Term};
+
+/// Chase `Copy` chains down to the underlying value.
+pub(crate) fn resolve_copy(f: &Func, mut id: Id) -> Id {
+    let mut steps = 0;
+    while let InstKind::Copy(s) = f.insts[id as usize].kind {
+        id = s;
+        steps += 1;
+        assert!(steps <= f.insts.len(), "copy cycle in SSA IR");
+    }
+    id
+}
+
+/// Rewrite every operand in live code, phi inputs, and branch conditions
+/// through `m`.
+pub(crate) fn rewrite_uses(f: &mut Func, m: &dyn Fn(Id) -> Id) {
+    for b in 0..f.blocks.len() {
+        for i in 0..f.blocks[b].code.len() {
+            let id = f.blocks[b].code[i] as usize;
+            let mut kind = std::mem::replace(&mut f.insts[id].kind, InstKind::Removed);
+            Func::map_uses(&mut kind, m);
+            f.insts[id].kind = kind;
+        }
+        if let Term::Br { c, t, f: fb } = f.blocks[b].term {
+            f.blocks[b].term = Term::Br { c: m(c), t, f: fb };
+        }
+    }
+}
+
+/// Forward all uses of `Copy` instructions to their ultimate sources. The
+/// copies themselves become dead and are removed by a later [`dce`].
+pub fn forward_copies(f: &mut Func) {
+    let resolved: Vec<Id> = (0..f.insts.len() as Id)
+        .map(|id| resolve_copy(f, id))
+        .collect();
+    rewrite_uses(f, &|u| resolved[u as usize]);
+}
+
+/// Reverse post-order over reachable blocks, starting at the entry.
+pub(crate) fn rpo(f: &Func) -> Vec<u32> {
+    let n = f.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post: Vec<u32> = Vec::new();
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    while let Some(top) = stack.last_mut() {
+        let (b, i) = *top;
+        let succs = f.succs(b);
+        if i < succs.len() {
+            top.1 += 1;
+            let s = succs[i];
+            if !visited[s as usize] {
+                visited[s as usize] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate dominators (Cooper–Harvey–Kennedy). `u32::MAX` marks
+/// unreachable blocks; the entry's idom is itself.
+pub(crate) fn idoms(f: &Func, order: &[u32]) -> Vec<u32> {
+    let n = f.blocks.len();
+    let mut rpo_num = vec![u32::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        rpo_num[b as usize] = i as u32;
+    }
+    let mut idom = vec![u32::MAX; n];
+    idom[0] = 0;
+    let intersect = |idom: &[u32], rpo_num: &[u32], mut a: u32, mut b: u32| -> u32 {
+        while a != b {
+            while rpo_num[a as usize] > rpo_num[b as usize] {
+                a = idom[a as usize];
+            }
+            while rpo_num[b as usize] > rpo_num[a as usize] {
+                b = idom[b as usize];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new = u32::MAX;
+            for &p in &f.blocks[b as usize].preds {
+                if rpo_num[p as usize] == u32::MAX || idom[p as usize] == u32::MAX {
+                    continue;
+                }
+                new = if new == u32::MAX {
+                    p
+                } else {
+                    intersect(&idom, &rpo_num, p, new)
+                };
+            }
+            if new != u32::MAX && idom[b as usize] != new {
+                idom[b as usize] = new;
+                changed = true;
+            }
+        }
+    }
+    idom
+}

@@ -1,0 +1,137 @@
+//! CFG simplification: constant-branch folding, unreachable-block pruning,
+//! and straight-line block merging.
+//!
+//! This is the only pass that touches pricing state, and only in the
+//! walker-faithful way: a folded constant branch *keeps* its `branches`
+//! charge in the block delta (the walker evaluates and branches on the
+//! condition every time), and merging `A → B` adds the deltas and rebases
+//! B's error prefixes by A's delta so a fault inside former-B still
+//! settles exactly what the walker would have charged.
+
+use crate::ssa::{prune_unreachable, Func, InstKind, Term, NO_PREFIX};
+use crate::ty::Value;
+
+pub fn simplify(f: &mut Func) {
+    fold_const_branches(f);
+    prune_unreachable(f);
+    cleanup_phis(f);
+    merge_blocks(f);
+}
+
+fn fold_const_branches(f: &mut Func) {
+    for b in 0..f.blocks.len() as u32 {
+        let Term::Br { c, t, f: fb } = f.blocks[b as usize].term else {
+            continue;
+        };
+        let InstKind::Const(Value::Bool(v)) = f.insts[c as usize].kind else {
+            continue;
+        };
+        let (taken, dead) = if v { (t, fb) } else { (fb, t) };
+        f.blocks[b as usize].term = Term::Jump(taken);
+        // Lowering never emits a Br with t == f, so `b` occurs exactly once
+        // in the dead successor's preds; drop that edge and its phi inputs.
+        let preds = &mut f.blocks[dead as usize].preds;
+        if let Some(i) = preds.iter().position(|&p| p == b) {
+            preds.remove(i);
+        }
+        if !f.blocks[dead as usize].preds.contains(&b) {
+            let code = f.blocks[dead as usize].code.clone();
+            for id in code {
+                if let InstKind::Phi(ops) = &mut f.insts[id as usize].kind {
+                    ops.retain(|&(p, _)| p != b);
+                }
+            }
+        }
+    }
+}
+
+/// Drop phi operands whose predecessor edge no longer exists, and turn
+/// single-input phis into copies.
+fn cleanup_phis(f: &mut Func) {
+    for b in 0..f.blocks.len() {
+        let preds = f.blocks[b].preds.clone();
+        let code = f.blocks[b].code.clone();
+        for id in code {
+            if let InstKind::Phi(ops) = &mut f.insts[id as usize].kind {
+                ops.retain(|&(p, _)| preds.contains(&p));
+                if ops.len() == 1 {
+                    let v = ops[0].1;
+                    f.insts[id as usize].kind = InstKind::Copy(v);
+                }
+            }
+        }
+    }
+}
+
+/// Merge `B` into `A` whenever `A` ends in `Jump(B)` and `A` is B's only
+/// predecessor. Runs to fixpoint, collapsing jump chains.
+fn merge_blocks(f: &mut Func) {
+    loop {
+        let mut merged = false;
+        for a in 0..f.blocks.len() as u32 {
+            let Term::Jump(b) = f.blocks[a as usize].term else {
+                continue;
+            };
+            if b == a || b == 0 || f.blocks[b as usize].preds != [a] {
+                continue;
+            }
+            // B's phis have a single input edge (from A): collapse them.
+            let b_code = f.blocks[b as usize].code.clone();
+            for &id in &b_code {
+                if let InstKind::Phi(ops) = &f.insts[id as usize].kind {
+                    let v = ops
+                        .iter()
+                        .find(|&&(p, _)| p == a)
+                        .or_else(|| ops.first())
+                        .map(|&(_, v)| v)
+                        .expect("phi in single-pred block has an input");
+                    f.insts[id as usize].kind = InstKind::Copy(v);
+                }
+            }
+            // Rebase B's error prefixes: a fault in former-B code now sits
+            // in the merged block, whose execution also ran all of A.
+            let a_delta = f.blocks[a as usize].delta.clone();
+            for &id in &b_code {
+                let p = f.insts[id as usize].prefix;
+                if p != NO_PREFIX {
+                    f.prefixes[p as usize].delta.add(&a_delta);
+                }
+            }
+            let b_blk = std::mem::replace(
+                &mut f.blocks[b as usize],
+                crate::ssa::Block {
+                    code: Vec::new(),
+                    term: Term::Ret,
+                    preds: Vec::new(),
+                    delta: Default::default(),
+                    pending: Vec::new(),
+                },
+            );
+            f.blocks[a as usize].code.extend(b_blk.code);
+            f.blocks[a as usize].delta.add(&b_blk.delta);
+            f.blocks[a as usize].term = b_blk.term;
+            // Successor bookkeeping: edges from B become edges from A.
+            for s in f.succs(a) {
+                for p in &mut f.blocks[s as usize].preds {
+                    if *p == b {
+                        *p = a;
+                    }
+                }
+                let s_code = f.blocks[s as usize].code.clone();
+                for id in s_code {
+                    if let InstKind::Phi(ops) = &mut f.insts[id as usize].kind {
+                        for op in ops {
+                            if op.0 == b {
+                                op.0 = a;
+                            }
+                        }
+                    }
+                }
+            }
+            merged = true;
+        }
+        if !merged {
+            break;
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Strength reduction over statically-typed `I32` arithmetic.
+//!
+//! All rewrites are exact under the walker's wrapping i32 semantics:
+//! `x *w 2^k == x <<w k` (mod 2^32), additive/multiplicative identities
+//! are value-preserving, and `x / 1 == x` for every i32 including
+//! `i32::MIN`. Counters are untouched — blocks were priced from the
+//! unoptimized IR.
+
+use crate::expr::BinOp;
+use crate::ssa::{Func, Id, Inst, InstKind, NO_PREFIX};
+use crate::ty::{Ty, Value};
+
+pub fn strength(f: &mut Func) {
+    for b in 0..f.blocks.len() {
+        let code = f.blocks[b].code.clone();
+        for id in code {
+            if f.insts[id as usize].ty != Some(Ty::I32) {
+                continue;
+            }
+            let InstKind::Bin(op, a, bb) = f.insts[id as usize].kind else {
+                continue;
+            };
+            let const_i32 = |f: &Func, x: Id| -> Option<i32> {
+                match f.insts[x as usize].kind {
+                    InstKind::Const(Value::I32(c)) => Some(c),
+                    _ => None,
+                }
+            };
+            let ca = const_i32(f, a);
+            let cb = const_i32(f, bb);
+            let new = match op {
+                BinOp::Mul => {
+                    // Normalize to (var, const).
+                    let (var, c) = match (ca, cb) {
+                        (_, Some(c)) => (a, c),
+                        (Some(c), _) => (bb, c),
+                        _ => continue,
+                    };
+                    match c {
+                        0 => Some(InstKind::Const(Value::I32(0))),
+                        1 => Some(InstKind::Copy(var)),
+                        c if c > 0 && c.count_ones() == 1 => {
+                            let k = c.trailing_zeros() as i32;
+                            let kc = f.insts.len() as Id;
+                            f.insts.push(Inst {
+                                kind: InstKind::Const(Value::I32(k)),
+                                ty: Some(Ty::I32),
+                                prefix: NO_PREFIX,
+                            });
+                            let at = pos_of(f, b, id);
+                            f.blocks[b].code.insert(at, kc);
+                            Some(InstKind::Bin(BinOp::Shl, var, kc))
+                        }
+                        _ => None,
+                    }
+                }
+                BinOp::Add => match (ca, cb) {
+                    (_, Some(0)) => Some(InstKind::Copy(a)),
+                    (Some(0), _) => Some(InstKind::Copy(bb)),
+                    _ => None,
+                },
+                BinOp::Sub if cb == Some(0) => Some(InstKind::Copy(a)),
+                BinOp::Div if cb == Some(1) => Some(InstKind::Copy(a)),
+                BinOp::Shl | BinOp::Shr if cb == Some(0) => Some(InstKind::Copy(a)),
+                _ => None,
+            };
+            if let Some(kind) = new {
+                f.insts[id as usize].kind = kind;
+            }
+        }
+    }
+}
+
+/// Current position of `id` in block `b` (insertions shift indices).
+fn pos_of(f: &Func, b: usize, id: Id) -> usize {
+    f.blocks[b].code.iter().position(|&x| x == id).unwrap()
+}

@@ -1,0 +1,867 @@
+//! Register-allocated VM over the optimized SSA kernel IR.
+//!
+//! [`compile`] runs the full pipeline — lower → mem2reg → type inference →
+//! pricing resolution → CSE → load forwarding → strength reduction → DCE →
+//! CFG simplification — then assigns every SSA value a frame slot with a
+//! linear-scan allocator and flattens phis into parallel copies on
+//! (split) edges. [`run_kernel_range_opt`] executes the result, falling
+//! back to the reference bytecode path ([`run_kernel_range`]) whenever the
+//! kernel fails to lower, fails type validation, or the launch context's
+//! value types don't match the declaration (those launches can raise
+//! dynamic `TypeError`s that only the reference path reproduces).
+//!
+//! Counter parity (see the [`crate::ssa`] module docs): the VM charges
+//! nothing per arithmetic instruction. It counts block executions and
+//! settles `counts[b] × delta[b]` at the end of the range; a faulting
+//! instruction settles the counts and then adds its pre-computed prefix
+//! delta. Only checked stores price themselves dynamically (their cost
+//! depends on hit/miss). The result is bit-identical to the AST walker:
+//! same buffers, locals, reduction partials, miss records, dirty bits,
+//! `OpCounters`, per-buffer bytes, sanitizer log, and `ExecError` values.
+
+use std::collections::HashSet;
+
+use crate::expr::{BinOp, Builtin, UnOp};
+use crate::interp::{
+    eval_binary, eval_builtin, eval_unary, rmw_apply, run_kernel_range, sanitize_load,
+    sanitize_store, ExecCtx, ExecError, MissRecord,
+};
+use crate::kernel::Kernel;
+use crate::passes;
+use crate::ssa::{self, Block, Delta, Func, Id, InstKind, Term, NO_PREFIX};
+use crate::stmt::RmwOp;
+use crate::ty::{Ty, Value};
+
+/// One register-VM instruction. `d`/`a`/`b`/`idx`/`val` are frame slots;
+/// `ep` indexes [`RegCompiled::prefixes`] for fault settling.
+#[derive(Debug, Clone)]
+pub enum RInstr {
+    Const { d: u16, v: Value },
+    Tid { d: u16 },
+    Param { d: u16, p: u16 },
+    Copy { d: u16, s: u16 },
+    Un { d: u16, op: UnOp, a: u16 },
+    Bin { d: u16, op: BinOp, a: u16, b: u16, ep: u32 },
+    AsBool { d: u16, a: u16 },
+    Cast { d: u16, ty: Ty, a: u16 },
+    Call1 { d: u16, f: Builtin, a: u16 },
+    Call2 { d: u16, f: Builtin, a: u16, b: u16 },
+    Load { d: u16, buf: u32, idx: u16, ep: u32 },
+    /// Sanitizer ghost of a forwarded load (see [`InstKind::Probe`]).
+    Probe { buf: u32, idx: u16 },
+    Store { buf: u32, idx: u16, val: u16, dirty: bool, checked: bool, ep: u32 },
+    Atomic { buf: u32, op: RmwOp, idx: u16, val: u16, ep: u32 },
+    Reduce { slot: u32, op: RmwOp, val: u16 },
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum RTerm {
+    Jump(u32),
+    Br { c: u16, t: u32, f: u32 },
+    Ret,
+}
+
+#[derive(Debug, Clone)]
+pub struct RBlock {
+    pub code: Vec<RInstr>,
+    pub term: RTerm,
+}
+
+/// A compiled kernel: register code plus the pre-optimization pricing
+/// tables (per-block deltas and per-fault-site prefixes).
+#[derive(Debug, Clone)]
+pub struct RegCompiled {
+    pub blocks: Vec<RBlock>,
+    pub deltas: Vec<Delta>,
+    pub prefixes: Vec<Delta>,
+    pub nslots: usize,
+}
+
+/// Compile a kernel through the optimizing pipeline. Returns `None` when
+/// the kernel can't be statically validated (out-of-range indices, type
+/// inference failure, or a frame wider than `u16` slots); callers fall
+/// back to the reference interpreter.
+pub fn compile(k: &Kernel) -> Option<RegCompiled> {
+    let mut f = ssa::lower(k)?;
+    ssa::prune_unreachable(&mut f);
+    passes::mem2reg(&mut f, k);
+    passes::forward_copies(&mut f);
+    ssa::infer(&mut f, k).ok()?;
+    ssa::resolve_pricing(&mut f);
+    passes::cse(&mut f);
+    passes::forward_loads(&mut f);
+    passes::strength(&mut f);
+    passes::dce(&mut f);
+    passes::simplify(&mut f);
+    passes::forward_copies(&mut f);
+    passes::dce(&mut f);
+    split_critical_edges(&mut f);
+    lower_to_registers(&f)
+}
+
+/// Split every `Br` edge into a phi-bearing block through a fresh empty
+/// block (zero delta), so phi parallel copies always sit in a block whose
+/// only successor is the phi's block.
+fn split_critical_edges(f: &mut Func) {
+    for b in 0..f.blocks.len() as u32 {
+        let Term::Br { c, t, f: fb } = f.blocks[b as usize].term else {
+            continue;
+        };
+        let nt = maybe_split(f, b, t);
+        let nf = maybe_split(f, b, fb);
+        f.blocks[b as usize].term = Term::Br { c, t: nt, f: nf };
+    }
+}
+
+fn maybe_split(f: &mut Func, b: u32, s: u32) -> u32 {
+    let has_phi = f.blocks[s as usize]
+        .code
+        .iter()
+        .any(|&id| matches!(f.insts[id as usize].kind, InstKind::Phi(_)));
+    if !has_phi {
+        return s;
+    }
+    let e = f.blocks.len() as u32;
+    f.blocks.push(Block {
+        code: Vec::new(),
+        term: Term::Jump(s),
+        preds: vec![b],
+        delta: Delta::default(),
+        pending: Vec::new(),
+    });
+    for p in &mut f.blocks[s as usize].preds {
+        if *p == b {
+            *p = e;
+        }
+    }
+    let code = f.blocks[s as usize].code.clone();
+    for id in code {
+        if let InstKind::Phi(ops) = &mut f.insts[id as usize].kind {
+            for op in ops {
+                if op.0 == b {
+                    op.0 = e;
+                }
+            }
+        }
+    }
+    e
+}
+
+fn has_def(kind: &InstKind) -> bool {
+    !matches!(
+        kind,
+        InstKind::Store { .. }
+            | InstKind::Atomic { .. }
+            | InstKind::Reduce { .. }
+            | InstKind::Probe { .. }
+            | InstKind::StLocal(..)
+            | InstKind::Removed
+    )
+}
+
+fn lower_to_registers(f: &Func) -> Option<RegCompiled> {
+    let n = f.blocks.len();
+    let ni = f.insts.len();
+    let order = passes::rpo(f);
+
+    // Linear positions: block start (phi defs), one per non-phi
+    // instruction, block end (terminator + phi copies).
+    let mut pos = vec![0u32; ni];
+    let mut brange = vec![(0u32, 0u32); n];
+    let mut p = 0u32;
+    for &b in &order {
+        let start = p;
+        p += 1;
+        for &id in &f.blocks[b as usize].code {
+            if matches!(f.insts[id as usize].kind, InstKind::Phi(_)) {
+                pos[id as usize] = start;
+            } else {
+                pos[id as usize] = p;
+                p += 1;
+            }
+        }
+        brange[b as usize] = (start, p);
+        p += 1;
+    }
+
+    // Backward liveness. Phi operands count as uses at the end of the
+    // corresponding predecessor (where the parallel copy reads them), and
+    // phi *defs* are also marked live there so the copy's destination slot
+    // can't be shared with anything still live at the edge.
+    let mut live_in: Vec<HashSet<Id>> = vec![HashSet::new(); n];
+    let mut live_out: Vec<HashSet<Id>> = vec![HashSet::new(); n];
+    loop {
+        let mut changed = false;
+        for &b in order.iter().rev() {
+            let mut live: HashSet<Id> = HashSet::new();
+            for s in f.succs(b) {
+                live.extend(live_in[s as usize].iter().copied());
+                for &id in &f.blocks[s as usize].code {
+                    if let InstKind::Phi(ops) = &f.insts[id as usize].kind {
+                        live.insert(id);
+                        if let Some(&(_, v)) = ops.iter().find(|&&(pb, _)| pb == b) {
+                            live.insert(v);
+                        }
+                    }
+                }
+            }
+            if let Term::Br { c, .. } = f.blocks[b as usize].term {
+                live.insert(c);
+            }
+            live_out[b as usize] = live.clone();
+            for &id in f.blocks[b as usize].code.iter().rev() {
+                let kind = &f.insts[id as usize].kind;
+                if matches!(kind, InstKind::Phi(_)) {
+                    live.remove(&id);
+                } else {
+                    if has_def(kind) {
+                        live.remove(&id);
+                    }
+                    Func::visit_uses(kind, &mut |u| {
+                        live.insert(u);
+                    });
+                }
+            }
+            if live != live_in[b as usize] {
+                live_in[b as usize] = live;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Conservative hull intervals.
+    let mut iv: Vec<Option<(u32, u32)>> = vec![None; ni];
+    let touch = |iv: &mut Vec<Option<(u32, u32)>>, id: Id, at: u32| {
+        let e = &mut iv[id as usize];
+        match e {
+            None => *e = Some((at, at)),
+            Some((lo, hi)) => {
+                *lo = (*lo).min(at);
+                *hi = (*hi).max(at);
+            }
+        }
+    };
+    for &b in &order {
+        let (start, end) = brange[b as usize];
+        for &v in &live_in[b as usize] {
+            touch(&mut iv, v, start);
+        }
+        for &v in &live_out[b as usize] {
+            touch(&mut iv, v, end);
+        }
+        for &id in &f.blocks[b as usize].code {
+            let kind = &f.insts[id as usize].kind;
+            if has_def(kind) {
+                touch(&mut iv, id, pos[id as usize]);
+            }
+            let at = pos[id as usize];
+            Func::visit_uses(kind, &mut |u| {
+                touch(&mut iv, u, at);
+            });
+        }
+    }
+
+    // Linear scan over interval hulls; slots are unbounded (no spilling),
+    // the scan exists to pack the frame tightly for cache-friendly reuse.
+    let mut items: Vec<(u32, u32, Id)> = iv
+        .iter()
+        .enumerate()
+        .filter_map(|(id, r)| r.map(|(lo, hi)| (lo, hi, id as Id)))
+        .collect();
+    items.sort_unstable();
+    let mut slot_of = vec![0u16; ni];
+    let mut active: Vec<(u32, u16)> = Vec::new();
+    let mut free: Vec<u16> = Vec::new();
+    let mut next: u32 = 0;
+    for (lo, hi, id) in items {
+        active.retain(|&(end, s)| {
+            if end < lo {
+                free.push(s);
+                false
+            } else {
+                true
+            }
+        });
+        let s = match free.pop() {
+            Some(s) => s,
+            None => {
+                let s = next;
+                next += 1;
+                if next >= u16::MAX as u32 {
+                    return None; // frame too wide; fall back
+                }
+                s as u16
+            }
+        };
+        slot_of[id as usize] = s;
+        active.push((hi, s));
+    }
+    let scratch = next as u16;
+    let nslots = next as usize + 1;
+
+    // Emission. Block indices are preserved, so pricing tables line up.
+    let sl = |id: Id| slot_of[passes::resolve_copy(f, id) as usize];
+    let mut rblocks: Vec<RBlock> = Vec::with_capacity(n);
+    for b in 0..n as u32 {
+        let mut code = Vec::new();
+        for &id in &f.blocks[b as usize].code {
+            let inst = &f.insts[id as usize];
+            let d = slot_of[id as usize];
+            let ep = inst.prefix;
+            match &inst.kind {
+                InstKind::Phi(_) | InstKind::Removed => {}
+                InstKind::Copy(s) => {
+                    let s = sl(*s);
+                    if s != d {
+                        code.push(RInstr::Copy { d, s });
+                    }
+                }
+                InstKind::Const(v) => code.push(RInstr::Const { d, v: *v }),
+                InstKind::Tid => code.push(RInstr::Tid { d }),
+                InstKind::Param(p) => code.push(RInstr::Param { d, p: *p as u16 }),
+                InstKind::Un(op, a) => code.push(RInstr::Un { d, op: *op, a: sl(*a) }),
+                InstKind::Bin(op, a, bb) => code.push(RInstr::Bin {
+                    d,
+                    op: *op,
+                    a: sl(*a),
+                    b: sl(*bb),
+                    ep,
+                }),
+                InstKind::AsBool(a) => code.push(RInstr::AsBool { d, a: sl(*a) }),
+                InstKind::Cast(ty, a) => code.push(RInstr::Cast { d, ty: *ty, a: sl(*a) }),
+                InstKind::Call(fb, args) => match args.len() {
+                    1 => code.push(RInstr::Call1 { d, f: *fb, a: sl(args[0]) }),
+                    2 => code.push(RInstr::Call2 {
+                        d,
+                        f: *fb,
+                        a: sl(args[0]),
+                        b: sl(args[1]),
+                    }),
+                    _ => return None, // no such builtin arity post-typing
+                },
+                InstKind::Load { buf, idx } => code.push(RInstr::Load {
+                    d,
+                    buf: *buf,
+                    idx: sl(*idx),
+                    ep,
+                }),
+                InstKind::Probe { buf, idx } => {
+                    code.push(RInstr::Probe { buf: *buf, idx: sl(*idx) })
+                }
+                InstKind::Store { buf, idx, val, dirty, checked } => {
+                    code.push(RInstr::Store {
+                        buf: *buf,
+                        idx: sl(*idx),
+                        val: sl(*val),
+                        dirty: *dirty,
+                        checked: *checked,
+                        ep,
+                    })
+                }
+                InstKind::Atomic { buf, idx, op, val } => code.push(RInstr::Atomic {
+                    buf: *buf,
+                    op: *op,
+                    idx: sl(*idx),
+                    val: sl(*val),
+                    ep,
+                }),
+                InstKind::Reduce { slot, op, val } => code.push(RInstr::Reduce {
+                    slot: *slot,
+                    op: *op,
+                    val: sl(*val),
+                }),
+                InstKind::LdLocal(_) | InstKind::StLocal(..) => return None, // mem2reg missed
+            }
+        }
+        // Phi parallel copies at the end of the (post-split, Jump-only)
+        // predecessor edge.
+        if let Term::Jump(t) = f.blocks[b as usize].term {
+            let mut moves: Vec<(u16, u16)> = Vec::new();
+            for &id in &f.blocks[t as usize].code {
+                if let InstKind::Phi(ops) = &f.insts[id as usize].kind {
+                    if let Some(&(_, v)) = ops.iter().find(|&&(pb, _)| pb == b) {
+                        moves.push((slot_of[id as usize], sl(v)));
+                    }
+                }
+            }
+            for (d, s) in seq_parallel_moves(moves, scratch) {
+                code.push(RInstr::Copy { d, s });
+            }
+        }
+        let term = match f.blocks[b as usize].term {
+            Term::Jump(t) => RTerm::Jump(t),
+            Term::Br { c, t, f: fb } => RTerm::Br { c: sl(c), t, f: fb },
+            Term::Ret => RTerm::Ret,
+        };
+        rblocks.push(RBlock { code, term });
+    }
+
+    Some(RegCompiled {
+        blocks: rblocks,
+        deltas: f.blocks.iter().map(|b| b.delta.clone()).collect(),
+        prefixes: f.prefixes.iter().map(|p| p.delta.clone()).collect(),
+        nslots,
+    })
+}
+
+/// Sequence a parallel copy set, breaking cycles through `scratch`.
+/// Destination slots are unique; a single scratch suffices because a
+/// broken cycle fully drains (as a chain of safe moves) before another
+/// break can occur.
+fn seq_parallel_moves(moves: Vec<(u16, u16)>, scratch: u16) -> Vec<(u16, u16)> {
+    let mut pending: Vec<(u16, u16)> = moves.into_iter().filter(|&(d, s)| d != s).collect();
+    let mut out = Vec::with_capacity(pending.len());
+    while !pending.is_empty() {
+        if let Some(i) = pending
+            .iter()
+            .position(|&(d, _)| !pending.iter().any(|&(_, s)| s == d))
+        {
+            let m = pending.remove(i);
+            out.push(m);
+        } else {
+            // Pure cycle(s) remain: free one destination via scratch.
+            let (d, s) = pending.remove(0);
+            out.push((scratch, d));
+            for m in &mut pending {
+                if m.1 == d {
+                    m.1 = scratch;
+                }
+            }
+            out.push((d, s));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn index(v: Value) -> i64 {
+    match v {
+        Value::I32(x) => x as i64,
+        _ => unreachable!("regvm: index validated as i32"),
+    }
+}
+
+#[cold]
+fn oob(buf: u32, window_lo: i64, len: usize, gidx: i64) -> ExecError {
+    ExecError::OutOfBounds {
+        buf: format!("buf#{buf}"),
+        idx: gidx,
+        window: (window_lo, window_lo + len as i64),
+    }
+}
+
+fn charge(ctx: &mut ExecCtx<'_>, d: &Delta) {
+    ctx.counters.merge(&d.c);
+    for &(buf, lb, sb) in &d.per_buf {
+        let e = &mut ctx.per_buf_bytes[buf as usize];
+        e.0 += lb;
+        e.1 += sb;
+    }
+}
+
+fn settle(rc: &RegCompiled, ctx: &mut ExecCtx<'_>, counts: &[u64]) {
+    for (b, &nexec) in counts.iter().enumerate() {
+        if nexec == 0 {
+            continue;
+        }
+        let d = &rc.deltas[b];
+        ctx.counters.merge_scaled(&d.c, nexec);
+        for &(buf, lb, sb) in &d.per_buf {
+            let e = &mut ctx.per_buf_bytes[buf as usize];
+            e.0 += lb * nexec;
+            e.1 += sb * nexec;
+        }
+    }
+}
+
+/// Do the launch context's dynamic value types match the kernel's
+/// declarations? When they don't, the walker can raise `TypeError`s the
+/// statically-typed VM ruled out — such launches take the reference path.
+/// Public so callers that cache [`compile`]d code across launches can
+/// re-validate each launch the way [`run_kernel_range_opt`] does.
+pub fn launch_types_match(k: &Kernel, ctx: &ExecCtx<'_>) -> bool {
+    ctx.params.len() == k.params.len()
+        && ctx.params.iter().zip(&k.params).all(|(v, p)| v.ty() == p.ty)
+        && ctx.bufs.len() == k.bufs.len()
+        && ctx.bufs.iter().zip(&k.bufs).all(|(s, b)| s.data.ty() == b.ty)
+        && ctx.reduction_partials.len() == k.reductions.len()
+        && ctx
+            .reduction_partials
+            .iter()
+            .zip(&k.reductions)
+            .all(|(v, r)| v.ty() == r.ty)
+}
+
+/// Optimizing counterpart of [`run_kernel_range`]: execute iterations
+/// `[lo, hi)` through the register VM, bit-identical to the walker, with
+/// automatic fallback to the reference path when static compilation or
+/// launch validation fails.
+pub fn run_kernel_range_opt(
+    k: &Kernel,
+    ctx: &mut ExecCtx<'_>,
+    lo: i64,
+    hi: i64,
+) -> Result<(), ExecError> {
+    let Some(rc) = compile(k) else {
+        return run_kernel_range(k, ctx, lo, hi);
+    };
+    if !launch_types_match(k, ctx) {
+        return run_kernel_range(k, ctx, lo, hi);
+    }
+    run_compiled(&rc, ctx, lo, hi)
+}
+
+/// Execute a pre-compiled kernel over `[lo, hi)`. The caller must have
+/// checked [`launch_types_match`]-equivalent invariants (as
+/// [`run_kernel_range_opt`] does).
+pub fn run_compiled(
+    rc: &RegCompiled,
+    ctx: &mut ExecCtx<'_>,
+    lo: i64,
+    hi: i64,
+) -> Result<(), ExecError> {
+    let mut frame: Vec<Value> = vec![Value::I32(0); rc.nslots];
+    let mut counts: Vec<u64> = vec![0; rc.blocks.len()];
+    for tid in lo..hi {
+        match run_iter(rc, ctx, &mut frame, tid, &mut counts) {
+            Ok(()) => ctx.counters.threads += 1,
+            Err((e, ep)) => {
+                settle(rc, ctx, &counts);
+                if ep != NO_PREFIX {
+                    let d = rc.prefixes[ep as usize].clone();
+                    charge(ctx, &d);
+                }
+                return Err(e);
+            }
+        }
+    }
+    settle(rc, ctx, &counts);
+    Ok(())
+}
+
+fn run_iter(
+    rc: &RegCompiled,
+    ctx: &mut ExecCtx<'_>,
+    frame: &mut [Value],
+    tid: i64,
+    counts: &mut [u64],
+) -> Result<(), (ExecError, u32)> {
+    let mut b = 0usize;
+    loop {
+        let blk = &rc.blocks[b];
+        for ins in &blk.code {
+            match *ins {
+                RInstr::Const { d, v } => frame[d as usize] = v,
+                RInstr::Tid { d } => {
+                    debug_assert!(tid <= i32::MAX as i64);
+                    frame[d as usize] = Value::I32(tid as i32);
+                }
+                RInstr::Param { d, p } => frame[d as usize] = ctx.params[p as usize],
+                RInstr::Copy { d, s } => frame[d as usize] = frame[s as usize],
+                RInstr::Un { d, op, a } => {
+                    frame[d as usize] =
+                        eval_unary(op, frame[a as usize]).expect("regvm: unary typed")
+                }
+                RInstr::Bin { d, op, a, b: bb, ep } => {
+                    frame[d as usize] = eval_binary(op, frame[a as usize], frame[bb as usize])
+                        .map_err(|e| (e, ep))?;
+                }
+                RInstr::AsBool { d, a } => {
+                    let v = frame[a as usize].as_bool().expect("regvm: as_bool typed");
+                    frame[d as usize] = Value::Bool(v);
+                }
+                RInstr::Cast { d, ty, a } => frame[d as usize] = frame[a as usize].cast(ty),
+                RInstr::Call1 { d, f, a } => {
+                    frame[d as usize] =
+                        eval_builtin(f, &[frame[a as usize]]).expect("regvm: builtin typed")
+                }
+                RInstr::Call2 { d, f, a, b: bb } => {
+                    frame[d as usize] = eval_builtin(f, &[frame[a as usize], frame[bb as usize]])
+                        .expect("regvm: builtin typed")
+                }
+                RInstr::Load { d, buf, idx, ep } => {
+                    let gidx = index(frame[idx as usize]);
+                    let slot = &mut ctx.bufs[buf as usize];
+                    let local = gidx - slot.window_lo;
+                    if local < 0 || local as usize >= slot.data.len() {
+                        return Err((oob(buf, slot.window_lo, slot.data.len(), gidx), ep));
+                    }
+                    frame[d as usize] = slot.data.get(local as usize);
+                    sanitize_load(ctx, buf, tid, gidx);
+                }
+                RInstr::Probe { buf, idx } => {
+                    let gidx = index(frame[idx as usize]);
+                    sanitize_load(ctx, buf, tid, gidx);
+                }
+                RInstr::Store { buf, idx, val, dirty, checked, ep } => {
+                    let gidx = index(frame[idx as usize]);
+                    let v = frame[val as usize];
+                    if checked {
+                        // Fully runtime-priced, mirroring the walker.
+                        ctx.counters.miss_checks += 1;
+                        let own = ctx.bufs[buf as usize].own;
+                        if gidx < own.0 || gidx >= own.1 {
+                            ctx.counters.misses += 1;
+                            if ctx.miss_buf.len() >= ctx.miss_capacity {
+                                return Err((
+                                    ExecError::MissBufferOverflow {
+                                        capacity: ctx.miss_capacity,
+                                    },
+                                    ep,
+                                ));
+                            }
+                            let c = &mut ctx.counters;
+                            c.stores += 1;
+                            c.store_bytes += (8 + v.ty().size_bytes()) as u64;
+                            ctx.miss_buf.push(MissRecord { buf, idx: gidx, value: v });
+                            continue;
+                        }
+                        let slot = &mut ctx.bufs[buf as usize];
+                        let local = gidx - slot.window_lo;
+                        if local < 0 || local as usize >= slot.data.len() {
+                            return Err((oob(buf, slot.window_lo, slot.data.len(), gidx), ep));
+                        }
+                        let bty = slot.data.ty();
+                        slot.data.set(local as usize, v.cast(bty));
+                        let nbytes = bty.size_bytes() as u64;
+                        let c = &mut ctx.counters;
+                        c.stores += 1;
+                        c.store_bytes += nbytes;
+                        c.int_ops += 1; // index translation
+                        ctx.per_buf_bytes[buf as usize].1 += nbytes;
+                        if dirty {
+                            let slot = &mut ctx.bufs[buf as usize];
+                            let l = (gidx - slot.window_lo) as usize;
+                            if let Some(dm) = slot.dirty.as_deref_mut() {
+                                dm.mark(l);
+                            }
+                            ctx.counters.dirty_marks += 1;
+                        }
+                    } else {
+                        // Statically priced; the sanitizer audit precedes
+                        // the bounds fault, exactly like the walker.
+                        sanitize_store(ctx, buf, tid, gidx);
+                        let slot = &mut ctx.bufs[buf as usize];
+                        let local = gidx - slot.window_lo;
+                        if local < 0 || local as usize >= slot.data.len() {
+                            return Err((oob(buf, slot.window_lo, slot.data.len(), gidx), ep));
+                        }
+                        let bty = slot.data.ty();
+                        slot.data.set(local as usize, v.cast(bty));
+                        if dirty {
+                            let slot = &mut ctx.bufs[buf as usize];
+                            let l = (gidx - slot.window_lo) as usize;
+                            if let Some(dm) = slot.dirty.as_deref_mut() {
+                                dm.mark(l);
+                            }
+                        }
+                    }
+                }
+                RInstr::Atomic { buf, op, idx, val, ep } => {
+                    let gidx = index(frame[idx as usize]);
+                    let v = frame[val as usize];
+                    let slot = &mut ctx.bufs[buf as usize];
+                    let local = gidx - slot.window_lo;
+                    if local < 0 || local as usize >= slot.data.len() {
+                        return Err((oob(buf, slot.window_lo, slot.data.len(), gidx), ep));
+                    }
+                    let old = slot.data.get(local as usize);
+                    let new = rmw_apply(op, old, v).expect("regvm: atomic typed");
+                    let bty = slot.data.ty();
+                    slot.data.set(local as usize, new.cast(bty));
+                }
+                RInstr::Reduce { slot, op, val } => {
+                    let v = frame[val as usize];
+                    let cur = ctx.reduction_partials[slot as usize];
+                    ctx.reduction_partials[slot as usize] =
+                        rmw_apply(op, cur, v).expect("regvm: reduce typed");
+                }
+            }
+        }
+        counts[b] += 1;
+        match blk.term {
+            RTerm::Jump(t) => b = t as usize,
+            RTerm::Br { c, t, f } => {
+                let Value::Bool(v) = frame[c as usize] else {
+                    unreachable!("regvm: branch on non-bool")
+                };
+                b = if v { t as usize } else { f as usize };
+            }
+            RTerm::Ret => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::expr::Expr;
+    use crate::kernel::{BufAccess, BufParam, Kernel};
+    use crate::stmt::Stmt;
+    use crate::{BufId, LocalId};
+
+    fn loop_kernel() -> Kernel {
+        // s = 0; j = 0; while (j < 8) { s = s + a[tid]; j = j + 1; } out[tid] = s;
+        let s = LocalId(0);
+        let j = LocalId(1);
+        Kernel {
+            name: "loopy".into(),
+            params: vec![],
+            bufs: vec![
+                BufParam {
+                    name: "a".into(),
+                    ty: Ty::I32,
+                    access: BufAccess::Read,
+                },
+                BufParam {
+                    name: "out".into(),
+                    ty: Ty::I32,
+                    access: BufAccess::Write,
+                },
+            ],
+            locals: vec![Ty::I32, Ty::I32],
+            reductions: vec![],
+            body: vec![
+                Stmt::While {
+                    cond: Expr::bin(BinOp::Lt, Expr::Local(j), Expr::imm_i32(8)),
+                    body: vec![
+                        Stmt::Assign {
+                            local: s,
+                            value: Expr::add(
+                                Expr::Local(s),
+                                Expr::load(BufId(0), Expr::ThreadIdx),
+                            ),
+                        },
+                        Stmt::Assign {
+                            local: j,
+                            value: Expr::add(Expr::Local(j), Expr::imm_i32(1)),
+                        },
+                    ],
+                },
+                Stmt::Store {
+                    buf: BufId(1),
+                    idx: Expr::ThreadIdx,
+                    value: Expr::Local(s),
+                    dirty: false,
+                    checked: false,
+                },
+            ],
+        }
+    }
+
+    fn run_both(k: &Kernel, n: i64) -> ((Vec<i32>, crate::OpCounters), (Vec<i32>, crate::OpCounters)) {
+        let run = |opt: bool| {
+            let mut a = Buffer::from_i32(&(0..n as i32).collect::<Vec<_>>());
+            let mut out = Buffer::zeroed(Ty::I32, n as usize);
+            let mut ctx = ExecCtx::new(
+                k,
+                vec![],
+                vec![
+                    crate::BufSlot::whole(&mut a),
+                    crate::BufSlot::whole(&mut out),
+                ],
+            );
+            crate::interp::run_kernel_range_ast(k, &mut ctx, 0, n).unwrap();
+            let c = ctx.counters;
+            drop(ctx);
+            let _ = opt;
+            (out.to_i32_vec(), c)
+        };
+        let walker = run(false);
+        let vm = {
+            let mut a = Buffer::from_i32(&(0..n as i32).collect::<Vec<_>>());
+            let mut out = Buffer::zeroed(Ty::I32, n as usize);
+            let mut ctx = ExecCtx::new(
+                k,
+                vec![],
+                vec![
+                    crate::BufSlot::whole(&mut a),
+                    crate::BufSlot::whole(&mut out),
+                ],
+            );
+            run_kernel_range_opt(k, &mut ctx, 0, n).unwrap();
+            let c = ctx.counters;
+            drop(ctx);
+            (out.to_i32_vec(), c)
+        };
+        (walker, vm)
+    }
+
+    #[test]
+    fn loop_kernel_compiles_and_matches_walker() {
+        let k = loop_kernel();
+        assert!(compile(&k).is_some(), "loop kernel must take the VM path");
+        let (walker, vm) = run_both(&k, 16);
+        assert_eq!(walker.0, vm.0);
+        assert_eq!(walker.1, vm.1);
+    }
+
+    #[test]
+    fn div_by_zero_settles_identical_counters() {
+        // out[tid] = 100 / (a[tid] - 2): faults at tid == 2.
+        let k = Kernel {
+            name: "divk".into(),
+            params: vec![],
+            bufs: vec![
+                BufParam {
+                    name: "a".into(),
+                    ty: Ty::I32,
+                    access: BufAccess::Read,
+                },
+                BufParam {
+                    name: "out".into(),
+                    ty: Ty::I32,
+                    access: BufAccess::Write,
+                },
+            ],
+            locals: vec![],
+            reductions: vec![],
+            body: vec![Stmt::Store {
+                buf: BufId(1),
+                idx: Expr::ThreadIdx,
+                value: Expr::bin(
+                    BinOp::Div,
+                    Expr::imm_i32(100),
+                    Expr::sub(Expr::load(BufId(0), Expr::ThreadIdx), Expr::imm_i32(2)),
+                ),
+                dirty: false,
+                checked: false,
+            }],
+        };
+        assert!(compile(&k).is_some());
+        let run = |ast: bool| {
+            let mut a = Buffer::from_i32(&[0, 1, 2, 3]);
+            let mut out = Buffer::zeroed(Ty::I32, 4);
+            let mut ctx = ExecCtx::new(
+                &k,
+                vec![],
+                vec![
+                    crate::BufSlot::whole(&mut a),
+                    crate::BufSlot::whole(&mut out),
+                ],
+            );
+            let r = if ast {
+                crate::interp::run_kernel_range_ast(&k, &mut ctx, 0, 4)
+            } else {
+                run_kernel_range_opt(&k, &mut ctx, 0, 4)
+            };
+            let c = ctx.counters;
+            drop(ctx);
+            (r, out.to_i32_vec(), c)
+        };
+        let (re, oe, ce) = run(true);
+        let (rv, ov, cv) = run(false);
+        assert_eq!(re.unwrap_err(), ExecError::DivByZero);
+        assert_eq!(rv.unwrap_err(), ExecError::DivByZero);
+        assert_eq!(oe, ov);
+        assert_eq!(ce, cv, "error-path counters must be bit-identical");
+    }
+}

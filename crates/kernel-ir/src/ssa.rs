@@ -1,0 +1,1038 @@
+//! SSA-form mid-level IR for kernel bodies.
+//!
+//! The optimizing pipeline ([`crate::passes`], [`crate::regvm`]) lowers a
+//! kernel body (`&[Stmt]`) into a control-flow graph of basic blocks whose
+//! instructions live in a stable-index arena. After local-variable
+//! promotion (mem2reg) the IR is in SSA form: every instruction that
+//! produces a value *is* that value, and `Phi` nodes join values at
+//! control-flow merges.
+//!
+//! # The pre-optimization pricing contract
+//!
+//! Op counters drive simulated timing, so the optimizer must never change
+//! what a launch *costs* — only how fast the host executes it. The
+//! contract: every basic block's [`Delta`] (its `OpCounters` contribution
+//! plus per-buffer byte traffic) is computed **here, at lowering time,
+//! from the unoptimized instruction stream**, exactly mirroring what the
+//! AST walker in [`crate::interp`] would charge for one execution of the
+//! block. Optimization passes may delete or rewrite instructions but must
+//! leave deltas untouched (CFG simplification merges blocks by *adding*
+//! their deltas). At runtime the register VM counts block executions and
+//! settles `counts[b] × delta[b]` at the end — so the counter stream is
+//! bit-identical to the walker no matter what the optimizer did.
+//!
+//! Errors need sub-block resolution: when instruction `i` of a block
+//! faults, the walker has charged every op *before* `i` but not the block
+//! terminator. Each fault-capable instruction therefore carries a
+//! [`PrefixEntry`] snapshot of the block delta accumulated strictly
+//! before it (for `Div`/`Rem`, *including* its own `special_ops`, which
+//! the walker charges before dividing).
+//!
+//! Costs that depend on operand types (`count_arith`) cannot be priced
+//! until types are known, which requires mem2reg first; those
+//! instructions are parked in per-block `pending` lists and folded into
+//! the deltas by [`resolve_pricing`] once [`infer`] has run.
+
+use crate::counters::OpCounters;
+use crate::expr::{BinOp, Builtin, Expr, UnOp};
+use crate::kernel::Kernel;
+use crate::stmt::{RmwOp, Stmt};
+use crate::ty::{Ty, Value};
+
+/// Index of an instruction in the [`Func`] arena. An instruction that
+/// produces a value is referred to by its id.
+pub type Id = u32;
+
+/// Sentinel for "no error-prefix entry" on instructions that cannot fault.
+pub const NO_PREFIX: u32 = u32::MAX;
+
+/// One instruction. Operands are arena ids of earlier instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstKind {
+    /// Immediate constant.
+    Const(Value),
+    /// The thread (global iteration) index, as `i32`.
+    Tid,
+    /// Scalar launch parameter read.
+    Param(u32),
+    /// Local-variable read; removed by mem2reg.
+    LdLocal(u32),
+    /// Local-variable write; removed by mem2reg (its `int_ops` charge is
+    /// captured in the block delta at lowering and stays).
+    StLocal(u32, Id),
+    /// SSA join: `(predecessor block, value)` pairs.
+    Phi(Vec<(u32, Id)>),
+    /// Value alias, introduced by mem2reg and trivial-phi removal.
+    Copy(Id),
+    Un(UnOp, Id),
+    Bin(BinOp, Id, Id),
+    /// Boolean coercion (`as_bool`): identity on `Bool`, `!= 0` on `I32`.
+    /// Only emitted where the walker would call `as_bool`; zero cost and —
+    /// after type validation — never faults.
+    AsBool(Id),
+    Cast(Ty, Id),
+    Call(Builtin, Vec<Id>),
+    Load {
+        buf: u32,
+        idx: Id,
+    },
+    /// Ghost of a forwarded (deleted) load: performs only the sanitizer
+    /// window audit, at the deleted load's original position, so the
+    /// sanitize log stays bit-identical. Its bounds check is subsumed by
+    /// the dominating identical load.
+    Probe {
+        buf: u32,
+        idx: Id,
+    },
+    Store {
+        buf: u32,
+        idx: Id,
+        val: Id,
+        dirty: bool,
+        checked: bool,
+    },
+    Atomic {
+        buf: u32,
+        idx: Id,
+        op: RmwOp,
+        val: Id,
+    },
+    Reduce {
+        slot: u32,
+        op: RmwOp,
+        val: Id,
+    },
+    /// Tombstone for a deleted instruction.
+    Removed,
+}
+
+/// An arena instruction: kind plus the statically inferred result type
+/// (`None` for void instructions or before inference) and the index of its
+/// error-prefix entry (`NO_PREFIX` if it cannot fault).
+#[derive(Debug, Clone)]
+pub struct Inst {
+    pub kind: InstKind,
+    pub ty: Option<Ty>,
+    pub prefix: u32,
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Term {
+    Jump(u32),
+    /// Conditional branch on a `Bool` value. Charges one `branches` op to
+    /// the block delta (the walker charges it after `as_bool` succeeds,
+    /// which post-validation cannot fail).
+    Br {
+        c: Id,
+        t: u32,
+        f: u32,
+    },
+    Ret,
+}
+
+/// The static cost of executing a basic block once: an `OpCounters`
+/// increment plus sparse per-buffer `(buf, load_bytes, store_bytes)`
+/// traffic. `threads` is never part of a delta.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Delta {
+    pub c: OpCounters,
+    pub per_buf: Vec<(u32, u64, u64)>,
+}
+
+impl Delta {
+    pub fn add(&mut self, other: &Delta) {
+        self.c.merge(&other.c);
+        for &(b, lb, sb) in &other.per_buf {
+            self.add_buf(b, lb, sb);
+        }
+    }
+
+    pub fn add_buf(&mut self, buf: u32, load_bytes: u64, store_bytes: u64) {
+        if let Some(e) = self.per_buf.iter_mut().find(|e| e.0 == buf) {
+            e.1 += load_bytes;
+            e.2 += store_bytes;
+        } else {
+            self.per_buf.push((buf, load_bytes, store_bytes));
+        }
+    }
+}
+
+/// Error-prefix snapshot: what one execution of the enclosing block has
+/// charged strictly before the fault point. `pending` lists type-priced
+/// instructions before the fault point, folded in by [`resolve_pricing`].
+#[derive(Debug, Clone, Default)]
+pub struct PrefixEntry {
+    pub delta: Delta,
+    pub pending: Vec<Id>,
+}
+
+/// A basic block: instruction ids in execution order, terminator,
+/// predecessors, and the pre-optimization pricing state.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub code: Vec<Id>,
+    pub term: Term,
+    pub preds: Vec<u32>,
+    pub delta: Delta,
+    /// Instructions whose `count_arith` cost awaits type inference.
+    pub pending: Vec<Id>,
+}
+
+impl Block {
+    fn new() -> Block {
+        Block {
+            code: Vec::new(),
+            term: Term::Ret,
+            preds: Vec::new(),
+            delta: Delta::default(),
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// A lowered kernel body: block 0 is the entry.
+#[derive(Debug, Clone)]
+pub struct Func {
+    pub insts: Vec<Inst>,
+    pub blocks: Vec<Block>,
+    pub prefixes: Vec<PrefixEntry>,
+}
+
+impl Func {
+    pub fn inst(&self, id: Id) -> &Inst {
+        &self.insts[id as usize]
+    }
+
+    pub fn ty(&self, id: Id) -> Option<Ty> {
+        self.insts[id as usize].ty
+    }
+
+    /// Visit every operand (use) of an instruction kind.
+    pub fn visit_uses(kind: &InstKind, mut f: impl FnMut(Id)) {
+        match kind {
+            InstKind::Const(_)
+            | InstKind::Tid
+            | InstKind::Param(_)
+            | InstKind::LdLocal(_)
+            | InstKind::Removed => {}
+            InstKind::StLocal(_, v) | InstKind::Copy(v) | InstKind::AsBool(v) => f(*v),
+            InstKind::Un(_, a) => f(*a),
+            InstKind::Bin(_, a, b) => {
+                f(*a);
+                f(*b);
+            }
+            InstKind::Cast(_, a) => f(*a),
+            InstKind::Call(_, args) => args.iter().for_each(|&a| f(a)),
+            InstKind::Phi(ops) => ops.iter().for_each(|&(_, v)| f(v)),
+            InstKind::Load { idx, .. } | InstKind::Probe { idx, .. } => f(*idx),
+            InstKind::Store { idx, val, .. } | InstKind::Atomic { idx, val, .. } => {
+                f(*idx);
+                f(*val);
+            }
+            InstKind::Reduce { val, .. } => f(*val),
+        }
+    }
+
+    /// Rewrite every operand of an instruction kind through `m`.
+    pub fn map_uses(kind: &mut InstKind, mut m: impl FnMut(Id) -> Id) {
+        match kind {
+            InstKind::Const(_)
+            | InstKind::Tid
+            | InstKind::Param(_)
+            | InstKind::LdLocal(_)
+            | InstKind::Removed => {}
+            InstKind::StLocal(_, v) | InstKind::Copy(v) | InstKind::AsBool(v) => *v = m(*v),
+            InstKind::Un(_, a) => *a = m(*a),
+            InstKind::Bin(_, a, b) => {
+                *a = m(*a);
+                *b = m(*b);
+            }
+            InstKind::Cast(_, a) => *a = m(*a),
+            InstKind::Call(_, args) => args.iter_mut().for_each(|a| *a = m(*a)),
+            InstKind::Phi(ops) => ops.iter_mut().for_each(|op| op.1 = m(op.1)),
+            InstKind::Load { idx, .. } | InstKind::Probe { idx, .. } => *idx = m(*idx),
+            InstKind::Store { idx, val, .. } | InstKind::Atomic { idx, val, .. } => {
+                *idx = m(*idx);
+                *val = m(*val);
+            }
+            InstKind::Reduce { val, .. } => *val = m(*val),
+        }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: u32) -> Vec<u32> {
+        match self.blocks[b as usize].term {
+            Term::Jump(t) => vec![t],
+            Term::Br { t, f, .. } => vec![t, f],
+            Term::Ret => vec![],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+struct Lower<'a> {
+    k: &'a Kernel,
+    f: Func,
+    cur: u32,
+    /// `(continue target, break target)` per enclosing loop.
+    loops: Vec<(u32, u32)>,
+    /// The current block already has a terminator (after `break`/`continue`
+    /// or an `if` whose arms both left); remaining statements in the list
+    /// are unreachable and skipped — exactly like the walker, which stops
+    /// executing the list when `Flow` is non-normal.
+    terminated: bool,
+}
+
+/// Lower a kernel body to a CFG, pricing every block delta from the
+/// unoptimized stream as it is built. Returns `None` when the body refers
+/// to out-of-range parameter/buffer/local/reduction indices (an invalid
+/// kernel — the caller falls back to the reference interpreter).
+pub fn lower(k: &Kernel) -> Option<Func> {
+    if !indices_in_range(k) {
+        return None;
+    }
+    let mut l = Lower {
+        k,
+        f: Func {
+            insts: Vec::new(),
+            blocks: vec![Block::new()],
+            prefixes: Vec::new(),
+        },
+        cur: 0,
+        loops: Vec::new(),
+        terminated: false,
+    };
+    l.stmts(&k.body);
+    if !l.terminated {
+        l.terminate(Term::Ret);
+    }
+    Some(l.f)
+}
+
+fn indices_in_range(k: &Kernel) -> bool {
+    let mut ok = true;
+    for s in &k.body {
+        s.visit(&mut |s| match s {
+            Stmt::Assign { local, .. } => ok &= (local.0 as usize) < k.locals.len(),
+            Stmt::Store { buf, .. } | Stmt::AtomicRmw { buf, .. } => {
+                ok &= (buf.0 as usize) < k.bufs.len();
+            }
+            Stmt::ReduceScalar { slot, .. } => ok &= (*slot as usize) < k.reductions.len(),
+            _ => {}
+        });
+        s.visit_exprs(&mut |e: &Expr| {
+            e.visit(&mut |e| match e {
+                Expr::Local(l) => ok &= (l.0 as usize) < k.locals.len(),
+                Expr::Param(p) => ok &= (p.0 as usize) < k.params.len(),
+                Expr::Load { buf, .. } => ok &= (buf.0 as usize) < k.bufs.len(),
+                _ => {}
+            });
+        });
+    }
+    ok
+}
+
+impl<'a> Lower<'a> {
+    fn new_block(&mut self) -> u32 {
+        self.f.blocks.push(Block::new());
+        (self.f.blocks.len() - 1) as u32
+    }
+
+    fn start(&mut self, b: u32) {
+        self.cur = b;
+        self.terminated = false;
+    }
+
+    fn terminate(&mut self, t: Term) {
+        match t {
+            Term::Jump(d) => self.f.blocks[d as usize].preds.push(self.cur),
+            Term::Br { t: bt, f: bf, .. } => {
+                // The walker charges one branch op per taken conditional.
+                self.f.blocks[self.cur as usize].delta.c.branches += 1;
+                self.f.blocks[bt as usize].preds.push(self.cur);
+                self.f.blocks[bf as usize].preds.push(self.cur);
+            }
+            Term::Ret => {}
+        }
+        self.f.blocks[self.cur as usize].term = t;
+    }
+
+    /// Snapshot the current block's accumulated delta as an error prefix.
+    fn prefix(&mut self) -> u32 {
+        let b = &self.f.blocks[self.cur as usize];
+        self.f.prefixes.push(PrefixEntry {
+            delta: b.delta.clone(),
+            pending: b.pending.clone(),
+        });
+        (self.f.prefixes.len() - 1) as u32
+    }
+
+    /// Append an instruction to the current block, charging its static
+    /// pre-optimization cost to the block delta (or parking it in
+    /// `pending` when the cost depends on operand types).
+    fn emit(&mut self, kind: InstKind) -> Id {
+        let id = self.f.insts.len() as Id;
+        let mut prefix = NO_PREFIX;
+        match &kind {
+            InstKind::Const(_)
+            | InstKind::Tid
+            | InstKind::Param(_)
+            | InstKind::LdLocal(_)
+            | InstKind::Phi(_)
+            | InstKind::Copy(_)
+            | InstKind::AsBool(_)
+            | InstKind::Probe { .. }
+            | InstKind::Removed => {}
+            InstKind::StLocal(..) | InstKind::Cast(..) => {
+                self.f.blocks[self.cur as usize].delta.c.int_ops += 1;
+            }
+            InstKind::Call(..) => {
+                self.f.blocks[self.cur as usize].delta.c.special_ops += 1;
+            }
+            InstKind::Bin(BinOp::Div | BinOp::Rem, ..) => {
+                // The walker charges special_ops *before* dividing, so the
+                // prefix for a DivByZero fault includes it.
+                self.f.blocks[self.cur as usize].delta.c.special_ops += 1;
+                prefix = self.prefix();
+            }
+            InstKind::Un(..) | InstKind::Bin(..) | InstKind::Reduce { .. } => {
+                self.f.blocks[self.cur as usize].pending.push(id);
+            }
+            InstKind::Load { buf, .. } => {
+                prefix = self.prefix();
+                let n = self.k.bufs[*buf as usize].ty.size_bytes() as u64;
+                let b = &mut self.f.blocks[self.cur as usize];
+                b.delta.c.loads += 1;
+                b.delta.c.load_bytes += n;
+                b.delta.c.int_ops += 1; // index translation
+                b.delta.add_buf(*buf, n, 0);
+            }
+            InstKind::Store { checked: true, .. } => {
+                // Checked stores are priced entirely at runtime: their
+                // counters depend on whether the index hits the owned
+                // partition (miss-check, miss, record traffic) — the VM
+                // mirrors the walker inline.
+                prefix = self.prefix();
+            }
+            InstKind::Store { buf, dirty, .. } => {
+                prefix = self.prefix();
+                let n = self.k.bufs[*buf as usize].ty.size_bytes() as u64;
+                let b = &mut self.f.blocks[self.cur as usize];
+                b.delta.c.stores += 1;
+                b.delta.c.store_bytes += n;
+                b.delta.c.int_ops += 1; // index translation
+                b.delta.add_buf(*buf, 0, n);
+                if *dirty {
+                    // The walker bumps dirty_marks whenever the dirty flag
+                    // is set, even with no dirty map bound.
+                    b.delta.c.dirty_marks += 1;
+                }
+            }
+            InstKind::Atomic { buf, .. } => {
+                prefix = self.prefix();
+                let n = self.k.bufs[*buf as usize].ty.size_bytes() as u64;
+                let b = &mut self.f.blocks[self.cur as usize];
+                b.delta.c.loads += 1;
+                b.delta.c.load_bytes += n;
+                b.delta.add_buf(*buf, n, 0);
+                b.delta.c.stores += 1;
+                b.delta.c.store_bytes += n;
+                b.delta.c.int_ops += 1; // index translation (store side only)
+                b.delta.add_buf(*buf, 0, n);
+                b.delta.c.atomics += 1;
+            }
+        }
+        self.f.insts.push(Inst {
+            kind,
+            ty: None,
+            prefix,
+        });
+        self.f.blocks[self.cur as usize].code.push(id);
+        id
+    }
+
+    fn stmts(&mut self, list: &[Stmt]) {
+        for s in list {
+            self.stmt(s);
+            if self.terminated {
+                break;
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { local, value } => {
+                let v = self.expr(value);
+                self.emit(InstKind::StLocal(local.0, v));
+            }
+            Stmt::Store {
+                buf,
+                idx,
+                value,
+                dirty,
+                checked,
+            } => {
+                let i = self.expr(idx);
+                let v = self.expr(value);
+                self.emit(InstKind::Store {
+                    buf: buf.0,
+                    idx: i,
+                    val: v,
+                    dirty: *dirty,
+                    checked: *checked,
+                });
+            }
+            Stmt::AtomicRmw {
+                buf,
+                idx,
+                op,
+                value,
+            } => {
+                let i = self.expr(idx);
+                let v = self.expr(value);
+                self.emit(InstKind::Atomic {
+                    buf: buf.0,
+                    idx: i,
+                    op: *op,
+                    val: v,
+                });
+            }
+            Stmt::ReduceScalar { slot, op, value } => {
+                let v = self.expr(value);
+                self.emit(InstKind::Reduce {
+                    slot: *slot,
+                    op: *op,
+                    val: v,
+                });
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let c = self.expr(cond);
+                let cb = self.emit(InstKind::AsBool(c));
+                let tb = self.new_block();
+                let eb = self.new_block();
+                self.terminate(Term::Br { c: cb, t: tb, f: eb });
+                self.start(tb);
+                self.stmts(then_);
+                let t_end = (!self.terminated).then_some(self.cur);
+                self.start(eb);
+                self.stmts(else_);
+                let e_end = (!self.terminated).then_some(self.cur);
+                let join = self.new_block();
+                if let Some(b) = t_end {
+                    self.cur = b;
+                    self.terminate(Term::Jump(join));
+                }
+                if let Some(b) = e_end {
+                    self.cur = b;
+                    self.terminate(Term::Jump(join));
+                }
+                self.start(join);
+                self.terminated = t_end.is_none() && e_end.is_none();
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_block();
+                self.terminate(Term::Jump(header));
+                self.start(header);
+                let c = self.expr(cond);
+                let cb = self.emit(InstKind::AsBool(c));
+                let bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Term::Br { c: cb, t: bb, f: exit });
+                self.loops.push((header, exit));
+                self.start(bb);
+                self.stmts(body);
+                if !self.terminated {
+                    self.terminate(Term::Jump(header));
+                }
+                self.loops.pop();
+                self.start(exit);
+            }
+            Stmt::Break => {
+                // Outside a loop the walker discards `Flow::Break` at the
+                // kernel top level, ending the iteration — i.e. a return.
+                match self.loops.last() {
+                    Some(&(_, exit)) => self.terminate(Term::Jump(exit)),
+                    None => self.terminate(Term::Ret),
+                }
+                self.terminated = true;
+            }
+            Stmt::Continue => {
+                match self.loops.last() {
+                    Some(&(header, _)) => self.terminate(Term::Jump(header)),
+                    None => self.terminate(Term::Ret),
+                }
+                self.terminated = true;
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Id {
+        match e {
+            Expr::Imm(v) => self.emit(InstKind::Const(*v)),
+            Expr::Local(l) => self.emit(InstKind::LdLocal(l.0)),
+            Expr::Param(p) => self.emit(InstKind::Param(p.0)),
+            Expr::ThreadIdx => self.emit(InstKind::Tid),
+            Expr::Load { buf, idx } => {
+                let i = self.expr(idx);
+                self.emit(InstKind::Load { buf: buf.0, idx: i })
+            }
+            Expr::Unary { op, a } => {
+                let a = self.expr(a);
+                self.emit(InstKind::Un(*op, a))
+            }
+            Expr::Binary { op, a, b } if op.is_logical() => self.logical(*op, a, b),
+            Expr::Binary { op, a, b } => {
+                let av = self.expr(a);
+                let bv = self.expr(b);
+                self.emit(InstKind::Bin(*op, av, bv))
+            }
+            Expr::Cast { ty, a } => {
+                let a = self.expr(a);
+                self.emit(InstKind::Cast(*ty, a))
+            }
+            Expr::Call { f, args } => {
+                let mut ids = Vec::with_capacity(args.len());
+                for a in args {
+                    ids.push(self.expr(a));
+                }
+                self.emit(InstKind::Call(*f, ids))
+            }
+            Expr::Select { c, t, f } => {
+                let cv = self.expr(c);
+                let cb = self.emit(InstKind::AsBool(cv));
+                let tb = self.new_block();
+                let fb = self.new_block();
+                self.terminate(Term::Br { c: cb, t: tb, f: fb });
+                self.start(tb);
+                let tv = self.expr(t);
+                let t_end = self.cur;
+                self.start(fb);
+                let fv = self.expr(f);
+                let f_end = self.cur;
+                let join = self.new_block();
+                self.cur = t_end;
+                self.terminate(Term::Jump(join));
+                self.cur = f_end;
+                self.terminate(Term::Jump(join));
+                self.start(join);
+                self.emit(InstKind::Phi(vec![(t_end, tv), (f_end, fv)]))
+            }
+        }
+    }
+
+    /// Short-circuit `&&` / `||`, matching the walker: coerce the lhs to
+    /// bool, charge one branch, and either keep the lhs bool (short
+    /// circuit) or evaluate and coerce the rhs.
+    fn logical(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Id {
+        let av = self.expr(a);
+        let ab = self.emit(InstKind::AsBool(av));
+        let rhs_b = self.new_block();
+        let join = self.new_block();
+        let (t, f) = if op == BinOp::LAnd {
+            (rhs_b, join) // true -> evaluate rhs, false -> short-circuit
+        } else {
+            (join, rhs_b) // true -> short-circuit, false -> evaluate rhs
+        };
+        let from_skip = self.cur;
+        self.terminate(Term::Br { c: ab, t, f });
+        self.start(rhs_b);
+        let bv = self.expr(b);
+        let bb = self.emit(InstKind::AsBool(bv));
+        let from_rhs = self.cur;
+        self.terminate(Term::Jump(join));
+        self.start(join);
+        self.emit(InstKind::Phi(vec![(from_skip, ab), (from_rhs, bb)]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reachability
+// ---------------------------------------------------------------------------
+
+/// Empty out blocks unreachable from the entry (lowering can produce them
+/// for `if` statements whose arms both `break`). Their deltas are zeroed —
+/// the walker never executes that code either.
+pub fn prune_unreachable(f: &mut Func) {
+    let n = f.blocks.len();
+    let mut live = vec![false; n];
+    let mut stack = vec![0u32];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut live[b as usize], true) {
+            continue;
+        }
+        stack.extend(f.succs(b));
+    }
+    for b in 0..n {
+        if !live[b] {
+            for id in std::mem::take(&mut f.blocks[b].code) {
+                f.insts[id as usize].kind = InstKind::Removed;
+            }
+            f.blocks[b].term = Term::Ret;
+            f.blocks[b].preds.clear();
+            f.blocks[b].delta = Delta::default();
+            f.blocks[b].pending.clear();
+        } else {
+            f.blocks[b].preds.retain(|&p| live[p as usize]);
+        }
+    }
+}
+
+/// Iterate the ids of live (reachable, non-tombstoned) code: `(block,
+/// position, id)` triples in execution order per block.
+pub fn live_code(f: &Func) -> Vec<(u32, usize, Id)> {
+    let mut out = Vec::new();
+    for (b, blk) in f.blocks.iter().enumerate() {
+        for (i, &id) in blk.code.iter().enumerate() {
+            out.push((b as u32, i, id));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Type inference / validation
+// ---------------------------------------------------------------------------
+
+enum Typing {
+    Val(Ty),
+    Void,
+    Unknown,
+}
+
+/// Infer a static type for every instruction and validate that every
+/// operation is well-typed under the walker's dynamic rules. On success,
+/// the only runtime faults the compiled kernel can raise are
+/// `OutOfBounds`, `DivByZero`, and `MissBufferOverflow` — every
+/// `TypeError` path is ruled out statically. Returns `Err(())` ("bail")
+/// when inference fails; the caller falls back to the reference
+/// interpreter, which reproduces the walker's dynamic error exactly.
+/// The error carries no payload by design: *why* inference bailed is
+/// irrelevant to the caller, fallback is the only response.
+#[allow(clippy::result_unit_err)]
+pub fn infer(f: &mut Func, k: &Kernel) -> Result<(), ()> {
+    // Fixpoint: phi types flow around loop back edges.
+    loop {
+        let mut changed = false;
+        for blk in &f.blocks {
+            for &id in &blk.code {
+                if f.insts[id as usize].ty.is_some() {
+                    continue;
+                }
+                let kind = f.insts[id as usize].kind.clone();
+                if let Typing::Val(t) = typing(f, k, &kind)? {
+                    f.insts[id as usize].ty = Some(t);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Validation: everything reachable must now be fully typed.
+    for blk in &f.blocks {
+        for &id in &blk.code {
+            let kind = f.insts[id as usize].kind.clone();
+            match typing(f, k, &kind)? {
+                Typing::Val(_) | Typing::Void => {}
+                Typing::Unknown => return Err(()),
+            }
+        }
+        if let Term::Br { c, .. } = blk.term {
+            if f.ty(c) != Some(Ty::Bool) {
+                return Err(());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn typing(f: &Func, k: &Kernel, kind: &InstKind) -> Result<Typing, ()> {
+    use InstKind::*;
+    let t = |id: Id| f.insts[id as usize].ty;
+    Ok(match kind {
+        Removed => Typing::Void,
+        Const(v) => Typing::Val(v.ty()),
+        Tid => Typing::Val(Ty::I32),
+        Param(p) => Typing::Val(k.params.get(*p as usize).ok_or(())?.ty),
+        // Local accesses must have been promoted away by mem2reg.
+        LdLocal(_) | StLocal(..) => return Err(()),
+        Copy(a) => match t(*a) {
+            Some(ty) => Typing::Val(ty),
+            None => Typing::Unknown,
+        },
+        Phi(ops) => {
+            let mut ty = None;
+            for &(_, v) in ops {
+                if let Some(vt) = t(v) {
+                    match ty {
+                        None => ty = Some(vt),
+                        Some(p) if p == vt => {}
+                        Some(_) => return Err(()),
+                    }
+                }
+            }
+            match ty {
+                Some(ty) => Typing::Val(ty),
+                None => Typing::Unknown,
+            }
+        }
+        Un(op, a) => match t(*a) {
+            None => Typing::Unknown,
+            Some(at) => Typing::Val(match (op, at) {
+                (UnOp::Neg, Ty::I32) => Ty::I32,
+                (UnOp::Neg, Ty::F32) => Ty::F32,
+                (UnOp::Neg, Ty::F64) => Ty::F64,
+                (UnOp::Not, Ty::I32 | Ty::Bool) => Ty::Bool,
+                (UnOp::BitNot, Ty::I32) => Ty::I32,
+                _ => return Err(()),
+            }),
+        },
+        Bin(op, a, b) => match (t(*a), t(*b)) {
+            (Some(at), Some(bt)) => {
+                if op.is_logical() {
+                    return Err(()); // lowered to control flow, never emitted
+                }
+                if op.is_comparison() {
+                    if at == bt {
+                        Typing::Val(Ty::Bool)
+                    } else {
+                        return Err(());
+                    }
+                } else if at == Ty::I32 && bt == Ty::I32 {
+                    Typing::Val(Ty::I32)
+                } else if at == bt
+                    && at.is_float()
+                    && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+                {
+                    Typing::Val(at)
+                } else {
+                    return Err(());
+                }
+            }
+            _ => Typing::Unknown,
+        },
+        AsBool(a) => match t(*a) {
+            None => Typing::Unknown,
+            Some(Ty::I32 | Ty::Bool) => Typing::Val(Ty::Bool),
+            Some(_) => return Err(()),
+        },
+        Cast(ty, a) => match t(*a) {
+            None => Typing::Unknown,
+            Some(_) => Typing::Val(*ty), // Value::cast is total
+        },
+        Call(fb, args) => {
+            let mut tys = Vec::with_capacity(args.len());
+            for &a in args {
+                match t(a) {
+                    None => return Ok(Typing::Unknown),
+                    Some(x) => tys.push(x),
+                }
+            }
+            call_typing(*fb, &tys)?
+        }
+        Load { buf, idx } => match t(*idx) {
+            None => Typing::Unknown,
+            Some(Ty::I32) => Typing::Val(k.bufs.get(*buf as usize).ok_or(())?.ty),
+            Some(_) => return Err(()),
+        },
+        Probe { idx, .. } => match t(*idx) {
+            Some(Ty::I32) => Typing::Void,
+            _ => return Err(()),
+        },
+        Store { buf, idx, val, .. } => {
+            k.bufs.get(*buf as usize).ok_or(())?;
+            match (t(*idx), t(*val)) {
+                (Some(Ty::I32), Some(_)) => Typing::Void, // store casts; total
+                (Some(_), _) => return Err(()),
+                _ => Typing::Unknown,
+            }
+        }
+        Atomic { buf, idx, val, .. } => {
+            let bt = k.bufs.get(*buf as usize).ok_or(())?.ty;
+            if bt == Ty::Bool {
+                return Err(()); // rmw_apply has no Bool lattice
+            }
+            match (t(*idx), t(*val)) {
+                (Some(Ty::I32), Some(vt)) if vt == bt => Typing::Void,
+                (Some(it), Some(_)) if it != Ty::I32 => return Err(()),
+                (Some(_), Some(_)) => return Err(()),
+                _ => Typing::Unknown,
+            }
+        }
+        Reduce { slot, val, .. } => {
+            let rt = k.reductions.get(*slot as usize).ok_or(())?.ty;
+            if rt == Ty::Bool {
+                return Err(());
+            }
+            match t(*val) {
+                Some(vt) if vt == rt => Typing::Void,
+                Some(_) => return Err(()),
+                None => Typing::Unknown,
+            }
+        }
+    })
+}
+
+fn call_typing(f: Builtin, tys: &[Ty]) -> Result<Typing, ()> {
+    let arity = match f {
+        Builtin::Pow | Builtin::Min | Builtin::Max => 2,
+        _ => 1,
+    };
+    if tys.len() != arity {
+        return Err(());
+    }
+    if tys.contains(&Ty::Bool) {
+        return Err(()); // as_f64 rejects Bool in every float path
+    }
+    Ok(match f {
+        Builtin::Abs => {
+            if tys[0] == Ty::I32 {
+                Typing::Val(Ty::I32)
+            } else {
+                return Err(());
+            }
+        }
+        Builtin::Min | Builtin::Max if tys[0] == Ty::I32 && tys[1] == Ty::I32 => {
+            Typing::Val(Ty::I32)
+        }
+        // Float path: result precision follows the first argument.
+        _ => Typing::Val(if tys[0] == Ty::F32 { Ty::F32 } else { Ty::F64 }),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pricing resolution
+// ---------------------------------------------------------------------------
+
+/// The walker's `count_arith` for a statically known operand type.
+fn arith_cost(c: &mut OpCounters, ty: Ty) {
+    match ty {
+        Ty::F32 => c.f32_ops += 1,
+        Ty::F64 => c.f64_ops += 1,
+        _ => c.int_ops += 1,
+    }
+}
+
+/// The operand type that drives a pending instruction's `count_arith`
+/// charge: the (first) operand for unary/binary ops, the value for scalar
+/// reductions — exactly the value whose `.ty()` the walker inspects.
+fn pending_ty(f: &Func, id: Id) -> Option<Ty> {
+    match &f.insts[id as usize].kind {
+        InstKind::Un(_, a) | InstKind::Bin(_, a, _) => f.ty(*a),
+        InstKind::Reduce { val, .. } => f.ty(*val),
+        _ => None,
+    }
+}
+
+/// Fold the type-dependent (`count_arith`) costs into block deltas and
+/// error prefixes. Must run after [`infer`] and before any optimization
+/// pass mutates the instruction stream.
+pub fn resolve_pricing(f: &mut Func) {
+    for b in 0..f.blocks.len() {
+        let pending = std::mem::take(&mut f.blocks[b].pending);
+        for id in pending {
+            if let Some(ty) = pending_ty(f, id) {
+                arith_cost(&mut f.blocks[b].delta.c, ty);
+            }
+        }
+    }
+    for p in 0..f.prefixes.len() {
+        let pending = std::mem::take(&mut f.prefixes[p].pending);
+        for id in pending {
+            // Entries whose pending instructions were pruned as
+            // unreachable stay unresolved; they can never be charged.
+            if let Some(ty) = pending_ty(f, id) {
+                arith_cost(&mut f.prefixes[p].delta.c, ty);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::kernel::{BufAccess, BufParam, Kernel};
+    use crate::stmt::Stmt;
+    use crate::{BufId, LocalId};
+
+    fn k1(body: Vec<Stmt>) -> Kernel {
+        Kernel {
+            name: "t".into(),
+            params: vec![],
+            bufs: vec![BufParam {
+                name: "a".into(),
+                ty: Ty::I32,
+                access: BufAccess::ReadWrite,
+            }],
+            locals: vec![Ty::I32],
+            reductions: vec![],
+            body,
+        }
+    }
+
+    #[test]
+    fn lowering_prices_a_straight_line_block() {
+        // a[tid] = a[tid] + 1  (unchecked, not dirty)
+        let k = k1(vec![Stmt::Store {
+            buf: BufId(0),
+            idx: Expr::ThreadIdx,
+            value: Expr::add(Expr::load(BufId(0), Expr::ThreadIdx), Expr::imm_i32(1)),
+            dirty: false,
+            checked: false,
+        }]);
+        let f = lower(&k).unwrap();
+        // Entry block: load (loads 1, 4B, int_op) + store (stores 1, 4B,
+        // int_op) + pending add. No branches.
+        let d = &f.blocks[0].delta;
+        assert_eq!(d.c.loads, 1);
+        assert_eq!(d.c.stores, 1);
+        assert_eq!(d.c.int_ops, 2);
+        assert_eq!(d.c.branches, 0);
+        assert_eq!(f.blocks[0].pending.len(), 1); // the add
+        assert_eq!(d.per_buf, vec![(0, 4, 4)]);
+    }
+
+    #[test]
+    fn while_lowering_charges_branch_on_header() {
+        let k = k1(vec![
+            Stmt::Assign {
+                local: LocalId(0),
+                value: Expr::imm_i32(0),
+            },
+            Stmt::While {
+                cond: Expr::bin(
+                    crate::expr::BinOp::Lt,
+                    Expr::Local(LocalId(0)),
+                    Expr::imm_i32(4),
+                ),
+                body: vec![Stmt::Assign {
+                    local: LocalId(0),
+                    value: Expr::add(Expr::Local(LocalId(0)), Expr::imm_i32(1)),
+                }],
+            },
+        ]);
+        let f = lower(&k).unwrap();
+        let with_br: Vec<_> = f
+            .blocks
+            .iter()
+            .filter(|b| b.delta.c.branches == 1)
+            .collect();
+        assert_eq!(with_br.len(), 1, "exactly the loop header prices a branch");
+    }
+
+    #[test]
+    fn invalid_indices_bail() {
+        let k = k1(vec![Stmt::Assign {
+            local: LocalId(7), // out of range
+            value: Expr::imm_i32(0),
+        }]);
+        assert!(lower(&k).is_none());
+    }
+}
