@@ -9,6 +9,7 @@ use acc_kernel_ir as ir;
 
 use crate::affine::AccessPattern;
 use crate::analysis::AccessMode;
+use crate::depend::DependVerdict;
 
 /// Placement policy the data loader will use for one array in one kernel
 /// (paper §IV-C).
@@ -75,6 +76,11 @@ pub struct ArrayLint {
     /// Read-modify-write stores at overlapping indices missing a
     /// `reductiontoarray` annotation (`ACC-W002`).
     pub unannotated_rmw: usize,
+    /// Cross-GPU dependence verdict from [`crate::depend`]: the basis of
+    /// `ACC-W005` (definite race) and `ACC-W006` (loop-carried
+    /// dependence), and — when the verdict is a monotone-window proof —
+    /// the *suppressor* of the heuristic `ACC-W001`/`ACC-W002` counts.
+    pub verdict: DependVerdict,
 }
 
 impl Default for ArrayLint {
@@ -85,6 +91,7 @@ impl Default for ArrayLint {
             window_violations: 0,
             overlap_stores: 0,
             unannotated_rmw: 0,
+            verdict: DependVerdict::Unknown,
         }
     }
 }
@@ -129,8 +136,30 @@ pub struct ArrayConfig {
     pub read_pattern: AccessPattern,
     /// Worst write-site pattern. `Coalesced` when not written.
     pub write_pattern: AccessPattern,
+    /// The `reductiontoarray` operator the dependence analysis inferred
+    /// and applied for this array (only set when
+    /// `CompileOptions::infer_reductions` rewrote the kernel; basis of
+    /// the `ACC-I002` diagnostic).
+    pub inferred_reduction: Option<ir::RmwOp>,
+    /// The monotone indirect window confining this array's accesses,
+    /// when one was recognized (`row_ptr[i]`-bounded inner loops). For
+    /// written arrays this window is what the
+    /// `DependVerdict::Disjoint(MonotoneWindow)` verdict rests on.
+    pub monotone_window: Option<MonotoneWindowInfo>,
     /// Static linter verdicts for this array in this kernel.
     pub lint: ArrayLint,
+}
+
+/// A recognized monotone indirect window, with the bound array resolved
+/// to its *program* array index: iteration `t` touches exactly
+/// `[p[coeff*t + lo_off], p[coeff*t + lo_off + span])`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonotoneWindowInfo {
+    /// Program array index of the bound array `p`.
+    pub ptr_array: usize,
+    pub coeff: i64,
+    pub lo_off: i64,
+    pub span: i64,
 }
 
 impl ArrayConfig {

@@ -116,6 +116,21 @@ pub fn render_annotation(
     s
 }
 
+/// Render an inferred `reductiontoarray` annotation (from the
+/// [`crate::depend`] matcher) as the machine-applyable pragma line. No
+/// element range is emitted: the rangeless form covers the whole array,
+/// exactly what the inferred rewrite assumes, so the line round-trips to
+/// the identical compiled program.
+pub fn render_reduction(name: &str, op: ir::RmwOp) -> String {
+    let op = match op {
+        ir::RmwOp::Add => "+",
+        ir::RmwOp::Mul => "*",
+        ir::RmwOp::Min => "min",
+        ir::RmwOp::Max => "max",
+    };
+    format!("#pragma acc reductiontoarray({op}: {name})")
+}
+
 fn is_zero(e: &ir::Expr) -> bool {
     matches!(e, ir::Expr::Imm(ir::Value::I32(0)))
 }

@@ -25,6 +25,7 @@ pub mod affine;
 pub mod analysis;
 pub mod config;
 pub mod dataflow;
+pub mod depend;
 pub mod extract;
 pub mod hostgen;
 pub mod infer;
@@ -35,10 +36,13 @@ use acc_kernel_ir as ir;
 use acc_minic::hir;
 
 pub use analysis::AccessMode;
-pub use config::{ArrayConfig, ArrayLint, ElisionProof, LocalAccessParams, Placement};
+pub use config::{
+    ArrayConfig, ArrayLint, ElisionProof, LocalAccessParams, MonotoneWindowInfo, Placement,
+};
 pub use dataflow::{CommPlan, ElideFact};
+pub use depend::{BufDepend, DependVerdict, DisjointProof};
 pub use hostgen::HostOp;
-pub use infer::render_annotation;
+pub use infer::{render_annotation, render_reduction};
 pub use lint::{lint_function, lint_source, lint_source_with};
 
 /// Compiler options selecting which paper features are active. The
@@ -73,6 +77,12 @@ pub struct CompileOptions {
     /// changes. Off by default; kernels the optimizer cannot statically
     /// type fall back to bytecode.
     pub optimize_kernels: bool,
+    /// Consume *inferred* `reductiontoarray` annotations: rewrite
+    /// unannotated read-modify-write scatters into the exact atomic-RMW
+    /// form the annotated source lowers to (the [`depend`] matcher,
+    /// diagnostic `ACC-I002`). Off by default for the same reason as
+    /// `infer_localaccess`.
+    pub infer_reductions: bool,
 }
 
 impl CompileOptions {
@@ -84,6 +94,7 @@ impl CompileOptions {
             instrument: true,
             infer_localaccess: false,
             optimize_kernels: false,
+            infer_reductions: false,
         }
     }
 
@@ -96,6 +107,7 @@ impl CompileOptions {
             instrument: false,
             infer_localaccess: false,
             optimize_kernels: false,
+            infer_reductions: false,
         }
     }
 
@@ -107,6 +119,7 @@ impl CompileOptions {
             instrument: false,
             infer_localaccess: false,
             optimize_kernels: false,
+            infer_reductions: false,
         }
     }
 }
@@ -177,6 +190,12 @@ pub struct CompiledProgram {
     /// `comm_elision` knob is on) to skip provably unobservable replica
     /// syncs.
     pub comm_plan: CommPlan,
+    /// Program array indices whose elementwise monotonicity (values
+    /// non-decreasing with the index) is a *load-bearing premise* of
+    /// some kernel's `Disjoint(MonotoneWindow)` dependence verdict. The
+    /// runtime validates each at launch when sanitizing and rejects
+    /// violating inputs with `ACC-R011` ([`depend`]).
+    pub monotone_premises: Vec<usize>,
     /// Options the program was compiled with.
     pub options: CompileOptions,
 }
@@ -223,6 +242,21 @@ pub fn compile(
     let host = hostgen::lower_host(&f.body, f, options, &mut kernels);
     let comm_plan = dataflow::comm_plan(&kernels, &host);
 
+    // Premises the runtime must discharge: bound arrays of every
+    // verdict that *rests* on a monotone window.
+    let mut monotone_premises: Vec<usize> = Vec::new();
+    for k in &kernels {
+        for cfg in &k.configs {
+            if cfg.lint.verdict == DependVerdict::Disjoint(DisjointProof::MonotoneWindow) {
+                if let Some(w) = cfg.monotone_window {
+                    if !monotone_premises.contains(&w.ptr_array) {
+                        monotone_premises.push(w.ptr_array);
+                    }
+                }
+            }
+        }
+    }
+
     Ok(CompiledProgram {
         name: f.name.clone(),
         scalar_params: f.scalar_params.clone(),
@@ -231,6 +265,7 @@ pub fn compile(
         kernels,
         host,
         comm_plan,
+        monotone_premises,
         options: options.clone(),
     })
 }
@@ -287,6 +322,28 @@ pub fn force_comm_elision(p: &mut CompiledProgram) {
                     stride: ir::Expr::imm_i32(1),
                     reason: "forced (fault injection)".to_string(),
                 });
+            }
+        }
+    }
+}
+
+/// Fault injection for the dependence audit: strip the declared halo
+/// from every distributed `localaccess` array, as if the programmer had
+/// declared a zero-width window. Legitimate neighbor loads — exactly the
+/// loads a loop-carried dependence (`ACC-W006`) reads other iterations'
+/// elements through — then escape the declared window, and a
+/// `SanitizeLevel::Full` run must reject the program with a
+/// `LoadOutsideWindow` violation. Together with [`force_elide_checks`]
+/// this is the dynamic half of the static/dynamic correspondence
+/// protocol in `docs/analysis.md`.
+pub fn force_local_windows(p: &mut CompiledProgram) {
+    for k in &mut p.kernels {
+        for cfg in &mut k.configs {
+            if cfg.placement == Placement::Distributed {
+                if let Some(la) = &mut cfg.localaccess {
+                    la.left = ir::Expr::imm_i32(0);
+                    la.right = ir::Expr::imm_i32(0);
+                }
             }
         }
     }

@@ -17,10 +17,24 @@
 //! * **ACC-W004 stale-replica-read** — host code reads an array a prior
 //!   kernel wrote on the device, with no intervening `update host` or
 //!   flushing region exit; the host silently sees pre-kernel data.
+//! * **ACC-W005 cross-gpu-race** — the dependence analysis
+//!   ([`crate::depend`]) *proved* that distinct iterations write
+//!   diverging values to the same element of a distributed array; the
+//!   result depends on the partition boundary. Subsumes W001/W002 for
+//!   that array.
+//! * **ACC-W006 loop-carried-dependence** — the dependence analysis
+//!   proved some iteration reads an element another iteration writes;
+//!   distributing (or reordering) the loop changes which value is seen.
 //! * **ACC-I001 inferable-annotation** — (only with
 //!   `CompileOptions::infer_localaccess`) the whole-program analysis
 //!   derived a sound `localaccess` window for an unannotated array; the
 //!   diagnostic carries the machine-applyable pragma line.
+//! * **ACC-I002 inferable-reduction** — (only with
+//!   `CompileOptions::infer_reductions`) every write of an unannotated
+//!   array is a uniform read-modify-write; the diagnostic carries the
+//!   machine-applyable `reductiontoarray` pragma, and the compiled
+//!   program already uses the exact atomic-RMW IR the annotation would
+//!   produce.
 //!
 //! Parse-time `localaccess` validation (`ACC-E001`/`ACC-E002`) lives in
 //! the frontend (`acc_minic::directive`); the runtime sanitizer
@@ -190,7 +204,41 @@ impl HostLint<'_> {
         for cfg in &ck.configs {
             let kname = &ck.kernel.name;
             let aname = &cfg.name;
-            if cfg.lint.unannotated_rmw > 0 {
+            // Definite dependence verdicts first: a proven race subsumes
+            // the heuristic overlap counts (W001/W002) for this array.
+            let mut race_reported = false;
+            if cfg.lint.verdict == crate::depend::DependVerdict::Race
+                && cfg.placement == crate::config::Placement::Distributed
+            {
+                race_reported = true;
+                self.diags.push(
+                    Diagnostic::warning(
+                        node.span,
+                        format!(
+                            "kernel `{kname}`: cross-GPU race on distributed \
+                             `{aname}` — distinct iterations provably write \
+                             diverging values to the same element, so the \
+                             result depends on the partition boundary"
+                        ),
+                    )
+                    .with_code("ACC-W005"),
+                );
+            }
+            if cfg.lint.verdict == crate::depend::DependVerdict::LoopCarried {
+                self.diags.push(
+                    Diagnostic::warning(
+                        node.span,
+                        format!(
+                            "kernel `{kname}`: loop-carried dependence on \
+                             `{aname}` — some iteration reads an element \
+                             another iteration writes; distributed (or even \
+                             reordered) execution changes which value is seen"
+                        ),
+                    )
+                    .with_code("ACC-W006"),
+                );
+            }
+            if cfg.lint.unannotated_rmw > 0 && !race_reported {
                 self.diags.push(
                     Diagnostic::warning(
                         node.span,
@@ -205,7 +253,7 @@ impl HostLint<'_> {
                     .with_code("ACC-W002"),
                 );
             }
-            if cfg.lint.overlap_stores > 0 {
+            if cfg.lint.overlap_stores > 0 && !race_reported {
                 self.diags.push(
                     Diagnostic::warning(
                         node.span,
@@ -249,6 +297,23 @@ impl HostLint<'_> {
                     )
                     .with_code("ACC-I001"),
                 );
+            }
+            if self.options.infer_reductions {
+                if let Some(op) = cfg.inferred_reduction {
+                    let pragma = crate::infer::render_reduction(aname, op);
+                    self.diags.push(
+                        Diagnostic::warning(
+                            node.span,
+                            format!(
+                                "kernel `{kname}`: every write of `{aname}` is a \
+                                 uniform read-modify-write; add `{pragma}` inside \
+                                 the loop to merge per-GPU partials instead of \
+                                 racing on replicas"
+                            ),
+                        )
+                        .with_code("ACC-I002"),
+                    );
+                }
             }
             if cfg.mode.writes() {
                 self.stale
@@ -383,6 +448,52 @@ mod tests {
              }",
         );
         assert!(codes(&d).is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn w005_fires_on_distributed_race_and_suppresses_w001() {
+        let src = "void f(int n, double *v, double *y) {\n\
+             #pragma acc localaccess(y) stride(1)\n\
+             #pragma acc parallel loop copyin(v[0:n]) copy(y[0:n])\n\
+             for (int i = 0; i < n; i++) { y[i] = v[i]; y[0] = v[i]; }\n\
+             }";
+        let d = lint(src);
+        assert_eq!(codes(&d), vec!["ACC-W005"], "{d:?}");
+        assert!(d[0].message.contains("`y`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn w006_fires_on_loop_carried_dependence() {
+        let d = lint(
+            "void f(int n, double *y) {\n\
+             #pragma acc localaccess(y) stride(1) left(1)\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 1; i < n; i++) y[i] = y[i - 1] + 1.0;\n\
+             }",
+        );
+        assert_eq!(codes(&d), vec!["ACC-W006"], "{d:?}");
+        assert!(d[0].message.contains("`y`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn i002_fires_only_with_reduction_inference_enabled() {
+        let src = "void f(int n, int *m, double *v, double *e) {\n\
+             #pragma acc parallel loop copyin(m[0:n], v[0:n]) copy(e[0:8])\n\
+             for (int i = 0; i < n; i++) e[m[i]] = e[m[i]] + v[i];\n\
+             }";
+        // Default options: the heuristic W002 nudge.
+        let d = lint(src);
+        assert_eq!(codes(&d), vec!["ACC-W002"], "{d:?}");
+        // With inference on, the rewrite is applied and announced instead.
+        let mut opts = CompileOptions::proposal();
+        opts.infer_reductions = true;
+        let d = lint_source_with(src, &opts).unwrap();
+        assert_eq!(codes(&d), vec!["ACC-I002"], "{d:?}");
+        assert!(
+            d[0].message.contains("#pragma acc reductiontoarray(+: e)"),
+            "{}",
+            d[0].message
+        );
     }
 
     #[test]

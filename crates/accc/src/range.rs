@@ -195,12 +195,37 @@ impl IndexForm {
     }
 }
 
+/// Signature of a *monotone indirect window*: per iteration `t`, the
+/// half-open element range `[p[c*t + o], p[c*t + o + d])` of some bound
+/// array `p` (`row_ptr` in CSR codes). Provided `p` is elementwise
+/// non-decreasing, windows of distinct iterations with the same
+/// signature are pairwise disjoint whenever `1 <= d <= c` — the lattice
+/// [`crate::depend`] uses for SPMV/pagerank-style inner loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MonoSig {
+    /// The bound array (kernel buffer id of `p`).
+    pub ptr: ir::BufId,
+    /// Thread coefficient `c >= 1` of both bound subscripts.
+    pub coeff: i64,
+    /// Subscript offset `o` of the lower bound `p[c*t + o]`.
+    pub lo_off: i64,
+    /// Subscript span `d` (`1 <= d <= c`): the window ends at
+    /// `p[c*t + o + d]`.
+    pub span: i64,
+}
+
 /// Decomposed access sites of one buffer; `None` entries are sites whose
-/// index the analysis could not decompose.
+/// index the analysis could not decompose. `store_mono`/`load_mono` run
+/// parallel to `stores`/`loads`: a `Some(sig)` entry marks a site whose
+/// index is exactly the induction variable of a recognized monotone
+/// indirect-window loop (such sites always decompose to `None` — the
+/// bound is data-dependent).
 #[derive(Debug, Clone, Default)]
 pub struct BufSites {
     pub stores: Vec<Option<IndexForm>>,
     pub loads: Vec<Option<IndexForm>>,
+    pub store_mono: Vec<Option<MonoSig>>,
+    pub load_mono: Vec<Option<MonoSig>>,
 }
 
 /// Every local assigned (via `Assign`) anywhere in `stmts`, recursively.
@@ -223,6 +248,7 @@ pub fn collect(body: &[Stmt], n_locals: usize, buf: ir::BufId, stride: StrideRef
         buf,
         stride,
         out: BufSites::default(),
+        mono: Vec::new(),
     };
     let mut env: Env = vec![None; n_locals];
     if let StrideRef::Sym(l) = stride {
@@ -312,16 +338,20 @@ struct Walker {
     buf: ir::BufId,
     stride: StrideRef,
     out: BufSites,
+    /// Stack of active monotone-window loop contexts: the induction
+    /// variable and the window signature its value is confined to.
+    mono: Vec<(ir::LocalId, MonoSig)>,
 }
 
 impl Walker {
     fn walk_block(&mut self, stmts: &[Stmt], env: &mut Env) {
-        for s in stmts {
-            self.walk_stmt(s, env);
+        for (i, s) in stmts.iter().enumerate() {
+            let prev = if i > 0 { Some(&stmts[i - 1]) } else { None };
+            self.walk_stmt(s, prev, env);
         }
     }
 
-    fn walk_stmt(&mut self, s: &Stmt, env: &mut Env) {
+    fn walk_stmt(&mut self, s: &Stmt, prev: Option<&Stmt>, env: &mut Env) {
         match s {
             Stmt::Assign { local, value } => {
                 self.visit_loads(value, env);
@@ -333,6 +363,7 @@ impl Walker {
                 self.visit_loads(value, env);
                 if *buf == self.buf {
                     self.out.stores.push(decompose(idx, env, self.stride));
+                    self.out.store_mono.push(self.claim_for(idx));
                 }
             }
             Stmt::AtomicRmw { idx, value, .. } => {
@@ -364,8 +395,15 @@ impl Walker {
                 if let Some((v, range)) = recover_loop_bounds(cond, body, env, self.stride) {
                     inner[v.0 as usize] = Some(range);
                 }
+                let ctx = mono_context(prev, cond, body);
+                if let Some(c) = ctx {
+                    self.mono.push(c);
+                }
                 self.visit_loads(cond, &inner);
                 self.walk_block(body, &mut inner);
+                if ctx.is_some() {
+                    self.mono.pop();
+                }
                 // Nothing assigned in the body has a known value after
                 // the loop (it may run zero or many times).
                 for l in assigned {
@@ -387,8 +425,95 @@ impl Walker {
         });
         for idx in found {
             self.out.loads.push(decompose(idx, env, self.stride));
+            self.out.load_mono.push(self.claim_for(idx));
         }
     }
+
+    /// The monotone signature claiming this index, if the index is
+    /// exactly an active monotone induction variable (innermost wins).
+    fn claim_for(&self, idx: &Expr) -> Option<MonoSig> {
+        if let Expr::Local(l) = strip_cast(idx) {
+            return self
+                .mono
+                .iter()
+                .rev()
+                .find(|(k, _)| k == l)
+                .map(|&(_, sig)| sig);
+        }
+        None
+    }
+}
+
+/// Recognize a monotone indirect-window loop: the statement pair
+///
+/// ```text
+/// k = p[c*tid + o];
+/// while (k < p[c*tid + o + d]) { ...; k = k + positive-const; }
+/// ```
+///
+/// with `c >= 1` and `1 <= d <= c`, where the only reassignment of `k`
+/// inside the loop is the final top-level increment and `p` is never
+/// written inside the loop body. `k` then stays inside the half-open
+/// window `[p[c*tid + o], p[c*tid + o + d])` — the per-iteration windows
+/// are pairwise disjoint provided `p` is elementwise non-decreasing (a
+/// premise the caller must discharge; see [`crate::depend`]).
+fn mono_context(prev: Option<&Stmt>, cond: &Expr, body: &[Stmt]) -> Option<(ir::LocalId, MonoSig)> {
+    let (k, ptr, lo_idx) = match prev? {
+        Stmt::Assign { local, value } => match strip_cast(value) {
+            Expr::Load { buf, idx } => (*local, *buf, idx.as_ref()),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let ub = match strip_cast(cond) {
+        Expr::Binary { op: BinOp::Lt, a, b } => match strip_cast(a) {
+            Expr::Local(v) if *v == k => strip_cast(b),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let hi_idx = match ub {
+        Expr::Load { buf, idx } if *buf == ptr => idx.as_ref(),
+        _ => return None,
+    };
+    let lo = linear_in_tid(lo_idx)?;
+    let hi = linear_in_tid(hi_idx)?;
+    if lo.coeff != hi.coeff || lo.coeff < 1 {
+        return None;
+    }
+    let span = hi.offset - lo.offset;
+    if span < 1 || span > lo.coeff {
+        return None;
+    }
+    // `k` must only be reassigned by the final top-level increment, and
+    // the bound array must stay constant inside the loop.
+    let mut k_assigns = 0usize;
+    let mut ptr_written = false;
+    for s in body {
+        s.visit(&mut |s| match s {
+            Stmt::Assign { local, .. } if *local == k => k_assigns += 1,
+            Stmt::Store { buf, .. } | Stmt::AtomicRmw { buf, .. } if *buf == ptr => {
+                ptr_written = true;
+            }
+            _ => {}
+        });
+    }
+    if ptr_written || k_assigns != 1 {
+        return None;
+    }
+    match body.last()? {
+        Stmt::Assign { local, value } if *local == k && is_positive_increment(value, k) => {}
+        _ => return None,
+    }
+    Some((
+        k,
+        MonoSig {
+            ptr,
+            coeff: lo.coeff,
+            lo_off: lo.offset,
+            span,
+        },
+    ))
 }
 
 /// Recover `v in [pre(v).lo, ub - 1]` from a desugared counting loop

@@ -333,6 +333,16 @@ pub enum RunError {
         /// The per-GPU partition the fact claimed all writes stay in.
         claim: (i64, i64),
     },
+    /// A runtime premise of a static dependence proof does not hold: the
+    /// compiler proved a kernel's indirect accesses disjoint on the
+    /// condition that the bound array (e.g. a CSR `row_ptr`) is
+    /// elementwise non-decreasing, and the actual input is not. Running
+    /// anyway could silently race, so the launch is refused.
+    PremiseViolated {
+        array: String,
+        /// First offending element index `i` with `a[i] > a[i+1]`.
+        idx: usize,
+    },
 }
 
 impl RunError {
@@ -349,6 +359,7 @@ impl RunError {
             RunError::TooManyGpus { .. } => "ACC-R007",
             RunError::SanitizeViolation { .. } => "ACC-R008",
             RunError::ElisionUnsound { .. } => "ACC-R009",
+            RunError::PremiseViolated { .. } => "ACC-R011",
         }
     }
 }
@@ -403,6 +414,12 @@ impl std::fmt::Display for RunError {
                 f,
                 "comm-elision audit: `{array}` gpu {gpu} dirtied [{}, {}) outside its claimed partition [{}, {})",
                 run.0, run.1, claim.0, claim.1
+            ),
+            RunError::PremiseViolated { array, idx } => write!(
+                f,
+                "dependence premise violated: `{array}` must be elementwise non-decreasing \
+                 (monotone-window disjointness proof), but `{array}`[{idx}] > `{array}`[{}]",
+                idx + 1
             ),
         }
     }
@@ -534,6 +551,24 @@ pub(crate) fn run_with(
                 "array `{name}` expects {ty} elements, got {}",
                 b.ty()
             )));
+        }
+    }
+
+    // Dependence-proof premises: a kernel was proved race-free on the
+    // condition that these (i32) bound arrays are elementwise
+    // non-decreasing. Auditing the inputs costs one linear scan per
+    // premise array, so it rides the sanitizer switch; `Off` trusts the
+    // caller the same way it trusts the elision facts.
+    if cfg.mode == ExecMode::Gpu && cfg.sanitize.checks_stores() {
+        for &arr in &prog.monotone_premises {
+            let (name, _) = &prog.array_params[arr];
+            let vals = arrays[arr].to_i32_vec();
+            if let Some(idx) = vals.windows(2).position(|w| w[0] > w[1]) {
+                return Err(RunError::PremiseViolated {
+                    array: name.clone(),
+                    idx,
+                });
+            }
         }
     }
 

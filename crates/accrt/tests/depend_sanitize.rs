@@ -1,0 +1,273 @@
+//! Static ⇔ dynamic cross-validation of the dependence analysis
+//! (`acc_compiler::depend`): every statically flagged hazard
+//! (`ACC-W005` race, `ACC-W006` loop-carried dependence) reproduces as a
+//! `SanitizeLevel::Full` violation once the protective runtime machinery
+//! is fault-injected away, and the one open premise of a monotone-window
+//! disjointness proof (`row_ptr` non-decreasing) is audited at launch
+//! (`ACC-R011`).
+
+use acc_compiler::{
+    compile_source, lint_source, CompileOptions, CompiledProgram, DependVerdict, DisjointProof,
+};
+use acc_gpusim::Machine;
+use acc_kernel_ir::{Buffer, SanitizeKind, Ty, Value};
+use acc_runtime::{run_program, ExecConfig, RunError, RunReport, SanitizeLevel};
+
+const N: i32 = 96;
+
+fn codes(src: &str) -> Vec<&'static str> {
+    lint_source(src)
+        .expect("fixture must compile")
+        .iter()
+        .filter_map(|d| d.code)
+        .collect()
+}
+
+fn verdict_of(prog: &CompiledProgram, array: &str) -> DependVerdict {
+    let arr = prog.array_index(array).unwrap();
+    prog.kernels
+        .iter()
+        .flat_map(|k| &k.configs)
+        .find(|c| c.array == arr)
+        .expect("array used in a kernel")
+        .lint
+        .verdict
+}
+
+/// Every iteration also writes `y[0]` with a thread-variant value: a
+/// definite cross-GPU race (`ACC-W005`). The honest compile keeps the
+/// write-miss check on `y` (the broadcast store defeats the locality
+/// prover), which *serializes* the conflict through the miss-replay
+/// path; injecting the elision fact exposes the raw race to the
+/// sanitizer. The `left(n)` halo keeps element 0 resident everywhere so
+/// the escaped store is an auditable write, not a hard fault.
+const RACE: &str = "void race(int n, double *v, double *y) {\n\
+#pragma acc data copyin(v[0:n]) copyout(y[0:n])\n\
+{\n\
+#pragma acc localaccess(v) stride(1)\n\
+#pragma acc localaccess(y) stride(1) left(n)\n\
+#pragma acc parallel loop\n\
+for (int i = 0; i < n; i++) {\n\
+  y[i] = v[i];\n\
+  y[0] = v[i];\n\
+}\n\
+}\n\
+}";
+
+/// `y[i] = y[i-1] + 1.0`: a loop-carried flow dependence (`ACC-W006`).
+/// The declared `left(1)` halo makes the *read footprint* honest, so the
+/// annotation audit alone stays quiet; zeroing the windows
+/// ([`acc_compiler::force_local_windows`]) turns exactly the
+/// cross-iteration reads into `LoadOutsideWindow` hits.
+const CARRIED: &str = "void scanl(int n, double *y) {\n\
+#pragma acc data copy(y[0:n])\n\
+{\n\
+#pragma acc localaccess(y) stride(1) left(1)\n\
+#pragma acc parallel loop\n\
+for (int i = 0; i < n; i++) {\n\
+  if (i > 0) y[i] = y[i - 1] + 1.0;\n\
+}\n\
+}\n\
+}";
+
+/// CSR-style push: inner loop bounded by `row_ptr[i]`/`row_ptr[i+1]`.
+/// Statically proved disjoint via the monotone-window lattice, on the
+/// premise that `row_ptr` is elementwise non-decreasing — which the
+/// runtime validates per launch (`ACC-R011`).
+const PUSH: &str = "void push(int n, int nnz, int *row_ptr, double *w, double *msg) {\n\
+#pragma acc data copyin(row_ptr[0:n+1], w[0:n]) copyout(msg[0:nnz])\n\
+{\n\
+#pragma acc localaccess(row_ptr) stride(1) right(1)\n\
+#pragma acc localaccess(w) stride(1)\n\
+#pragma acc parallel loop\n\
+for (int i = 0; i < n; i++) {\n\
+  double c = 2.0 * w[i];\n\
+  for (int k = row_ptr[i]; k < row_ptr[i + 1]; k = k + 1) {\n\
+    msg[k] = c;\n\
+  }\n\
+}\n\
+}\n\
+}";
+
+fn input() -> Vec<f64> {
+    (0..N).map(|i| (i * i % 37) as f64 + 0.25).collect()
+}
+
+fn run2(
+    prog: &CompiledProgram,
+    cfg: &ExecConfig,
+    a: &[f64],
+) -> Result<RunReport, RunError> {
+    let mut m = Machine::supercomputer_node();
+    run_program(
+        &mut m,
+        cfg,
+        prog,
+        vec![Value::I32(N)],
+        vec![Buffer::from_f64(a), Buffer::zeroed(Ty::F64, N as usize)],
+    )
+}
+
+fn run1(
+    prog: &CompiledProgram,
+    cfg: &ExecConfig,
+    y: &[f64],
+) -> Result<RunReport, RunError> {
+    let mut m = Machine::supercomputer_node();
+    run_program(
+        &mut m,
+        cfg,
+        prog,
+        vec![Value::I32(N)],
+        vec![Buffer::from_f64(y)],
+    )
+}
+
+#[test]
+fn static_race_reproduces_under_fault_injected_sanitize() {
+    // Static half: the dependence analysis flags the race.
+    assert_eq!(codes(RACE), vec!["ACC-W005"]);
+    let prog = compile_source(RACE, "race", &CompileOptions::proposal()).unwrap();
+    assert_eq!(verdict_of(&prog, "y"), DependVerdict::Race);
+
+    // The honest program keeps its checked stores — the miss path
+    // serializes the broadcast store, so the run completes.
+    let v = input();
+    run2(&prog, &ExecConfig::gpus(2), &v).unwrap();
+
+    // Inject the elision fact the prover refused: the cross-partition
+    // store now escapes raw, and Full sanitize catches it on 2 GPUs.
+    let mut forged = prog.clone();
+    acc_compiler::force_elide_checks(&mut forged);
+    let err = run2(&forged, &ExecConfig::gpus(2).sanitize(SanitizeLevel::Full), &v).unwrap_err();
+    match err {
+        RunError::SanitizeViolation { array, record, .. } => {
+            assert_eq!(array, "y");
+            assert_eq!(record.kind, SanitizeKind::StoreOutsideOwn);
+            assert_eq!(record.idx, 0, "the broadcast store to y[0]");
+        }
+        other => panic!("expected SanitizeViolation, got {other}"),
+    }
+}
+
+#[test]
+fn static_loop_carried_reproduces_as_window_violations() {
+    // Static half: flagged as a loop-carried dependence, not a race.
+    assert_eq!(codes(CARRIED), vec!["ACC-W006"]);
+    let prog = compile_source(CARRIED, "scanl", &CompileOptions::proposal()).unwrap();
+    assert_eq!(verdict_of(&prog, "y"), DependVerdict::LoopCarried);
+
+    // The declared halo is honest, so Full sanitize alone stays quiet.
+    let y = input();
+    run1(&prog, &ExecConfig::gpus(2).sanitize(SanitizeLevel::Full), &y).unwrap();
+
+    // Dynamic half: shrink every window to the iteration's own slot —
+    // the surviving reads are exactly the cross-iteration (carried)
+    // ones, and each becomes a LoadOutsideWindow hit.
+    let mut narrowed = prog.clone();
+    acc_compiler::force_local_windows(&mut narrowed);
+    let err = run1(
+        &narrowed,
+        &ExecConfig::gpus(1).sanitize(SanitizeLevel::Full),
+        &y,
+    )
+    .unwrap_err();
+    match err {
+        RunError::SanitizeViolation {
+            array,
+            record,
+            hits,
+            ..
+        } => {
+            assert_eq!(array, "y");
+            assert_eq!(record.kind, SanitizeKind::LoadOutsideWindow);
+            // Thread 1 reading y[0] is the first carried read.
+            assert_eq!((record.tid, record.idx), (1, 0));
+            assert_eq!(hits, (N - 1) as u64, "one carried read per iteration");
+        }
+        other => panic!("expected SanitizeViolation, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Monotone-window premise auditing (ACC-R011).
+// ---------------------------------------------------------------------
+
+const DEG: i32 = 3; // fixed row degree for the CSR fixture
+
+fn push_inputs(row_ptr: &[i32]) -> Vec<Buffer> {
+    let nnz = *row_ptr.last().unwrap() as usize;
+    vec![
+        Buffer::from_i32(row_ptr),
+        Buffer::from_f64(&input()),
+        Buffer::zeroed(Ty::F64, nnz),
+    ]
+}
+
+fn run_push(
+    prog: &CompiledProgram,
+    cfg: &ExecConfig,
+    row_ptr: &[i32],
+) -> Result<RunReport, RunError> {
+    let mut m = Machine::supercomputer_node();
+    let nnz = *row_ptr.last().unwrap();
+    run_program(
+        &mut m,
+        cfg,
+        prog,
+        vec![Value::I32(N), Value::I32(nnz)],
+        push_inputs(row_ptr),
+    )
+}
+
+#[test]
+fn monotone_premise_validated_at_launch() {
+    let prog = compile_source(PUSH, "push", &CompileOptions::proposal()).unwrap();
+    assert_eq!(
+        verdict_of(&prog, "msg"),
+        DependVerdict::Disjoint(DisjointProof::MonotoneWindow)
+    );
+    assert_eq!(
+        prog.monotone_premises,
+        vec![prog.array_index("row_ptr").unwrap()]
+    );
+    // The fixture is lint-clean: the window proof suppresses the
+    // heuristic scatter warning.
+    assert!(codes(PUSH).is_empty());
+
+    // Proved race-free ⇒ runs clean under Full sanitize on 1–3 GPUs,
+    // with identical (and correct) results.
+    let row_ptr: Vec<i32> = (0..=N).map(|i| i * DEG).collect();
+    let w = input();
+    let expected: Vec<f64> = (0..N as usize)
+        .flat_map(|i| std::iter::repeat_n(2.0 * w[i], DEG as usize))
+        .collect();
+    for ngpus in 1..=3 {
+        let r = run_push(
+            &prog,
+            &ExecConfig::gpus(ngpus).sanitize(SanitizeLevel::Full),
+            &row_ptr,
+        )
+        .unwrap();
+        assert_eq!(r.arrays[2].to_f64_vec(), expected, "ngpus={ngpus}");
+        assert_eq!(r.trace.counters().sanitize_violations, 0);
+    }
+
+    // Break the premise: one inversion in row_ptr. The sanitized launch
+    // is refused with the stable ACC-R011 code before any kernel runs.
+    let mut bad = row_ptr.clone();
+    bad[10] = bad[11] + 1;
+    let err = run_push(&prog, &ExecConfig::gpus(2).sanitize(SanitizeLevel::Full), &bad)
+        .unwrap_err();
+    match &err {
+        RunError::PremiseViolated { array, idx } => {
+            assert_eq!(array, "row_ptr");
+            assert_eq!(*idx, 10);
+        }
+        other => panic!("expected PremiseViolated, got {other}"),
+    }
+    assert_eq!(err.code(), "ACC-R011");
+
+    // Unsanitized runs trust the caller, like every other audit.
+    run_push(&prog, &ExecConfig::gpus(2), &bad).unwrap();
+}

@@ -103,6 +103,7 @@ fn distributed_arrays_move_less_data_than_replicated() {
         layout_transform: false,
         instrument: true,
         infer_localaccess: false,
+        infer_reductions: false,
         optimize_kernels: false,
     };
     let prog = compile_source(SAXPY, "saxpy", &no_ext).unwrap();

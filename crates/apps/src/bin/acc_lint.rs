@@ -97,133 +97,28 @@ fn parse_args() -> Args {
 }
 
 /// `--explain ACC-XNNN`: the long-form description, an example that
-/// triggers the diagnostic, and how to fix it.
+/// triggers the diagnostic, and how to fix it. The texts live in
+/// [`acc_apps::explain`], whose exhaustiveness test keeps them in sync
+/// with every code the workspace can emit.
 fn run_explain(code: &str) -> ! {
-    let text = match code.to_ascii_uppercase().as_str() {
-        "ACC-E001" => {
-            "ACC-E001: non-positive localaccess stride\n\
-             \n\
-             The declared per-iteration read window of `localaccess(a) stride(s)\n\
-             left(l) right(r)` is [s*i - l, s*(i+1) - 1 + r]. A stride below 1\n\
-             makes the window degenerate: the data loader would allocate nothing\n\
-             (or walk backwards) for every GPU partition.\n\
-             \n\
-             Example:\n\
-             \x20   #pragma acc localaccess(x) stride(0)     // error\n\
-             \n\
-             Fix: declare the true per-iteration advance of the densest access,\n\
-             e.g. `stride(1)` for x[i] or `stride(3)` for x[3*i+2]. Runtime-\n\
-             valued strides are re-validated at launch time instead."
+    match acc_apps::explain::explain(code) {
+        Some(text) => {
+            println!("{text}");
+            std::process::exit(0);
         }
-        "ACC-E002" => {
-            "ACC-E002: negative localaccess left/right extent\n\
-             \n\
-             `left` and `right` widen the per-iteration window by a constant\n\
-             halo on each side; negative values would shrink it below the\n\
-             stride span and cannot describe any real access pattern.\n\
-             \n\
-             Example:\n\
-             \x20   #pragma acc localaccess(h) stride(1) left(-1)   // error\n\
-             \n\
-             Fix: use non-negative halo extents, e.g. `left(1) right(1)` for a\n\
-             3-point stencil reading h[i-1], h[i], h[i+1]."
-        }
-        "ACC-W001" => {
-            "ACC-W001: overlapping stores to a replicated array\n\
-             \n\
-             A kernel stores thread-dependent values at indices that several\n\
-             threads (and therefore several GPUs) can overlap — a broadcast\n\
-             like a[0] = v or an irregular a[idx[i]] = v. With the array\n\
-             replicated on multiple GPUs, replica reconciliation order decides\n\
-             which GPU's value survives; results can differ from single-GPU\n\
-             execution.\n\
-             \n\
-             Example:\n\
-             \x20   for (i...) { y[idx[i]] = f(i); }   // two i may share idx[i]\n\
-             \n\
-             Fix: make the written index injective in i (then `localaccess`\n\
-             distributes the array), or express the update as a reduction with\n\
-             `reductiontoarray`."
-        }
-        "ACC-W002" => {
-            "ACC-W002: read-modify-write without reductiontoarray\n\
-             \n\
-             The kernel accumulates into an array element at an overlapping\n\
-             index (a[k] = a[k] + v, a[k] += v, ...). Each GPU updates its own\n\
-             replica, and plain replica reconciliation then *overwrites* rather\n\
-             than *merges* — every GPU's partial sums but one are lost.\n\
-             \n\
-             Example:\n\
-             \x20   for (i...) { bins[keys[i]] += w[i]; }\n\
-             \n\
-             Fix: annotate the accumulation site:\n\
-             \x20   #pragma acc reductiontoarray(+: bins[k])\n\
-             so the runtime gives each GPU a private identity-filled copy and\n\
-             merges them with the declared operator after the launch."
-        }
-        "ACC-W003" => {
-            "ACC-W003: declared localaccess window narrower than the access\n\
-             \n\
-             The interval analysis bounded the kernel's actual per-iteration\n\
-             read range of the array, and the declared `localaccess` window is\n\
-             provably narrower. The data loader sizes each GPU's partition from\n\
-             the declaration, so it will under-allocate and the kernel will\n\
-             fault (or the sanitizer will reject the loads).\n\
-             \n\
-             Example:\n\
-             \x20   #pragma acc localaccess(h) stride(1)        // no halo...\n\
-             \x20   for (i...) out[i] = h[i-1] + h[i] + h[i+1]; // ...but reads one\n\
-             \n\
-             Fix: widen the annotation to cover the true range, here\n\
-             `stride(1) left(1) right(1)` — or delete it and let `--infer`\n\
-             derive the exact window (see ACC-I001)."
-        }
-        "ACC-W004" => {
-            "ACC-W004: host reads a stale replica\n\
-             \n\
-             Host code reads an array that a prior kernel wrote on the device,\n\
-             with no intervening `update host(...)` and no flushing data-region\n\
-             exit. The host silently observes pre-kernel data.\n\
-             \n\
-             Example:\n\
-             \x20   #pragma acc parallel loop  // writes x on the GPUs\n\
-             \x20   ...\n\
-             \x20   s = x[0];                  // host read inside the region\n\
-             \n\
-             Fix: insert `#pragma acc update host(x[0:n])` before the host\n\
-             read, or move the read past the data-region exit that copies the\n\
-             array out."
-        }
-        "ACC-I001" => {
-            "ACC-I001: localaccess annotation is inferable\n\
-             \n\
-             (Reported only under --infer.) The whole-program dataflow analysis\n\
-             bounded every access of this unannotated array by an affine window\n\
-             stride*i + [-left, stride-1+right], so a sound `localaccess`\n\
-             annotation exists. Without it the array is *replicated* on every\n\
-             GPU: full-size allocations, full loads, and dirty-bit replica\n\
-             syncs after every writing launch. The diagnostic message carries\n\
-             the exact machine-applyable pragma.\n\
-             \n\
-             Example:\n\
-             \x20   for (i...) y[i] = a*x[i] + y[i];  // unannotated x, y\n\
-             \x20   → add `#pragma acc localaccess(x) stride(1)` (and for y)\n\
-             \n\
-             Fix: paste the suggested pragma above the loop, or compile with\n\
-             inference enabled (`CompileOptions::infer_localaccess`) to have\n\
-             the compiler consume the derived annotation automatically; the\n\
-             run is bit-identical to the hand-annotated program."
-        }
-        other => {
+        None => {
+            let shape = if acc_minic::diag::is_stable_code(&code.to_ascii_uppercase()) {
+                "well-formed, but nothing emits it"
+            } else {
+                "not of the form ACC-XNNN"
+            };
             eprintln!(
-                "acc-lint: unknown diagnostic code `{other}` (have: ACC-E001, ACC-E002, \
-                 ACC-W001, ACC-W002, ACC-W003, ACC-W004, ACC-I001)"
+                "acc-lint: unknown diagnostic code `{code}` ({shape}); known codes: {}",
+                acc_apps::explain::KNOWN_CODES.join(", ")
             );
             std::process::exit(2);
         }
-    };
-    println!("{text}");
-    std::process::exit(0);
+    }
 }
 
 /// Extract `r#"..."#` raw-string literals that contain OpenACC pragmas
@@ -264,12 +159,15 @@ fn lint_one(label: &str, src: &str, opts: &CompileOptions) -> Option<usize> {
 }
 
 /// `--deny-divergence`: compile every function of the source with
-/// inference enabled and cross-check each hand-written `localaccess`
-/// annotation against what the analysis derives. A hand annotation the
-/// inference cannot reproduce exactly (differs, or derives nothing) is a
-/// divergence — either the annotation is wrong or the analysis lost
-/// precision; both deserve a failing CI signal. Returns the number of
-/// divergent kernel×array sites.
+/// inference enabled and cross-check each hand-written annotation
+/// against what the analysis derives — `localaccess` windows against the
+/// whole-program dataflow, and `reductiontoarray` operators against the
+/// dependence analysis (the source is re-compiled with the reduction
+/// pragmas stripped, so inference sees the bare RMW pattern). A hand
+/// annotation the inference cannot reproduce exactly (differs, or
+/// derives nothing) is a divergence — either the annotation is wrong or
+/// the analysis lost precision; both deserve a failing CI signal.
+/// Returns the number of divergent kernel×array sites.
 fn check_divergence(label: &str, src: &str) -> usize {
     let opts = CompileOptions {
         infer_localaccess: true,
@@ -284,6 +182,7 @@ fn check_divergence(label: &str, src: &str) -> usize {
         let Ok(p) = acc_compiler::compile(&typed, &f.name, &opts) else {
             continue;
         };
+        n += check_reduction_divergence(label, src, &f.name, &p);
         for k in &p.kernels {
             for cfg in &k.configs {
                 // `inferred_used` means there was no hand annotation.
@@ -316,9 +215,70 @@ fn check_divergence(label: &str, src: &str) -> usize {
     n
 }
 
+/// Reduction half of `--deny-divergence`: strip every hand-written
+/// `reductiontoarray` pragma, recompile with
+/// `CompileOptions::infer_reductions`, and demand that the dependence
+/// analysis re-derives exactly the operator each hand annotation
+/// declared, for each annotated kernel×array.
+fn check_reduction_divergence(
+    label: &str,
+    src: &str,
+    function: &str,
+    annotated: &acc_compiler::CompiledProgram,
+) -> usize {
+    use acc_compiler::Placement;
+    let hand: Vec<(usize, usize, acc_kernel_ir::RmwOp)> = annotated
+        .kernels
+        .iter()
+        .enumerate()
+        .flat_map(|(ki, k)| {
+            k.configs.iter().filter_map(move |c| match c.placement {
+                Placement::ReductionPrivate(op) => Some((ki, c.array, op)),
+                _ => None,
+            })
+        })
+        .collect();
+    if hand.is_empty() {
+        return 0;
+    }
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("#pragma acc reductiontoarray"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let opts = CompileOptions {
+        infer_reductions: true,
+        optimize_kernels: false,
+        ..CompileOptions::proposal()
+    };
+    let Ok(inferred) = acc_compiler::compile_source(&stripped, function, &opts) else {
+        println!("{label}: divergence: `{function}` fails to compile with reductiontoarray stripped");
+        return hand.len();
+    };
+    let mut n = 0;
+    for (ki, array, op) in hand {
+        let kernel = &annotated.kernels[ki].kernel.name;
+        let derived = inferred
+            .kernels
+            .get(ki)
+            .and_then(|k| k.configs.iter().find(|c| c.array == array))
+            .and_then(|c| c.inferred_reduction);
+        if derived != Some(op) {
+            let name = &annotated.array_params[array].0;
+            println!(
+                "{label}: divergence: kernel `{kernel}` array `{name}`: hand-written \
+                 reductiontoarray({op:?}) but inference derives {derived:?}"
+            );
+            n += 1;
+        }
+    }
+    n
+}
+
 fn run_static(args: &Args) -> ! {
     let opts = CompileOptions {
         infer_localaccess: args.infer,
+        infer_reductions: args.infer,
         optimize_kernels: false,
         ..CompileOptions::proposal()
     };

@@ -22,9 +22,11 @@
 
 pub mod bfs;
 pub mod bfs_skew;
+pub mod explain;
 pub mod heat2d;
 pub mod kmeans;
 pub mod md;
+pub mod pagerank;
 pub mod runner;
 pub mod spmv;
 

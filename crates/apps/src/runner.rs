@@ -18,7 +18,7 @@ use acc_runtime::{
     CompiledKernel, Engine, ExecConfig, GpuMemReport, RunError, RunReport, TimeBreakdown, Trace,
 };
 
-use crate::{bfs, heat2d, kmeans, md, spmv};
+use crate::{bfs, heat2d, kmeans, md, pagerank, spmv};
 
 /// Which benchmark application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,12 +32,23 @@ pub enum App {
     /// 2-D Jacobi stencil — the §VI "future work" case; its writes are
     /// elided by the interval prover. Not in the paper's Table II.
     Heat2d,
+    /// PageRank over a power-law digraph — the indirect-push workload
+    /// whose race freedom rests on the dependence analysis's
+    /// monotone-window proof. Not in the paper's Table II.
+    Pagerank,
 }
 
 impl App {
-    /// The paper's three applications first, then the two extension
-    /// workloads (SPMV, HEAT2D).
-    pub const ALL: [App; 5] = [App::Md, App::Kmeans, App::Bfs, App::Spmv, App::Heat2d];
+    /// The paper's three applications first, then the extension
+    /// workloads (SPMV, HEAT2D, PAGERANK).
+    pub const ALL: [App; 6] = [
+        App::Md,
+        App::Kmeans,
+        App::Bfs,
+        App::Spmv,
+        App::Heat2d,
+        App::Pagerank,
+    ];
 
     /// The subset published in the paper's Table II / figures.
     pub const PAPER: [App; 3] = [App::Md, App::Kmeans, App::Bfs];
@@ -50,6 +61,7 @@ impl App {
             App::Bfs => "bfs",
             App::Spmv => "spmv",
             App::Heat2d => "heat2d",
+            App::Pagerank => "pagerank",
         }
     }
 
@@ -61,6 +73,7 @@ impl App {
             App::Bfs => bfs::SOURCE,
             App::Spmv => spmv::SOURCE,
             App::Heat2d => heat2d::SOURCE,
+            App::Pagerank => pagerank::SOURCE,
         }
     }
 
@@ -72,6 +85,7 @@ impl App {
             App::Bfs => bfs::FUNCTION,
             App::Spmv => spmv::FUNCTION,
             App::Heat2d => heat2d::FUNCTION,
+            App::Pagerank => pagerank::FUNCTION,
         }
     }
 }
@@ -407,6 +421,25 @@ pub fn run_compiled(
             let ok = err < 1e-12;
             (report, ok, err)
         }
+        App::Pagerank => {
+            let wcfg = match scale {
+                Scale::Small => pagerank::PagerankConfig::small(),
+                Scale::Scaled | Scale::Paper => pagerank::PagerankConfig::scaled(),
+            };
+            let input = pagerank::generate(&wcfg, seed);
+            let (scalars, arrays) = pagerank::inputs(&input);
+            let report =
+                run(machine, scalars, arrays)?;
+            let expect = pagerank::reference(&input);
+            let err = pagerank::max_error(
+                &report.arrays[pagerank::RANK_ARRAY].to_f64_vec(),
+                &expect,
+            );
+            // The gather's reduction merge reorders float sums across
+            // GPU counts.
+            let ok = err < 1e-9;
+            (report, ok, err)
+        }
     };
     Ok(result_from(app, version, prog, report, correct, max_err))
 }
@@ -534,7 +567,7 @@ mod tests {
 
     #[test]
     fn spmv_and_heat2d_run_through_the_harness() {
-        for app in [App::Spmv, App::Heat2d] {
+        for app in [App::Spmv, App::Heat2d, App::Pagerank] {
             for v in [Version::OpenMP, Version::Proposal(1), Version::Proposal(3)] {
                 let r = run_app(app, v, &mut node(), Scale::Small, 13).unwrap();
                 assert!(r.correct, "{} {} wrong (err {})", app.name(), v.label(), r.max_err);

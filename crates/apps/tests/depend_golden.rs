@@ -1,0 +1,184 @@
+//! Golden checks for the dependence analysis over the full application
+//! suite, and the bit-identity guarantee behind `ACC-I002`: compiling a
+//! source with its `reductiontoarray` pragmas stripped under
+//! `CompileOptions::infer_reductions` must be indistinguishable — same
+//! placements, same final arrays bit-for-bit, same simulated times, same
+//! structured event stream — from compiling the hand-annotated source.
+
+use acc_apps::{pagerank, App};
+use acc_compiler::{
+    compile_source, CompileOptions, CompiledProgram, DependVerdict, DisjointProof, Placement,
+};
+use acc_gpusim::Machine;
+use acc_runtime::{run_program, ExecConfig, RunReport, SanitizeLevel, TraceLevel};
+use proptest::prelude::*;
+
+fn compile_app(app: App, opts: &CompileOptions) -> CompiledProgram {
+    compile_source(app.source(), app.function(), opts)
+        .unwrap_or_else(|e| panic!("{} fails to compile: {e:?}", app.name()))
+}
+
+fn strip_reductions(src: &str) -> String {
+    src.lines()
+        .filter(|l| !l.contains("#pragma acc reductiontoarray"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Every kernel×array dependence verdict across the entire published app
+/// suite is race-free: the suite is the positive half of the
+/// static⇔dynamic contract (the hazard half lives in
+/// `accrt/tests/depend_sanitize.rs`).
+#[test]
+fn all_app_verdicts_are_race_free() {
+    for app in App::ALL {
+        let prog = compile_app(app, &CompileOptions::proposal());
+        for k in &prog.kernels {
+            for c in &k.configs {
+                assert!(
+                    c.lint.verdict.race_free(),
+                    "{}/{}/{}: {:?}",
+                    app.name(),
+                    k.kernel.name,
+                    c.name,
+                    c.lint.verdict
+                );
+            }
+        }
+    }
+}
+
+/// The two CSR apps get their indirect accesses confined by the
+/// monotone-window lattice instead of surviving on the affine
+/// classifier's mercy. SPMV only *reads* through the window (`vals`),
+/// so no runtime premise is needed; pagerank *writes* through it
+/// (`msg`), so the disjointness verdict rests on the premise that
+/// `row_ptr` is non-decreasing — registered for the launch-time audit
+/// (`ACC-R011`).
+#[test]
+fn csr_apps_get_monotone_window_proofs() {
+    for (app, array, written) in [(App::Spmv, "vals", false), (App::Pagerank, "msg", true)] {
+        let prog = compile_app(app, &CompileOptions::proposal());
+        let arr = prog.array_index(array).unwrap();
+        let cfg = prog
+            .kernels
+            .iter()
+            .flat_map(|k| &k.configs)
+            .find(|c| c.array == arr && c.monotone_window.is_some())
+            .unwrap_or_else(|| panic!("{}: no monotone window on `{array}`", app.name()));
+        let row_ptr = prog.array_index("row_ptr").unwrap();
+        assert_eq!(cfg.monotone_window.as_ref().unwrap().ptr_array, row_ptr);
+        if written {
+            assert_eq!(
+                cfg.lint.verdict,
+                DependVerdict::Disjoint(DisjointProof::MonotoneWindow)
+            );
+            assert_eq!(prog.monotone_premises, vec![row_ptr]);
+        } else {
+            assert_eq!(cfg.lint.verdict, DependVerdict::ReadOnly);
+            assert!(prog.monotone_premises.is_empty(), "read-only window needs no premise");
+        }
+    }
+}
+
+/// Golden inference check: strip every hand-written `reductiontoarray`
+/// and demand the dependence analysis re-derives each one — same
+/// operator, same array, same kernel — with zero divergence, on every
+/// app in the suite.
+#[test]
+fn reduction_inference_reproduces_every_hand_annotation() {
+    let mut reproduced = 0;
+    for app in App::ALL {
+        let annotated = compile_app(app, &CompileOptions::proposal());
+        let opts = CompileOptions {
+            infer_reductions: true,
+            ..CompileOptions::proposal()
+        };
+        let inferred = compile_source(&strip_reductions(app.source()), app.function(), &opts)
+            .unwrap_or_else(|e| panic!("{} stripped fails: {e:?}", app.name()));
+        for (ka, ki) in annotated.kernels.iter().zip(&inferred.kernels) {
+            for ca in &ka.configs {
+                let Placement::ReductionPrivate(op) = ca.placement else {
+                    continue;
+                };
+                let ci = ki
+                    .configs
+                    .iter()
+                    .find(|c| c.array == ca.array)
+                    .unwrap_or_else(|| panic!("{}: `{}` lost", app.name(), ca.name));
+                assert_eq!(
+                    ci.inferred_reduction,
+                    Some(op),
+                    "{}/{}/{}: inference diverges from hand annotation",
+                    app.name(),
+                    ka.kernel.name,
+                    ca.name
+                );
+                assert_eq!(ci.placement, ca.placement);
+                reproduced += 1;
+            }
+        }
+    }
+    // The suite must actually exercise the rewrite (pagerank's gather).
+    assert!(reproduced >= 1, "no reductiontoarray annotations in the suite");
+}
+
+fn run_pagerank(
+    prog: &CompiledProgram,
+    input: &pagerank::PagerankInput,
+    ngpus: usize,
+) -> RunReport {
+    let mut m = Machine::supercomputer_node();
+    let (scalars, arrays) = pagerank::inputs(input);
+    run_program(
+        &mut m,
+        &ExecConfig::gpus(ngpus)
+            .sanitize(SanitizeLevel::Full)
+            .tracing(TraceLevel::Spans),
+        prog,
+        scalars,
+        arrays,
+    )
+    .expect("pagerank runs clean under Full sanitize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The `ACC-I002` contract, dynamically: a stripped-and-inferred
+    /// pagerank run is *bit-identical* to the hand-annotated run — every
+    /// final array, every simulated phase time, and the entire
+    /// structured event stream — on 1–3 GPUs, for arbitrary graphs.
+    #[test]
+    fn inferred_reduction_runs_bit_identical_to_annotated(
+        seed in 0u64..u64::MAX,
+        ngpus in 1usize..=3,
+    ) {
+        let annotated =
+            compile_source(pagerank::SOURCE, pagerank::FUNCTION, &CompileOptions::proposal())
+                .unwrap();
+        let opts = CompileOptions {
+            infer_reductions: true,
+            ..CompileOptions::proposal()
+        };
+        let inferred =
+            compile_source(&strip_reductions(pagerank::SOURCE), pagerank::FUNCTION, &opts)
+                .unwrap();
+
+        let mut cfg = pagerank::PagerankConfig::small();
+        cfg.n = 96; // keep the 6-case sweep cheap; the windows don't care
+        cfg.iters = 3;
+        let input = pagerank::generate(&cfg, seed);
+
+        let a = run_pagerank(&annotated, &input, ngpus);
+        let b = run_pagerank(&inferred, &input, ngpus);
+        prop_assert_eq!(&a.arrays, &b.arrays, "final arrays differ bitwise");
+        prop_assert_eq!(a.total_time(), b.total_time(), "simulated time differs");
+        prop_assert_eq!(
+            a.trace.events(),
+            b.trace.events(),
+            "event streams differ"
+        );
+        prop_assert_eq!(a.trace.counters(), b.trace.counters());
+    }
+}

@@ -112,6 +112,7 @@ pub fn table2(scale: Scale) -> Vec<AppRow> {
                 App::Bfs => "Graph Traversal",
                 App::Spmv => "Sparse Linear Algebra",
                 App::Heat2d => "Stencil",
+                App::Pagerank => "Graph Ranking",
             };
             AppRow {
                 app: app.name().to_uppercase(),
@@ -148,6 +149,10 @@ fn input_label(app: App, scale: Scale) -> String {
         App::Heat2d => {
             let c = heat2d_config(scale);
             format!("{}x{} plate / {} iter", c.rows, c.cols, c.iters)
+        }
+        App::Pagerank => {
+            let c = pagerank_config(scale);
+            format!("{} page / {} iter", c.n, c.iters)
         }
     }
 }
@@ -203,6 +208,15 @@ pub fn heat2d_config(scale: Scale) -> acc_apps::heat2d::Heat2dConfig {
     match scale {
         Scale::Small => acc_apps::heat2d::Heat2dConfig::small(),
         Scale::Scaled | Scale::Paper => acc_apps::heat2d::Heat2dConfig::scaled(),
+    }
+}
+
+/// PAGERANK workload config for a scale (no published paper size: Paper
+/// maps to Scaled).
+pub fn pagerank_config(scale: Scale) -> acc_apps::pagerank::PagerankConfig {
+    match scale {
+        Scale::Small => acc_apps::pagerank::PagerankConfig::small(),
+        Scale::Scaled | Scale::Paper => acc_apps::pagerank::PagerankConfig::scaled(),
     }
 }
 
@@ -531,6 +545,7 @@ pub fn ablation_placement(scale: Scale, seed: u64) -> Vec<PlacementPoint> {
                 instrument: true,
                 infer_localaccess: false,
                 optimize_kernels: false,
+                infer_reductions: false,
             };
             let prog = acc_compiler::compile_source(app.source(), app.function(), &opts).unwrap();
             let mut m = Machine::desktop();
@@ -843,6 +858,10 @@ pub fn app_inputs(
         App::Heat2d => {
             acc_apps::heat2d::inputs(&acc_apps::heat2d::generate(&heat2d_config(scale), seed))
         }
+        App::Pagerank => acc_apps::pagerank::inputs(&acc_apps::pagerank::generate(
+            &pagerank_config(scale),
+            seed,
+        )),
     }
 }
 
@@ -1104,17 +1123,19 @@ mod tests {
     #[test]
     fn table2_small_scale_runs() {
         let rows = table2(Scale::Small);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         assert!(rows.iter().all(|r| r.correct));
         assert_eq!(rows[0].parallel_loops, 1); // MD
         assert_eq!(rows[1].parallel_loops, 2); // KMEANS
         assert_eq!(rows[2].parallel_loops, 1); // BFS
         assert_eq!(rows[3].parallel_loops, 1); // SPMV
         assert_eq!(rows[4].parallel_loops, 2); // HEAT2D
+        assert_eq!(rows[5].parallel_loops, 4); // PAGERANK
         assert_eq!(rows[0].localaccess, "2/3");
         assert_eq!(rows[1].localaccess, "2/5");
         assert_eq!(rows[2].localaccess, "2/3");
         assert_eq!(rows[3].localaccess, "2/5");
         assert_eq!(rows[4].localaccess, "2/2");
+        assert_eq!(rows[5].localaccess, "6/6");
     }
 }

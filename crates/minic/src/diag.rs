@@ -54,6 +54,24 @@ pub enum Severity {
     Warning,
 }
 
+/// Whether `code` is shaped like a stable diagnostic code of this
+/// toolchain: `ACC-` + family letter + three digits. The families are
+/// `E` (frontend errors), `W` (lint warnings), `I` (inference
+/// suggestions), `R` (runtime errors) and `S` (acc-serve errors).
+///
+/// This validates the *code space*, not membership: tools use it to
+/// separate "malformed code" from "well-formed but unknown code" in
+/// their `--explain`-style paths.
+pub fn is_stable_code(code: &str) -> bool {
+    let Some(rest) = code.strip_prefix("ACC-") else {
+        return false;
+    };
+    let b = rest.as_bytes();
+    b.len() == 4
+        && matches!(b[0], b'E' | b'W' | b'I' | b'R' | b'S')
+        && b[1..].iter().all(|c| c.is_ascii_digit())
+}
+
 /// A frontend diagnostic.
 ///
 /// Diagnostics from well-defined analyses carry a stable machine-readable
