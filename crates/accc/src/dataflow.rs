@@ -85,6 +85,95 @@ impl CommPlan {
     }
 }
 
+/// The static proof that one launch's halo fill for one distributed
+/// buffer may be double-buffered: priced concurrently with the same
+/// launch's compute instead of on the loader critical path.
+///
+/// The premise is the boundary-last schedule: each GPU's interior
+/// iterations touch only its own partition, so while the freshly
+/// fetched halo is in flight the GPU has interior work to run, and the
+/// halo bytes are only needed by the boundary iterations scheduled
+/// last. That is performance-realistic exactly when
+///
+/// 1. the array is **distributed** with a declared (or inferred)
+///    `localaccess` halo window — so the halo region is statically
+///    known and the fill is a bounded edge exchange, not a gather;
+/// 2. every kernel×array verdict in the launch is **race-free**
+///    ([`crate::DependVerdict::race_free`]) — no cross-GPU write
+///    conflict can force an early synchronization;
+/// 3. the kernel does **not write** the array — the halo is read-only
+///    input, so no write-back ordering constrains the fill.
+///
+/// Functionally nothing moves: the runtime still performs the fill
+/// before the kernel's functional execution, so arrays are
+/// unconditionally bit-identical; the fact only licenses the pricing
+/// overlap, and `SanitizeLevel::Full` re-arms the synchronous path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapFact {
+    /// Human-readable proof summary (reports, traces).
+    pub reason: String,
+}
+
+/// Per-launch, per-buffer overlap-safety facts; `kernels[k][kbuf]` is
+/// `Some` when kernel `k`'s halo fill of buffer `kbuf` may overlap the
+/// same wave's compute.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OverlapPlan {
+    pub kernels: Vec<Vec<Option<OverlapFact>>>,
+}
+
+impl OverlapPlan {
+    /// An all-`None` plan shaped like `kernels`.
+    pub fn empty(kernels: &[CompiledKernel]) -> OverlapPlan {
+        OverlapPlan {
+            kernels: kernels.iter().map(|k| vec![None; k.configs.len()]).collect(),
+        }
+    }
+
+    /// The fact for one launch × kernel-buffer, if any.
+    pub fn fact(&self, kernel: usize, kbuf: usize) -> Option<&OverlapFact> {
+        self.kernels.get(kernel)?.get(kbuf)?.as_ref()
+    }
+
+    /// Total number of overlap facts in the plan.
+    pub fn n_facts(&self) -> usize {
+        self.kernels
+            .iter()
+            .map(|k| k.iter().filter(|f| f.is_some()).count())
+            .sum()
+    }
+}
+
+/// Derive the overlap-safety facts for every launch.
+pub fn overlap_plan(kernels: &[CompiledKernel]) -> OverlapPlan {
+    let mut plan = OverlapPlan::empty(kernels);
+    for (ki, k) in kernels.iter().enumerate() {
+        // Any racy verdict in the launch defeats overlap for the whole
+        // wave: the scheduler can no longer reorder boundary work last.
+        if !k.configs.iter().all(|c| c.lint.verdict.race_free()) {
+            continue;
+        }
+        for (kbuf, cfg) in k.configs.iter().enumerate() {
+            if cfg.placement != Placement::Distributed
+                || cfg.localaccess.is_none()
+                || cfg.mode.writes()
+            {
+                continue;
+            }
+            plan.kernels[ki][kbuf] = Some(OverlapFact {
+                reason: format!(
+                    "halo fill of `{}` may overlap kernel `{}`'s compute: \
+                     distributed with a declared halo window, read-only in \
+                     this launch, every verdict race-free (boundary-last \
+                     schedule)",
+                    cfg.name, k.kernel.name
+                ),
+            });
+        }
+    }
+    plan
+}
+
 /// Run the whole-program analysis over the launch sequence.
 pub fn comm_plan(kernels: &[CompiledKernel], host: &[HostOp]) -> CommPlan {
     let mut plan = CommPlan::empty(kernels);
@@ -390,6 +479,67 @@ mod tests {
              }",
         );
         assert_eq!(plan.n_facts(), 0, "{plan:?}");
+    }
+
+    #[test]
+    fn overlap_fact_for_read_only_distributed_halo() {
+        // A 1-D stencil: `a` is distributed with a declared halo and
+        // only read — its halo fill may overlap the wave's compute.
+        // `b` is written, so it gets no fact.
+        let p = compile_source(
+            "void f(int n, double *a, double *b) {\n\
+             #pragma acc data copyin(a[0:n]) copy(b[0:n])\n\
+             {\n\
+             #pragma acc localaccess(a) stride(1) left(1) right(1)\n\
+             #pragma acc localaccess(b) stride(1)\n\
+             #pragma acc parallel loop\n\
+             for (int i = 1; i < n - 1; i++) b[i] = a[i - 1] + a[i + 1];\n\
+             }\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        let plan = &p.overlap_plan;
+        assert_eq!(plan.n_facts(), 1, "{plan:?}");
+        let a = p.array_index("a").unwrap();
+        let ka = p.kernels[0].buf_map.iter().position(|&x| x == a).unwrap();
+        let fact = plan.fact(0, ka).unwrap();
+        assert!(fact.reason.contains("halo fill of `a`"), "{}", fact.reason);
+    }
+
+    #[test]
+    fn racy_wave_defeats_overlap() {
+        // The scatter write `y[m[i]]` has an Unknown verdict, which
+        // defeats overlap for every array in the wave — including the
+        // distributed read-only `a`.
+        let p = compile_source(
+            "void f(int n, int *m, int *a, int *y) {\n\
+             #pragma acc localaccess(a) stride(1) left(1) right(1)\n\
+             #pragma acc parallel loop copyin(m[0:n], a[0:n]) copy(y[0:n])\n\
+             for (int i = 1; i < n - 1; i++) y[m[i]] = a[i - 1] + a[i + 1];\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        assert_eq!(p.overlap_plan.n_facts(), 0, "{:?}", p.overlap_plan);
+    }
+
+    #[test]
+    fn replicated_arrays_get_no_overlap_facts() {
+        // No localaccess → replicated → loads are whole-array, not a
+        // bounded halo exchange.
+        let p = compile_source(
+            "void f(int n, double *a, double *b) {\n\
+             #pragma acc parallel loop copyin(a[0:n]) copy(b[0:n])\n\
+             for (int i = 0; i < n; i++) b[i] = a[i];\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        assert_eq!(p.overlap_plan.n_facts(), 0, "{:?}", p.overlap_plan);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use analysis::AccessMode;
 pub use config::{
     ArrayConfig, ArrayLint, ElisionProof, LocalAccessParams, MonotoneWindowInfo, Placement,
 };
-pub use dataflow::{CommPlan, ElideFact};
+pub use dataflow::{CommPlan, ElideFact, OverlapFact, OverlapPlan};
 pub use depend::{BufDepend, DependVerdict, DisjointProof};
 pub use hostgen::HostOp;
 pub use infer::{render_annotation, render_reduction};
@@ -190,6 +190,11 @@ pub struct CompiledProgram {
     /// `comm_elision` knob is on) to skip provably unobservable replica
     /// syncs.
     pub comm_plan: CommPlan,
+    /// Per-launch halo-overlap safety facts ([`dataflow::overlap_plan`]).
+    /// The runtime consults it (when its `overlap` knob is on and
+    /// sanitize is not `Full`) to price double-buffered halo fills
+    /// concurrently with the same wave's compute.
+    pub overlap_plan: OverlapPlan,
     /// Program array indices whose elementwise monotonicity (values
     /// non-decreasing with the index) is a *load-bearing premise* of
     /// some kernel's `Disjoint(MonotoneWindow)` dependence verdict. The
@@ -241,6 +246,7 @@ pub fn compile(
     let mut kernels = Vec::new();
     let host = hostgen::lower_host(&f.body, f, options, &mut kernels);
     let comm_plan = dataflow::comm_plan(&kernels, &host);
+    let overlap_plan = dataflow::overlap_plan(&kernels);
 
     // Premises the runtime must discharge: bound arrays of every
     // verdict that *rests* on a monotone window.
@@ -265,6 +271,7 @@ pub fn compile(
         kernels,
         host,
         comm_plan,
+        overlap_plan,
         monotone_premises,
         options: options.clone(),
     })

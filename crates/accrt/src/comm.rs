@@ -35,7 +35,9 @@ use acc_compiler::{CompiledKernel, Placement};
 use acc_gpusim::{BufferHandle, Endpoint, Gpu};
 use acc_kernel_ir::interp::{rmw_apply, rmw_apply_slice};
 use acc_kernel_ir::{MissRecord, RmwOp, Value};
-use acc_obs::{CommElided, CommRound, MissReplay, ReductionMerge, TransferKind, TransferSpan};
+use acc_obs::{
+    CollectiveRound, CommElided, CommRound, MissReplay, ReductionMerge, TransferKind, TransferSpan,
+};
 
 use crate::exec::{ArrLaunch, Run};
 use crate::{RunError, SanitizeLevel};
@@ -413,16 +415,22 @@ impl<'a> Run<'a> {
         // Pricing half: each dirty chunk is its own asynchronous
         // transfer (per-chunk latency is the cost of choosing small
         // chunks — the other side of the §IV-D1 trade-off). Serial, in
-        // fixed (src, dst) order: the per-link bus timelines are
-        // order-dependent.
+        // fixed order: the per-link bus timelines are order-dependent.
+        // On flat topologies that order is the seed's ascending (src,
+        // dst); on hierarchical ones each source ships to its near
+        // destinations first, so intra-island rounds clear their
+        // dedicated links before root- and fabric-bound rounds queue.
         for g in 0..ngpus {
             if per_gpu_runs[g].is_empty() {
                 continue;
             }
-            for (h, &replicated) in has_replica.iter().enumerate().take(ngpus) {
-                if h == g || !replicated {
-                    continue;
-                }
+            let mut dests: Vec<usize> =
+                (0..ngpus).filter(|&h| h != g && has_replica[h]).collect();
+            if self.machine.bus.is_hierarchical() {
+                let bus = &self.machine.bus;
+                dests.sort_by_key(|&h| (bus.distance(g, h), h));
+            }
+            for h in dests {
                 if per_gpu_chunk_sizes[g].is_empty() {
                     // A dirty source always has at least one chunk; never
                     // emit an empty round even if that invariant breaks.
@@ -758,7 +766,6 @@ impl<'a> Run<'a> {
     ) -> Result<f64, RunError> {
         let ngpus = self.cfg.ngpus;
         let n = self.arrays[bi.arr].len;
-        let elem = self.arrays[bi.arr].elem();
         // Only GPUs that actually ran iterations hold a private copy
         // (GPU 0's live value or an identity fill). When the launch has
         // fewer iterations than GPUs the idle tail has neither — merging
@@ -772,6 +779,36 @@ impl<'a> Run<'a> {
         if k == 0 {
             return Ok(t2);
         }
+        let end = if self.machine.bus.is_hierarchical() {
+            self.merge_reduction_hierarchical(bi, op, t2, k)?
+        } else {
+            self.merge_reduction_flat(bi, op, t2, k)?
+        };
+        // GPU 0 now holds the merged result; other copies are garbage.
+        let whole = crate::ranges::RangeSet::of(0, n as i64);
+        for g in 0..ngpus {
+            let ga = &mut self.arrays[bi.arr].gpu[g];
+            ga.red_private = false;
+            if g == 0 {
+                ga.valid = whole.clone();
+            } else {
+                ga.valid.clear();
+            }
+        }
+        Ok(end)
+    }
+
+    /// The seed's single-level stride-doubling tree over the active
+    /// prefix — the schedule every flat (one-island) topology keeps.
+    fn merge_reduction_flat(
+        &mut self,
+        bi: &ArrLaunch,
+        op: RmwOp,
+        t2: f64,
+        k: usize,
+    ) -> Result<f64, RunError> {
+        let n = self.arrays[bi.arr].len;
+        let elem = self.arrays[bi.arr].elem();
         let mut round_start = t2;
         let mut stride = 1usize;
         while stride < k {
@@ -838,16 +875,144 @@ impl<'a> Run<'a> {
             round_start = round_end;
             stride *= 2;
         }
-        // GPU 0 now holds the merged result; other copies are garbage.
-        let whole = crate::ranges::RangeSet::of(0, n as i64);
-        for g in 0..ngpus {
-            let ga = &mut self.arrays[bi.arr].gpu[g];
-            ga.red_private = false;
-            if g == 0 {
-                ga.valid = whole.clone();
-            } else {
-                ga.valid.clear();
+        Ok(round_start)
+    }
+
+    /// Topology-aware reduction merge: a stride-doubling tree within
+    /// each island onto the island leader (its lowest GPU), then across
+    /// each node's island leaders onto the node leader, then across node
+    /// leaders onto GPU 0 — so only one transfer per island crosses the
+    /// root complex and only one per node crosses the fabric, instead of
+    /// the flat tree's root-saturating first round. Groups at the same
+    /// level occupy disjoint GPUs and price concurrently from the level
+    /// barrier. Combine order differs from the flat tree, which is
+    /// observable only as floating-point rounding; the schedule is gated
+    /// on [`Topology::is_hierarchical`], so flat presets stay
+    /// bit-identical to the seed.
+    ///
+    /// [`Topology::is_hierarchical`]: acc_gpusim::Topology::is_hierarchical
+    fn merge_reduction_hierarchical(
+        &mut self,
+        bi: &ArrLaunch,
+        op: RmwOp,
+        t2: f64,
+        k: usize,
+    ) -> Result<f64, RunError> {
+        let gpi = self.machine.bus.gpus_per_island;
+        let gpn = self.machine.bus.gpus_per_node;
+        // Level 1: each island's active members fold onto its leader.
+        let mut island_leaders: Vec<usize> = Vec::new();
+        let mut level_end = t2;
+        let mut start = 0usize;
+        while start < k {
+            let members: Vec<usize> = (start..k.min(start.saturating_add(gpi))).collect();
+            island_leaders.push(members[0]);
+            if members.len() > 1 {
+                let e = self.merge_group(bi, op, &members, "intra-island", t2)?;
+                level_end = level_end.max(e);
             }
+            start = start.saturating_add(gpi);
+        }
+        // Level 2: each node's island leaders fold onto the node leader.
+        let t = level_end;
+        let mut node_leaders: Vec<usize> = Vec::new();
+        let mut level_end = t;
+        let mut i = 0usize;
+        while i < island_leaders.len() {
+            let node = island_leaders[i] / gpn;
+            let mut group = Vec::new();
+            while i < island_leaders.len() && island_leaders[i] / gpn == node {
+                group.push(island_leaders[i]);
+                i += 1;
+            }
+            node_leaders.push(group[0]);
+            if group.len() > 1 {
+                let e = self.merge_group(bi, op, &group, "inter-island", t)?;
+                level_end = level_end.max(e);
+            }
+        }
+        // Level 3: node leaders fold onto GPU 0 over the fabric.
+        if node_leaders.len() > 1 {
+            level_end = self.merge_group(bi, op, &node_leaders, "inter-node", level_end)?;
+        }
+        Ok(level_end)
+    }
+
+    /// Stride-doubling tree merge of the private copies on `gpus` (all
+    /// active) onto `gpus[0]`, priced from `t`. Each pairwise merge is a
+    /// typed-slice [`rmw_apply_slice`] pass plus one bus transfer, and
+    /// emits a [`CollectiveRound`] tagged with the topology `level`.
+    fn merge_group(
+        &mut self,
+        bi: &ArrLaunch,
+        op: RmwOp,
+        gpus: &[usize],
+        level: &'static str,
+        t: f64,
+    ) -> Result<f64, RunError> {
+        let n = self.arrays[bi.arr].len;
+        let elem = self.arrays[bi.arr].elem();
+        let bytes = (n * elem) as u64;
+        let name = self.prog.array_params[bi.arr].0.clone();
+        let mut round_start = t;
+        let mut stride = 1usize;
+        while stride < gpus.len() {
+            let mut round_end = round_start;
+            let mut i = 0usize;
+            while i + stride < gpus.len() {
+                let (dst, src) = (gpus[i], gpus[i + stride]);
+                // Functional half: same typed-slice pass under either
+                // `parallel_comm` setting — the hierarchical schedule is
+                // new, so it has no serial reference order to reproduce.
+                let staged: Vec<u8> = {
+                    let ga = &self.arrays[bi.arr].gpu[src];
+                    let sb = self.machine.gpus[src].memory.get(ga.handle.expect("src"))?;
+                    let mut buf = self.staging.take_scratch(sb.bytes().len());
+                    buf.extend_from_slice(sb.bytes());
+                    buf
+                };
+                {
+                    let ga = &self.arrays[bi.arr].gpu[dst];
+                    let db = self.machine.gpus[dst]
+                        .memory
+                        .get_mut(ga.handle.expect("dst"))?;
+                    let ty = db.ty();
+                    rmw_apply_slice(op, ty, db.bytes_mut(), &staged);
+                }
+                self.staging.put_back_scratch(staged);
+                // Pricing half.
+                let (s, e) = self.machine.bus.transfer(
+                    Endpoint::Gpu(src),
+                    Endpoint::Gpu(dst),
+                    bytes,
+                    round_start,
+                );
+                self.rec.transfer(TransferSpan {
+                    kind: TransferKind::P2P,
+                    array: name.clone(),
+                    bytes,
+                    src: Some(src),
+                    dst: Some(dst),
+                    why: "reduce",
+                    start: s,
+                    end: e,
+                });
+                let combine = self.machine.gpus[dst].spec.local_copy_time(bytes);
+                self.rec.collective_round(CollectiveRound {
+                    launch: self.cur_launch,
+                    array: name.clone(),
+                    level,
+                    src,
+                    dst,
+                    bytes,
+                    start: s,
+                    end: e + combine,
+                });
+                round_end = round_end.max(e + combine);
+                i += stride * 2;
+            }
+            round_start = round_end;
+            stride *= 2;
         }
         Ok(round_start)
     }

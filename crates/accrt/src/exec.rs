@@ -57,6 +57,11 @@ pub(crate) struct ArrLaunch {
     /// of this launch's writes stay inside (`None`: no applicable fact —
     /// the replica sync runs normally).
     pub elide: Option<Vec<(i64, i64)>>,
+    /// Whether this launch's loader-phase peer halo fills of the array
+    /// are priced concurrently with the kernel phase (double-buffered
+    /// overlap): the overlap knob is on, the sanitizer is not re-arming
+    /// the synchronous path, and a compiler [`OverlapFact`] licensed it.
+    pub overlap: bool,
 }
 
 /// What one GPU returns from its kernel job.
@@ -585,7 +590,7 @@ impl<'a> Run<'a> {
 
         // ---- loader phase ----
         let t0 = self.now;
-        let t1 = self.loader_phase(ck, &binfo, t0)?;
+        let (t1, bg_end) = self.loader_phase(ck, &binfo, t0)?;
         self.rec
             .phase(Some(self.cur_launch), PhaseKind::Loader, t0, t1);
 
@@ -746,7 +751,10 @@ impl<'a> Run<'a> {
         }
         self.rec
             .phase(Some(self.cur_launch), PhaseKind::Kernel, t1, t1 + tk);
-        let t2 = t1 + tk;
+        // Background halo fills that the loader priced past the barrier
+        // run under the kernel phase; the wave cannot advance until both
+        // the slowest kernel and the last in-flight fill are done.
+        let t2 = (t1 + tk).max(bg_end);
 
         // Scalar reductions merge back into host locals.
         let partials: Vec<Vec<Value>> = job_outs
@@ -971,6 +979,16 @@ impl<'a> Run<'a> {
             } else {
                 None
             };
+            // Double-buffered halo overlap: only when the knob is on,
+            // `SanitizeLevel::Full` is not re-arming the synchronous
+            // path, and the compiler's dataflow pass granted an
+            // `OverlapFact` for this (kernel, buffer) — distributed with
+            // a declared halo window, read-only this launch, every
+            // verdict in the wave race-free.
+            let overlap = self.cfg.overlap
+                && self.cfg.sanitize != SanitizeLevel::Full
+                && matches!(cfg.placement, Placement::Distributed)
+                && self.prog.overlap_plan.fact(kidx, kbuf).is_some();
             out.push(ArrLaunch {
                 arr: cfg.array,
                 placement: cfg.placement.clone(),
@@ -981,6 +999,7 @@ impl<'a> Run<'a> {
                 needs_dirty,
                 sanitize,
                 elide,
+                overlap,
             });
         }
         Ok(out)

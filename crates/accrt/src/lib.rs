@@ -183,6 +183,18 @@ pub struct ExecConfig {
     /// `optimize_kernels` also opts launches of that program into the
     /// register VM regardless of this knob.
     pub kernel_vm: KernelVm,
+    /// Double-buffered halo overlap: loader-phase peer halo fills of
+    /// arrays the compiler's [`acc_compiler::OverlapPlan`] proved safe
+    /// (distributed, read-only this launch, every verdict race-free) are
+    /// priced concurrently with the same wave's kernel phase instead of
+    /// extending the synchronous loader critical path. Purely a pricing
+    /// change: the functional copies still happen in program order, so
+    /// array contents are unconditionally identical with the knob on or
+    /// off. Off by default. Under [`SanitizeLevel::Full`] the
+    /// synchronous path is re-armed, so a Full-sanitize run is
+    /// bit-identical (arrays *and* event stream) to one with overlap
+    /// off.
+    pub overlap: bool,
 }
 
 /// Kernel execution engine selection.
@@ -212,6 +224,7 @@ impl ExecConfig {
             schedule: Schedule::Equal,
             comm_elision: false,
             kernel_vm: KernelVm::Bytecode,
+            overlap: false,
         }
     }
 
@@ -276,6 +289,12 @@ impl ExecConfig {
     /// Select the kernel execution engine.
     pub fn kernel_vm(mut self, vm: KernelVm) -> ExecConfig {
         self.kernel_vm = vm;
+        self
+    }
+
+    /// Enable or disable double-buffered halo-fill/compute overlap.
+    pub fn overlap(mut self, on: bool) -> ExecConfig {
+        self.overlap = on;
         self
     }
 }

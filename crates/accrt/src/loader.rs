@@ -21,23 +21,39 @@ use acc_gpusim::memory::AllocClass;
 use acc_gpusim::Endpoint;
 use acc_kernel_ir::interp::rmw_identity;
 use acc_kernel_ir::{DirtyMap, Ty};
-use acc_obs::{LoaderDecision, TransferKind, TransferSpan};
+use acc_obs::{LoaderDecision, OverlapWindow, TransferKind, TransferSpan};
 
 use crate::exec::{ArrLaunch, Run};
 use crate::ranges::RangeSet;
 use crate::RunError;
 
+/// One peer halo fill the loader priced in the background (double-
+/// buffered overlap): emitted as an [`OverlapWindow`] once the
+/// synchronous loader end is known.
+struct BgFill {
+    arr: usize,
+    gpu: usize,
+    bytes: u64,
+    start: f64,
+    end: f64,
+}
+
 impl<'a> Run<'a> {
-    /// Run the loader for one launch. Returns the simulated end time of
-    /// the phase (transfers scheduled from `t0`).
+    /// Run the loader for one launch. Returns `(t1, bg_end)`: the
+    /// simulated end of the synchronous phase (transfers scheduled from
+    /// `t0`), and the end of the last background halo fill the overlap
+    /// knob licensed out of the critical path (`bg_end == t1` when
+    /// nothing overlapped). The caller's barrier waits on
+    /// `max(t1 + kernel, bg_end)`.
     pub(crate) fn loader_phase(
         &mut self,
         ck: &CompiledKernel,
         binfo: &[ArrLaunch],
         t0: f64,
-    ) -> Result<f64, RunError> {
+    ) -> Result<(f64, f64), RunError> {
         let ngpus = self.cfg.ngpus;
         let mut end = t0;
+        let mut bg: Vec<BgFill> = Vec::new();
 
         // Pass 1: windows (and metadata allocations).
         for (kbuf, bi) in binfo.iter().enumerate() {
@@ -87,7 +103,7 @@ impl<'a> Run<'a> {
                 Placement::ReductionPrivate(op) => {
                     // GPU 0 carries the live value; the rest are identity.
                     if bi.required[0].0 < bi.required[0].1 {
-                        let e = self.fill_required(bi.arr, 0, bi.required[0], t0)?;
+                        let e = self.fill_required(bi.arr, 0, bi.required[0], t0, false, &mut bg)?;
                         end = end.max(e);
                     }
                     let ty = self.arrays[bi.arr].ty;
@@ -104,13 +120,33 @@ impl<'a> Run<'a> {
                         if bi.required[g].0 >= bi.required[g].1 {
                             continue;
                         }
-                        let e = self.fill_required(bi.arr, g, bi.required[g], t0)?;
+                        let e =
+                            self.fill_required(bi.arr, g, bi.required[g], t0, bi.overlap, &mut bg)?;
                         end = end.max(e);
                     }
                 }
             }
         }
-        Ok(end)
+        // Background fills were priced on the bus like any other
+        // loader-phase transfer (contention with the synchronous
+        // traffic preserved); only their ends left the critical path.
+        // With `t1` now known, each becomes an `OverlapWindow`:
+        // `hidden_s` is what the fill would have added to the
+        // synchronous phase end.
+        let mut bg_end = end;
+        for f in bg {
+            bg_end = bg_end.max(f.end);
+            self.rec.overlap_window(OverlapWindow {
+                launch: self.cur_launch,
+                array: self.prog.array_params[f.arr].0.clone(),
+                gpu: f.gpu,
+                bytes: f.bytes,
+                hidden_s: (f.end - end).max(0.0),
+                start: f.start,
+                end: f.end,
+            });
+        }
+        Ok((end, bg_end))
     }
 
     /// Make sure GPU `g` holds array `arr` over at least `want`.
@@ -241,12 +277,24 @@ impl<'a> Run<'a> {
     /// current device data are preferred; otherwise the host copy is the
     /// source (`copyin` semantics); `create`-style arrays materialise as
     /// zeros without traffic.
+    ///
+    /// With `overlap` set, peer halo fills are priced in the background:
+    /// the functional copy still happens here (program order — array
+    /// contents never depend on the knob), the transfer is still
+    /// scheduled on the bus from the same ready time (contention with
+    /// synchronous traffic preserved), but its end is pushed to `bg`
+    /// instead of extending the returned synchronous end. Host loads
+    /// stay synchronous either way — only the peer refills the
+    /// `OverlapFact` proved unobservable may hide under compute.
+    #[allow(clippy::too_many_arguments)]
     fn fill_required(
         &mut self,
         arr: usize,
         g: usize,
         req: (i64, i64),
         t0: f64,
+        overlap: bool,
+        bg: &mut Vec<BgFill>,
     ) -> Result<f64, RunError> {
         if req.0 >= req.1 {
             return Ok(t0);
@@ -294,9 +342,22 @@ impl<'a> Run<'a> {
         // peer GPUs holding current device data become the sources.
         if self.arrays[arr].host_stale {
             let ngpus = self.cfg.ngpus;
-            for h in 0..ngpus {
-                if h == g || missing.is_empty() {
-                    continue;
+            // Nearest-neighbour halo routing: on a hierarchical
+            // topology, prefer peers reached over intra-island links
+            // before peers behind the root complex or the inter-node
+            // fabric (ties broken by index, so the order is total).
+            // Valid ranges shared by several peers hold identical bytes
+            // — reconciliation preceded this fill — so source choice
+            // only moves the transfer onto cheaper segments. Flat
+            // presets keep the seed's ascending-index order.
+            let mut order: Vec<usize> = (0..ngpus).filter(|&h| h != g).collect();
+            if self.machine.bus.is_hierarchical() {
+                let bus = &self.machine.bus;
+                order.sort_by_key(|&h| (bus.distance(g, h), h));
+            }
+            for h in order {
+                if missing.is_empty() {
+                    break;
                 }
                 let avail = {
                     let other = &self.arrays[arr].gpu[h];
@@ -310,7 +371,17 @@ impl<'a> Run<'a> {
                 };
                 for (lo, hi) in avail.iter().collect::<Vec<_>>() {
                     let e = self.xfer_p2p(arr, h, g, lo, hi, t0, "fill")?;
-                    end = end.max(e);
+                    if overlap {
+                        bg.push(BgFill {
+                            arr,
+                            gpu: g,
+                            bytes: (hi - lo) as u64 * elem,
+                            start: t0,
+                            end: e,
+                        });
+                    } else {
+                        end = end.max(e);
+                    }
                     missing.remove(lo, hi);
                     bytes_moved += (hi - lo) as u64 * elem;
                 }

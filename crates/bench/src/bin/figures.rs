@@ -208,6 +208,27 @@ fn run_bench_target(args: &Args) {
             c.matches_annotated
         );
     }
+    let scaling = bench_scaling(args.scale, args.seed, true);
+    println!(
+        "  {:<8} {:>5} {:<8} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "App", "GPUs", "Topo", "overlap", "sim time", "comm sim", "cpu-gpu", "hidden", "p2p MB",
+        "correct"
+    );
+    for s in &scaling {
+        println!(
+            "  {:<8} {:>5} {:<8} {:>8} {:>11.6}s {:>11.6}s {:>11.6}s {:>11.6}s {:>10.2} {:>8}",
+            s.app,
+            s.ngpus,
+            s.topo,
+            s.overlap,
+            s.sim_s,
+            s.comm_sim_s,
+            s.cpu_gpu_s,
+            s.overlap_hidden_s,
+            s.p2p_mb,
+            s.correct
+        );
+    }
     let serve = bench_serve(8, 6, true);
     println!(
         "  serve: {} tenants x {} jobs: {:.1} jobs/s, p50 {:.1} ms, p99 {:.1} ms, \
@@ -258,6 +279,28 @@ fn run_bench_target(args: &Args) {
                             ("p2p_bytes", Value::num(c.p2p_bytes as f64)),
                             ("comm_elisions", Value::num(c.comm_elisions as f64)),
                             ("matches_annotated", Value::Bool(c.matches_annotated)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "scaling",
+            Value::Arr(
+                scaling
+                    .iter()
+                    .map(|s| {
+                        Value::obj([
+                            ("app", Value::str(&s.app)),
+                            ("ngpus", Value::num(s.ngpus as f64)),
+                            ("topo", Value::str(&s.topo)),
+                            ("overlap", Value::Bool(s.overlap)),
+                            ("sim_s", Value::num(s.sim_s)),
+                            ("comm_sim_s", Value::num(s.comm_sim_s)),
+                            ("cpu_gpu_s", Value::num(s.cpu_gpu_s)),
+                            ("overlap_hidden_s", Value::num(s.overlap_hidden_s)),
+                            ("p2p_mb", Value::num(s.p2p_mb)),
+                            ("correct", Value::Bool(s.correct)),
                         ])
                     })
                     .collect(),

@@ -59,6 +59,23 @@ pub struct CommExpPoint {
     pub matches_annotated: bool,
 }
 
+/// One parsed `scaling` entry (app × GPU count × topology × overlap;
+/// see `acc_bench::bench_scaling`). All four time fields are simulated
+/// seconds and therefore deterministic: present on both sides they are
+/// held to the same exact-match contract as `sim_s` in `points`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingSecPoint {
+    pub app: String,
+    pub ngpus: usize,
+    pub topo: String,
+    pub overlap: bool,
+    pub sim_s: f64,
+    pub comm_sim_s: f64,
+    pub cpu_gpu_s: f64,
+    pub overlap_hidden_s: f64,
+    pub correct: bool,
+}
+
 /// The parsed `serve` section: one in-process daemon throughput
 /// measurement (see `acc_bench::bench_serve`).
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +97,9 @@ pub struct BenchFile {
     pub points: Vec<BenchPoint>,
     /// Empty for artifacts written before the section existed.
     pub comm_experiments: Vec<CommExpPoint>,
+    /// Empty for artifacts written before the topology scaling section
+    /// existed.
+    pub scaling: Vec<ScalingSecPoint>,
     /// `None` for artifacts written before the daemon existed.
     pub serve: Option<ServeSection>,
 }
@@ -165,6 +185,44 @@ pub fn parse_bench_file(src: &str, which: &str) -> Result<BenchFile, String> {
             });
         }
     }
+    // The `scaling` section postdates the flat-bus artifacts: absent
+    // means "old format", a present section must parse fully.
+    let mut scaling = Vec::new();
+    if let Some(raw) = doc.get("scaling") {
+        let arr = raw
+            .as_arr()
+            .ok_or_else(|| format!("{which}: `scaling` is not an array"))?;
+        for (i, s) in arr.iter().enumerate() {
+            let sfield = |key: &str| -> Result<String, String> {
+                s.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{which}: scaling[{i}]: bad `{key}`"))
+            };
+            let num = |key: &str| -> Result<f64, String> {
+                s.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{which}: scaling[{i}]: bad `{key}`"))
+            };
+            let flag = |key: &str| -> Result<bool, String> {
+                match s.get(key) {
+                    Some(Value::Bool(b)) => Ok(*b),
+                    _ => Err(format!("{which}: scaling[{i}]: bad `{key}`")),
+                }
+            };
+            scaling.push(ScalingSecPoint {
+                app: sfield("app")?,
+                ngpus: num("ngpus")? as usize,
+                topo: sfield("topo")?,
+                overlap: flag("overlap")?,
+                sim_s: num("sim_s")?,
+                comm_sim_s: num("comm_sim_s")?,
+                cpu_gpu_s: num("cpu_gpu_s")?,
+                overlap_hidden_s: num("overlap_hidden_s")?,
+                correct: flag("correct")?,
+            });
+        }
+    }
     // Like `comm_experiments`, the `serve` section postdates the first
     // committed artifacts: an old baseline without it is "section not
     // yet recorded", never a mismatch. A present section must parse.
@@ -191,7 +249,7 @@ pub fn parse_bench_file(src: &str, which: &str) -> Result<BenchFile, String> {
             })
         }
     };
-    Ok(BenchFile { scale, seed, points, comm_experiments, serve })
+    Ok(BenchFile { scale, seed, points, comm_experiments, scaling, serve })
 }
 
 /// One old-vs-new point comparison.
@@ -386,8 +444,61 @@ pub fn diff_bench(old: &BenchFile, new: &BenchFile, wall_tolerance: f64) -> Diff
             ));
         }
     }
+    diff_scaling(old, new, &mut r);
     diff_serve(old, new, &mut r);
     r
+}
+
+/// Compare the `scaling` sections. Every recorded point (app × GPUs ×
+/// topology × overlap) must persist, its simulated times are
+/// deterministic and pinned exactly, and `correct` must stay true. A
+/// baseline that predates the section gets a note, like `serve`.
+fn diff_scaling(old: &BenchFile, new: &BenchFile, r: &mut DiffReport) {
+    if old.scaling.is_empty() && !new.scaling.is_empty() {
+        r.notes.push(format!(
+            "scaling section added ({} points: app x GPUs x topology x overlap)",
+            new.scaling.len()
+        ));
+    }
+    for np in &new.scaling {
+        if !np.correct {
+            r.problems.push(format!(
+                "scaling point {} x{} {}{} reports correct=false",
+                np.app,
+                np.ngpus,
+                np.topo,
+                if np.overlap { "+overlap" } else { "" }
+            ));
+        }
+    }
+    for op in &old.scaling {
+        let key = format!(
+            "{} x{} {}{}",
+            op.app,
+            op.ngpus,
+            op.topo,
+            if op.overlap { "+overlap" } else { "" }
+        );
+        let Some(np) = new.scaling.iter().find(|p| {
+            p.app == op.app && p.ngpus == op.ngpus && p.topo == op.topo && p.overlap == op.overlap
+        }) else {
+            r.problems
+                .push(format!("scaling point {key} present in old but missing from new"));
+            continue;
+        };
+        for (name, o, n) in [
+            ("sim_s", op.sim_s, np.sim_s),
+            ("comm_sim_s", op.comm_sim_s, np.comm_sim_s),
+            ("cpu_gpu_s", op.cpu_gpu_s, np.cpu_gpu_s),
+            ("overlap_hidden_s", op.overlap_hidden_s, np.overlap_hidden_s),
+        ] {
+            if (n - o).abs() > SIM_REL_EPS * o.abs().max(n.abs()) {
+                r.problems.push(format!(
+                    "scaling point {key}: simulated `{name}` moved: {o} -> {n}"
+                ));
+            }
+        }
+    }
 }
 
 /// Hit rate below which the serve section fails the diff: repeated
@@ -686,6 +797,82 @@ mod tests {
         let r = bench_diff(&old, &ok, DEFAULT_WALL_TOLERANCE).unwrap();
         assert!(!r.failed(), "{:?}", r.problems);
         assert!(r.notes.iter().any(|n| n.contains("serve throughput")));
+    }
+
+    fn artifact_with_scaling(points: &[(&str, usize, &str, bool, f64, bool)]) -> String {
+        Value::obj([
+            ("scale", Value::str("small")),
+            ("seed", Value::num(42.0)),
+            ("points", Value::Arr(vec![])),
+            (
+                "scaling",
+                Value::Arr(
+                    points
+                        .iter()
+                        .map(|(app, ngpus, topo, overlap, sim, correct)| {
+                            Value::obj([
+                                ("app", Value::str(*app)),
+                                ("ngpus", Value::num(*ngpus as f64)),
+                                ("topo", Value::str(*topo)),
+                                ("overlap", Value::Bool(*overlap)),
+                                ("sim_s", Value::num(*sim)),
+                                ("comm_sim_s", Value::num(*sim / 4.0)),
+                                ("cpu_gpu_s", Value::num(*sim / 2.0)),
+                                ("overlap_hidden_s", Value::num(0.001)),
+                                ("p2p_mb", Value::num(1.5)),
+                                ("correct", Value::Bool(*correct)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    const SCALING_BASE: &[(&str, usize, &str, bool, f64, bool)] = &[
+        ("heat2d", 16, "flat", false, 0.4, true),
+        ("heat2d", 16, "cluster", false, 0.3, true),
+        ("heat2d", 16, "cluster", true, 0.25, true),
+    ];
+
+    #[test]
+    fn scaling_section_added_is_a_note_and_identical_sections_pass() {
+        let old = artifact("small", 42, &[]);
+        let new = artifact_with_scaling(SCALING_BASE);
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(!r.failed(), "{:?}", r.problems);
+        assert!(
+            r.notes.iter().any(|n| n.contains("scaling section added")),
+            "{:?}",
+            r.notes
+        );
+        let r = bench_diff(&new, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(!r.failed(), "{:?}", r.problems);
+        assert!(r.notes.is_empty(), "{:?}", r.notes);
+    }
+
+    #[test]
+    fn scaling_sim_drift_missing_point_and_wrong_result_fail() {
+        let old = artifact_with_scaling(SCALING_BASE);
+        // Cluster point's sim time drifts, overlap point vanishes.
+        let new = artifact_with_scaling(&[
+            ("heat2d", 16, "flat", false, 0.4, true),
+            ("heat2d", 16, "cluster", false, 0.31, true),
+        ]);
+        let r = bench_diff(&old, &new, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r.failed());
+        let all = r.problems.join("\n");
+        assert!(all.contains("scaling point heat2d x16 cluster: simulated `sim_s` moved"), "{all}");
+        assert!(all.contains("heat2d x16 cluster+overlap present in old but missing"), "{all}");
+
+        // A wrong result fails even without a baseline for the point.
+        let bad = artifact_with_scaling(&[("pagerank", 64, "cluster", true, 0.2, false)]);
+        let r = bench_diff(&old, &bad, DEFAULT_WALL_TOLERANCE).unwrap();
+        assert!(r
+            .problems
+            .iter()
+            .any(|p| p.contains("pagerank x64 cluster+overlap reports correct=false")));
     }
 
     #[test]

@@ -964,6 +964,141 @@ pub fn bench_comm(scale: Scale, seed: u64, progress: bool) -> Vec<CommPoint> {
     out
 }
 
+/// One simulated-time measurement of the `bench` target's `scaling`
+/// section: a halo/reduction-heavy app at a GPU count well past one
+/// PCIe bus, on one interconnect model. Unlike [`RuntimePoint`] the
+/// interesting numbers here are *simulated* seconds: the section is the
+/// artifact behind the claim that the hierarchical topology (island
+/// links + per-node roots + inter-node fabric), the topology-aware
+/// reduction tree and the double-buffered halo overlap reduce
+/// communication cost at 8/16/64 GPUs — `bench-diff` pins every value.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    pub app: String,
+    pub ngpus: usize,
+    /// `flat` = the seed's single-root PCIe model
+    /// (`Machine::supercomputer_node_with_gpus`); `cluster` = 8-GPU
+    /// islands, 16-GPU nodes, inter-node fabric (`Machine::cluster`).
+    pub topo: String,
+    /// Double-buffered halo overlap armed (`ExecConfig::overlap`).
+    pub overlap: bool,
+    /// Simulated parallel-region seconds.
+    pub sim_s: f64,
+    /// Simulated GPU-GPU communication-phase seconds (a component of
+    /// `sim_s`; reduction merges and replica syncs).
+    pub comm_sim_s: f64,
+    /// Simulated loader (CPU-GPU) phase seconds (a component of
+    /// `sim_s`; halo fills land here, so this is what overlap shrinks).
+    pub cpu_gpu_s: f64,
+    /// Loader seconds hidden behind the kernel phase by overlap
+    /// windows (from the `overlap_hidden_ns` counter).
+    pub overlap_hidden_s: f64,
+    pub p2p_mb: f64,
+    pub correct: bool,
+}
+
+/// The scaling section's workload configs. At 64-way row distribution
+/// the plain `small` inputs are too thin (48 heat2d rows, a 400-node
+/// graph), so `Scale::Small` gets dedicated minimum sizes that still
+/// run in well under a second; larger scales reuse the shared configs.
+pub fn scaling_heat2d_config(scale: Scale) -> acc_apps::heat2d::Heat2dConfig {
+    match scale {
+        Scale::Small => acc_apps::heat2d::Heat2dConfig { rows: 256, cols: 64, iters: 3 },
+        _ => heat2d_config(scale),
+    }
+}
+
+/// See [`scaling_heat2d_config`].
+pub fn scaling_pagerank_config(scale: Scale) -> acc_apps::pagerank::PagerankConfig {
+    match scale {
+        Scale::Small => acc_apps::pagerank::PagerankConfig {
+            n: 4096,
+            min_degree: 2,
+            max_degree: 40,
+            iters: 5,
+        },
+        _ => pagerank_config(scale),
+    }
+}
+
+/// Measure simulated communication cost for the scaling apps at 8, 16
+/// and 64 GPUs on the flat bus, the cluster topology, and the cluster
+/// topology with halo overlap armed. Simulated time is deterministic,
+/// so one run per point suffices (no reps).
+pub fn bench_scaling(scale: Scale, seed: u64, progress: bool) -> Vec<ScalingPoint> {
+    use acc_apps::{heat2d, pagerank};
+    const GPU_COUNTS: [usize; 3] = [8, 16, 64];
+    const MODES: [(&str, bool); 3] = [("flat", false), ("cluster", false), ("cluster", true)];
+
+    let heat_in = heat2d::generate(&scaling_heat2d_config(scale), seed);
+    let heat_ref = heat2d::reference(&heat_in);
+    let heat_prog = acc_compiler::compile_source(
+        heat2d::SOURCE,
+        heat2d::FUNCTION,
+        &CompileOptions::proposal(),
+    )
+    .expect("heat2d compiles");
+    let pr_in = pagerank::generate(&scaling_pagerank_config(scale), seed);
+    let pr_ref = pagerank::reference(&pr_in);
+    let pr_prog = acc_compiler::compile_source(
+        pagerank::SOURCE,
+        pagerank::FUNCTION,
+        &CompileOptions::proposal(),
+    )
+    .expect("pagerank compiles");
+
+    let mut out = Vec::new();
+    for app in ["heat2d", "pagerank"] {
+        for &ngpus in &GPU_COUNTS {
+            for (topo, overlap) in MODES {
+                if progress {
+                    eprintln!(
+                        "  bench: scaling {app} x{ngpus} {topo}{}",
+                        if overlap { "+overlap" } else { "" }
+                    );
+                }
+                let mut m = match topo {
+                    "cluster" => Machine::cluster(ngpus),
+                    _ => Machine::supercomputer_node_with_gpus(ngpus),
+                };
+                let cfg = ExecConfig::gpus(ngpus).overlap(overlap);
+                let (prog, scalars, arrays) = if app == "heat2d" {
+                    let (s, a) = heat2d::inputs(&heat_in);
+                    (&heat_prog, s, a)
+                } else {
+                    let (s, a) = pagerank::inputs(&pr_in);
+                    (&pr_prog, s, a)
+                };
+                let r = run_program(&mut m, &cfg, prog, scalars, arrays)
+                    .expect("scaling bench run");
+                // The hierarchical reduction tree reassociates the
+                // pagerank merges, so its oracle gets the usual
+                // floating-point slack; heat2d's halo copies are exact.
+                let correct = if app == "heat2d" {
+                    heat2d::max_error(&r.arrays[heat2d::PLATE_ARRAY].to_f64_vec(), &heat_ref)
+                        < 1e-9
+                } else {
+                    pagerank::max_error(&r.arrays[pagerank::RANK_ARRAY].to_f64_vec(), &pr_ref)
+                        < 1e-6
+                };
+                out.push(ScalingPoint {
+                    app: app.to_string(),
+                    ngpus,
+                    topo: topo.to_string(),
+                    overlap,
+                    sim_s: r.profile.time.parallel_region(),
+                    comm_sim_s: r.profile.time.gpu_gpu,
+                    cpu_gpu_s: r.profile.time.cpu_gpu,
+                    overlap_hidden_s: r.trace.counters().overlap_hidden_ns as f64 / 1e9,
+                    p2p_mb: r.profile.p2p_bytes as f64 / 1e6,
+                    correct,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// One throughput measurement of the `bench` target's `serve` section:
 /// `tenants` concurrent clients each pushing `jobs_per_tenant` mixed
 /// jobs through one in-process [`acc_serve::Server`].

@@ -1,327 +1,15 @@
-//! PCIe bus model.
+//! Compatibility façade over the hierarchical interconnect model.
 //!
-//! The paper (§II-B) stresses that "data movement among the CPUs and the
-//! GPUs often becomes the performance bottleneck" because the bus is slow
-//! relative to device memory. This module prices every transfer and models
-//! contention on shared segments, so the Fig. 8 breakdown (CPU-GPU vs
-//! GPU-GPU time) emerges from the same transfer schedule the runtime
-//! actually executes.
-//!
-//! Topology: each GPU sits on its own PCIe x16 link; all host links share
-//! the root complex / IOH, whose aggregate bandwidth caps concurrent
-//! host transfers. GPU↔GPU peer transfers traverse both GPUs' links (and,
-//! on the dual-socket node, the slower inter-IOH path — captured by a
-//! lower peer bandwidth).
-//!
-//! Scheduling is a simple deterministic timeline per link: a transfer
-//! starts when every segment it needs is free, occupies them for
-//! `latency + bytes / bandwidth`, and transfers over disjoint segments
-//! overlap freely (the "asynchronous direct exchanges" of §IV-D).
+//! The flat PCIe bus of the paper's platforms is the one-island,
+//! one-node special case of [`crate::topology::Topology`]; this module
+//! keeps the original `PcieBus` name and re-exports alive so existing
+//! call sites (runtime, benchmarks, tests) keep reading naturally. New
+//! code should use [`crate::topology`] directly.
 
-use std::collections::HashMap;
+pub use crate::topology::{Endpoint, Segment, SegmentUse, Topology, TransferRec};
 
-use crate::SimTime;
-
-/// A transfer endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Endpoint {
-    /// Host (CPU) memory.
-    Host,
-    /// GPU `i`'s memory.
-    Gpu(usize),
-}
-
-/// Internal bus segment identifiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Segment {
-    /// The x16 link of one GPU.
-    GpuLink(usize),
-    /// The shared root complex for host traffic.
-    Root,
-}
-
-/// One transfer as the bus scheduled it (journal entry).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TransferRec {
-    pub src: Endpoint,
-    pub dst: Endpoint,
-    pub bytes: u64,
-    pub start: SimTime,
-    pub end: SimTime,
-}
-
-/// Bus configuration and per-segment timelines.
-#[derive(Debug, Clone)]
-pub struct PcieBus {
-    /// Host↔GPU effective bandwidth per link, bytes/s.
-    pub h2d_bw: f64,
-    /// GPU↔GPU effective peer bandwidth, bytes/s.
-    pub p2p_bw: f64,
-    /// Aggregate root-complex bandwidth for concurrent host traffic,
-    /// bytes/s.
-    pub root_bw: f64,
-    /// Per-transfer latency, seconds.
-    pub latency: f64,
-    free_at: HashMap<Segment, SimTime>,
-    /// Accumulated bytes by category, for reporting.
-    pub h2d_bytes: u64,
-    pub d2h_bytes: u64,
-    pub p2p_bytes: u64,
-    /// Optional transfer journal (see [`PcieBus::set_journal`]).
-    journal: Option<Vec<TransferRec>>,
-}
-
-impl PcieBus {
-    /// Build a bus from effective bandwidths in GB/s and latency in µs.
-    pub fn new(h2d_gbs: f64, p2p_gbs: f64, root_gbs: f64, latency_us: f64) -> PcieBus {
-        PcieBus {
-            h2d_bw: h2d_gbs * 1e9,
-            p2p_bw: p2p_gbs * 1e9,
-            root_bw: root_gbs * 1e9,
-            latency: latency_us * 1e-6,
-            free_at: HashMap::new(),
-            h2d_bytes: 0,
-            d2h_bytes: 0,
-            p2p_bytes: 0,
-            journal: None,
-        }
-    }
-
-    /// Turn the transfer journal on or off. When on, every scheduled
-    /// transfer (zero-byte transfers excepted — they never occupy the
-    /// bus) is appended to the journal the runtime's observability layer
-    /// cross-checks its spans against.
-    pub fn set_journal(&mut self, on: bool) {
-        self.journal = if on { Some(Vec::new()) } else { None };
-    }
-
-    /// The recorded transfers, if the journal is enabled.
-    pub fn journal(&self) -> Option<&[TransferRec]> {
-        self.journal.as_deref()
-    }
-
-    /// Desktop machine (Table I): PCIe 2.0 x16 per GPU, single IOH.
-    pub fn desktop() -> PcieBus {
-        PcieBus::new(5.8, 4.8, 9.0, 10.0)
-    }
-
-    /// TSUBAME2.0 thin node (Table I): PCIe 2.0 x16, dual IOH — peer
-    /// transfers between GPUs on different IOHs cross QPI and are slower.
-    pub fn supercomputer_node() -> PcieBus {
-        PcieBus::new(5.0, 2.6, 8.0, 12.0)
-    }
-
-    fn segments(src: Endpoint, dst: Endpoint) -> Vec<Segment> {
-        match (src, dst) {
-            (Endpoint::Host, Endpoint::Gpu(g)) | (Endpoint::Gpu(g), Endpoint::Host) => {
-                vec![Segment::GpuLink(g), Segment::Root]
-            }
-            (Endpoint::Gpu(a), Endpoint::Gpu(b)) => {
-                assert_ne!(a, b, "self-transfer is a device-local copy");
-                vec![Segment::GpuLink(a), Segment::GpuLink(b)]
-            }
-            (Endpoint::Host, Endpoint::Host) => panic!("host-to-host transfer"),
-        }
-    }
-
-    /// Schedule a transfer of `bytes` from `src` to `dst`, not starting
-    /// before `ready`. Returns `(start, end)` simulated times and advances
-    /// the segment timelines. Zero-byte transfers are free and do not
-    /// occupy the bus.
-    pub fn transfer(
-        &mut self,
-        src: Endpoint,
-        dst: Endpoint,
-        bytes: u64,
-        ready: SimTime,
-    ) -> (SimTime, SimTime) {
-        if bytes == 0 {
-            return (ready, ready);
-        }
-        let bw = match (src, dst) {
-            (Endpoint::Gpu(_), Endpoint::Gpu(_)) => self.p2p_bw,
-            _ => self.h2d_bw,
-        };
-        let segs = Self::segments(src, dst);
-        let mut start = ready;
-        for s in &segs {
-            start = start.max(*self.free_at.get(s).unwrap_or(&0.0));
-        }
-        let mut dur = self.latency + bytes as f64 / bw;
-        // Root-complex cap: a host transfer cannot beat the aggregate
-        // root bandwidth; model by lengthening the occupancy of the Root
-        // segment proportionally when a single link would exceed it. (With
-        // equal links this only matters when root_bw < h2d_bw.)
-        if segs.contains(&Segment::Root) && self.root_bw < self.h2d_bw {
-            dur = self.latency + bytes as f64 / self.root_bw;
-        }
-        let end = start + dur;
-        for s in segs {
-            // The root complex is only occupied for the fraction of time
-            // proportional to this transfer's share of root bandwidth, so
-            // concurrent host transfers to different GPUs overlap until
-            // the root is saturated.
-            let occupied_until = if s == Segment::Root {
-                start + dur * (bw / self.root_bw).min(1.0)
-            } else {
-                end
-            };
-            let e = self.free_at.entry(s).or_insert(0.0);
-            *e = e.max(occupied_until);
-        }
-        match (src, dst) {
-            (Endpoint::Host, Endpoint::Gpu(_)) => self.h2d_bytes += bytes,
-            (Endpoint::Gpu(_), Endpoint::Host) => self.d2h_bytes += bytes,
-            _ => self.p2p_bytes += bytes,
-        }
-        if let Some(j) = self.journal.as_mut() {
-            j.push(TransferRec {
-                src,
-                dst,
-                bytes,
-                start,
-                end,
-            });
-        }
-        (start, end)
-    }
-
-    /// Reset timelines, byte counters, and journal contents (e.g.
-    /// between benchmark runs). Whether the journal is enabled persists.
-    pub fn reset(&mut self) {
-        self.free_at.clear();
-        self.h2d_bytes = 0;
-        self.d2h_bytes = 0;
-        self.p2p_bytes = 0;
-        if let Some(j) = self.journal.as_mut() {
-            j.clear();
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn single_transfer_time() {
-        let mut bus = PcieBus::new(5.0, 4.0, 10.0, 10.0);
-        let (s, e) = bus.transfer(Endpoint::Host, Endpoint::Gpu(0), 5_000_000_000, 0.0);
-        assert_eq!(s, 0.0);
-        // 5 GB at 5 GB/s = 1 s plus 10 µs latency.
-        assert!((e - 1.000_01).abs() < 1e-6);
-        assert_eq!(bus.h2d_bytes, 5_000_000_000);
-    }
-
-    #[test]
-    fn zero_bytes_free() {
-        let mut bus = PcieBus::desktop();
-        let (s, e) = bus.transfer(Endpoint::Host, Endpoint::Gpu(0), 0, 3.0);
-        assert_eq!((s, e), (3.0, 3.0));
-    }
-
-    #[test]
-    fn same_link_serializes() {
-        let mut bus = PcieBus::new(5.0, 4.0, 100.0, 0.0);
-        let b = 5_000_000_000; // 1 s each
-        let (_, e1) = bus.transfer(Endpoint::Host, Endpoint::Gpu(0), b, 0.0);
-        let (s2, e2) = bus.transfer(Endpoint::Host, Endpoint::Gpu(0), b, 0.0);
-        assert!((e1 - 1.0).abs() < 1e-9);
-        assert!((s2 - 1.0).abs() < 1e-9);
-        assert!((e2 - 2.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn different_links_overlap() {
-        // Root is wide enough for two concurrent host transfers.
-        let mut bus = PcieBus::new(5.0, 4.0, 10.0, 0.0);
-        let b = 5_000_000_000;
-        let (_, e1) = bus.transfer(Endpoint::Host, Endpoint::Gpu(0), b, 0.0);
-        let (s2, e2) = bus.transfer(Endpoint::Host, Endpoint::Gpu(1), b, 0.0);
-        assert!((e1 - 1.0).abs() < 1e-9);
-        // Second starts at 0.5 (root half-occupied) — overlapping, not
-        // fully serialized.
-        assert!(s2 < 0.6, "s2={s2}");
-        assert!(e2 < 1.7, "e2={e2}");
-    }
-
-    #[test]
-    fn p2p_uses_peer_bandwidth() {
-        let mut bus = PcieBus::new(5.0, 2.5, 10.0, 0.0);
-        let (_, e) = bus.transfer(Endpoint::Gpu(0), Endpoint::Gpu(1), 2_500_000_000, 0.0);
-        assert!((e - 1.0).abs() < 1e-9);
-        assert_eq!(bus.p2p_bytes, 2_500_000_000);
-    }
-
-    #[test]
-    fn p2p_pairs_on_disjoint_gpus_overlap() {
-        let mut bus = PcieBus::new(5.0, 2.5, 10.0, 0.0);
-        let b = 2_500_000_000;
-        let (_, e1) = bus.transfer(Endpoint::Gpu(0), Endpoint::Gpu(1), b, 0.0);
-        let (s2, _) = bus.transfer(Endpoint::Gpu(2), Endpoint::Gpu(3), b, 0.0);
-        assert!((e1 - 1.0).abs() < 1e-9);
-        assert_eq!(s2, 0.0);
-    }
-
-    #[test]
-    fn p2p_sharing_a_gpu_serializes() {
-        let mut bus = PcieBus::new(5.0, 2.5, 10.0, 0.0);
-        let b = 2_500_000_000;
-        bus.transfer(Endpoint::Gpu(0), Endpoint::Gpu(1), b, 0.0);
-        let (s2, _) = bus.transfer(Endpoint::Gpu(1), Endpoint::Gpu(2), b, 0.0);
-        assert!((s2 - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn ready_time_respected() {
-        let mut bus = PcieBus::desktop();
-        let (s, _) = bus.transfer(Endpoint::Host, Endpoint::Gpu(0), 1024, 7.5);
-        assert_eq!(s, 7.5);
-    }
-
-    #[test]
-    fn reset_clears_state() {
-        let mut bus = PcieBus::desktop();
-        bus.transfer(Endpoint::Host, Endpoint::Gpu(0), 1 << 20, 0.0);
-        bus.reset();
-        assert_eq!(bus.h2d_bytes, 0);
-        let (s, _) = bus.transfer(Endpoint::Host, Endpoint::Gpu(0), 1 << 20, 0.0);
-        assert_eq!(s, 0.0);
-    }
-
-    #[test]
-    fn journal_records_transfers() {
-        let mut bus = PcieBus::desktop();
-        assert!(bus.journal().is_none());
-        bus.set_journal(true);
-        bus.transfer(Endpoint::Host, Endpoint::Gpu(0), 0, 0.0); // free, unrecorded
-        let (s, e) = bus.transfer(Endpoint::Host, Endpoint::Gpu(1), 1 << 20, 0.0);
-        let (s2, e2) = bus.transfer(Endpoint::Gpu(1), Endpoint::Gpu(2), 4096, 0.0);
-        let j = bus.journal().unwrap();
-        assert_eq!(j.len(), 2);
-        assert_eq!(
-            j[0],
-            TransferRec {
-                src: Endpoint::Host,
-                dst: Endpoint::Gpu(1),
-                bytes: 1 << 20,
-                start: s,
-                end: e,
-            }
-        );
-        assert_eq!(j[1].bytes, 4096);
-        assert_eq!((j[1].start, j[1].end), (s2, e2));
-        // Reset clears entries but keeps the journal enabled.
-        bus.reset();
-        assert_eq!(bus.journal().unwrap().len(), 0);
-        bus.set_journal(false);
-        assert!(bus.journal().is_none());
-    }
-
-    #[test]
-    #[should_panic(expected = "self-transfer")]
-    fn self_transfer_rejected() {
-        let mut bus = PcieBus::desktop();
-        bus.transfer(Endpoint::Gpu(0), Endpoint::Gpu(0), 1, 0.0);
-    }
-}
+/// The paper-era name for the interconnect model. The desktop and
+/// TSUBAME presets behave as before (every transfer crosses the single
+/// root complex); hierarchical instances add NVLink islands and an
+/// inter-node fabric.
+pub type PcieBus = Topology;

@@ -11,9 +11,12 @@
 //! * [`DeviceMemory`] — a bounded, handle-based device memory with an
 //!   allocator, so out-of-memory behaviour and per-GPU footprints
 //!   (Fig. 9) are observable;
-//! * [`PcieBus`] — a link-level bus model with latency, bandwidth and
+//! * [`Topology`] (alias [`PcieBus`]) — a hierarchical interconnect
+//!   model (intra-island NVLink-class links, per-node PCIe root
+//!   complexes, an inter-node fabric) with latency, bandwidth and FCFS
 //!   contention on shared segments, pricing CPU↔GPU and GPU↔GPU
-//!   transfers (the two communication categories in Fig. 8);
+//!   transfers (the two communication categories in Fig. 8); the
+//!   paper's platforms are its one-island instances;
 //! * [`Machine`] — presets reproducing the paper's two platforms.
 //!
 //! Functional behaviour (what values kernels compute) is bit-exact because
@@ -25,9 +28,11 @@ pub mod bus;
 pub mod machine;
 pub mod memory;
 pub mod spec;
+pub mod topology;
 
 pub use bus::{Endpoint, PcieBus};
 pub use machine::{Gpu, Machine, MachineKind};
+pub use topology::{Segment, SegmentUse, Topology, TransferRec};
 pub use memory::{AllocClass, BufferHandle, DeviceMemory, MemError};
 pub use spec::{CpuSpec, GpuSpec};
 

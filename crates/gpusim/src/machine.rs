@@ -119,6 +119,29 @@ impl Machine {
         }
     }
 
+    /// Build a hierarchical cluster of `n` Tesla M2050s on the
+    /// [`PcieBus::cluster`](crate::Topology::cluster) topology: 8-GPU
+    /// NVLink islands, two islands per node behind the TSUBAME-class
+    /// PCIe root complex, nodes joined by an inter-node fabric. The
+    /// `kind` stays [`MachineKind::SupercomputerNode`] — this is the
+    /// scaled-out sequel to that platform, not a new Table I column —
+    /// so every existing per-kind pricing path applies unchanged.
+    pub fn cluster(n: usize) -> Machine {
+        let spec = GpuSpec::tesla_m2050();
+        Machine {
+            kind: MachineKind::SupercomputerNode,
+            cpu: CpuSpec::dual_xeon_node(),
+            gpus: (0..n)
+                .map(|id| Gpu {
+                    id,
+                    memory: DeviceMemory::new(spec.mem_bytes),
+                    spec: spec.clone(),
+                })
+                .collect(),
+            bus: PcieBus::cluster(),
+        }
+    }
+
     /// Number of GPUs installed.
     pub fn n_gpus(&self) -> usize {
         self.gpus.len()
@@ -166,6 +189,17 @@ mod tests {
         assert!(m.gpus[0].memory.get(h).is_ok());
         // Handle from GPU 0 means nothing to GPU 1.
         assert!(m.gpus[1].memory.get(h).is_err());
+    }
+
+    #[test]
+    fn cluster_is_hierarchical() {
+        let m = Machine::cluster(64);
+        assert_eq!(m.n_gpus(), 64);
+        assert_eq!(m.kind, MachineKind::SupercomputerNode);
+        assert!(m.bus.is_hierarchical());
+        // 64 GPUs = 4 nodes of 2 islands each.
+        assert_eq!(m.bus.node(63), 3);
+        assert_eq!(m.bus.island(63), 7);
     }
 
     #[test]

@@ -237,6 +237,38 @@ pub fn export(trace: &Trace) -> String {
                     ],
                 ));
             }
+            Event::Collective(e) => {
+                events.push(span(
+                    &format!("collective {} {} g{}→g{}", e.level, e.array, e.src, e.dst),
+                    "collective",
+                    e.dst,
+                    e.start,
+                    e.end,
+                    vec![
+                        ("launch", Value::num(e.launch as f64)),
+                        ("array", Value::str(&e.array)),
+                        ("level", Value::str(e.level)),
+                        ("bytes", Value::num(e.bytes as f64)),
+                        ("src", Value::num(e.src as f64)),
+                        ("dst", Value::num(e.dst as f64)),
+                    ],
+                ));
+            }
+            Event::Overlap(e) => {
+                events.push(span(
+                    &format!("overlap {} g{}", e.array, e.gpu),
+                    "overlap",
+                    e.gpu,
+                    e.start,
+                    e.end,
+                    vec![
+                        ("launch", Value::num(e.launch as f64)),
+                        ("array", Value::str(&e.array)),
+                        ("bytes", Value::num(e.bytes as f64)),
+                        ("hidden_s", Value::Num(e.hidden_s)),
+                    ],
+                ));
+            }
             Event::Sanitize(e) => {
                 events.push(instant(
                     &format!("SANITIZE {} {}", e.kind, e.array),

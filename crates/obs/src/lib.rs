@@ -213,6 +213,43 @@ pub struct ReductionMerge {
     pub end: SimTime,
 }
 
+/// One round of a topology-aware collective schedule (hierarchical
+/// reduction merge): a peer copy plus the combine on `dst`, labelled
+/// with the interconnect level it rode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveRound {
+    pub launch: u64,
+    pub array: String,
+    /// `"intra-island"`, `"inter-island"`, or `"inter-node"`.
+    pub level: &'static str,
+    /// GPU whose partial copy was shipped.
+    pub src: usize,
+    /// GPU that combined it into its own copy.
+    pub dst: usize,
+    pub bytes: u64,
+    pub start: SimTime,
+    /// Includes the combine cost on `dst`.
+    pub end: SimTime,
+}
+
+/// One double-buffered halo fill whose bus time was priced concurrently
+/// with the same wave's compute — the overlap the compiler's
+/// `OverlapFact` licensed. Emitted once per launch per destination GPU
+/// when any background fill landed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapWindow {
+    pub launch: u64,
+    pub array: String,
+    /// GPU whose halo was filled in the background.
+    pub gpu: usize,
+    pub bytes: u64,
+    /// Loader-critical-path seconds the overlap removed (what the same
+    /// fill would have added to the synchronous loader phase).
+    pub hidden_s: SimTime,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
 /// The task mapper's split of one launch's iteration space: the per-GPU
 /// ranges it chose, the per-iteration cost model's prediction for each,
 /// and (filled in after the kernel phase) the measured per-GPU kernel
@@ -311,6 +348,8 @@ pub enum Event {
     Mapper(MapperDecision),
     Miss(MissReplay),
     Reduction(ReductionMerge),
+    Collective(CollectiveRound),
+    Overlap(OverlapWindow),
     Sanitize(SanitizeEvent),
     Elided(CommElided),
     Inferred(InferredAnnotation),
@@ -328,6 +367,8 @@ impl Event {
             Event::Mapper(e) => e.at,
             Event::Miss(e) => e.start,
             Event::Reduction(e) => e.start,
+            Event::Collective(e) => e.start,
+            Event::Overlap(e) => e.start,
             Event::Sanitize(e) => e.at,
             Event::Elided(e) => e.at,
             Event::Inferred(e) => e.at,
@@ -345,6 +386,8 @@ impl Event {
             Event::Mapper(e) => e.at,
             Event::Miss(e) => e.end,
             Event::Reduction(e) => e.end,
+            Event::Collective(e) => e.end,
+            Event::Overlap(e) => e.end,
             Event::Sanitize(e) => e.at,
             Event::Elided(e) => e.at,
             Event::Inferred(e) => e.at,
@@ -400,6 +443,14 @@ pub struct Counters {
     /// `localaccess` annotations inferred by the compiler and consumed in
     /// place of missing source annotations.
     pub inferred_annotations: u64,
+    /// Rounds of topology-aware collective schedules (hierarchical
+    /// reduction merges).
+    pub collective_rounds: u64,
+    /// Double-buffered halo fills priced concurrently with compute.
+    pub overlap_windows: u64,
+    /// Loader-critical-path nanoseconds the overlap windows removed
+    /// (integer so the counter stays exactly comparable across runs).
+    pub overlap_hidden_ns: u64,
 }
 
 /// Collects events during a run. Totals and counters are accumulated at
@@ -531,6 +582,24 @@ impl Recorder {
         }
     }
 
+    /// Record one round of a topology-aware collective (also counts it).
+    pub fn collective_round(&mut self, r: CollectiveRound) {
+        self.counters.collective_rounds += 1;
+        if self.level.keeps_summary() {
+            self.events.push(Event::Collective(r));
+        }
+    }
+
+    /// Record a double-buffered halo-fill overlap window (also counts it
+    /// and accumulates the hidden loader time, rounded to nanoseconds).
+    pub fn overlap_window(&mut self, w: OverlapWindow) {
+        self.counters.overlap_windows += 1;
+        self.counters.overlap_hidden_ns += (w.hidden_s * 1e9).round() as u64;
+        if self.level.keeps_summary() {
+            self.events.push(Event::Overlap(w));
+        }
+    }
+
     /// Record a runtime-sanitizer violation (also counts it).
     pub fn sanitize(&mut self, e: SanitizeEvent) {
         self.counters.sanitize_violations += 1;
@@ -624,6 +693,11 @@ impl Trace {
                     push(e.src);
                     push(e.dst);
                 }
+                Event::Collective(e) => {
+                    push(e.src);
+                    push(e.dst);
+                }
+                Event::Overlap(e) => push(e.gpu),
                 Event::Sanitize(e) => push(e.gpu),
                 Event::Phase(_) | Event::Elided(_) | Event::Inferred(_) => {}
             }
@@ -861,6 +935,65 @@ mod tests {
         assert!(t.chrome_trace().contains("inferred localaccess src"));
         assert!(t.summary_table().contains("inferred localaccess"));
         assert!(t.render_text()[0].contains("stride(cols)"));
+    }
+
+    #[test]
+    fn collective_rounds_count_and_export() {
+        let mk = |level| {
+            let mut rec = Recorder::new(level);
+            let launch = rec.launch_begin();
+            rec.collective_round(CollectiveRound {
+                launch,
+                array: "newrank".into(),
+                level: "inter-island",
+                src: 8,
+                dst: 0,
+                bytes: 3200,
+                start: 4.0,
+                end: 4.5,
+            });
+            rec.finish()
+        };
+        for level in [TraceLevel::Off, TraceLevel::Summary, TraceLevel::Spans] {
+            assert_eq!(mk(level).counters().collective_rounds, 1);
+        }
+        assert!(mk(TraceLevel::Off).events().is_empty());
+        let t = mk(TraceLevel::Summary);
+        assert!(matches!(t.events()[0], Event::Collective(_)));
+        assert_eq!(t.gpus(), vec![0, 8]);
+        assert!(t.chrome_trace().contains("collective inter-island newrank"));
+        assert!(t.summary_table().contains("collective rounds"));
+        assert!(t.render_text()[0].contains("collective inter-island"));
+    }
+
+    #[test]
+    fn overlap_windows_count_and_export() {
+        let mk = |level| {
+            let mut rec = Recorder::new(level);
+            let launch = rec.launch_begin();
+            rec.overlap_window(OverlapWindow {
+                launch,
+                array: "src".into(),
+                gpu: 3,
+                bytes: 4096,
+                hidden_s: 0.25,
+                start: 1.0,
+                end: 1.5,
+            });
+            rec.finish()
+        };
+        for level in [TraceLevel::Off, TraceLevel::Summary, TraceLevel::Spans] {
+            let c = mk(level).counters();
+            assert_eq!(c.overlap_windows, 1);
+            assert_eq!(c.overlap_hidden_ns, 250_000_000);
+        }
+        assert!(mk(TraceLevel::Off).events().is_empty());
+        let t = mk(TraceLevel::Summary);
+        assert!(matches!(t.events()[0], Event::Overlap(_)));
+        assert_eq!(t.gpus(), vec![3]);
+        assert!(t.chrome_trace().contains("overlap src g3"));
+        assert!(t.summary_table().contains("overlap windows"));
+        assert!(t.render_text()[0].contains("hidden=0.250000s"));
     }
 
     #[test]

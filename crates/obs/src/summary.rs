@@ -56,6 +56,9 @@ pub fn table(trace: &Trace) -> String {
         ("comm elisions", c.comm_elisions),
         ("comm elided bytes", c.comm_elided_bytes),
         ("inferred localaccess", c.inferred_annotations),
+        ("collective rounds", c.collective_rounds),
+        ("overlap windows", c.overlap_windows),
+        ("overlap hidden ns", c.overlap_hidden_ns),
     ] {
         out.push_str(&format!("  {name:<18} {v}\n"));
     }
@@ -191,6 +194,25 @@ pub fn render_text(trace: &Trace) -> Vec<String> {
                 e.src,
                 e.dst,
                 e.bytes,
+                e.end - e.start
+            ),
+            Event::Collective(e) => format!(
+                "[{:.6}s] collective {} {} gpu{}→gpu{} {}B dur={:.6}s",
+                e.start,
+                e.level,
+                e.array,
+                e.src,
+                e.dst,
+                e.bytes,
+                e.end - e.start
+            ),
+            Event::Overlap(e) => format!(
+                "[{:.6}s] overlap {} gpu={} {}B hidden={:.6}s dur={:.6}s",
+                e.start,
+                e.array,
+                e.gpu,
+                e.bytes,
+                e.hidden_s,
                 e.end - e.start
             ),
             Event::Sanitize(e) => format!(
