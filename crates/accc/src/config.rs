@@ -81,6 +81,23 @@ pub struct ArrayLint {
     /// dependence), and — when the verdict is a monotone-window proof —
     /// the *suppressor* of the heuristic `ACC-W001`/`ACC-W002` counts.
     pub verdict: DependVerdict,
+    /// Whole stride windows the declared (or inferred) `localaccess`
+    /// halo spans on each side (`left`, `right`), per
+    /// [`crate::range::halo_windows`] — the currency
+    /// [`crate::depend::Distance`] is measured in. `(0, 0)` when no
+    /// halo is declared or it is not expressible over the stride.
+    pub halo_windows: (i64, i64),
+}
+
+impl ArrayLint {
+    /// True when the verdict is `CarriedLocal` with a bounded distance
+    /// that fits entirely inside the declared halo — the premise of the
+    /// `ACC-W006 → ACC-I003` downgrade and of wavefront scheduling.
+    pub fn carried_fits_halo(&self) -> bool {
+        self.verdict
+            .carried_distance()
+            .is_some_and(|d| d.fits_halo(self.halo_windows.0, self.halo_windows.1))
+    }
 }
 
 impl Default for ArrayLint {
@@ -92,6 +109,7 @@ impl Default for ArrayLint {
             overlap_stores: 0,
             unannotated_rmw: 0,
             verdict: DependVerdict::Unknown,
+            halo_windows: (0, 0),
         }
     }
 }

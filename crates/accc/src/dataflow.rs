@@ -99,10 +99,15 @@ impl CommPlan {
 ///    `localaccess` halo window — so the halo region is statically
 ///    known and the fill is a bounded edge exchange, not a gather;
 /// 2. every kernel×array verdict in the launch is **race-free**
-///    ([`crate::DependVerdict::race_free`]) — no cross-GPU write
-///    conflict can force an early synchronization;
-/// 3. the kernel does **not write** the array — the halo is read-only
-///    input, so no write-back ordering constrains the fill.
+///    ([`crate::DependVerdict::race_free`]) *or* a carried dependence
+///    the distance analysis proved local
+///    ([`crate::config::ArrayLint::carried_fits_halo`]) — no cross-GPU
+///    write conflict can force an early synchronization, and every
+///    carried value lands inside the halo exchange;
+/// 3. the kernel does **not write** the array, *or* writes it under a
+///    halo-fitting `CarriedLocal` verdict — then the double-buffered
+///    halo holds exactly the carried values, so the fill still commutes
+///    with interior compute under the wavefront GPU order.
 ///
 /// Functionally nothing moves: the runtime still performs the fill
 /// before the kernel's functional execution, so arrays are
@@ -144,27 +149,46 @@ impl OverlapPlan {
     }
 }
 
+/// True when this kernel×array's verdict cannot force an early
+/// cross-GPU synchronization: race-free, or a carried dependence whose
+/// proved distance fits the declared halo (and no load escapes the
+/// declared window, which would invalidate the halo claim).
+fn overlap_benign(cfg: &crate::config::ArrayConfig) -> bool {
+    cfg.lint.verdict.race_free()
+        || (cfg.lint.carried_fits_halo() && cfg.lint.window_violations == 0)
+}
+
 /// Derive the overlap-safety facts for every launch.
 pub fn overlap_plan(kernels: &[CompiledKernel]) -> OverlapPlan {
     let mut plan = OverlapPlan::empty(kernels);
     for (ki, k) in kernels.iter().enumerate() {
         // Any racy verdict in the launch defeats overlap for the whole
         // wave: the scheduler can no longer reorder boundary work last.
-        if !k.configs.iter().all(|c| c.lint.verdict.race_free()) {
+        // A halo-fitting CarriedLocal verdict is benign — the wavefront
+        // GPU order serializes exactly the carried values.
+        if !k.configs.iter().all(overlap_benign) {
             continue;
         }
         for (kbuf, cfg) in k.configs.iter().enumerate() {
-            if cfg.placement != Placement::Distributed
-                || cfg.localaccess.is_none()
-                || cfg.mode.writes()
-            {
+            if cfg.placement != Placement::Distributed || cfg.localaccess.is_none() {
                 continue;
             }
+            let carried_fits =
+                cfg.lint.carried_fits_halo() && cfg.lint.window_violations == 0;
+            if cfg.mode.writes() && !carried_fits {
+                continue;
+            }
+            let basis = if cfg.mode.writes() {
+                "written under a carried dependence proved to fit the \
+                 double-buffered halo (wavefront GPU order)"
+            } else {
+                "read-only in this launch"
+            };
             plan.kernels[ki][kbuf] = Some(OverlapFact {
                 reason: format!(
                     "halo fill of `{}` may overlap kernel `{}`'s compute: \
-                     distributed with a declared halo window, read-only in \
-                     this launch, every verdict race-free (boundary-last \
+                     distributed with a declared halo window, {basis}, every \
+                     verdict race-free or carried-local (boundary-last \
                      schedule)",
                     cfg.name, k.kernel.name
                 ),
@@ -172,6 +196,32 @@ pub fn overlap_plan(kernels: &[CompiledKernel]) -> OverlapPlan {
         }
     }
     plan
+}
+
+/// True when every written, distributed array of the kernel carries a
+/// halo-fitting [`crate::DependVerdict::CarriedLocal`] verdict and
+/// nothing else in the wave is racy: the premise under which the
+/// runtime may pick a [`wavefront`] schedule (sequential GPU order with
+/// predecessor boundary forwarding) and still produce arrays
+/// bit-identical to the 1-GPU run.
+///
+/// [`wavefront`]: https://en.wikipedia.org/wiki/Wavefront_parallelism
+pub fn wavefront_eligible(k: &CompiledKernel) -> bool {
+    let mut any_carried = false;
+    for cfg in &k.configs {
+        if !overlap_benign(cfg) {
+            return false;
+        }
+        if cfg.lint.verdict.carried_distance().is_some() {
+            // Carried arrays must be distributed with the halo declared:
+            // the forwarding region is the halo itself.
+            if cfg.placement != Placement::Distributed || cfg.localaccess.is_none() {
+                return false;
+            }
+            any_carried = true;
+        }
+    }
+    any_carried
 }
 
 /// Run the whole-program analysis over the launch sequence.
@@ -524,6 +574,67 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.overlap_plan.n_facts(), 0, "{:?}", p.overlap_plan);
+    }
+
+    #[test]
+    fn carried_local_written_array_gets_overlap_fact() {
+        // In-place first-order recurrence: `y` is written AND read at
+        // distance 1, which fits the declared left(1) halo — the
+        // CarriedLocal verdict now licenses overlap and wavefront.
+        let p = compile_source(
+            "void f(int n, double *y) {\n\
+             #pragma acc localaccess(y) stride(1) left(1)\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 1; i < n; i++) y[i] = y[i - 1] + 1.0;\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        let plan = &p.overlap_plan;
+        assert_eq!(plan.n_facts(), 1, "{plan:?}");
+        let y = p.array_index("y").unwrap();
+        let ky = p.kernels[0].buf_map.iter().position(|&x| x == y).unwrap();
+        let fact = plan.fact(0, ky).unwrap();
+        assert!(fact.reason.contains("wavefront"), "{}", fact.reason);
+        assert!(wavefront_eligible(&p.kernels[0]), "{:?}", p.kernels[0].configs);
+    }
+
+    #[test]
+    fn carried_distance_exceeding_halo_defeats_overlap_and_wavefront() {
+        // Distance 2 against a 1-window halo: the carried value never
+        // reaches the neighbor's halo, so neither overlap nor wavefront
+        // is licensed.
+        let p = compile_source(
+            "void f(int n, double *y) {\n\
+             #pragma acc localaccess(y) stride(1) left(1)\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 2; i < n; i++) y[i] = y[i - 2] + 1.0;\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        assert_eq!(p.overlap_plan.n_facts(), 0, "{:?}", p.overlap_plan);
+        assert!(!wavefront_eligible(&p.kernels[0]));
+    }
+
+    #[test]
+    fn race_free_kernels_are_not_wavefront_eligible() {
+        // No carried dependence at all → nothing to pipeline; the plain
+        // parallel schedule is strictly better.
+        let p = compile_source(
+            "void f(int n, double *a, double *b) {\n\
+             #pragma acc localaccess(a) stride(1) left(1) right(1)\n\
+             #pragma acc localaccess(b) stride(1)\n\
+             #pragma acc parallel loop copyin(a[0:n]) copy(b[0:n])\n\
+             for (int i = 1; i < n - 1; i++) b[i] = a[i - 1] + a[i + 1];\n\
+             }",
+            "f",
+            &CompileOptions::proposal(),
+        )
+        .unwrap();
+        assert!(!wavefront_eligible(&p.kernels[0]));
     }
 
     #[test]

@@ -13,11 +13,20 @@
 //!    offset-interval`, plus *monotone indirect-window* claims for
 //!    `row_ptr[i]`-bounded inner loops);
 //! 2. a GCD/interval hybrid pair test decides, for every pair of sites,
-//!    whether two distinct iterations can touch the same element;
+//!    whether two distinct iterations can touch the same element — and,
+//!    when they can, *how far apart* those iterations are: each conflict
+//!    carries a [`Distance`] (exact constant, bounded interval,
+//!    direction-only, or unknown), measured in stride windows;
 //! 3. the verdict lattice below folds the pair results, separating
 //!    cross-partition races ([`DependVerdict::Race`], diagnostic
-//!    `ACC-W005`) from loop-carried flow dependences
-//!    ([`DependVerdict::LoopCarried`], `ACC-W006`).
+//!    `ACC-W005`) from loop-carried flow dependences. Carried
+//!    dependences whose distance vector is known land in
+//!    [`DependVerdict::CarriedLocal`]; only a distance the analysis
+//!    cannot describe at all degrades to
+//!    [`DependVerdict::LoopCarried`] (`ACC-W006`). Bounded carried
+//!    distances that fit the declared halo downgrade the diagnostic to
+//!    `ACC-I003` and license the runtime's wavefront schedule (see
+//!    `docs/analysis.md`, "Distance & direction vectors").
 //!
 //! The same access summary drives `reductiontoarray` *inference*
 //! ([`infer_reduction`]): a scatter whose every store is
@@ -60,8 +69,15 @@ pub enum DependVerdict {
     /// The analysis could not decide.
     #[default]
     Unknown,
-    /// A definite cross-iteration flow dependence: some iteration reads
-    /// an element another iteration writes (diagnostic `ACC-W006`).
+    /// A definite cross-iteration flow dependence whose distance vector
+    /// is known: every conflicting (writer, reader) iteration pair is
+    /// separated by a distance inside `distance` (in stride windows).
+    /// Bounded distances that fit the declared halo downgrade `ACC-W006`
+    /// to `ACC-I003` and license `Schedule::Wavefront`.
+    CarriedLocal { distance: Distance },
+    /// A definite cross-iteration flow dependence the analysis cannot
+    /// bound or orient: some iteration reads an element another
+    /// iteration writes, arbitrarily far away (diagnostic `ACC-W006`).
     LoopCarried,
     /// A definite write-write conflict with diverging values: under
     /// distribution the result depends on the partition (diagnostic
@@ -80,6 +96,109 @@ impl DependVerdict {
                 | DependVerdict::Reduction(_)
         )
     }
+
+    /// The carried distance vector, when the verdict carries one.
+    pub fn carried_distance(self) -> Option<Distance> {
+        match self {
+            DependVerdict::CarriedLocal { distance } => Some(distance),
+            _ => None,
+        }
+    }
+}
+
+/// Sign of a direction-only carried distance (`<` / `>` in classic
+/// direction-vector notation; `=` never reaches a verdict — same-iteration
+/// accesses are not carried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Every carried distance is positive: the reading iteration runs
+    /// after the writing one (`<`, flow-shaped).
+    Forward,
+    /// Every carried distance is negative: the reading iteration runs
+    /// before the writing one (`>`, anti-shaped).
+    Backward,
+}
+
+/// Carried dependence distance, measured in *stride windows* of the
+/// array's distribution stride (plain iterations for `stride(1)`
+/// arrays). Positive distances are flow-shaped: the reading iteration
+/// runs after the writing one (`y[i] = y[i-1]` is `Exact(1)`;
+/// `y[i] = y[i+1]` is `Exact(-1)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Distance {
+    /// Every conflicting pair is exactly this many windows apart.
+    Exact(i64),
+    /// Every conflicting pair is `lo..=hi` windows apart.
+    Bounded { lo: i64, hi: i64 },
+    /// Only the sign of the distance is known.
+    Dir(Direction),
+    /// Nothing is known about the separation.
+    #[default]
+    Unknown,
+}
+
+impl Distance {
+    /// The bounding interval, when the distance is bounded.
+    pub fn bounds(self) -> Option<(i64, i64)> {
+        match self {
+            Distance::Exact(d) => Some((d, d)),
+            Distance::Bounded { lo, hi } => Some((lo, hi)),
+            Distance::Dir(_) | Distance::Unknown => None,
+        }
+    }
+
+    /// The interval `[lo, hi]` as a `Distance`, collapsing to `Exact`.
+    pub fn of_range(lo: i64, hi: i64) -> Distance {
+        if lo == hi {
+            Distance::Exact(lo)
+        } else {
+            Distance::Bounded { lo, hi }
+        }
+    }
+
+    /// The sign of the distance, when determinate.
+    pub fn direction(self) -> Option<Direction> {
+        match self {
+            Distance::Dir(d) => Some(d),
+            _ => match self.bounds()? {
+                (lo, _) if lo > 0 => Some(Direction::Forward),
+                (_, hi) if hi < 0 => Some(Direction::Backward),
+                _ => None,
+            },
+        }
+    }
+
+    /// Least upper bound in the distance lattice: interval hull of
+    /// bounded distances, common sign of directional ones, `Unknown`
+    /// otherwise.
+    pub fn join(self, other: Distance) -> Distance {
+        match (self.bounds(), other.bounds()) {
+            (Some((a, b)), Some((c, d))) => Distance::of_range(a.min(c), b.max(d)),
+            _ => match (self.direction(), other.direction()) {
+                (Some(x), Some(y)) if x == y => Distance::Dir(x),
+                _ => Distance::Unknown,
+            },
+        }
+    }
+
+    /// The halo each side must span to cover every carried distance:
+    /// `(left, right)` in stride windows. `None` when unbounded.
+    pub fn halo_need(self) -> Option<(i64, i64)> {
+        let (lo, hi) = self.bounds()?;
+        Some((hi.max(0), (-lo).max(0)))
+    }
+
+    /// Does every carried distance fit inside a halo of `left` /
+    /// `right` stride windows? Forward distances read *leftward* (the
+    /// reader trails the writer, so the read lands below the reader's
+    /// own window — covered by the left halo); backward distances read
+    /// rightward. Unbounded distances never fit.
+    pub fn fits_halo(self, left_windows: i64, right_windows: i64) -> bool {
+        match self.bounds() {
+            Some((lo, hi)) => hi.max(0) <= left_windows && (-lo).max(0) <= right_windows,
+            None => false,
+        }
+    }
 }
 
 /// How disjointness was established.
@@ -96,6 +215,18 @@ pub enum DisjointProof {
     /// the bound array `p` is elementwise non-decreasing (validated at
     /// launch, `ACC-R011`).
     MonotoneWindow,
+}
+
+impl std::fmt::Display for Distance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Distance::Exact(d) => write!(f, "{d}"),
+            Distance::Bounded { lo, hi } => write!(f, "[{lo}, {hi}]"),
+            Distance::Dir(Direction::Forward) => write!(f, ">0 (direction-only)"),
+            Distance::Dir(Direction::Backward) => write!(f, "<0 (direction-only)"),
+            Distance::Unknown => write!(f, "unknown"),
+        }
+    }
 }
 
 /// Result of [`analyze_buf`].
@@ -121,8 +252,10 @@ enum Site {
 /// Outcome of the pairwise cross-iteration collision test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PairRes {
-    /// Two distinct iterations definitely can touch the same element.
-    Conflict,
+    /// Two distinct iterations definitely can touch the same element;
+    /// the payload bounds how many stride windows apart they can be
+    /// (positive: the `b` site's iteration runs after the `a` site's).
+    Conflict(Distance),
     /// They provably cannot.
     Clean,
     /// Undecided.
@@ -240,6 +373,7 @@ pub fn analyze_buf(
     // -- 5. Pairwise collision tests over the decomposed forms. ---------
     let mut race = false;
     let mut loop_carried = false;
+    let mut carried: Option<Distance> = None;
     let mut convergent = false;
     let mut undecided = false;
 
@@ -253,22 +387,30 @@ pub fn analyze_buf(
             };
             let both_uniform = uniform[i] && uniform[j];
             match pair_test(fa, fb, dom) {
-                PairRes::Conflict if both_uniform => convergent = true,
-                PairRes::Conflict => race = true,
+                PairRes::Conflict(_) if both_uniform => convergent = true,
+                PairRes::Conflict(_) => race = true,
                 PairRes::Unknown if both_uniform => convergent = true,
                 PairRes::Unknown => undecided = true,
                 PairRes::Clean => {}
             }
         }
         // store × load: a cross-iteration read of a written element.
+        // The conflict distance is writer-to-reader: positive when the
+        // reading iteration runs after the writing one.
         for l in &loads {
             let (fa, fl) = match (a, l) {
                 (Site::Form(fa), Site::Form(fl)) => (fa, fl),
                 _ => continue,
             };
             match pair_test(fa, fl, dom) {
-                PairRes::Conflict if uniform[i] => convergent = true,
-                PairRes::Conflict => loop_carried = true,
+                PairRes::Conflict(_) if uniform[i] => convergent = true,
+                PairRes::Conflict(d) => {
+                    loop_carried = true;
+                    carried = Some(match carried {
+                        None => d,
+                        Some(prev) => prev.join(d),
+                    });
+                }
                 PairRes::Unknown if uniform[i] => convergent = true,
                 PairRes::Unknown => undecided = true,
                 PairRes::Clean => {}
@@ -299,7 +441,12 @@ pub fn analyze_buf(
     let verdict = if race {
         DependVerdict::Race
     } else if loop_carried {
-        DependVerdict::LoopCarried
+        // An undecided pair could hide a conflict at arbitrary distance,
+        // so it poisons any bounded claim from the decided pairs.
+        match (undecided, carried.unwrap_or_default()) {
+            (true, _) | (false, Distance::Unknown) => DependVerdict::LoopCarried,
+            (false, distance) => DependVerdict::CarriedLocal { distance },
+        }
     } else if undecided {
         DependVerdict::Unknown
     } else if convergent {
@@ -379,38 +526,57 @@ fn pair_const(a: &IndexForm, b: &IndexForm, s: i64) -> PairRes {
     }
     let (dlo, dhi) = (blo - ahi, bhi - alo);
     match (ca, cb) {
-        // Both broadcast: constant in `t`, conflict iff intervals meet.
+        // Both broadcast: constant in `t`, conflict iff intervals meet —
+        // between *any* two iterations, so the distance is unbounded.
         (0, 0) => {
             if dlo <= 0 && 0 <= dhi {
-                PairRes::Conflict
+                PairRes::Conflict(Distance::Unknown)
             } else {
                 PairRes::Clean
             }
         }
         // One side broadcast: need a non-negative multiple of the other
         // coefficient inside the difference interval (the broadcast side
-        // supplies the distinct iteration for free).
+        // supplies the distinct iteration for free — at any separation,
+        // so no distance bound exists).
         (c, 0) => nonneg_multiple_in(c, dlo, dhi),
         (0, c) => nonneg_multiple_in(c, -dhi, -dlo),
         // Equal coefficients: `c*(t1 - t2) ∈ D` with `t1 != t2` — a
-        // *non-zero* multiple of `c` inside `D`.
+        // *non-zero* multiple of `c` inside `D`. The solutions
+        // `k = t1 - t2 ∈ [kmin, kmax]` bound the distance exactly:
+        // `b`'s iteration minus `a`'s is `-k` (sign-flipped again when
+        // the shared coefficient is negative).
         (c1, c2) if c1 == c2 => {
             let c = c1.abs();
             let kmin = div_ceil(dlo, c);
             let kmax = div_floor(dhi, c);
             if kmin <= kmax && !(kmin == 0 && kmax == 0) {
-                PairRes::Conflict
+                let (mut lo, mut hi) = if c1 > 0 {
+                    (-kmax, -kmin)
+                } else {
+                    (kmin, kmax)
+                };
+                // Zero separation is not a carried conflict; trim it
+                // off the interval endpoints.
+                if lo == 0 {
+                    lo = 1;
+                }
+                if hi == 0 {
+                    hi = -1;
+                }
+                PairRes::Conflict(Distance::of_range(lo, hi))
             } else {
                 PairRes::Clean
             }
         }
         // Distinct same-sign coefficients: `{c_a*t1 - c_b*t2}` over
         // unbounded `t >= 0` is exactly the multiples of `gcd`; a
-        // witness with `t1 != t2` always exists (shift by `c_b/g, c_a/g`).
+        // witness with `t1 != t2` always exists (shift by `c_b/g, c_a/g`)
+        // at every sufficiently large separation — no bound.
         (c1, c2) if (c1 > 0) == (c2 > 0) => {
             let g = gcd(c1.unsigned_abs(), c2.unsigned_abs()) as i64;
             if div_ceil(dlo, g) <= div_floor(dhi, g) {
-                PairRes::Conflict
+                PairRes::Conflict(Distance::Unknown)
             } else {
                 PairRes::Clean
             }
@@ -434,7 +600,7 @@ fn nonneg_multiple_in(c: i64, dlo: i64, dhi: i64) -> PairRes {
     let tmin = div_ceil(dlo, c).max(0);
     let tmax = div_floor(dhi, c);
     if tmin <= tmax {
-        PairRes::Conflict
+        PairRes::Conflict(Distance::Unknown)
     } else {
         PairRes::Clean
     }
@@ -460,7 +626,8 @@ fn pair_sym(a: &IndexForm, b: &IndexForm, dom: StrideRef) -> PairRes {
     match (ka, kb) {
         (false, false) => {
             if dlo.le(SymBound::konst(0), dom) && SymBound::konst(0).le(dhi, dom) {
-                PairRes::Conflict
+                // Broadcast sites conflict at any separation.
+                PairRes::Conflict(Distance::Unknown)
             } else if dhi.lt(SymBound::konst(0), dom) || SymBound::konst(0).lt(dlo, dom) {
                 PairRes::Clean
             } else {
@@ -468,13 +635,52 @@ fn pair_sym(a: &IndexForm, b: &IndexForm, dom: StrideRef) -> PairRes {
             }
         }
         (true, true) => {
-            // Need a non-zero multiple of `S` in `[dlo, dhi]`.
-            let s = SymBound::stride();
+            // Need a non-zero multiple of `S` in `[dlo, dhi]`. Classify
+            // each candidate multiplier `k` (so `t1 - t2 = k`, distance
+            // `-k`) as a definite hit, definitely excluded, or open;
+            // `|k| > K` is settled wholesale by the boundedness probes.
+            const K: i64 = 8;
+            let mult = |k: i64| SymBound::stride().scale(k);
             let hit = |m: SymBound| dlo.le(m, dom) && m.le(dhi, dom);
-            if hit(s) || hit(-s) {
-                PairRes::Conflict
-            } else if (-s).lt(dlo, dom) && dhi.lt(s, dom) {
-                // The whole interval sits strictly inside `(-S, S)`.
+            let excluded = |m: SymBound| dhi.lt(m, dom) || m.lt(dlo, dom);
+            let mut any_hit = false;
+            let mut any_open = false;
+            // Multipliers not provably excluded, as distances `-k`.
+            let mut dists: Vec<i64> = Vec::new();
+            for k in -K..=K {
+                if k == 0 {
+                    continue;
+                }
+                let m = mult(k);
+                if hit(m) {
+                    any_hit = true;
+                    dists.push(-k);
+                } else if !excluded(m) {
+                    any_open = true;
+                    dists.push(-k);
+                }
+            }
+            // `S >= 1`, so excluding `±(K+1)·S` excludes everything
+            // further out on that side.
+            let lo_bounded = mult(-(K + 1)).lt(dlo, dom);
+            let hi_bounded = dhi.lt(mult(K + 1), dom);
+            if any_hit {
+                let dist = if lo_bounded && hi_bounded {
+                    let lo = *dists.iter().min().unwrap();
+                    let hi = *dists.iter().max().unwrap();
+                    Distance::of_range(lo, hi)
+                } else if hi_bounded && dists.iter().all(|&d| d > 0) {
+                    // Positive-`k` multipliers may run unboundedly low,
+                    // i.e. distances unboundedly positive — and dually.
+                    Distance::Dir(Direction::Forward)
+                } else if lo_bounded && dists.iter().all(|&d| d < 0) {
+                    Distance::Dir(Direction::Backward)
+                } else {
+                    Distance::Unknown
+                };
+                PairRes::Conflict(dist)
+            } else if !any_open && lo_bounded && hi_bounded {
+                // Every multiple of `S` is provably outside `[dlo, dhi]`.
                 PairRes::Clean
             } else {
                 PairRes::Unknown
@@ -721,11 +927,61 @@ mod tests {
     }
 
     #[test]
-    fn backward_shift_read_is_loop_carried() {
+    fn backward_shift_read_is_carried_local_distance_one() {
         let src = "void k(int n, double *y) {\n\
              #pragma acc localaccess(y) stride(1) left(1)\n\
              #pragma acc parallel loop copy(y[0:n])\n\
              for (int i = 1; i < n; i++) y[i] = y[i - 1] + 1.0;\n\
+             }";
+        assert_eq!(
+            verdict(src, "k", "y"),
+            DependVerdict::CarriedLocal {
+                distance: Distance::Exact(1)
+            }
+        );
+    }
+
+    #[test]
+    fn deep_backward_shift_gets_exact_distance() {
+        let src = "void k(int n, double *y) {\n\
+             #pragma acc localaccess(y) stride(1) left(3)\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 3; i < n; i++) y[i] = y[i - 3] + 1.0;\n\
+             }";
+        assert_eq!(
+            verdict(src, "k", "y"),
+            DependVerdict::CarriedLocal {
+                distance: Distance::Exact(3)
+            }
+        );
+    }
+
+    #[test]
+    fn forward_shift_read_is_carried_local_negative_distance() {
+        // `y[i] = y[i+1]`: the reader runs *before* the writer — an
+        // anti-shaped carried dependence at distance -1.
+        let src = "void k(int n, double *y) {\n\
+             #pragma acc localaccess(y) stride(1) right(1)\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 0; i < n - 1; i++) y[i] = y[i + 1] + 1.0;\n\
+             }";
+        assert_eq!(
+            verdict(src, "k", "y"),
+            DependVerdict::CarriedLocal {
+                distance: Distance::Exact(-1)
+            }
+        );
+    }
+
+    #[test]
+    fn broadcast_read_of_written_array_stays_loop_carried() {
+        // Every iteration reads `y[0]`, which iteration 0 writes: the
+        // separation is unbounded, so no distance vector exists and the
+        // verdict stays at the unbounded `LoopCarried`.
+        let src = "void k(int n, double *y) {\n\
+             #pragma acc localaccess(y) stride(1)\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 1; i < n; i++) y[i] = y[0] + 1.0;\n\
              }";
         assert_eq!(verdict(src, "k", "y"), DependVerdict::LoopCarried);
     }
@@ -923,21 +1179,44 @@ mod tests {
             pair_test(&form(0, 2, 0, 0), &form(0, 2, 0, 0), d),
             PairRes::Clean
         );
-        // y[2i] vs y[2i+2]: distance 2 is a nonzero multiple of 2.
+        // y[2i] vs y[2i+2]: element 2t1 = 2t2+2 forces t1 = t2 + 1, so
+        // the `b` iteration trails by exactly one.
         assert_eq!(
             pair_test(&form(0, 2, 0, 0), &form(0, 2, 2, 2), d),
-            PairRes::Conflict
+            PairRes::Conflict(Distance::Exact(-1))
         );
         // y[2i] vs y[2i+1]: parity keeps them apart.
         assert_eq!(
             pair_test(&form(0, 2, 0, 0), &form(0, 2, 1, 1), d),
             PairRes::Clean
         );
-        // Offset interval wider than the coefficient: windows overlap.
+        // Offset interval wider than the coefficient: windows overlap,
+        // one iteration in either direction.
         assert_eq!(
             pair_test(&form(0, 2, 0, 2), &form(0, 2, 0, 2), d),
-            PairRes::Conflict
+            PairRes::Conflict(Distance::Bounded { lo: -1, hi: 1 })
         );
+    }
+
+    #[test]
+    fn pair_const_distance_is_exact_for_constant_shifts() {
+        let dom = StrideRef::Const(1);
+        // Store y[i], load y[i-d]: flow distance exactly d.
+        for dist in 1..=8 {
+            assert_eq!(
+                pair_test(&form(0, 1, 0, 0), &form(0, 1, -dist, -dist), dom),
+                PairRes::Conflict(Distance::Exact(dist)),
+                "shift {dist}"
+            );
+        }
+        // Store y[i], load y[i+d]: anti distance exactly -d.
+        for dist in 1..=8 {
+            assert_eq!(
+                pair_test(&form(0, 1, 0, 0), &form(0, 1, dist, dist), dom),
+                PairRes::Conflict(Distance::Exact(-dist)),
+                "shift {dist}"
+            );
+        }
     }
 
     #[test]
@@ -950,12 +1229,12 @@ mod tests {
         );
         assert_eq!(
             pair_test(&form(0, 0, 3, 3), &form(0, 0, 3, 3), d),
-            PairRes::Conflict
+            PairRes::Conflict(Distance::Unknown)
         );
         // y[i] vs y[0]: iteration 0 collides with the broadcast.
         assert_eq!(
             pair_test(&form(0, 1, 0, 0), &form(0, 0, 0, 0), d),
-            PairRes::Conflict
+            PairRes::Conflict(Distance::Unknown)
         );
         // y[i+1] vs y[0]: the affine site never reaches element 0.
         assert_eq!(
@@ -970,7 +1249,7 @@ mod tests {
         // y[4i] vs y[6i+2]: 4*2 = 6*1 + 2.
         assert_eq!(
             pair_test(&form(0, 4, 0, 0), &form(0, 6, 2, 2), d),
-            PairRes::Conflict
+            PairRes::Conflict(Distance::Unknown)
         );
     }
 
@@ -985,8 +1264,43 @@ mod tests {
         // Offsets within [0, S-1]: strictly inside one stride window.
         let own = sw(SymBound::konst(0), SymBound { a: 1, k: -1 });
         assert_eq!(pair_test(&own, &own, dom), PairRes::Clean);
-        // A halo reaching S collides with the next iteration's window.
+        // A halo reaching S collides with the next iteration's window —
+        // the reader runs one window *before* the writer (anti).
         let halo = sw(SymBound::konst(0), SymBound { a: 1, k: 0 });
-        assert_eq!(pair_test(&own, &halo, dom), PairRes::Conflict);
+        assert_eq!(
+            pair_test(&own, &halo, dom),
+            PairRes::Conflict(Distance::Exact(-1))
+        );
+        // A two-window backward halo [-2S, S-1] reaches the previous
+        // two writers' windows: flow distances 1..=2.
+        let deep = sw(SymBound { a: -2, k: 0 }, SymBound { a: 1, k: -1 });
+        assert_eq!(
+            pair_test(&own, &deep, dom),
+            PairRes::Conflict(Distance::Bounded { lo: 1, hi: 2 })
+        );
+    }
+
+    #[test]
+    fn distance_lattice_join_and_fit() {
+        use Distance as D;
+        assert_eq!(D::Exact(1).join(D::Exact(2)), D::Bounded { lo: 1, hi: 2 });
+        assert_eq!(D::Exact(2).join(D::Exact(2)), D::Exact(2));
+        assert_eq!(
+            D::Exact(-1).join(D::Bounded { lo: 1, hi: 2 }),
+            D::Bounded { lo: -1, hi: 2 }
+        );
+        assert_eq!(
+            D::Exact(3).join(D::Dir(Direction::Forward)),
+            D::Dir(Direction::Forward)
+        );
+        assert_eq!(D::Exact(3).join(D::Dir(Direction::Backward)), D::Unknown);
+        assert_eq!(D::Unknown.join(D::Exact(1)), D::Unknown);
+        assert!(D::Exact(2).fits_halo(2, 0));
+        assert!(!D::Exact(2).fits_halo(1, 4));
+        assert!(D::Bounded { lo: -1, hi: 2 }.fits_halo(2, 1));
+        assert!(!D::Bounded { lo: -1, hi: 2 }.fits_halo(2, 0));
+        assert!(!D::Dir(Direction::Forward).fits_halo(8, 8));
+        assert_eq!(D::Bounded { lo: 1, hi: 2 }.direction(), Some(Direction::Forward));
+        assert_eq!(D::Bounded { lo: -1, hi: 2 }.direction(), None);
     }
 }

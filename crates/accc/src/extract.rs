@@ -220,6 +220,16 @@ pub fn extract_kernel(
             } else {
                 lint::store_hazards(&body, ir::BufId(kbuf as u32))
             };
+        // The declared halo measured in stride windows: the currency the
+        // carried-distance verdict is compared against (ACC-I003 vs
+        // ACC-W006, wavefront eligibility, the Full-sanitize claim).
+        let halo_windows = match (&la, stride_sym) {
+            (Some(p), Some(sr)) => (
+                range::halo_windows(range::window_bound(&p.left, &p.stride), sr),
+                range::halo_windows(range::window_bound(&p.right, &p.stride), sr),
+            ),
+            _ => (0, 0),
+        };
         let alint = ArrayLint {
             elision,
             window_checked: window.checked,
@@ -227,6 +237,7 @@ pub fn extract_kernel(
             overlap_stores,
             unannotated_rmw,
             verdict: dep.verdict,
+            halo_windows,
         };
 
         // Layout transform: read-only + localaccess + all loads affine.

@@ -144,6 +144,22 @@ fn render_expr(e: &ir::Expr, locals: &[(String, ir::Ty)]) -> String {
             .get(l.0 as usize)
             .map(|(n, _)| n.clone())
             .unwrap_or_else(|| format!("<local{}>", l.0)),
+        // Halo expressions like `left(2*cols)` must round-trip to a
+        // machine-applyable pragma.
+        ir::Expr::Binary { op, a, b } => {
+            let sym = match op {
+                ir::BinOp::Add => "+",
+                ir::BinOp::Sub => "-",
+                ir::BinOp::Mul => "*",
+                other => return format!("<{other:?}>"),
+            };
+            format!(
+                "{}{sym}{}",
+                render_expr(a, locals),
+                render_expr(b, locals)
+            )
+        }
+        ir::Expr::Cast { a, .. } => render_expr(a, locals),
         other => format!("<{other:?}>"),
     }
 }

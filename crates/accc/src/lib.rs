@@ -39,8 +39,8 @@ pub use analysis::AccessMode;
 pub use config::{
     ArrayConfig, ArrayLint, ElisionProof, LocalAccessParams, MonotoneWindowInfo, Placement,
 };
-pub use dataflow::{CommPlan, ElideFact, OverlapFact, OverlapPlan};
-pub use depend::{BufDepend, DependVerdict, DisjointProof};
+pub use dataflow::{wavefront_eligible, CommPlan, ElideFact, OverlapFact, OverlapPlan};
+pub use depend::{BufDepend, DependVerdict, Direction, DisjointProof, Distance};
 pub use hostgen::HostOp;
 pub use infer::{render_annotation, render_reduction};
 pub use lint::{lint_function, lint_source, lint_source_with};
@@ -350,6 +350,29 @@ pub fn force_local_windows(p: &mut CompiledProgram) {
                 if let Some(la) = &mut cfg.localaccess {
                     la.left = ir::Expr::imm_i32(0);
                     la.right = ir::Expr::imm_i32(0);
+                }
+            }
+        }
+    }
+}
+
+/// Fault injection for the carried-distance audit: shrink every proved
+/// `CarriedLocal` distance to at most one window in either direction,
+/// mislabeling deep carried reads (`y[i] = y[i-2]` claims distance 1).
+/// The kernel's actual loads are untouched, so they escape the shrunken
+/// claim, and a `SanitizeLevel::Full` run must reject the program with
+/// `CarriedDistanceViolated` (`ACC-R012`) before any corrupted array
+/// escapes — the wavefront half of the static/dynamic correspondence
+/// protocol in `docs/analysis.md`.
+pub fn force_carried_local(p: &mut CompiledProgram) {
+    for k in &mut p.kernels {
+        for cfg in &mut k.configs {
+            if let Some((lo, hi)) = cfg.lint.verdict.carried_distance().and_then(|d| d.bounds())
+            {
+                if hi > 1 || lo < -1 {
+                    cfg.lint.verdict = DependVerdict::CarriedLocal {
+                        distance: Distance::of_range(lo.clamp(-1, 1), hi.clamp(-1, 1)),
+                    };
                 }
             }
         }

@@ -25,6 +25,15 @@
 //! * **ACC-W006 loop-carried-dependence** — the dependence analysis
 //!   proved some iteration reads an element another iteration writes;
 //!   distributing (or reordering) the loop changes which value is seen.
+//!   When the distance analysis bounded the carried distance but the
+//!   declared halo is too narrow, the message reports the shortfall.
+//! * **ACC-I003 carried-dependence-local** — the distance/direction
+//!   analysis *bounded* the carried dependence and the bound fits inside
+//!   the declared (or inferred) `localaccess` halo: every carried value
+//!   a GPU needs already lands in its halo exchange. The dependence is
+//!   real — sequential-semantics users still must opt in — but the
+//!   runtime can license a wavefront schedule and double-buffered
+//!   overlap instead of refusing to distribute.
 //! * **ACC-I001 inferable-annotation** — (only with
 //!   `CompileOptions::infer_localaccess`) the whole-program analysis
 //!   derived a sound `localaccess` window for an unannotated array; the
@@ -109,6 +118,7 @@ pub fn lint_function(f: &hir::TypedFunction, options: &CompileOptions) -> Vec<Di
         present: Vec::new(),
         stale: BTreeMap::new(),
         emitted: BTreeSet::new(),
+        kernel_seen: BTreeSet::new(),
         diags: Vec::new(),
     };
     l.walk_block(&f.body);
@@ -149,6 +159,11 @@ struct HostLint<'a> {
     /// `(array, span.start, span.end)` of already-emitted W004s (the
     /// while-body double walk would otherwise duplicate them).
     emitted: BTreeSet<(usize, usize, usize)>,
+    /// Kernel spans whose per-array verdict diagnostics were already
+    /// emitted — the double walk of host loop bodies (see
+    /// [`HostLint::walk_stmt`]) revisits each launch site, but the
+    /// dependence verdicts are per-kernel statics and must not repeat.
+    kernel_seen: BTreeSet<(usize, usize)>,
     diags: Vec<Diagnostic>,
 }
 
@@ -201,9 +216,19 @@ impl HostLint<'_> {
 
     fn visit_kernel(&mut self, node: &hir::ParallelLoopNode) {
         let ck = extract::extract_kernel(node, self.f, self.options);
+        let fresh = self.kernel_seen.insert((node.span.start, node.span.end));
         for cfg in &ck.configs {
             let kname = &ck.kernel.name;
             let aname = &cfg.name;
+            if !fresh {
+                // Revisit from an enclosing host loop's second walk:
+                // only the staleness tracking repeats.
+                if cfg.mode.writes() {
+                    self.stale
+                        .insert(cfg.array, (node.span, ck.kernel.name.clone()));
+                }
+                continue;
+            }
             // Definite dependence verdicts first: a proven race subsumes
             // the heuristic overlap counts (W001/W002) for this array.
             let mut race_reported = false;
@@ -224,19 +249,71 @@ impl HostLint<'_> {
                     .with_code("ACC-W005"),
                 );
             }
-            if cfg.lint.verdict == crate::depend::DependVerdict::LoopCarried {
-                self.diags.push(
-                    Diagnostic::warning(
-                        node.span,
-                        format!(
-                            "kernel `{kname}`: loop-carried dependence on \
-                             `{aname}` — some iteration reads an element \
-                             another iteration writes; distributed (or even \
-                             reordered) execution changes which value is seen"
+            match cfg.lint.verdict {
+                crate::depend::DependVerdict::LoopCarried => {
+                    self.diags.push(
+                        Diagnostic::warning(
+                            node.span,
+                            format!(
+                                "kernel `{kname}`: loop-carried dependence on \
+                                 `{aname}` — some iteration reads an element \
+                                 another iteration writes; distributed (or even \
+                                 reordered) execution changes which value is seen"
+                            ),
+                        )
+                        .with_code("ACC-W006"),
+                    );
+                }
+                crate::depend::DependVerdict::CarriedLocal { distance }
+                    if cfg.lint.carried_fits_halo() =>
+                {
+                    let pragma = cfg
+                        .localaccess
+                        .as_ref()
+                        .map(|la| crate::infer::render_annotation(aname, la, &self.f.locals))
+                        .unwrap_or_default();
+                    self.diags.push(
+                        Diagnostic::warning(
+                            node.span,
+                            format!(
+                                "kernel `{kname}`: loop-carried dependence on \
+                                 `{aname}` proved local — carried distance \
+                                 {distance} window(s) fits the declared halo \
+                                 ({} left, {} right); `{pragma}` licenses a \
+                                 wavefront schedule with halo-overlapped \
+                                 transfers",
+                                cfg.lint.halo_windows.0, cfg.lint.halo_windows.1
+                            ),
+                        )
+                        .with_code("ACC-I003"),
+                    );
+                }
+                crate::depend::DependVerdict::CarriedLocal { distance } => {
+                    let shortfall = match distance.halo_need() {
+                        Some((need_l, need_r)) => format!(
+                            "the declared halo spans only ({} left, {} right) of \
+                             the ({need_l} left, {need_r} right) window(s) the \
+                             distance needs; widen the halo to prove the \
+                             dependence local",
+                            cfg.lint.halo_windows.0, cfg.lint.halo_windows.1
                         ),
-                    )
-                    .with_code("ACC-W006"),
-                );
+                        None => "only its direction is known, so no finite halo \
+                                 can prove it local"
+                            .to_string(),
+                    };
+                    self.diags.push(
+                        Diagnostic::warning(
+                            node.span,
+                            format!(
+                                "kernel `{kname}`: loop-carried dependence on \
+                                 `{aname}` with carried distance {distance} \
+                                 window(s), but {shortfall}"
+                            ),
+                        )
+                        .with_code("ACC-W006"),
+                    );
+                }
+                _ => {}
             }
             if cfg.lint.unannotated_rmw > 0 && !race_reported {
                 self.diags.push(
@@ -463,7 +540,9 @@ mod tests {
     }
 
     #[test]
-    fn w006_fires_on_loop_carried_dependence() {
+    fn i003_downgrades_w006_when_distance_fits_halo() {
+        // Carried distance exactly 1 window; the declared left(1) halo
+        // covers it, so the dependence is proved local (ACC-I003).
         let d = lint(
             "void f(int n, double *y) {\n\
              #pragma acc localaccess(y) stride(1) left(1)\n\
@@ -471,8 +550,83 @@ mod tests {
              for (int i = 1; i < n; i++) y[i] = y[i - 1] + 1.0;\n\
              }",
         );
-        assert_eq!(codes(&d), vec!["ACC-W006"], "{d:?}");
+        assert_eq!(codes(&d), vec!["ACC-I003"], "{d:?}");
         assert!(d[0].message.contains("`y`"), "{}", d[0].message);
+        assert!(d[0].message.contains("distance 1"), "{}", d[0].message);
+        assert!(d[0].message.contains("wavefront"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn infer_surfaces_halo_pragma_for_carried_local_array() {
+        // Unannotated first-order recurrence: inference derives the
+        // `left(1)` window, the distance analysis proves the carried
+        // dependence fits it, and both the I001 and I003 diagnostics
+        // carry the machine-applyable pragma.
+        let src = "void f(int n, double *y) {\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 1; i < n; i++) y[i] = y[i - 1] + 1.0;\n\
+             }";
+        let opts = CompileOptions {
+            infer_localaccess: true,
+            optimize_kernels: false,
+            ..CompileOptions::proposal()
+        };
+        let d = lint_source_with(src, &opts).unwrap();
+        let c = codes(&d);
+        assert!(c.contains(&"ACC-I001"), "{d:?}");
+        assert!(c.contains(&"ACC-I003"), "{d:?}");
+        let i003 = d.iter().find(|d| d.code == Some("ACC-I003")).unwrap();
+        assert!(
+            i003.message
+                .contains("#pragma acc localaccess(y) stride(1) left(1)"),
+            "{}",
+            i003.message
+        );
+    }
+
+    #[test]
+    fn w006_reports_shortfall_when_halo_too_narrow() {
+        // Distance 2 but only one halo window declared: still W006, with
+        // the shortfall spelled out (plus W003: the loads escape the
+        // declared window).
+        let d = lint(
+            "void f(int n, double *y) {\n\
+             #pragma acc localaccess(y) stride(1) left(1)\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 2; i < n; i++) y[i] = y[i - 2] + 1.0;\n\
+             }",
+        );
+        let c = codes(&d);
+        assert!(c.contains(&"ACC-W006"), "{d:?}");
+        assert!(c.contains(&"ACC-W003"), "{d:?}");
+        let w006 = d.iter().find(|d| d.code == Some("ACC-W006")).unwrap();
+        assert!(w006.message.contains("distance 2"), "{}", w006.message);
+        assert!(
+            w006.message.contains("(2 left, 0 right)"),
+            "{}",
+            w006.message
+        );
+    }
+
+    #[test]
+    fn w006_unchanged_for_unbounded_carried_dependence() {
+        // Broadcast read of a written element: no distance bound exists,
+        // so the classic W006 message stays.
+        let d = lint(
+            "void f(int n, double *y) {\n\
+             #pragma acc localaccess(y) stride(1)\n\
+             #pragma acc parallel loop copy(y[0:n])\n\
+             for (int i = 1; i < n; i++) y[i] = y[0] + 1.0;\n\
+             }",
+        );
+        let c = codes(&d);
+        assert!(c.contains(&"ACC-W006"), "{d:?}");
+        let w006 = d.iter().find(|d| d.code == Some("ACC-W006")).unwrap();
+        assert!(
+            w006.message.contains("distributed (or even"),
+            "{}",
+            w006.message
+        );
     }
 
     #[test]

@@ -318,8 +318,9 @@ pub fn check_load_windows(
 }
 
 /// Express a host-side `localaccess` halo expression as a bound over the
-/// stride symbol: a foldable constant, or syntactically the stride
-/// expression itself (`left(cols)` with `stride(cols)`).
+/// stride symbol: any linear combination `c*S + k` built from foldable
+/// constants and the stride expression itself — `left(cols)`,
+/// `left(2*cols)`, `left(cols + 1)` with `stride(cols)` all resolve.
 pub fn window_bound(e: &ir::Expr, stride_expr: &ir::Expr) -> Option<SymBound> {
     if let ir::Expr::Imm(Value::I32(v)) = ir::fold::fold_expr(e.clone()) {
         return Some(SymBound::konst(v as i64));
@@ -327,7 +328,42 @@ pub fn window_bound(e: &ir::Expr, stride_expr: &ir::Expr) -> Option<SymBound> {
     if e == stride_expr {
         return Some(SymBound::stride());
     }
+    if let ir::Expr::Binary { op, a, b } = e {
+        let (wa, wb) = (window_bound(a, stride_expr), window_bound(b, stride_expr));
+        match (op, wa, wb) {
+            (ir::BinOp::Add, Some(x), Some(y)) => return Some(x + y),
+            (ir::BinOp::Sub, Some(x), Some(y)) => return Some(x + -y),
+            (ir::BinOp::Mul, Some(x), Some(y)) => {
+                // Linear result only: one factor must be constant.
+                if x.a == 0 {
+                    return Some(y.scale(x.k));
+                }
+                if y.a == 0 {
+                    return Some(x.scale(y.k));
+                }
+            }
+            _ => {}
+        }
+    }
     None
+}
+
+/// How many whole stride windows a halo bound spans: the largest `d`
+/// with `(d-1)*S + 1 <= halo` for every admissible stride (0 when the
+/// halo covers no full neighbor window, capped at 16). This is the
+/// currency carried distances are measured in: a halo of `d` windows
+/// reaches the `d` nearest neighbor partitions on that side.
+pub fn halo_windows(halo: Option<SymBound>, stride: StrideRef) -> i64 {
+    let Some(h) = halo else { return 0 };
+    let mut d = 0;
+    while d < 16 {
+        let need = SymBound { a: d, k: 1 };
+        if !need.le(h, stride) {
+            break;
+        }
+        d += 1;
+    }
+    d
 }
 
 // ---------- the environment-tracking walker ----------

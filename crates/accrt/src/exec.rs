@@ -10,6 +10,7 @@ use acc_gpusim::{Gpu, Machine};
 use acc_kernel_ir as ir;
 use acc_obs::{
     InferredAnnotation, LaunchSpan, MapperDecision, PhaseKind, Recorder, SanitizeEvent,
+    WavefrontRound,
 };
 use ir::interp::{eval_host_expr, rmw_apply, run_host_block, run_kernel_range};
 use ir::regvm::{launch_types_match, run_compiled, RegCompiled};
@@ -628,8 +629,92 @@ impl<'a> Run<'a> {
 
         let kernel = &ck.kernel;
         let reg = self.reg_code(kidx);
+        // Wavefront schedule: when the compiler proved every carried
+        // dependence of this launch *local* (distance inside the declared
+        // halo), the GPUs run sequentially in partition order, each fed
+        // its left halo with the rows its predecessors just wrote, so
+        // dependent outer iterations pipeline across the GPUs with the
+        // exact semantics of the sequential loop. Pricing is an honest
+        // pipeline: GPU g starts once GPU g-1 finished *and* g's halo
+        // feed landed. Launches the proof does not license fall back to
+        // the parallel equal division.
+        let wavefront = self.cfg.schedule == Schedule::Wavefront
+            && ngpus > 1
+            && acc_compiler::wavefront_eligible(ck);
         let mut outs: Vec<Result<JobOut, ir::ExecError>> = Vec::with_capacity(ngpus);
-        {
+        // Per-GPU kernel start times (the barrier `t1` on the parallel
+        // path; staggered under the wavefront) and wavefront-priced
+        // durations.
+        let mut starts = vec![t1; ngpus];
+        let mut wf_tg: Option<Vec<f64>> = None;
+        if wavefront {
+            let mut tgs = vec![0.0f64; ngpus];
+            let mut cursor = t1;
+            for (g, job) in jobs.into_iter().enumerate() {
+                let mut start_g = cursor;
+                let mut fed = 0u64;
+                if g > 0 {
+                    // Refresh this GPU's left halo — [required.0, own.0)
+                    // of every written distributed array — from the
+                    // predecessors that own those rows. The copies become
+                    // ready when the previous GPU's turn ended.
+                    for bi in &binfo {
+                        if !(bi.writes && matches!(bi.placement, Placement::Distributed)) {
+                            continue;
+                        }
+                        let (halo_lo, halo_hi) = (bi.required[g].0, bi.own[g].0);
+                        if halo_lo >= halo_hi {
+                            continue;
+                        }
+                        for h in (0..g).rev() {
+                            let lo = halo_lo.max(bi.own[h].0);
+                            let hi = halo_hi.min(bi.own[h].1);
+                            if lo >= hi {
+                                continue;
+                            }
+                            let end = self.xfer_p2p(bi.arr, h, g, lo, hi, cursor, "wavefront")?;
+                            fed += ((hi - lo) as u64) * self.arrays[bi.arr].elem() as u64;
+                            start_g = start_g.max(end);
+                        }
+                    }
+                }
+                let res = match job {
+                    None => Ok(JobOut::default()),
+                    Some(job) => {
+                        run_gpu_job(&mut self.machine.gpus[g], kernel, job, reg.as_deref())
+                    }
+                };
+                if let Ok(out) = &res {
+                    if out.ran {
+                        let spec = &self.machine.gpus[g].spec;
+                        let mut terms = Vec::new();
+                        for (kbuf, cfg) in ck.configs.iter().enumerate() {
+                            let w = binfo[kbuf].window[g];
+                            let resident =
+                                ((w.1 - w.0).max(0) as u64) * self.arrays[cfg.array].elem() as u64;
+                            let (lb, sb) = out.per_buf_bytes[kbuf];
+                            terms.push((lb, gpu_read_eff(spec, cfg, resident)));
+                            terms.push((sb, gpu_write_eff(spec, cfg, resident)));
+                        }
+                        let tg = spec.kernel_time_split(&out.counters, &terms);
+                        self.rec.wavefront_round(WavefrontRound {
+                            launch: self.cur_launch,
+                            kernel: ck.kernel.name.clone(),
+                            gpu: g,
+                            round: g,
+                            fed_bytes: fed,
+                            start: start_g,
+                            end: start_g + tg,
+                        });
+                        starts[g] = start_g;
+                        tgs[g] = tg;
+                        cursor = start_g + tg;
+                    }
+                }
+                outs.push(res);
+            }
+            wf_tg = Some(tgs);
+        } else {
             let gpus = &mut self.machine.gpus[..ngpus];
             std::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(ngpus);
@@ -674,6 +759,7 @@ impl<'a> Run<'a> {
                     kind: match r.kind {
                         SanitizeKind::LoadOutsideWindow => "load-outside-window",
                         SanitizeKind::StoreOutsideOwn => "store-outside-own",
+                        SanitizeKind::CarriedDistanceEscape => "carried-distance-escape",
                     },
                     tid: r.tid,
                     idx: r.idx,
@@ -688,11 +774,23 @@ impl<'a> Run<'a> {
             }
         }
         if let Some((g, r)) = first_violation {
-            return Err(RunError::SanitizeViolation {
-                array: self.prog.array_params[binfo[r.buf as usize].arr].0.clone(),
-                gpu: g,
-                record: r,
-                hits: total_hits,
+            let array = self.prog.array_params[binfo[r.buf as usize].arr].0.clone();
+            // Refusing here — before the communication phase and before
+            // any flush — means no array state the violation may have
+            // corrupted ever escapes the devices.
+            return Err(match r.kind {
+                SanitizeKind::CarriedDistanceEscape => RunError::CarriedDistanceViolated {
+                    array,
+                    gpu: g,
+                    record: r,
+                    hits: total_hits,
+                },
+                _ => RunError::SanitizeViolation {
+                    array,
+                    gpu: g,
+                    record: r,
+                    hits: total_hits,
+                },
             });
         }
 
@@ -704,17 +802,27 @@ impl<'a> Run<'a> {
             if !out.ran {
                 continue;
             }
-            let spec = &self.machine.gpus[g].spec;
-            let mut terms = Vec::new();
-            for (kbuf, cfg) in ck.configs.iter().enumerate() {
-                let w = binfo[kbuf].window[g];
-                let resident = ((w.1 - w.0).max(0) as u64) * self.arrays[cfg.array].elem() as u64;
-                let (lb, sb) = out.per_buf_bytes[kbuf];
-                terms.push((lb, gpu_read_eff(spec, cfg, resident)));
-                terms.push((sb, gpu_write_eff(spec, cfg, resident)));
-            }
-            let tg = spec.kernel_time_split(&out.counters, &terms);
-            tk = tk.max(tg);
+            let tg = match &wf_tg {
+                // The wavefront loop already priced this GPU's turn (it
+                // needed the duration to schedule the successor's feed).
+                Some(tgs) => tgs[g],
+                None => {
+                    let spec = &self.machine.gpus[g].spec;
+                    let mut terms = Vec::new();
+                    for (kbuf, cfg) in ck.configs.iter().enumerate() {
+                        let w = binfo[kbuf].window[g];
+                        let resident =
+                            ((w.1 - w.0).max(0) as u64) * self.arrays[cfg.array].elem() as u64;
+                        let (lb, sb) = out.per_buf_bytes[kbuf];
+                        terms.push((lb, gpu_read_eff(spec, cfg, resident)));
+                        terms.push((sb, gpu_write_eff(spec, cfg, resident)));
+                    }
+                    spec.kernel_time_split(&out.counters, &terms)
+                }
+            };
+            // Kernel-phase duration runs to the last finisher; under the
+            // wavefront the staggered starts make that the final GPU.
+            tk = tk.max(starts[g] + tg - t1);
             measured_s[g] = tg;
             self.kernel_counters.merge(&out.counters);
             self.rec.launch_span(LaunchSpan {
@@ -722,8 +830,8 @@ impl<'a> Run<'a> {
                 kernel: ck.kernel.name.clone(),
                 gpu: g,
                 rows: tasks[g],
-                start: t1,
-                end: t1 + tg,
+                start: starts[g],
+                end: starts[g] + tg,
             });
         }
         if job_outs.iter().all(|o| !o.ran) {
@@ -940,6 +1048,18 @@ impl<'a> Run<'a> {
             // (and keep resident) the whole window.
             let sanitize = BufSanitize {
                 load_window: la_params.filter(|_| self.cfg.sanitize.checks_loads()),
+                // Carried-distance audit: under `Full`, every
+                // `CarriedLocal { distance }` claim is cross-validated at
+                // runtime — a load must stay within the proved distance
+                // of the loading thread's own stride window, or the
+                // verdict (and everything it licensed) was mislabeled.
+                carried_window: cfg
+                    .lint
+                    .verdict
+                    .carried_distance()
+                    .and_then(|d| d.halo_need())
+                    .and_then(|(lw, rw)| la_params.map(|(s, _, _)| (s, lw * s, rw * s)))
+                    .filter(|_| self.cfg.sanitize.checks_loads()),
                 check_stores: self.cfg.sanitize.checks_stores()
                     && writes
                     && cfg.miss_check_elided

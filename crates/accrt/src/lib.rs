@@ -113,6 +113,14 @@ pub enum Schedule {
     /// The first launch of a kernel falls back to the equal division.
     /// See `docs/scheduling.md`.
     CostModel,
+    /// Pipelined wavefront over the equal static division: for launches
+    /// whose every loop-carried dependence the compiler proved *local*
+    /// (`CarriedLocal` with a distance inside the declared halo), the
+    /// GPUs run in partition order, each fed its left halo with the rows
+    /// its predecessors just wrote. Functional results stay bit-identical
+    /// to the sequential loop; launches the proof does not license fall
+    /// back to the parallel equal division. See `docs/analysis.md`.
+    Wavefront,
 }
 
 /// Runtime configuration.
@@ -362,6 +370,20 @@ pub enum RunError {
         /// First offending element index `i` with `a[i] > a[i+1]`.
         idx: usize,
     },
+    /// The `SanitizeLevel::Full` carried-distance audit caught a load
+    /// outside the window the compiler's `CarriedLocal { distance }`
+    /// verdict claimed: the proved distance interval (or a fault-injected
+    /// one) under-states the dependence, so the wavefront/overlap
+    /// decisions it licensed are unsound. The launch is refused before
+    /// any GPU's writes are synchronised, so no corrupted array escapes.
+    CarriedDistanceViolated {
+        array: String,
+        gpu: usize,
+        /// The offending access, with the claimed per-thread window.
+        record: acc_kernel_ir::SanitizeRecord,
+        /// Total carried-claim violations this launch (uncapped).
+        hits: u64,
+    },
 }
 
 impl RunError {
@@ -379,6 +401,7 @@ impl RunError {
             RunError::SanitizeViolation { .. } => "ACC-R008",
             RunError::ElisionUnsound { .. } => "ACC-R009",
             RunError::PremiseViolated { .. } => "ACC-R011",
+            RunError::CarriedDistanceViolated { .. } => "ACC-R012",
         }
     }
 }
@@ -413,6 +436,12 @@ impl std::fmt::Display for RunError {
                     acc_kernel_ir::SanitizeKind::StoreOutsideOwn => {
                         "unchecked store outside the owner partition"
                     }
+                    // Carried escapes surface as `CarriedDistanceViolated`;
+                    // this arm only renders if a caller builds the generic
+                    // variant by hand.
+                    acc_kernel_ir::SanitizeKind::CarriedDistanceEscape => {
+                        "load outside the claimed carried-distance window"
+                    }
                 };
                 write!(
                     f,
@@ -439,6 +468,22 @@ impl std::fmt::Display for RunError {
                 "dependence premise violated: `{array}` must be elementwise non-decreasing \
                  (monotone-window disjointness proof), but `{array}`[{idx}] > `{array}`[{}]",
                 idx + 1
+            ),
+            RunError::CarriedDistanceViolated {
+                array,
+                gpu,
+                record,
+                hits,
+            } => write!(
+                f,
+                "carried-distance audit: `{array}`[{}] loaded by thread {} on gpu {gpu} escapes \
+                 the claimed carried window [{}, {}) ({hits} violation{} total) — the \
+                 `CarriedLocal` distance is mislabeled",
+                record.idx,
+                record.tid,
+                record.window.0,
+                record.window.1,
+                if *hits == 1 { "" } else { "s" }
             ),
         }
     }

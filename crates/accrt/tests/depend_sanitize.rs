@@ -1,13 +1,14 @@
 //! Static ⇔ dynamic cross-validation of the dependence analysis
 //! (`acc_compiler::depend`): every statically flagged hazard
-//! (`ACC-W005` race, `ACC-W006` loop-carried dependence) reproduces as a
-//! `SanitizeLevel::Full` violation once the protective runtime machinery
-//! is fault-injected away, and the one open premise of a monotone-window
-//! disjointness proof (`row_ptr` non-decreasing) is audited at launch
-//! (`ACC-R011`).
+//! (`ACC-W005` race, `ACC-I003` halo-local carried dependence)
+//! reproduces as a `SanitizeLevel::Full` violation once the protective
+//! runtime machinery is fault-injected away, and the one open premise of
+//! a monotone-window disjointness proof (`row_ptr` non-decreasing) is
+//! audited at launch (`ACC-R011`).
 
 use acc_compiler::{
     compile_source, lint_source, CompileOptions, CompiledProgram, DependVerdict, DisjointProof,
+    Distance,
 };
 use acc_gpusim::Machine;
 use acc_kernel_ir::{Buffer, SanitizeKind, Ty, Value};
@@ -54,10 +55,11 @@ for (int i = 0; i < n; i++) {\n\
 }\n\
 }";
 
-/// `y[i] = y[i-1] + 1.0`: a loop-carried flow dependence (`ACC-W006`).
-/// The declared `left(1)` halo makes the *read footprint* honest, so the
-/// annotation audit alone stays quiet; zeroing the windows
-/// ([`acc_compiler::force_local_windows`]) turns exactly the
+/// `y[i] = y[i-1] + 1.0`: a loop-carried flow dependence whose constant
+/// distance 1 fits the declared `left(1)` halo, so the lint downgrades
+/// it to `ACC-I003` (`CarriedLocal`). The declared halo makes the *read
+/// footprint* honest, so the annotation audit alone stays quiet; zeroing
+/// the windows ([`acc_compiler::force_local_windows`]) turns exactly the
 /// cross-iteration reads into `LoadOutsideWindow` hits.
 const CARRIED: &str = "void scanl(int n, double *y) {\n\
 #pragma acc data copy(y[0:n])\n\
@@ -152,10 +154,17 @@ fn static_race_reproduces_under_fault_injected_sanitize() {
 
 #[test]
 fn static_loop_carried_reproduces_as_window_violations() {
-    // Static half: flagged as a loop-carried dependence, not a race.
-    assert_eq!(codes(CARRIED), vec!["ACC-W006"]);
+    // Static half: the carried dependence is proved *local* — constant
+    // distance 1 inside the declared halo — so the lint reports the
+    // ACC-I003 downgrade instead of the pessimistic ACC-W006.
+    assert_eq!(codes(CARRIED), vec!["ACC-I003"]);
     let prog = compile_source(CARRIED, "scanl", &CompileOptions::proposal()).unwrap();
-    assert_eq!(verdict_of(&prog, "y"), DependVerdict::LoopCarried);
+    assert_eq!(
+        verdict_of(&prog, "y"),
+        DependVerdict::CarriedLocal {
+            distance: Distance::Exact(1)
+        }
+    );
 
     // The declared halo is honest, so Full sanitize alone stays quiet.
     let y = input();

@@ -139,15 +139,22 @@ fn embedded_sources(rs: &str) -> Vec<String> {
     out
 }
 
-/// Lint one OpenACC source; returns the number of warnings, or `None` if
-/// it failed to compile (diagnostics printed either way).
-fn lint_one(label: &str, src: &str, opts: &CompileOptions) -> Option<usize> {
+/// Lint one OpenACC source; returns `(warnings, infos)`, or `None` if it
+/// failed to compile (diagnostics printed either way). Informational
+/// `ACC-I*` diagnostics (inference suggestions, the ACC-I003 halo-local
+/// dependence downgrade) are counted separately so `--deny-warnings`
+/// does not deny them.
+fn lint_one(label: &str, src: &str, opts: &CompileOptions) -> Option<(usize, usize)> {
     match lint_source_with(src, opts) {
         Ok(diags) => {
             for d in &diags {
                 println!("{label}: {}", d.render(src));
             }
-            Some(diags.len())
+            let infos = diags
+                .iter()
+                .filter(|d| d.code.is_some_and(|c| c.starts_with("ACC-I")))
+                .count();
+            Some((diags.len() - infos, infos))
         }
         Err(diags) => {
             for d in &diags {
@@ -283,13 +290,17 @@ fn run_static(args: &Args) -> ! {
         ..CompileOptions::proposal()
     };
     let mut warnings = 0usize;
+    let mut infos = 0usize;
     let mut divergences = 0usize;
     let mut broken = 0usize;
     let mut targets = 0usize;
     let mut lint = |label: &str, src: &str| {
         targets += 1;
         match lint_one(label, src, &opts) {
-            Some(n) => warnings += n,
+            Some((w, i)) => {
+                warnings += w;
+                infos += i;
+            }
             None => broken += 1,
         }
         if args.deny_divergence {
@@ -322,7 +333,8 @@ fn run_static(args: &Args) -> ! {
         }
     }
     eprintln!(
-        "acc-lint: {targets} kernel source(s), {warnings} warning(s), {broken} compile failure(s){}",
+        "acc-lint: {targets} kernel source(s), {warnings} warning(s), {infos} info(s), \
+         {broken} compile failure(s){}",
         if args.deny_divergence {
             format!(", {divergences} annotation divergence(s)")
         } else {

@@ -12,9 +12,10 @@
 pub const KNOWN_CODES: &[&str] = &[
     "ACC-E001", "ACC-E002", // frontend
     "ACC-W001", "ACC-W002", "ACC-W003", "ACC-W004", "ACC-W005", "ACC-W006", // lint
-    "ACC-I001", "ACC-I002", // inference
+    "ACC-I001", "ACC-I002", "ACC-I003", // inference & analysis info
     "ACC-R001", "ACC-R002", "ACC-R003", "ACC-R004", "ACC-R005", "ACC-R006",
-    "ACC-R007", "ACC-R008", "ACC-R009", "ACC-R010", "ACC-R011", // runtime
+    "ACC-R007", "ACC-R008", "ACC-R009", "ACC-R010", "ACC-R011",
+    "ACC-R012", // runtime
     "ACC-S001", "ACC-S002", "ACC-S003", "ACC-S004", "ACC-S005", "ACC-S006",
     "ACC-S007", // acc-serve
 ];
@@ -155,8 +156,11 @@ pub fn explain(code: &str) -> Option<&'static str> {
              \n\
              Fix: restructure the algorithm (e.g. double-buffer: read from the\n\
              previous time-step's array, write the next), or keep the loop\n\
-             sequential on the host. A declared halo does not help — the halo\n\
-             is a *snapshot*, not a synchronized view of neighbor writes."
+             sequential on the host. When the distance analysis *bounds* the\n\
+             carried distance, the message reports how far the declared halo\n\
+             falls short — widening the `localaccess` halo to cover the whole\n\
+             distance interval downgrades this warning to ACC-I003 and\n\
+             licenses the wavefront schedule."
         }
         "ACC-I001" => {
             "ACC-I001: localaccess annotation is inferable\n\
@@ -197,6 +201,28 @@ pub fn explain(code: &str) -> Option<&'static str> {
              apply the rewrite itself; the inferred compilation is\n\
              bit-identical to the hand-annotated one (same IR, same results,\n\
              same simulated time)."
+        }
+        "ACC-I003" => {
+            "ACC-I003: loop-carried dependence proved local to the halo\n\
+             \n\
+             The distance/direction-vector analysis bounded every carried\n\
+             dependence on this array to a constant interval of stride\n\
+             windows, and the declared `localaccess` halo covers the whole\n\
+             interval: every cross-iteration value a GPU needs already lands\n\
+             in its halo exchange. The dependence is real — a plain\n\
+             equal-partition launch still reads stale halos — but it is no\n\
+             longer grounds to refuse distribution: Schedule::Wavefront runs\n\
+             the GPUs in partition order, feeding each one the freshly\n\
+             written left-halo rows of its predecessors, and reproduces the\n\
+             sequential loop bit-for-bit on any GPU count. The diagnostic\n\
+             message carries the proved distance and the licensing pragma.\n\
+             \n\
+             Example:\n\
+             \x20   #pragma acc localaccess(u) stride(cols) left(2*cols) right(cols)\n\
+             \x20   for (i...) u[i*cols+j] = f(u[(i-2)*cols+j], ..., u[(i+1)*cols+j]);\n\
+             \n\
+             This is informational: nothing to fix. SanitizeLevel::Full\n\
+             cross-validates the claimed distance at runtime (see ACC-R012)."
         }
         "ACC-R001" => {
             "ACC-R001: kernel or host interpretation failed\n\
@@ -321,6 +347,26 @@ pub fn explain(code: &str) -> Option<&'static str> {
              monotone proof by restructuring the kernel. Running unsanitized\n\
              would risk exactly the cross-GPU races the proof ruled out."
         }
+        "ACC-R012" => {
+            "ACC-R012: carried-distance audit failed\n\
+             \n\
+             The compiler proved a loop-carried dependence *local*\n\
+             (ACC-I003): every cross-iteration read was claimed to stay\n\
+             within a bounded distance of the iteration's own partition —\n\
+             the fact that licenses wavefront scheduling and halo-overlapped\n\
+             transfers. SanitizeLevel::Full re-checks that claim on every\n\
+             load of the array, and this run observed a load *outside* the\n\
+             claimed carried window: the distance interval is mislabeled,\n\
+             so the wavefront's halo feed cannot cover the dependence and\n\
+             distributed results would silently diverge from the sequential\n\
+             loop. The launch is refused before any array state leaves the\n\
+             devices.\n\
+             \n\
+             Fix: this indicates an unsound (or deliberately fault-injected)\n\
+             distance verdict — report it; re-run with the halo widened to\n\
+             the observed distance to confirm, and keep Full sanitize on\n\
+             until the verdict is trusted again."
+        }
         "ACC-S001" => {
             "ACC-S001: acc-serve job queue at capacity\n\
              \n\
@@ -363,7 +409,7 @@ pub fn explain(code: &str) -> Option<&'static str> {
              (`App::ALL`).\n\
              \n\
              Fix: list the registry (md, kmeans, bfs, spmv, heat2d,\n\
-             pagerank) and check spelling."
+             pagerank, heat2d-halo2) and check spelling."
         }
         "ACC-S006" => {
             "ACC-S006: acc-serve is shutting down\n\
@@ -453,7 +499,7 @@ mod tests {
             }
         }
         assert!(files > 30, "workspace scan looks wrong ({files} files)");
-        assert!(seen.len() >= 28, "expected the full code census, got {seen:?}");
+        assert!(seen.len() >= 30, "expected the full code census, got {seen:?}");
         for c in &seen {
             assert!(
                 explain(c).is_some(),

@@ -24,6 +24,7 @@ pub mod bfs;
 pub mod bfs_skew;
 pub mod explain;
 pub mod heat2d;
+pub mod heat2d_halo2;
 pub mod kmeans;
 pub mod md;
 pub mod pagerank;

@@ -15,10 +15,11 @@ use std::sync::{Arc, OnceLock};
 use acc_compiler::{CompileOptions, CompiledProgram};
 use acc_gpusim::{Machine, MachineKind};
 use acc_runtime::{
-    CompiledKernel, Engine, ExecConfig, GpuMemReport, RunError, RunReport, TimeBreakdown, Trace,
+    CompiledKernel, Engine, ExecConfig, GpuMemReport, RunError, RunReport, Schedule,
+    TimeBreakdown, Trace,
 };
 
-use crate::{bfs, heat2d, kmeans, md, pagerank, spmv};
+use crate::{bfs, heat2d, heat2d_halo2, kmeans, md, pagerank, spmv};
 
 /// Which benchmark application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,18 +37,24 @@ pub enum App {
     /// whose race freedom rests on the dependence analysis's
     /// monotone-window proof. Not in the paper's Table II.
     Pagerank,
+    /// In-place deep stencil with a distance-2 carried dependence: the
+    /// distance/direction-vector analysis proves the dependence local to
+    /// the declared halo (`ACC-I003`) and the harness runs it under the
+    /// wavefront schedule. Not in the paper's Table II.
+    Heat2dHalo2,
 }
 
 impl App {
     /// The paper's three applications first, then the extension
-    /// workloads (SPMV, HEAT2D, PAGERANK).
-    pub const ALL: [App; 6] = [
+    /// workloads (SPMV, HEAT2D, PAGERANK, HEAT2D-HALO2).
+    pub const ALL: [App; 7] = [
         App::Md,
         App::Kmeans,
         App::Bfs,
         App::Spmv,
         App::Heat2d,
         App::Pagerank,
+        App::Heat2dHalo2,
     ];
 
     /// The subset published in the paper's Table II / figures.
@@ -62,6 +69,7 @@ impl App {
             App::Spmv => "spmv",
             App::Heat2d => "heat2d",
             App::Pagerank => "pagerank",
+            App::Heat2dHalo2 => "heat2d-halo2",
         }
     }
 
@@ -74,6 +82,7 @@ impl App {
             App::Spmv => spmv::SOURCE,
             App::Heat2d => heat2d::SOURCE,
             App::Pagerank => pagerank::SOURCE,
+            App::Heat2dHalo2 => heat2d_halo2::SOURCE,
         }
     }
 
@@ -86,6 +95,7 @@ impl App {
             App::Spmv => spmv::FUNCTION,
             App::Heat2d => heat2d::FUNCTION,
             App::Pagerank => pagerank::FUNCTION,
+            App::Heat2dHalo2 => heat2d_halo2::FUNCTION,
         }
     }
 }
@@ -440,6 +450,32 @@ pub fn run_compiled(
             let ok = err < 1e-9;
             (report, ok, err)
         }
+        App::Heat2dHalo2 => {
+            let wcfg = match scale {
+                Scale::Small => heat2d_halo2::Halo2Config::small(),
+                Scale::Scaled | Scale::Paper => heat2d_halo2::Halo2Config::scaled(),
+            };
+            let input = heat2d_halo2::generate(&wcfg, seed);
+            let (scalars, arrays) = heat2d_halo2::inputs(&input);
+            // The carried dependence is only halo-local: an equal-partition
+            // launch on 2+ GPUs would read stale left halos, so the harness
+            // auto-selects the wavefront schedule the ACC-I003 verdict
+            // licenses (an explicit non-default schedule is respected).
+            let ecfg = if cfg.schedule == Schedule::Equal {
+                cfg.clone().schedule(Schedule::Wavefront)
+            } else {
+                cfg.clone()
+            };
+            let report = engine.launch_on(prog, machine, &ecfg, scalars, arrays)?;
+            let expect = heat2d_halo2::reference(&input);
+            let err = heat2d_halo2::max_error(
+                &report.arrays[heat2d_halo2::PLATE_ARRAY].to_f64_vec(),
+                &expect,
+            );
+            // The wavefront reproduces the sequential sweep exactly.
+            let ok = err == 0.0;
+            (report, ok, err)
+        }
     };
     Ok(result_from(app, version, prog, report, correct, max_err))
 }
@@ -578,15 +614,21 @@ mod tests {
     #[test]
     fn all_apps_are_lint_clean() {
         // CI runs `acc-lint --deny-warnings` over every app; keep that
-        // invariant visible as a unit test too.
+        // invariant visible as a unit test too. Informational ACC-I*
+        // diagnostics are allowed (heat2d-halo2 carries the ACC-I003
+        // halo-local-dependence downgrade by design); errors and
+        // warnings are not.
         for app in App::ALL {
             let diags = acc_compiler::lint_source(app.source()).unwrap();
+            let hard: Vec<_> = diags
+                .iter()
+                .filter(|d| !d.code.is_some_and(|c| c.starts_with("ACC-I")))
+                .collect();
             assert!(
-                diags.is_empty(),
+                hard.is_empty(),
                 "{}: {}",
                 app.name(),
-                diags
-                    .iter()
+                hard.iter()
                     .map(|d| d.render(app.source()))
                     .collect::<Vec<_>>()
                     .join("\n")

@@ -113,6 +113,7 @@ pub fn table2(scale: Scale) -> Vec<AppRow> {
                 App::Spmv => "Sparse Linear Algebra",
                 App::Heat2d => "Stencil",
                 App::Pagerank => "Graph Ranking",
+                App::Heat2dHalo2 => "Stencil (deep)",
             };
             AppRow {
                 app: app.name().to_uppercase(),
@@ -153,6 +154,10 @@ fn input_label(app: App, scale: Scale) -> String {
         App::Pagerank => {
             let c = pagerank_config(scale);
             format!("{} page / {} iter", c.n, c.iters)
+        }
+        App::Heat2dHalo2 => {
+            let c = heat2d_halo2_config(scale);
+            format!("{}x{} plate / {} iter", c.rows, c.cols, c.iters)
         }
     }
 }
@@ -217,6 +222,18 @@ pub fn pagerank_config(scale: Scale) -> acc_apps::pagerank::PagerankConfig {
     match scale {
         Scale::Small => acc_apps::pagerank::PagerankConfig::small(),
         Scale::Scaled | Scale::Paper => acc_apps::pagerank::PagerankConfig::scaled(),
+    }
+}
+
+/// HEAT2D-HALO2 workload config for a scale (a post-paper app, so Paper
+/// maps to Scaled). Its bench rows are the *wavefront* points: the
+/// runner auto-selects `Schedule::Wavefront` for the deep in-place
+/// stencil, so `bench-diff` pins the pipelined schedule's simulated
+/// times alongside every other app's.
+pub fn heat2d_halo2_config(scale: Scale) -> acc_apps::heat2d_halo2::Halo2Config {
+    match scale {
+        Scale::Small => acc_apps::heat2d_halo2::Halo2Config::small(),
+        Scale::Scaled | Scale::Paper => acc_apps::heat2d_halo2::Halo2Config::scaled(),
     }
 }
 
@@ -688,7 +705,10 @@ pub struct RuntimePoint {
 }
 
 /// Measure end-to-end wall-clock for every app × GPU count on the
-/// supercomputer node. Each configuration runs `reps` times.
+/// supercomputer node. Each configuration runs `reps` times. The
+/// `heat2d-halo2` points double as the wavefront rows: the runner
+/// executes that app under `Schedule::Wavefront`, so its multi-GPU
+/// `sim_s`/`comm_sim_s` values pin the pipelined schedule's pricing.
 pub fn bench_runtime(scale: Scale, seed: u64, reps: usize, progress: bool) -> Vec<RuntimePoint> {
     let reps = reps.max(1);
     let mut out = Vec::new();
@@ -860,6 +880,10 @@ pub fn app_inputs(
         }
         App::Pagerank => acc_apps::pagerank::inputs(&acc_apps::pagerank::generate(
             &pagerank_config(scale),
+            seed,
+        )),
+        App::Heat2dHalo2 => acc_apps::heat2d_halo2::inputs(&acc_apps::heat2d_halo2::generate(
+            &heat2d_halo2_config(scale),
             seed,
         )),
     }
@@ -1258,7 +1282,7 @@ mod tests {
     #[test]
     fn table2_small_scale_runs() {
         let rows = table2(Scale::Small);
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 7);
         assert!(rows.iter().all(|r| r.correct));
         assert_eq!(rows[0].parallel_loops, 1); // MD
         assert_eq!(rows[1].parallel_loops, 2); // KMEANS
@@ -1266,11 +1290,13 @@ mod tests {
         assert_eq!(rows[3].parallel_loops, 1); // SPMV
         assert_eq!(rows[4].parallel_loops, 2); // HEAT2D
         assert_eq!(rows[5].parallel_loops, 4); // PAGERANK
+        assert_eq!(rows[6].parallel_loops, 1); // HEAT2D-HALO2
         assert_eq!(rows[0].localaccess, "2/3");
         assert_eq!(rows[1].localaccess, "2/5");
         assert_eq!(rows[2].localaccess, "2/3");
         assert_eq!(rows[3].localaccess, "2/5");
         assert_eq!(rows[4].localaccess, "2/2");
         assert_eq!(rows[5].localaccess, "6/6");
+        assert_eq!(rows[6].localaccess, "1/1");
     }
 }

@@ -38,6 +38,12 @@ pub enum SanitizeKind {
     /// partition: the static write-locality proof was unsound for this
     /// input.
     StoreOutsideOwn,
+    /// A load escaped the *carried-distance* claim
+    /// `[stride*tid - left, stride*(tid+1) + right)` derived from the
+    /// compiler's `CarriedLocal { distance }` verdict: the proved
+    /// distance interval was too narrow for this input, so wavefront
+    /// scheduling and halo-overlap decisions licensed by it are unsound.
+    CarriedDistanceEscape,
 }
 
 /// One sanitizer violation, recorded during interpretation.
@@ -63,6 +69,13 @@ pub struct BufSanitize {
     /// load by thread `t` must hit `[stride*t - left, stride*(t+1) + right)`.
     /// `None` leaves loads unchecked.
     pub load_window: Option<(i64, i64, i64)>,
+    /// `(stride, left, right)` in **elements** of the carried-distance
+    /// claim proved by the dependence analysis: a load by thread `t`
+    /// must hit `[stride*t - left, stride*(t+1) + right)` or the
+    /// `CarriedLocal` verdict was mislabeled. Checked independently of
+    /// (and usually tighter than or equal to) `load_window`. `None`
+    /// leaves the claim unchecked.
+    pub carried_window: Option<(i64, i64, i64)>,
     /// Audit unchecked stores against the slot's owned range.
     pub check_stores: bool,
 }
@@ -210,21 +223,36 @@ pub(crate) fn sanitize_load(ctx: &mut ExecCtx<'_>, buf: u32, tid: i64, gidx: i64
     let Some(cfg) = ctx.sanitize.get(buf as usize) else {
         return;
     };
-    let Some((stride, left, right)) = cfg.load_window else {
-        return;
-    };
-    let lo = stride * tid - left;
-    let hi = stride * (tid + 1) + right;
-    if gidx < lo || gidx >= hi {
-        ctx.sanitize_hits += 1;
-        if ctx.sanitize_log.len() < SANITIZE_LOG_CAP {
-            ctx.sanitize_log.push(SanitizeRecord {
-                buf,
-                tid,
-                idx: gidx,
-                window: (lo, hi),
-                kind: SanitizeKind::LoadOutsideWindow,
-            });
+    if let Some((stride, left, right)) = cfg.load_window {
+        let lo = stride * tid - left;
+        let hi = stride * (tid + 1) + right;
+        if gidx < lo || gidx >= hi {
+            ctx.sanitize_hits += 1;
+            if ctx.sanitize_log.len() < SANITIZE_LOG_CAP {
+                ctx.sanitize_log.push(SanitizeRecord {
+                    buf,
+                    tid,
+                    idx: gidx,
+                    window: (lo, hi),
+                    kind: SanitizeKind::LoadOutsideWindow,
+                });
+            }
+        }
+    }
+    if let Some((stride, left, right)) = cfg.carried_window {
+        let lo = stride * tid - left;
+        let hi = stride * (tid + 1) + right;
+        if gidx < lo || gidx >= hi {
+            ctx.sanitize_hits += 1;
+            if ctx.sanitize_log.len() < SANITIZE_LOG_CAP {
+                ctx.sanitize_log.push(SanitizeRecord {
+                    buf,
+                    tid,
+                    idx: gidx,
+                    window: (lo, hi),
+                    kind: SanitizeKind::CarriedDistanceEscape,
+                });
+            }
         }
     }
 }
@@ -1417,6 +1445,7 @@ mod tests {
         let k = shift_load_kernel();
         let too_narrow = BufSanitize {
             load_window: Some((1, 0, 0)),
+            carried_window: None,
             check_stores: false,
         };
         let mut a = Buffer::from_f64(&[0.0, 1.0, 2.0, 3.0, 4.0]);
@@ -1433,6 +1462,7 @@ mod tests {
         // The correct annotation — right(1) — is violation-free.
         let declared = BufSanitize {
             load_window: Some((1, 0, 1)),
+            carried_window: None,
             check_stores: false,
         };
         let mut a = Buffer::from_f64(&[0.0, 1.0, 2.0, 3.0, 4.0]);
@@ -1444,10 +1474,45 @@ mod tests {
     }
 
     #[test]
+    fn sanitize_load_flags_carried_distance_escapes() {
+        // The declared window is wide enough — only the (narrower)
+        // carried-distance claim is violated, so the record kind must
+        // distinguish the mislabeled `CarriedLocal` verdict from a
+        // plain window under-declaration.
+        let k = shift_load_kernel();
+        let mislabeled = BufSanitize {
+            load_window: Some((1, 0, 1)),
+            carried_window: Some((1, 0, 0)),
+            check_stores: false,
+        };
+        let mut a = Buffer::from_f64(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let mut out = Buffer::zeroed(Ty::F64, 4);
+        let mut ctx = shift_ctx(&k, &mut a, &mut out, vec![mislabeled, BufSanitize::default()]);
+        run_kernel_range(&k, &mut ctx, 0, 4).unwrap();
+        assert_eq!(ctx.sanitize_hits, 4);
+        let r = ctx.sanitize_log[0];
+        assert_eq!(r.kind, SanitizeKind::CarriedDistanceEscape);
+        assert_eq!((r.buf, r.tid, r.idx, r.window), (0, 0, 1, (0, 1)));
+
+        // A claim matching the true distance is violation-free.
+        let honest = BufSanitize {
+            load_window: Some((1, 0, 1)),
+            carried_window: Some((1, 0, 1)),
+            check_stores: false,
+        };
+        let mut a = Buffer::from_f64(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let mut out = Buffer::zeroed(Ty::F64, 4);
+        let mut ctx = shift_ctx(&k, &mut a, &mut out, vec![honest, BufSanitize::default()]);
+        run_kernel_range(&k, &mut ctx, 0, 4).unwrap();
+        assert_eq!(ctx.sanitize_hits, 0);
+    }
+
+    #[test]
     fn sanitize_store_flags_out_of_own_writes() {
         let k = shift_store_kernel();
         let audit = BufSanitize {
             load_window: None,
+            carried_window: None,
             check_stores: true,
         };
         let mut a = Buffer::from_f64(&[1.0, 2.0, 3.0, 4.0]);
@@ -1480,6 +1545,7 @@ mod tests {
         let k = shift_load_kernel();
         let cfg = BufSanitize {
             load_window: Some((1, 0, 0)),
+            carried_window: None,
             check_stores: true,
         };
         let run = |sanitize: Vec<BufSanitize>, ast: bool| {
@@ -1514,6 +1580,7 @@ mod tests {
         let k = shift_load_kernel();
         let cfg = BufSanitize {
             load_window: Some((1, 0, 0)),
+            carried_window: None,
             check_stores: false,
         };
         let n = SANITIZE_LOG_CAP + 36;

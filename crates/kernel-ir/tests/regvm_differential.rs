@@ -469,10 +469,12 @@ fn sanitizer_log_survives_load_forwarding() {
             // Thread t may only read [t-1, t): its own element at t is a
             // violation, so all 4 loads per thread hit.
             load_window: Some((1, 1, -1)),
+            carried_window: None,
             check_stores: false,
         },
         BufSanitize {
             load_window: None,
+            carried_window: None,
             check_stores: true,
         },
     ];
@@ -834,14 +836,17 @@ fn random_world(data: &[i32], own_lo: usize, own_len: usize) -> (Vec<Buffer>, Ve
             // Tight declared windows so random access patterns produce
             // sanitizer records that must replay identically.
             load_window: Some((1, 2, 2)),
+            carried_window: Some((1, 1, 1)),
             check_stores: false,
         },
         BufSanitize {
             load_window: None,
+            carried_window: None,
             check_stores: true,
         },
         BufSanitize {
             load_window: Some((1, 4, 4)),
+            carried_window: None,
             check_stores: true,
         },
     ];

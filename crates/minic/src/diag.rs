@@ -113,13 +113,17 @@ impl Diagnostic {
     }
 
     /// `"error"` / `"warning"`, with the code suffixed when present:
-    /// `warning[ACC-W001]`.
+    /// `warning[ACC-W001]`. Codes in the informational `ACC-I` namespace
+    /// render as `info[ACC-I003]` — they report something the analysis
+    /// *proved*, not something to fix, and `acc-lint --deny-warnings`
+    /// ignores them.
     fn sev_label(&self) -> String {
         let sev = match self.severity {
             Severity::Error => "error",
             Severity::Warning => "warning",
         };
         match self.code {
+            Some(c) if c.starts_with("ACC-I") => format!("info[{c}]"),
             Some(c) => format!("{sev}[{c}]"),
             None => sev.to_string(),
         }
@@ -217,6 +221,10 @@ mod tests {
         // Codeless diagnostics render exactly as before.
         let plain = Diagnostic::error(Span::point(0), "oops");
         assert_eq!(plain.render("x"), "error at 1:1: oops");
+        // Informational codes get the `info` label regardless of the
+        // carrier severity.
+        let info = Diagnostic::warning(Span::point(0), "distance proved").with_code("ACC-I003");
+        assert_eq!(info.render("x"), "info[ACC-I003] at 1:1: distance proved");
     }
 
     #[test]

@@ -269,6 +269,21 @@ pub fn export(trace: &Trace) -> String {
                     ],
                 ));
             }
+            Event::Wavefront(e) => {
+                events.push(span(
+                    &format!("wavefront {} g{}", e.kernel, e.gpu),
+                    "wavefront",
+                    e.gpu,
+                    e.start,
+                    e.end,
+                    vec![
+                        ("launch", Value::num(e.launch as f64)),
+                        ("kernel", Value::str(&e.kernel)),
+                        ("round", Value::num(e.round as f64)),
+                        ("fed_bytes", Value::num(e.fed_bytes as f64)),
+                    ],
+                ));
+            }
             Event::Sanitize(e) => {
                 events.push(instant(
                     &format!("SANITIZE {} {}", e.kind, e.array),

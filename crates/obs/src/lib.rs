@@ -250,6 +250,28 @@ pub struct OverlapWindow {
     pub end: SimTime,
 }
 
+/// One GPU's turn in a wavefront (pipelined) kernel schedule. When the
+/// compiler proves every loop-carried dependence of a launch *local* —
+/// carried distance inside the declared halo — the runtime may run the
+/// GPUs in partition order instead of in parallel, feeding each GPU's
+/// left halo with the rows its predecessors just wrote. One event per
+/// GPU per wavefront launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavefrontRound {
+    pub launch: u64,
+    /// Kernel (function) name.
+    pub kernel: String,
+    /// GPU whose turn this round was.
+    pub gpu: usize,
+    /// Position in the wavefront order (0-based; GPU 0 starts the wave).
+    pub round: usize,
+    /// Halo bytes fed from predecessor GPUs before this round started.
+    pub fed_bytes: u64,
+    /// Start of this GPU's compute turn (after its halo feed landed).
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
 /// The task mapper's split of one launch's iteration space: the per-GPU
 /// ranges it chose, the per-iteration cost model's prediction for each,
 /// and (filled in after the kernel phase) the measured per-GPU kernel
@@ -350,6 +372,7 @@ pub enum Event {
     Reduction(ReductionMerge),
     Collective(CollectiveRound),
     Overlap(OverlapWindow),
+    Wavefront(WavefrontRound),
     Sanitize(SanitizeEvent),
     Elided(CommElided),
     Inferred(InferredAnnotation),
@@ -369,6 +392,7 @@ impl Event {
             Event::Reduction(e) => e.start,
             Event::Collective(e) => e.start,
             Event::Overlap(e) => e.start,
+            Event::Wavefront(e) => e.start,
             Event::Sanitize(e) => e.at,
             Event::Elided(e) => e.at,
             Event::Inferred(e) => e.at,
@@ -388,6 +412,7 @@ impl Event {
             Event::Reduction(e) => e.end,
             Event::Collective(e) => e.end,
             Event::Overlap(e) => e.end,
+            Event::Wavefront(e) => e.end,
             Event::Sanitize(e) => e.at,
             Event::Elided(e) => e.at,
             Event::Inferred(e) => e.at,
@@ -451,6 +476,8 @@ pub struct Counters {
     /// Loader-critical-path nanoseconds the overlap windows removed
     /// (integer so the counter stays exactly comparable across runs).
     pub overlap_hidden_ns: u64,
+    /// GPU turns run under a wavefront (pipelined) kernel schedule.
+    pub wavefront_rounds: u64,
 }
 
 /// Collects events during a run. Totals and counters are accumulated at
@@ -600,6 +627,14 @@ impl Recorder {
         }
     }
 
+    /// Record one GPU's turn in a wavefront schedule (also counts it).
+    pub fn wavefront_round(&mut self, r: WavefrontRound) {
+        self.counters.wavefront_rounds += 1;
+        if self.level.keeps_summary() {
+            self.events.push(Event::Wavefront(r));
+        }
+    }
+
     /// Record a runtime-sanitizer violation (also counts it).
     pub fn sanitize(&mut self, e: SanitizeEvent) {
         self.counters.sanitize_violations += 1;
@@ -698,6 +733,7 @@ impl Trace {
                     push(e.dst);
                 }
                 Event::Overlap(e) => push(e.gpu),
+                Event::Wavefront(e) => push(e.gpu),
                 Event::Sanitize(e) => push(e.gpu),
                 Event::Phase(_) | Event::Elided(_) | Event::Inferred(_) => {}
             }
@@ -994,6 +1030,34 @@ mod tests {
         assert!(t.chrome_trace().contains("overlap src g3"));
         assert!(t.summary_table().contains("overlap windows"));
         assert!(t.render_text()[0].contains("hidden=0.250000s"));
+    }
+
+    #[test]
+    fn wavefront_rounds_count_and_export() {
+        let mk = |level| {
+            let mut rec = Recorder::new(level);
+            let launch = rec.launch_begin();
+            rec.wavefront_round(WavefrontRound {
+                launch,
+                kernel: "heat".into(),
+                gpu: 1,
+                round: 1,
+                fed_bytes: 2048,
+                start: 2.0,
+                end: 3.0,
+            });
+            rec.finish()
+        };
+        for level in [TraceLevel::Off, TraceLevel::Summary, TraceLevel::Spans] {
+            assert_eq!(mk(level).counters().wavefront_rounds, 1);
+        }
+        assert!(mk(TraceLevel::Off).events().is_empty());
+        let t = mk(TraceLevel::Summary);
+        assert!(matches!(t.events()[0], Event::Wavefront(_)));
+        assert_eq!(t.gpus(), vec![1]);
+        assert!(t.chrome_trace().contains("wavefront heat g1"));
+        assert!(t.summary_table().contains("wavefront rounds"));
+        assert!(t.render_text()[0].contains("wavefront"));
     }
 
     #[test]

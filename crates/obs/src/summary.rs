@@ -59,6 +59,7 @@ pub fn table(trace: &Trace) -> String {
         ("collective rounds", c.collective_rounds),
         ("overlap windows", c.overlap_windows),
         ("overlap hidden ns", c.overlap_hidden_ns),
+        ("wavefront rounds", c.wavefront_rounds),
     ] {
         out.push_str(&format!("  {name:<18} {v}\n"));
     }
@@ -213,6 +214,15 @@ pub fn render_text(trace: &Trace) -> Vec<String> {
                 e.gpu,
                 e.bytes,
                 e.hidden_s,
+                e.end - e.start
+            ),
+            Event::Wavefront(e) => format!(
+                "[{:.6}s] wavefront {} gpu={} round={} fed={}B dur={:.6}s",
+                e.start,
+                e.kernel,
+                e.gpu,
+                e.round,
+                e.fed_bytes,
                 e.end - e.start
             ),
             Event::Sanitize(e) => format!(
